@@ -1,0 +1,51 @@
+"""Simulator-engine performance benches.
+
+Times the primitives everything else is built from, so regressions in
+the MNA/Newton/transient stack are visible independent of the physics.
+"""
+
+from repro.analysis import operating_point, transient
+from repro.analysis.transient import TransientOptions
+from repro.characterize.runner import characterize_cell
+from repro.characterize.testbench import build_cell_testbench
+from repro.cells import PowerDomain
+from repro.pg.modes import Mode, OperatingConditions
+from repro.pg.scheduler import Schedule, ScheduleStep
+
+DOMAIN = PowerDomain(512, 32)
+COND = OperatingConditions()
+
+
+def bench_operating_point_nv_cell(benchmark):
+    tb = build_cell_testbench("nv", COND, DOMAIN)
+    tb.apply_mode(Mode.STANDBY)
+    ic = tb.initial_conditions(True)
+    result = benchmark(lambda: operating_point(tb.circuit, ic=ic))
+    assert result.voltage("vvdd") > 0.85
+
+
+def bench_read_burst_transient(benchmark):
+    def run():
+        tb = build_cell_testbench("nv", COND, DOMAIN)
+        schedule = Schedule(
+            [ScheduleStep(Mode.STANDBY, COND.t_cycle),
+             ScheduleStep(Mode.READ, COND.t_cycle),
+             ScheduleStep(Mode.READ, COND.t_cycle)],
+            COND,
+        )
+        tb.apply_waveforms(schedule.line_waveforms())
+        return transient(tb.circuit, schedule.total_duration,
+                         ic=tb.initial_conditions(True),
+                         options=TransientOptions(dt_initial=20e-12))
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(result) > 50
+
+
+def bench_full_characterization_uncached(benchmark):
+    """The end-to-end cost of characterising one NV cell from scratch."""
+    result = benchmark.pedantic(
+        lambda: characterize_cell("nv", COND, DOMAIN, cache_dir=None),
+        rounds=1, iterations=1,
+    )
+    assert result.restore_ok

@@ -1,0 +1,26 @@
+"""Fig. 1 — conceptual power timelines rendered from simulated numbers."""
+
+from repro.experiments import run_fig1
+from repro.pg.sequences import Architecture
+
+
+def bench_fig1(benchmark, ctx, publish):
+    result = benchmark.pedantic(
+        run_fig1, kwargs={"ctx": ctx}, rounds=1, iterations=1,
+    )
+    publish("fig1", result.render())
+
+    by_arch = {tl.architecture: tl for tl in result.timelines}
+    nvpg = by_arch[Architecture.NVPG]
+    nof = by_arch[Architecture.NOF]
+    # The conceptual claims of Fig. 1, now quantified: NOF's average
+    # power over the benchmark exceeds NVPG's (per-cycle store bursts),
+    # and both timelines bottom out at the shutdown level while NVPG's
+    # store spike is its single highest plateau.
+    assert nof.average_power() > nvpg.average_power()
+    assert max(nvpg.labels, key=lambda m: 0) is not None
+    store_level = max(
+        lvl for lvl, lab in zip(nvpg.levels, nvpg.labels)
+        if lab.startswith("store")
+    )
+    assert store_level == max(nvpg.levels)

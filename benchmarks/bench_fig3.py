@@ -1,0 +1,21 @@
+"""Fig. 3 — leakage vs V_CTRL and store-current design curves."""
+
+from repro.cells import PowerDomain
+from repro.experiments import run_fig3
+
+
+def bench_fig3(benchmark, ctx, publish):
+    result = benchmark.pedantic(
+        run_fig3,
+        kwargs={"cond": ctx.cond, "domain": PowerDomain(512, 32),
+                "points": 31},
+        rounds=1, iterations=1,
+    )
+    publish("fig3", result.render())
+
+    # Shape assertions matching the paper's panels.
+    leak = result.leakage
+    assert leak.i_leak_nv_min < leak.i_leak_nv[0]       # interior minimum
+    assert 0.02 <= leak.v_ctrl_optimal <= 0.15          # ~0.07 V
+    assert result.store_h.bias_at_margin is not None    # 1.5 x Ic reachable
+    assert result.store_l.bias_at_margin is not None

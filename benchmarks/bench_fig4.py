@@ -1,0 +1,19 @@
+"""Fig. 4 — virtual-VDD vs power-switch fin number."""
+
+from repro.cells import PowerDomain
+from repro.experiments import run_fig4
+
+
+def bench_fig4(benchmark, ctx, publish):
+    result = benchmark.pedantic(
+        run_fig4,
+        kwargs={"cond": ctx.cond, "domain": PowerDomain(512, 32)},
+        rounds=1, iterations=1,
+    )
+    publish("fig4", result.render())
+
+    sweep = result.sweep
+    # Store mode sags more than normal mode, monotone recovery with fins.
+    assert all(vs <= vn for _, vn, vs in sweep.rows())
+    assert result.nfsw_for_target is not None
+    assert result.nfsw_for_target <= 7      # paper's choice is sufficient

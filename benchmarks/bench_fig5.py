@@ -1,0 +1,10 @@
+"""Fig. 5 — benchmark sequence diagrams (textual timelines)."""
+
+from repro.experiments import run_fig5
+
+
+def bench_fig5(benchmark, publish):
+    result = benchmark(run_fig5)
+    publish("fig5", result.render())
+    osr, nvpg, nof = result.durations
+    assert nof > nvpg > osr   # store/restore overheads lengthen passes

@@ -1,0 +1,43 @@
+"""Fig. 7 — E_cyc vs n_RW for the three architectures."""
+
+import numpy as np
+
+from repro.cells import PowerDomain
+from repro.experiments import run_fig7a, run_fig7b, run_fig7c
+
+
+def bench_fig7a(benchmark, ctx, publish):
+    result = benchmark.pedantic(
+        run_fig7a, kwargs={"ctx": ctx, "domain": PowerDomain(512, 32)},
+        rounds=1, iterations=1,
+    )
+    publish("fig7a", result.render())
+    for sweep in result.sweeps:
+        ratio = sweep.e_cyc["nvpg"] / sweep.e_cyc["osr"]
+        assert ratio[-1] < 1.1          # NVPG -> OSR asymptotically
+        assert np.all(np.diff(ratio) < 0)
+        assert sweep.e_cyc["nof"][-1] > 2 * sweep.e_cyc["osr"][-1]
+
+
+def bench_fig7b(benchmark, ctx, publish):
+    result = benchmark.pedantic(
+        run_fig7b, kwargs={"ctx": ctx}, rounds=1, iterations=1,
+    )
+    publish("fig7b", result.render())
+    # Large-N penalty at n_RW = 1 (paper: NVPG > NOF for N >= 256),
+    # recovered by n_RW ~ 10.
+    big = result.sweeps[-1]             # N = 2048
+    assert big.e_cyc["nvpg"][0] > big.e_cyc["nof"][0]
+    idx10 = list(big.n_rw).index(10)
+    assert big.e_cyc["nvpg"][idx10] < big.e_cyc["nof"][idx10] * 1.2
+
+
+def bench_fig7c(benchmark, ctx, publish):
+    result = benchmark.pedantic(
+        run_fig7c, kwargs={"ctx": ctx, "domain": PowerDomain(512, 32)},
+        rounds=1, iterations=1,
+    )
+    publish("fig7c", result.render())
+    # For t_SD >= several 10 us NVPG beats OSR across the n_RW range.
+    long_sweep = result.sweeps[-1]      # t_SD = 10 ms
+    assert np.all(long_sweep.e_cyc["nvpg"] < long_sweep.e_cyc["osr"])

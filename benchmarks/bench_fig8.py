@@ -1,0 +1,35 @@
+"""Fig. 8 — E_cyc vs t_SD and the break-even-time crossover."""
+
+import numpy as np
+
+from repro.cells import PowerDomain
+from repro.experiments import run_fig8
+from repro.experiments.report import series_block
+from repro.pg.sequences import Architecture
+
+
+def bench_fig8(benchmark, ctx, publish):
+    result = benchmark.pedantic(
+        run_fig8, kwargs={"ctx": ctx, "domain": PowerDomain(512, 32)},
+        rounds=1, iterations=1,
+    )
+    blocks = [
+        series_block(
+            f"E_cyc/E_cyc(OSR) vs t_SD [{c.architecture.value}, "
+            f"n_RW={c.n_rw}]",
+            c.t_sd[::6], c.e_cyc_normalised[::6], "s", "",
+        )
+        for c in result.curves
+    ]
+    publish("fig8", result.render() + "\n\n" + "\n\n".join(blocks))
+
+    for curve in result.curves:
+        # Normalised curves start above 1 and decay (shutdown saves).
+        assert curve.e_cyc_normalised[0] > 1.0
+        assert curve.e_cyc_normalised[-1] < curve.e_cyc_normalised[0]
+        if curve.bet_numeric is not None:
+            assert np.isclose(curve.bet_numeric,
+                              curve.bet_closed_form.bet, rtol=0.05)
+        if curve.architecture is Architecture.NVPG:
+            # NVPG BET ~ several 10 us (paper headline).
+            assert 1e-5 < curve.bet_closed_form.bet < 1e-3

@@ -1,0 +1,41 @@
+"""Fig. 9 — BET vs domain depth N (base and fast configurations)."""
+
+import numpy as np
+
+from repro.experiments import run_fig9
+
+
+def bench_fig9a(benchmark, ctx, publish):
+    result = benchmark.pedantic(
+        run_fig9, kwargs={"ctx": ctx, "panel": "a"}, rounds=1,
+        iterations=1,
+    )
+    publish("fig9a", result.render())
+
+    by_label = {s.label: s for s in result.series}
+    base10 = by_label["n_RW=10"]
+    # BET grows with N and with n_RW.
+    assert np.all(np.diff(base10.bet) > 0)
+    assert np.all(by_label["n_RW=1000"].bet > base10.bet)
+    # Store-free shutdown cuts BET dramatically (to a few us at small N).
+    free10 = by_label["n_RW=10 (store-free)"]
+    assert np.all(free10.bet < base10.bet / 3)
+    assert free10.bet[0] < 20e-6
+
+
+def bench_fig9b(benchmark, ctx, publish):
+    result_b = benchmark.pedantic(
+        run_fig9, kwargs={"ctx": ctx, "panel": "b"}, rounds=1,
+        iterations=1,
+    )
+    publish("fig9b", result_b.render())
+
+    result_a = run_fig9(ctx, panel="a")
+    bet_a = {s.label: s for s in result_a.series}["n_RW=10"].bet
+    bet_b = {s.label: s for s in result_b.series}["n_RW=10"].bet
+    # The 1 GHz / low-Jc configuration shortens BET substantially even
+    # without store-free shutdown (paper: "much shorter BET and a larger
+    # domain size").  The gain is largest at small N, where the store
+    # energy (not the normal-phase leakage) dominates the overhead.
+    assert np.all(bet_b < bet_a)
+    assert bet_b[0] < bet_a[0] / 2

@@ -1,0 +1,13 @@
+"""Table I — regenerate the device/circuit parameter table."""
+
+from repro.experiments import run_table1
+
+
+def bench_table1(benchmark, publish):
+    result = benchmark(run_table1)
+    publish("table1", result.render())
+    # The derived MTJ constants of Table I must come out exactly.
+    text = result.render()
+    assert "6.37 kohm" in text
+    assert "12.73 kohm" in text
+    assert "15.71 uA" in text

@@ -1,0 +1,45 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_figN.py`` regenerates one of the paper's tables/figures,
+prints the same rows/series the paper reports (run with ``-s`` to see
+them inline) and archives the rendered text under
+``benchmarks/results/`` so a benchmark run leaves a durable record.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+_REPO = Path(__file__).resolve().parent.parent
+os.environ.setdefault("REPRO_CACHE_DIR", str(_REPO / ".repro-cache"))
+
+from repro.cells import PowerDomain                   # noqa: E402
+from repro.experiments import ExperimentContext       # noqa: E402
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+@pytest.fixture(scope="session")
+def ctx() -> ExperimentContext:
+    return ExperimentContext()
+
+
+@pytest.fixture(scope="session")
+def domain() -> PowerDomain:
+    """The paper's reference domain: N = 512 word lines x 32 bits."""
+    return PowerDomain(n_wordlines=512, word_bits=32)
+
+
+@pytest.fixture(scope="session")
+def publish():
+    """Print a rendered experiment table and archive it to results/."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+
+    def _publish(name: str, text: str) -> None:
+        print(f"\n{'=' * 72}\n{name}\n{'=' * 72}\n{text}\n")
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _publish

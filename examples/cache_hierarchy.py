@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Fine-grained NVPG across a two-level cache hierarchy.
+
+The paper's closing argument: organise every cache level as NV-SRAM
+power domains, use store-free shutdown where the data is clean, and the
+whole hierarchy can ride a bursty workload with most of it powered off.
+This example builds that system — a 4-domain L1 (dirty data: full
+stores) over a 16-domain L2 (inclusive/clean: store-free) — and runs a
+bursty epoch workload through it.
+
+Run:  python examples/cache_hierarchy.py
+"""
+
+import numpy as np
+
+from repro.cells import PowerDomain
+from repro.experiments import ExperimentContext
+from repro.pg.hierarchy import CacheLevel, SystemModel
+from repro.units import format_eng
+
+RNG_SEED = 7
+
+
+def main() -> None:
+    ctx = ExperimentContext()
+    print("== Cache-hierarchy power gating ==\n")
+    print("characterising domains (cached after the first run)...")
+
+    l1 = CacheLevel(
+        name="L1",
+        model=ctx.energy_model(PowerDomain(n_wordlines=64, word_bits=32)),
+        num_domains=4,          # 4 x 256 B = 1 kB
+        n_rw_per_epoch=500,     # hot: touched heavily while running
+        active_fraction=1.0,
+        store_free=False,       # dirty data must be stored
+    )
+    l2 = CacheLevel(
+        name="L2",
+        model=ctx.energy_model(PowerDomain(n_wordlines=512, word_bits=32)),
+        num_domains=16,         # 16 x 2 kB = 32 kB
+        n_rw_per_epoch=50,      # filtered traffic
+        active_fraction=0.25,   # locality: most L2 domains stay quiet
+        store_free=True,        # inclusive level: clean copies
+    )
+    system = SystemModel([l1, l2])
+
+    print(f"\n{'level':>6} {'capacity':>10} {'domain':>10} {'BET':>10}  notes")
+    for level in system.levels:
+        note = "store-free" if level.store_free else "full store"
+        print(f"{level.name:>6} "
+              f"{format_eng(level.capacity_bytes, 'B'):>10} "
+              f"{format_eng(level.domain.size_bytes, 'B'):>10} "
+              f"{format_eng(level.bet(), 's'):>10}  {note}")
+    print("\nNote the inversion: the L2 domain is 8x larger yet breaks even")
+    print("sooner, because store-free shutdown removes the serialised store")
+    print("phase that grows with N — the paper's Fig. 9(a) effect at work.")
+
+    # Bursty workload: compute bursts separated by variable gaps.
+    rng = np.random.default_rng(RNG_SEED)
+    actives = rng.uniform(50e-6, 300e-6, size=40)
+    idles = rng.lognormal(np.log(400e-6), 1.0, size=40)
+    epochs = list(zip(actives, idles))
+    total_time = float(np.sum(actives) + np.sum(idles))
+    print(f"\nworkload: {len(epochs)} epochs over "
+          f"{format_eng(total_time, 's')}, median gap "
+          f"{format_eng(float(np.median(idles)), 's')}")
+
+    print(f"\n{'level':>6} {'E (BET-gated)':>14} {'E (never gate)':>15} "
+          f"{'saving':>8}")
+    for report in system.evaluate(epochs):
+        print(f"{report.name:>6} {format_eng(report.energy, 'J'):>14} "
+              f"{format_eng(report.energy_never_gate, 'J'):>15} "
+              f"{report.savings:>7.1%}")
+    print(f"\nsystem-wide saving: {system.total_savings(epochs):.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Evaluating a custom MTJ technology in the NV-SRAM cell.
+
+The MTJ card is a first-class parameter of the library: this example
+defines a hypothetical next-generation junction (lower critical current
+density, higher TMR, slightly higher RA), re-derives the store biases
+from the Fig. 3 methodology, and compares store energy, static power and
+break-even time against the paper's Table I device.
+
+This is exactly the Fig. 9(b) workflow generalised to any device card.
+
+Run:  python examples/custom_mtj.py
+"""
+
+from repro import Architecture, MTJParams, MTJ_TABLE1, PowerDomain
+from repro.characterize.store import derive_store_biases
+from repro.experiments import ExperimentContext
+from repro.pg.bet import break_even_time
+from repro.units import format_eng
+
+#: A hypothetical scaled STT-MTJ: Jc down 4x, TMR up to 150 %.
+NEXT_GEN_MTJ = MTJParams(
+    tmr0=1.5,
+    ra_product=3.0e-12,      # 3 ohm.um^2
+    v_half=0.55,
+    jc=1.25e10,              # 1.25e6 A/cm^2
+    diameter=20e-9,
+    label="mtj-next-gen",
+)
+
+DOMAIN = PowerDomain(n_wordlines=512, word_bits=32)
+SMALL = PowerDomain(n_wordlines=32, word_bits=32)
+
+
+def describe(card: MTJParams) -> None:
+    print(f"  {card.label}:")
+    print(f"    R_P = {format_eng(card.r_parallel, 'ohm')},  "
+          f"R_AP(0) = {format_eng(card.r_antiparallel_zero_bias, 'ohm')},  "
+          f"Ic = {format_eng(card.critical_current, 'A')}")
+
+
+def evaluate(ctx: ExperimentContext, card: MTJParams):
+    # Paper methodology: pick V_SR / V_CTRL from the store-current sweeps
+    # so the store reaches 1.5 x Ic for *this* junction.
+    cond = derive_store_biases(ctx.cond, SMALL, mtj_params=card)
+    nv = ctx.characterization("nv", DOMAIN, cond=cond, mtj_params=card)
+    model = ctx.energy_model(DOMAIN, cond=cond, mtj_params=card)
+    bet = break_even_time(model, Architecture.NVPG, n_rw=100,
+                          t_sl=100e-9).bet
+    return cond, nv, bet
+
+
+def main() -> None:
+    ctx = ExperimentContext()
+    print("== Custom MTJ technology evaluation ==\n")
+    print("device cards:")
+    describe(MTJ_TABLE1)
+    describe(NEXT_GEN_MTJ)
+
+    rows = []
+    for card in (MTJ_TABLE1, NEXT_GEN_MTJ):
+        cond, nv, bet = evaluate(ctx, card)
+        rows.append((card.label, cond, nv, bet))
+
+    print(f"\n{'card':<16} {'V_SR':>6} {'V_CTRL':>7} {'E_store':>10} "
+          f"{'P_normal':>10} {'BET(n_RW=100)':>14}")
+    for label, cond, nv, bet in rows:
+        print(f"{label:<16} {cond.v_sr:>5.2f}V {cond.v_ctrl_store:>6.2f}V "
+              f"{format_eng(nv.e_store, 'J'):>10} "
+              f"{format_eng(nv.p_normal, 'W'):>10} "
+              f"{format_eng(bet, 's'):>14}")
+
+    base, nxt = rows[0], rows[1]
+    print(f"\nstore energy ratio (next-gen / Table I): "
+          f"{nxt[2].e_store / base[2].e_store:.2f}")
+    print(f"BET ratio:                               "
+          f"{nxt[3] / base[3]:.2f}")
+    print("\nA lower-Jc junction stores with a weaker bias, cutting the")
+    print("store energy and pulling the break-even time in — enabling")
+    print("finer-grained power gating without the store-free trick.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+NV-SRAM cell: two-step store followed by shutdown and restore
+* The paper's Fig. 2 cell written as a plain SPICE deck.
+* Sequence: hold '1' -> H-store (SR on, CTRL low) -> L-store (CTRL at
+* 0.5 V) -> power switch to super cutoff -> wake-up restore.
+
+.param vdd=0.9 vsr=0.65 vctrlst=0.5 vsuper=1.0
+
+.subckt nvcell vvdd bl blb wl sr ctrl
+* 6T core
+mpul q qb vvdd pfet20hp
+mpur qb q vvdd pfet20hp
+mpdl q qb 0 nfet20hp
+mpdr qb q 0 nfet20hp
+mpgl bl wl q nfet20hp
+mpgr blb wl qb nfet20hp
+cq q 0 0.14f
+cqb qb 0 0.14f
+* PS-FinFET + MTJ retention branches
+mpsq q sr nq nfet20hp
+mpsqb qb sr nqb nfet20hp
+ymtjq ctrl nq mtj_table1 state=P
+ymtjqb ctrl nqb mtj_table1 state=AP
+.ends nvcell
+
+* supplies and control lines
+vdd vdd 0 {vdd}
+vpg pg 0 pwl(0 0  22n 0  22.2n {vsuper}  40n {vsuper}  40.2n 0)
+msw vvdd pg vdd pfet20hp nfin=7
+cvv vvdd 0 0.2f
+vbl bl 0 pwl(0 {vdd}  21n {vdd}  21.2n 0)
+vblb blb 0 pwl(0 {vdd}  21n {vdd}  21.2n 0)
+vwl wl 0 0
+vsr sr 0 pwl(0 0  1n 0  1.1n {vsr}  45n {vsr})
+vctrl ctrl 0 pwl(0 0  11n 0  11.1n {vctrlst}  21n {vctrlst}  21.2n 0)
+
+xcell vvdd bl blb wl sr ctrl nvcell
+
+.ic v(xcell.q)=0.9 v(xcell.qb)=0 v(vvdd)=0.9
+.tran 48n
+.end

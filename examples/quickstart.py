@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate the NV-SRAM cell through a full power-gating cycle.
+
+Builds the Fig. 2 cell on the standard testbench, then runs one complete
+NVPG sequence as a transient simulation: normal write, the two-step MTJ
+store, super-cutoff shutdown, and nonvolatile restore — printing what
+happens at each stage.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import OperatingConditions, PowerDomain
+from repro.analysis import transient
+from repro.analysis.transient import TransientOptions
+from repro.characterize.testbench import SUPPLY_SOURCES, build_cell_testbench
+from repro.pg.modes import Mode
+from repro.pg.scheduler import Schedule, ScheduleStep
+from repro.units import format_eng
+
+
+def main() -> None:
+    cond = OperatingConditions()            # Table I defaults
+    domain = PowerDomain(n_wordlines=512, word_bits=32)   # a 2 kB domain
+
+    print("== NV-SRAM quickstart ==")
+    print(f"conditions: VDD={cond.vdd} V, {format_eng(cond.frequency, 'Hz')}"
+          f" read/write, V_SR={cond.v_sr} V, store step ="
+          f" {format_eng(cond.t_store_step, 's')}")
+    print(f"domain:     {domain}")
+
+    tb = build_cell_testbench("nv", cond, domain)
+    # The latch starts holding a 1; the MTJs hold the complement so the
+    # store visibly has to switch both junctions.
+    tb.set_mtj_data(False)
+
+    schedule = Schedule(
+        [
+            ScheduleStep(Mode.STANDBY, 2e-9),
+            ScheduleStep(Mode.WRITE, cond.t_cycle, data=True),
+            ScheduleStep(Mode.STORE_H, cond.t_store_step),
+            ScheduleStep(Mode.STORE_L, cond.t_store_step),
+            ScheduleStep(Mode.SHUTDOWN, 20e-9),
+            ScheduleStep(Mode.RESTORE, cond.t_restore),
+            ScheduleStep(Mode.STANDBY, 3e-9),
+        ],
+        cond,
+    )
+    tb.apply_waveforms(schedule.line_waveforms())
+
+    print("\nrunning transient "
+          f"({format_eng(schedule.total_duration, 's')} of circuit time)...")
+    result = transient(
+        tb.circuit, schedule.total_duration,
+        ic=tb.initial_conditions(True),
+        options=TransientOptions(dt_initial=20e-12),
+    )
+    print(f"done: {len(result)} accepted timepoints, "
+          f"{int(result.stats['rejected_steps'])} rejected")
+
+    print("\nMTJ switching events (CIMS):")
+    for t, element, event in result.events:
+        print(f"  t = {format_eng(t, 's'):>10}  {element}: {event}")
+
+    print("\nper-phase energy drawn from the supplies:")
+    for window in schedule.windows():
+        energy = result.energy(SUPPLY_SOURCES, window.t_start, window.t_end)
+        print(f"  {window.mode.value:<10} {format_eng(energy, 'J'):>12}"
+              f"   ({format_eng(window.duration, 's')})")
+    print("  (a negative write figure means the discharged bitline returned"
+          "\n   charge to the driver; the recharge lands in the next phase)")
+
+    final = result.final_solution()
+    cell = tb.nv_cell
+    print("\nafter wake-up:")
+    print(f"  V(Q)  = {final.voltage(cell.q):.3f} V,"
+          f"  V(QB) = {final.voltage(cell.qb):.3f} V")
+    print(f"  latch data restored: {cell.read_data(final, cond.vdd)}"
+          "  (wrote True before the shutdown)")
+    print(f"  MTJ pair encodes:    {cell.stored_data(tb.circuit)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Choosing a shutdown policy from an idle-interval distribution.
+
+The BET is only a threshold; a runtime power manager also needs to know
+*how much* energy a policy saves on a real workload.  This example draws
+a synthetic idle-interval distribution (a log-normal mix of short
+inter-access gaps and long quiescent periods, the usual shape for cache
+traffic), then compares three policies over the same trace:
+
+* **never gate** (OSR: sleep through every idle interval),
+* **always gate** (NOF-ish: power off for every interval),
+* **BET-gated NVPG** (power off only when the predicted interval exceeds
+  the break-even time — the paper's intended usage).
+
+Run:  python examples/shutdown_policy.py
+"""
+
+import numpy as np
+
+from repro import Architecture, PowerDomain
+from repro.experiments import ExperimentContext
+from repro.pg.bet import break_even_time
+from repro.units import format_eng
+
+RNG_SEED = 20150309      # DATE 2015 conference date
+N_INTERVALS = 20_000
+
+
+def synth_idle_intervals(rng: np.random.Generator) -> np.ndarray:
+    """Bimodal idle intervals: mostly ~1 us gaps, occasionally ~1 ms."""
+    short = rng.lognormal(mean=np.log(1e-6), sigma=0.8,
+                          size=int(N_INTERVALS * 0.9))
+    long = rng.lognormal(mean=np.log(1e-3), sigma=0.7,
+                         size=int(N_INTERVALS * 0.1))
+    return np.concatenate([short, long])
+
+
+def main() -> None:
+    ctx = ExperimentContext()
+    domain = PowerDomain(n_wordlines=512, word_bits=32)
+    model = ctx.energy_model(domain)
+    nv = model.nv
+    vt = model.volatile
+
+    bet = break_even_time(model, Architecture.NVPG, n_rw=1).bet
+    overhead = (nv.e_store + nv.p_normal * (domain.n_wordlines - 1)
+                * nv.t_store + nv.e_restore)
+
+    rng = np.random.default_rng(RNG_SEED)
+    intervals = synth_idle_intervals(rng)
+
+    # Energy per idle interval under each policy (per cell).
+    e_never = vt.p_sleep * intervals
+    e_always = overhead + nv.p_shutdown * intervals
+    gated = intervals > bet
+    e_bet = np.where(gated, overhead + nv.p_shutdown * intervals,
+                     nv.p_sleep * intervals)
+
+    print("== Shutdown-policy comparison (per cell, idle time only) ==")
+    print(f"domain: {domain};  BET = {format_eng(bet, 's')};  "
+          f"PG overhead = {format_eng(overhead, 'J')}")
+    print(f"idle trace: {len(intervals)} intervals, "
+          f"median {format_eng(float(np.median(intervals)), 's')}, "
+          f"{gated.mean():.1%} exceed the BET\n")
+
+    baseline = e_never.sum()
+    rows = [
+        ("never gate (OSR sleep)", e_never.sum()),
+        ("always gate (NOF-style)", e_always.sum()),
+        ("BET-gated NVPG", e_bet.sum()),
+    ]
+    for name, total in rows:
+        saving = 1.0 - total / baseline
+        print(f"  {name:<26} {format_eng(total, 'J'):>12}   "
+              f"({saving:+.1%} vs never gating)")
+
+    print("\nThe BET-gated policy always dominates: it only pays the store/")
+    print("restore overhead when the interval is long enough to amortise it,")
+    print("whereas gating every interval loses energy on the short ones —")
+    print("the quantitative core of the paper's NVPG-vs-NOF argument.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Trace-driven, per-domain power gating of an NV-SRAM cache level.
+
+The previous examples use summary statistics; this one starts from an
+*address trace*: a Zipf-popular access stream spread over the sixteen
+2 kB power domains of a 32 kB cache level.  Each domain sees its own
+access bursts and idle gaps, so each makes its own BET-gating decisions
+— the "fine-grained power management" the paper closes with.
+
+Run:  python examples/trace_driven_gating.py
+"""
+
+import numpy as np
+
+from repro.cells import PowerDomain
+from repro.experiments import ExperimentContext
+from repro.pg.bet import break_even_time
+from repro.pg.sequences import Architecture
+from repro.pg.workload import epochs_from_access_times, zipf_domain_trace
+from repro.units import format_eng
+
+NUM_DOMAINS = 16
+RNG_SEED = 20150313
+
+
+def main() -> None:
+    ctx = ExperimentContext()
+    domain = PowerDomain(n_wordlines=512, word_bits=32)
+    model = ctx.energy_model(domain)
+    nv = model.nv
+    bet = break_even_time(model, Architecture.NVPG, n_rw=10,
+                          store_free=True).bet
+    overhead = nv.e_restore * domain.num_cells   # store-free shutdowns
+
+    print("== Trace-driven per-domain gating ==")
+    print(f"level: {NUM_DOMAINS} x {format_eng(domain.size_bytes, 'B')} "
+          f"domains; store-free BET = {format_eng(bet, 's')}\n")
+
+    rng = np.random.default_rng(RNG_SEED)
+    trace = zipf_domain_trace(rng, num_domains=NUM_DOMAINS,
+                              num_accesses=30_000, mean_interval=200e-9)
+    total_time = max(max(ts) for ts in trace.domain_accesses.values())
+    print(f"trace: 30k accesses over {format_eng(total_time, 's')}, "
+          f"Zipf(1.2) over {NUM_DOMAINS} domains; hottest 4 domains take "
+          f"{trace.coverage(NUM_DOMAINS, 4):.0%} of the traffic\n")
+
+    header = (f"{'dom':>4} {'accesses':>9} {'median idle':>12} "
+              f"{'gated':>7} {'E idle (gated)':>15} {'E idle (never)':>15} "
+              f"{'saving':>8}")
+    print(header)
+    print("-" * len(header))
+
+    total_gated = total_never = 0.0
+    for dom in range(NUM_DOMAINS):
+        epochs = trace.epochs(dom, merge_gap=2e-6, tail_idle=0.0)
+        idles = [e.idle for e in epochs[:-1]] or [0.0]
+        gated_count = sum(1 for t in idles if t > bet)
+        e_gated = sum(
+            overhead / domain.num_cells * domain.num_cells
+            + nv.p_shutdown * domain.num_cells * t
+            if t > bet else nv.p_sleep * domain.num_cells * t
+            for t in idles
+        )
+        e_never = sum(nv.p_sleep * domain.num_cells * t for t in idles)
+        total_gated += e_gated
+        total_never += e_never
+        saving = 0.0 if e_never == 0 else 1 - e_gated / e_never
+        print(f"{dom:>4} {len(trace.domain_accesses.get(dom, [])):>9} "
+              f"{format_eng(float(np.median(idles)), 's'):>12} "
+              f"{gated_count:>4}/{len(idles):<3}"
+              f"{format_eng(e_gated, 'J'):>15} "
+              f"{format_eng(e_never, 'J'):>15} {saving:>7.1%}")
+
+    print("-" * len(header))
+    print(f"level idle energy: {format_eng(total_gated, 'J')} gated vs "
+          f"{format_eng(total_never, 'J')} never-gated "
+          f"({1 - total_gated / total_never:.1%} saved)")
+    print("\nThe cold domains gate almost every gap while the hot ones")
+    print("stay lit — per-domain BET decisions capture the locality that")
+    print("a whole-level on/off switch would waste.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,125 @@
+"""repro — reproduction of *"Comparative study of power-gating
+architectures for nonvolatile FinFET-SRAM using spintronics-based
+retention technology"* (Shuto, Yamamoto, Sugahara; DATE 2015).
+
+The library is layered bottom-up:
+
+* :mod:`repro.circuit` / :mod:`repro.analysis` — a nonlinear circuit
+  simulator (MNA + Newton, DC / sweep / adaptive transient) standing in
+  for HSPICE;
+* :mod:`repro.devices` — the 20 nm FinFET compact model (PTM-like card)
+  and the STT-MTJ macromodel of the paper's Table I;
+* :mod:`repro.cells` — the 6T and NV-SRAM bitcells, header power switch
+  and power-domain arithmetic;
+* :mod:`repro.pg` — the paper's contribution: NVPG / NOF / OSR operating
+  modes, Fig. 5 benchmark sequences, E_cyc composition and break-even
+  time;
+* :mod:`repro.characterize` — SPICE-level extraction of per-mode
+  energies, leakage, store currents, power-switch sizing and SNM;
+* :mod:`repro.experiments` — regeneration of every table and figure;
+* :mod:`repro.spice` — a SPICE-deck front end for the whole stack.
+
+Quickstart::
+
+    from repro import (
+        OperatingConditions, PowerDomain, ExperimentContext,
+        Architecture, BenchmarkSpec, break_even_time,
+    )
+
+    ctx = ExperimentContext()
+    model = ctx.energy_model(PowerDomain(n_wordlines=512, word_bits=32))
+    print(model.e_cyc(BenchmarkSpec(Architecture.NVPG, n_rw=100,
+                                    t_sl=100e-9, t_sd=1e-3)))
+    print(break_even_time(model, Architecture.NVPG, n_rw=100).bet)
+"""
+
+from .errors import (
+    ReproError,
+    NetlistError,
+    AnalysisError,
+    ConvergenceError,
+    DeviceError,
+    CharacterizationError,
+    SequenceError,
+)
+from .circuit import Circuit, Resistor, Capacitor, VoltageSource
+from .analysis import operating_point, dc_sweep, transient
+from .devices import (
+    FinFET,
+    FinFETParams,
+    MTJ,
+    MTJParams,
+    MTJState,
+    MTJ_TABLE1,
+    NFET_20NM_HP,
+    PFET_20NM_HP,
+)
+from .cells import (
+    PowerDomain,
+    add_nvsram,
+    add_sram6t,
+    add_power_switch,
+    build_cell_array,
+)
+from .pg import (
+    Architecture,
+    BenchmarkSpec,
+    CellEnergyModel,
+    Mode,
+    OperatingConditions,
+    benchmark_sequence,
+    break_even_time,
+)
+from .characterize import (
+    CellCharacterization,
+    characterize_cell,
+    build_cell_testbench,
+)
+from .experiments import ExperimentContext
+from .spice import parse_deck, run_deck
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "NetlistError",
+    "AnalysisError",
+    "ConvergenceError",
+    "DeviceError",
+    "CharacterizationError",
+    "SequenceError",
+    "Circuit",
+    "Resistor",
+    "Capacitor",
+    "VoltageSource",
+    "operating_point",
+    "dc_sweep",
+    "transient",
+    "FinFET",
+    "FinFETParams",
+    "MTJ",
+    "MTJParams",
+    "MTJState",
+    "MTJ_TABLE1",
+    "NFET_20NM_HP",
+    "PFET_20NM_HP",
+    "PowerDomain",
+    "add_nvsram",
+    "add_sram6t",
+    "add_power_switch",
+    "build_cell_array",
+    "Architecture",
+    "BenchmarkSpec",
+    "CellEnergyModel",
+    "Mode",
+    "OperatingConditions",
+    "benchmark_sequence",
+    "break_even_time",
+    "CellCharacterization",
+    "characterize_cell",
+    "build_cell_testbench",
+    "ExperimentContext",
+    "parse_deck",
+    "run_deck",
+    "__version__",
+]

@@ -1,0 +1,31 @@
+"""Circuit analyses: DC operating point, DC sweeps and transient.
+
+The public entry points are:
+
+* :func:`repro.analysis.dc.operating_point`
+* :func:`repro.analysis.sweep.dc_sweep`
+* :func:`repro.analysis.transient.transient`
+
+All analyses build a dense modified-nodal-analysis (MNA) system
+(:mod:`repro.analysis.mna`) and solve the nonlinear equations with the
+damped Newton-Raphson iteration in :mod:`repro.analysis.solver`.
+"""
+
+from .ac import ACResult, ac_analysis
+from .dc import operating_point, OperatingPointOptions
+from .sweep import dc_sweep, SweepResult
+from .transient import transient, TransientOptions
+from .results import Solution, TransientResult
+
+__all__ = [
+    "ac_analysis",
+    "ACResult",
+    "operating_point",
+    "OperatingPointOptions",
+    "dc_sweep",
+    "SweepResult",
+    "transient",
+    "TransientOptions",
+    "Solution",
+    "TransientResult",
+]

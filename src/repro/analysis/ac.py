@@ -1,0 +1,153 @@
+"""Small-signal AC analysis.
+
+Linearises the circuit at a DC operating point and solves the complex
+MNA system ``(G + j w C) x = b_ac`` across a frequency grid:
+
+* ``G`` is the resistive Jacobian — exactly what the nonlinear elements
+  already stamp at the operating point (their equivalent current sources
+  land in the DC RHS, which AC discards);
+* ``C`` collects the capacitor stamps at ``j w C``;
+* the stimulus comes from voltage sources with a non-zero ``ac``
+  magnitude (set ``VoltageSource(..., ac=1.0)`` for a unit drive).
+
+Useful here for bitline time constants, sense-amp input bandwidth and
+small-signal gain checks of the cell's inverters; it also rounds out the
+simulator feature set for deck-level reuse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..errors import AnalysisError
+from ..circuit.passives import Capacitor
+from ..circuit.sources import VoltageSource
+from .dc import OperatingPointOptions, operating_point
+from .mna import Context, Stamper
+from .results import Solution
+from .solver import GMIN_FLOOR
+
+
+@dataclass
+class ACResult:
+    """Complex node responses across the frequency grid.
+
+    Attributes
+    ----------
+    frequencies:
+        The analysis grid (hertz).
+    states:
+        Complex array, one row per frequency, columns = MNA unknowns.
+    op:
+        The DC operating point the circuit was linearised at.
+    """
+
+    circuit: object
+    frequencies: np.ndarray
+    states: np.ndarray
+    op: Solution
+
+    def response(self, node: str) -> np.ndarray:
+        """Complex voltage phasor of ``node`` across the grid."""
+        index = self.circuit.index_of(node)
+        if index < 0:
+            return np.zeros(len(self.frequencies), dtype=complex)
+        return self.states[:, index]
+
+    def magnitude(self, node: str) -> np.ndarray:
+        return np.abs(self.response(node))
+
+    def magnitude_db(self, node: str) -> np.ndarray:
+        mag = self.magnitude(node)
+        return 20.0 * np.log10(np.maximum(mag, 1e-300))
+
+    def phase_deg(self, node: str) -> np.ndarray:
+        return np.degrees(np.angle(self.response(node)))
+
+    def corner_frequency(self, node: str,
+                         drop_db: float = 3.0) -> Optional[float]:
+        """First frequency where the response falls ``drop_db`` below its
+        low-frequency value (interpolated); None if it never does."""
+        mag_db = self.magnitude_db(node)
+        target = mag_db[0] - drop_db
+        below = np.nonzero(mag_db <= target)[0]
+        if below.size == 0:
+            return None
+        k = int(below[0])
+        if k == 0:
+            return float(self.frequencies[0])
+        # Interpolate in log-frequency for log-spaced grids.
+        f0, f1 = self.frequencies[k - 1], self.frequencies[k]
+        m0, m1 = mag_db[k - 1], mag_db[k]
+        frac = (m0 - target) / (m0 - m1)
+        return float(f0 * (f1 / f0) ** frac)
+
+
+def ac_analysis(
+    circuit,
+    frequencies: Sequence[float],
+    ic: Optional[Dict[str, float]] = None,
+    op_options: Optional[OperatingPointOptions] = None,
+) -> ACResult:
+    """Run an AC sweep over ``frequencies``.
+
+    Parameters
+    ----------
+    frequencies:
+        Analysis grid in hertz (all positive).
+    ic:
+        Optional basin selector for the underlying operating point.
+    """
+    freqs = np.asarray(list(frequencies), dtype=float)
+    if freqs.size == 0 or np.any(freqs <= 0):
+        raise AnalysisError("ac_analysis needs positive frequencies")
+    circuit.compile()
+    op = operating_point(circuit, ic=ic, options=op_options)
+
+    size = circuit.size
+    num_nodes = circuit.num_nodes
+
+    # Resistive Jacobian at the operating point (DC-mode stamps).
+    ctx = Context(mode="dc", time=0.0, x=op.x)
+    g_stamper = Stamper(size)
+    capacitors = []
+    sources = []
+    for element in circuit.elements():
+        if isinstance(element, Capacitor):
+            capacitors.append(element)
+            continue
+        element.stamp(g_stamper, ctx)
+        if isinstance(element, VoltageSource):
+            sources.append(element)
+    G = g_stamper.A.astype(complex)
+    if num_nodes:
+        idx = np.arange(num_nodes)
+        G[idx, idx] += GMIN_FLOOR
+
+    # Capacitance pattern (stamped once, scaled by jw per point).
+    c_stamper = Stamper(size)
+    for cap in capacitors:
+        p, n = cap.node_index
+        c_stamper.conductance(p, n, cap.capacitance)
+    C = c_stamper.A
+
+    # AC stimulus vector: voltage-source branch rows carry the magnitude.
+    b = np.zeros(size, dtype=complex)
+    if not any(src.ac != 0.0 for src in sources):
+        raise AnalysisError(
+            "no AC stimulus: set ac= on at least one voltage source"
+        )
+    for src in sources:
+        if src.ac != 0.0:
+            (k,) = src.branch_index
+            b[k] = src.ac
+
+    states = np.empty((freqs.size, size), dtype=complex)
+    for i, f in enumerate(freqs):
+        omega = 2.0 * np.pi * f
+        states[i] = np.linalg.solve(G + 1j * omega * C, b)
+    return ACResult(circuit=circuit, frequencies=freqs, states=states,
+                    op=op)

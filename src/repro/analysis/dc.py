@@ -1,0 +1,149 @@
+"""DC operating-point analysis with gmin- and source-stepping homotopy.
+
+Bistable circuits (SRAM cells!) have multiple valid operating points, so
+the analysis accepts an ``ic`` mapping that pins chosen nodes near target
+voltages during a first solve (via stiff Norton clamps), then releases the
+clamps and re-solves starting from the pinned solution.  The final answer
+therefore satisfies the *unclamped* circuit equations but sits in the
+requested stability basin — the same trick as SPICE ``.NODESET``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..errors import ConvergenceError
+from .mna import Context, Stamper
+from .results import Solution
+from .solver import GMIN_FLOOR, NewtonOptions, newton_solve
+
+#: Conductance of the initial-condition clamps (siemens).  Device currents
+#: are micro-amps, so 1 kS pins nodes to within nanovolts of the target.
+_CLAMP_CONDUCTANCE = 1e3
+
+
+@dataclass
+class OperatingPointOptions:
+    """Options for :func:`operating_point`."""
+
+    newton: NewtonOptions = field(default_factory=NewtonOptions)
+    #: gmin-stepping ladder, solved from first to last.
+    gmin_steps: tuple = (1e-3, 1e-5, 1e-7, 1e-9, GMIN_FLOOR)
+    #: source-stepping ladder (fractions of full source level).
+    source_steps: tuple = (0.1, 0.3, 0.5, 0.7, 0.85, 1.0)
+
+
+def operating_point(
+    circuit,
+    time: float = 0.0,
+    ic: Optional[Dict[str, float]] = None,
+    x0: Optional[np.ndarray] = None,
+    options: Optional[OperatingPointOptions] = None,
+    release_clamps: bool = True,
+) -> Solution:
+    """Solve the DC operating point of ``circuit`` at ``time``.
+
+    Parameters
+    ----------
+    time:
+        Timepoint at which waveform-driven sources are evaluated (bias
+        rails are usually constant, but benchmark testbenches reuse their
+        waveforms for the pre-transient solve at t=0).
+    ic:
+        Optional ``{node_name: volts}`` mapping pinning nodes during the
+        solve.
+    x0:
+        Optional warm-start vector (used by sweeps).
+    release_clamps:
+        With the default ``True`` the pins behave like SPICE ``.NODESET``:
+        after a clamped pre-solve the clamps are removed and the circuit
+        is re-solved, so the answer is a *true* operating point in the
+        selected stability basin.  ``False`` gives SPICE ``.IC``
+        semantics — the pinned values are held in the returned solution —
+        which is what a transient start-point wants.
+
+    Returns
+    -------
+    Solution
+        The converged operating point.
+    """
+    opts = options or OperatingPointOptions()
+    circuit.compile()
+    guess = np.zeros(circuit.size) if x0 is None else np.array(x0, dtype=float)
+
+    clamps = _resolve_clamps(circuit, ic)
+    if clamps:
+        clamped = _solve_with_fallbacks(
+            circuit, time, guess, opts, extra=_make_clamp_stamper(clamps)
+        )
+        if not release_clamps:
+            return Solution(circuit, clamped, time)
+        # Release the clamps; warm-start from the clamped solution.  The
+        # solve must stay in the selected basin because the clamped point
+        # is (near) a true solution there.
+        x = newton_solve(
+            circuit, Context(mode="dc", time=time), clamped, opts.newton
+        )
+        return Solution(circuit, x, time)
+
+    x = _solve_with_fallbacks(circuit, time, guess, opts, extra=None)
+    return Solution(circuit, x, time)
+
+
+def _resolve_clamps(circuit, ic: Optional[Dict[str, float]]):
+    if not ic:
+        return []
+    return [(circuit.index_of(node), float(v)) for node, v in ic.items()]
+
+
+def _make_clamp_stamper(clamps):
+    def extra(stamper: Stamper, ctx: Context) -> None:
+        for node, target in clamps:
+            if node < 0:
+                continue
+            stamper.conductance(node, -1, _CLAMP_CONDUCTANCE)
+            # Norton source driving the node toward the target.
+            stamper.current(-1, node, _CLAMP_CONDUCTANCE * target * ctx.source_scale)
+
+    return extra
+
+
+def _solve_with_fallbacks(circuit, time, guess, opts, extra):
+    """Direct Newton, then gmin stepping, then source stepping."""
+    ctx = Context(mode="dc", time=time)
+    try:
+        return newton_solve(circuit, ctx, guess, opts.newton, extra)
+    except ConvergenceError:
+        pass
+
+    # gmin stepping: relax with large shunt conductances, tighten gradually.
+    x = guess
+    try:
+        for gmin in opts.gmin_steps:
+            stepped = NewtonOptions(**{**opts.newton.__dict__, "gmin": gmin})
+            ctx = Context(mode="dc", time=time)
+            x = newton_solve(circuit, ctx, x, stepped, extra)
+        return x
+    except ConvergenceError:
+        pass
+
+    # Source stepping: ramp all independent sources from a fraction upward.
+    x = np.zeros_like(guess)
+    last_error: Optional[ConvergenceError] = None
+    for scale in opts.source_steps:
+        ctx = Context(mode="dc", time=time, source_scale=scale)
+        try:
+            x = newton_solve(circuit, ctx, x, opts.newton, extra)
+        except ConvergenceError as err:
+            last_error = err
+            # One retry with elevated gmin at this rung.
+            stepped = NewtonOptions(**{**opts.newton.__dict__, "gmin": 1e-6})
+            x = newton_solve(circuit, ctx, x, stepped, extra)
+    if last_error is not None:
+        # Final polish at full scale and floor gmin.
+        ctx = Context(mode="dc", time=time)
+        x = newton_solve(circuit, ctx, x, opts.newton, extra)
+    return x

@@ -1,0 +1,116 @@
+"""Dense modified-nodal-analysis system assembly.
+
+The MNA unknown vector is ``[node voltages..., branch currents...]``.
+Ground is index ``-1`` and is simply skipped when stamping.  Circuits in
+this project are small (an NV-SRAM cell plus testbench is ~25 unknowns),
+so a dense ``numpy`` matrix with Python-loop assembly is both simple and
+fast enough; no sparse machinery is needed.
+
+Sign conventions
+----------------
+* Node equations are KCL with currents *into* the node on the RHS, i.e.
+  ``stamper.current(p, n, i)`` describes a source pushing ``i`` amps from
+  node ``p`` through itself into node ``n``.
+* Voltage-source branch currents follow SPICE: positive current flows from
+  the + terminal through the source to the - terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class Stamper:
+    """Accumulates element stamps into the dense MNA matrix and RHS.
+
+    ``dtype`` is ``float`` for DC/transient and ``complex`` for the AC
+    small-signal system (G + jwC).
+    """
+
+    def __init__(self, size: int, dtype=float):
+        self.size = size
+        self.A = np.zeros((size, size), dtype=dtype)
+        self.b = np.zeros(size, dtype=dtype)
+
+    def clear(self) -> None:
+        self.A[:, :] = 0.0
+        self.b[:] = 0.0
+
+    def conductance(self, p: int, n: int, g: float) -> None:
+        """Stamp a two-terminal conductance ``g`` between nodes p and n."""
+        if p >= 0:
+            self.A[p, p] += g
+            if n >= 0:
+                self.A[p, n] -= g
+        if n >= 0:
+            self.A[n, n] += g
+            if p >= 0:
+                self.A[n, p] -= g
+
+    def current(self, p: int, n: int, i: float) -> None:
+        """Stamp an independent current source driving ``i`` amps p -> n."""
+        if p >= 0:
+            self.b[p] -= i
+        if n >= 0:
+            self.b[n] += i
+
+    def vccs(self, p: int, n: int, cp: int, cn: int, gm: float) -> None:
+        """Voltage-controlled current source: gm * V(cp,cn) flowing p -> n."""
+        for row, sign_row in ((p, 1.0), (n, -1.0)):
+            if row < 0:
+                continue
+            if cp >= 0:
+                self.A[row, cp] += sign_row * gm
+            if cn >= 0:
+                self.A[row, cn] -= sign_row * gm
+
+    def matrix(self, row: int, col: int, value: float) -> None:
+        """Raw matrix entry (used by voltage-source branch rows)."""
+        if row >= 0 and col >= 0:
+            self.A[row, col] += value
+
+    def rhs(self, row: int, value: float) -> None:
+        """Raw RHS entry."""
+        if row >= 0:
+            self.b[row] += value
+
+
+class Context:
+    """Per-evaluation context handed to ``Element.stamp``/``commit``.
+
+    Attributes
+    ----------
+    mode:
+        ``"dc"`` or ``"tran"``.
+    time:
+        Simulation time of the point being solved (seconds).
+    dt:
+        Current timestep (transient only).
+    method:
+        Companion-model method: ``"be"`` or ``"trap"``.
+    x:
+        Current Newton iterate / committed solution vector.
+    source_scale:
+        Multiplier applied by independent sources to their level; used by
+        the source-stepping homotopy in :mod:`repro.analysis.dc`.
+    """
+
+    __slots__ = ("mode", "time", "dt", "method", "x", "source_scale")
+
+    def __init__(self, mode: str = "dc", time: float = 0.0, dt: float = 0.0,
+                 method: str = "trap", x: Optional[np.ndarray] = None,
+                 source_scale: float = 1.0):
+        self.mode = mode
+        self.time = time
+        self.dt = dt
+        self.method = method
+        self.x = x if x is not None else np.zeros(0)
+        self.source_scale = source_scale
+
+    def v(self, index: int) -> float:
+        """Voltage of node ``index`` (0.0 for ground)."""
+        if index < 0:
+            return 0.0
+        return float(self.x[index])

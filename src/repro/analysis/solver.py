@@ -1,0 +1,135 @@
+"""Damped Newton-Raphson solver for the nonlinear MNA equations.
+
+Each iteration re-stamps the linearised system ``A(x) x' = b(x)`` and
+solves it directly (dense LU via ``numpy.linalg.solve``).  Damping limits
+the per-iteration change of node voltages, which is essential for the
+exponential subthreshold characteristics of the FinFET model.
+
+A small ``gmin`` conductance from every node to ground keeps the matrix
+non-singular when devices are fully cut off; homotopy strategies in
+:mod:`repro.analysis.dc` raise it temporarily to walk difficult operating
+points in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..errors import ConvergenceError
+from .mna import Context, Stamper
+
+#: Extra per-node conductance to ground, always present (siemens).
+GMIN_FLOOR = 1e-12
+
+
+@dataclass
+class NewtonOptions:
+    """Tuning knobs for the Newton iteration."""
+
+    max_iterations: int = 150
+    #: Absolute node-voltage convergence tolerance (volts).
+    vntol: float = 1e-7
+    #: Relative convergence tolerance.
+    reltol: float = 1e-5
+    #: Absolute branch-current convergence tolerance (amps).
+    abstol: float = 1e-11
+    #: Maximum node-voltage change applied per iteration (volts).
+    damping: float = 0.4
+    #: Extra conductance from each node to ground (homotopy knob).
+    gmin: float = GMIN_FLOOR
+
+
+def newton_solve(
+    circuit,
+    ctx: Context,
+    x0: np.ndarray,
+    options: Optional[NewtonOptions] = None,
+    extra_stamps: Optional[Callable[[Stamper, Context], None]] = None,
+) -> np.ndarray:
+    """Solve the MNA system at the point described by ``ctx``.
+
+    Parameters
+    ----------
+    circuit:
+        A compiled :class:`~repro.circuit.netlist.Circuit`.
+    ctx:
+        Evaluation context (mode, time, integration method).  ``ctx.x`` is
+        overwritten with each iterate.
+    x0:
+        Initial guess.
+    extra_stamps:
+        Optional callback adding testbench stamps (e.g. the stiff
+        initial-condition clamps used by the operating-point analysis).
+
+    Returns the converged solution vector.
+
+    Raises
+    ------
+    ConvergenceError
+        If the iteration does not meet tolerance within the allowed number
+        of iterations, or the matrix becomes singular.
+    """
+    opts = options or NewtonOptions()
+    circuit.compile()
+    size = circuit.size
+    num_nodes = circuit.num_nodes
+    stamper = Stamper(size)
+    x = np.array(x0, dtype=float, copy=True)
+    if x.shape != (size,):
+        raise ConvergenceError(
+            f"initial guess has wrong size {x.shape}, expected ({size},)"
+        )
+
+    elements = list(circuit.elements())
+    gmin = max(opts.gmin, GMIN_FLOOR)
+
+    for iteration in range(opts.max_iterations):
+        ctx.x = x
+        stamper.clear()
+        for element in elements:
+            element.stamp(stamper, ctx)
+        if extra_stamps is not None:
+            extra_stamps(stamper, ctx)
+        if num_nodes:
+            idx = np.arange(num_nodes)
+            stamper.A[idx, idx] += gmin
+        try:
+            x_new = np.linalg.solve(stamper.A, stamper.b)
+        except np.linalg.LinAlgError:
+            raise ConvergenceError(
+                f"singular MNA matrix at iteration {iteration}",
+                iterations=iteration,
+            ) from None
+        if not np.all(np.isfinite(x_new)):
+            raise ConvergenceError(
+                f"non-finite solution at iteration {iteration}",
+                iterations=iteration,
+            )
+
+        dx = x_new - x
+        # Damp node voltages only; branch currents may legitimately jump.
+        dv = dx[:num_nodes]
+        max_dv = float(np.max(np.abs(dv))) if num_nodes else 0.0
+        if max_dv > opts.damping:
+            dx = dx * (opts.damping / max_dv)
+            x = x + dx
+            continue  # a damped step cannot be judged converged
+        x = x_new
+
+        v_err = max_dv
+        i_err = float(np.max(np.abs(dx[num_nodes:]))) if size > num_nodes else 0.0
+        v_scale = float(np.max(np.abs(x[:num_nodes]))) if num_nodes else 0.0
+        if v_err <= opts.vntol + opts.reltol * v_scale and i_err <= max(
+            opts.abstol, opts.reltol * (np.max(np.abs(x[num_nodes:])) if size > num_nodes else 0.0)
+        ):
+            ctx.x = x
+            return x
+
+    raise ConvergenceError(
+        f"Newton failed to converge in {opts.max_iterations} iterations",
+        iterations=opts.max_iterations,
+        residual=float(np.max(np.abs(dx))) if "dx" in locals() else float("nan"),
+    )

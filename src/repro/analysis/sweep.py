@@ -1,0 +1,93 @@
+"""DC sweep analysis with warm-started continuation.
+
+Sweeps the level of one independent source across a grid, solving the DC
+operating point at each value starting from the previous solution.  This
+is how the Fig. 3 leakage/store-current curves and the Fig. 4 power-switch
+sizing curves are produced, and how static-noise-margin butterfly curves
+are traced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import AnalysisError
+from .dc import OperatingPointOptions, operating_point
+from .results import Solution
+
+
+@dataclass
+class SweepResult:
+    """Result of :func:`dc_sweep`.
+
+    Attributes
+    ----------
+    values:
+        The swept source levels.
+    solutions:
+        One :class:`~repro.analysis.results.Solution` per level.
+    """
+
+    source_name: str
+    values: np.ndarray
+    solutions: List[Solution]
+
+    def voltage(self, node: str) -> np.ndarray:
+        """Node voltage across the sweep."""
+        return np.array([s.voltage(node) for s in self.solutions])
+
+    def measure(self, func: Callable[[Solution], float]) -> np.ndarray:
+        """Apply an arbitrary per-point measurement across the sweep."""
+        return np.array([func(s) for s in self.solutions])
+
+    def branch_current(self, source: str) -> np.ndarray:
+        """Branch current of a voltage source across the sweep."""
+        return np.array([s.branch_current(source) for s in self.solutions])
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+def dc_sweep(
+    circuit,
+    source_name: str,
+    values: Sequence[float],
+    ic: Optional[Dict[str, float]] = None,
+    options: Optional[OperatingPointOptions] = None,
+) -> SweepResult:
+    """Sweep the DC level of ``source_name`` over ``values``.
+
+    The first point may use ``ic`` to select a stability basin; subsequent
+    points are warm-started from the previous solution, which keeps
+    bistable cells on the same branch through the sweep (the behaviour
+    needed for butterfly-curve tracing).
+    """
+    values = np.asarray(list(values), dtype=float)
+    if values.size == 0:
+        raise AnalysisError("dc_sweep: empty value list")
+    element = circuit[source_name]
+    if not hasattr(element, "set_level"):
+        raise AnalysisError(f"{source_name} is not a sweepable source")
+
+    original_dc = element.dc
+    original_wave = element.waveform
+    solutions: List[Solution] = []
+    try:
+        x_prev = None
+        for i, value in enumerate(values):
+            element.set_level(float(value))
+            sol = operating_point(
+                circuit,
+                ic=ic if i == 0 else None,
+                x0=x_prev,
+                options=options,
+            )
+            solutions.append(sol)
+            x_prev = sol.x
+    finally:
+        element.dc = original_dc
+        element.waveform = original_wave
+    return SweepResult(source_name, values, solutions)

@@ -1,0 +1,178 @@
+"""Nonvolatile D flip-flop (NV-FF) with PS-FinFET/MTJ retention.
+
+The paper's NVPG architecture covers both memory arrays (NV-SRAM) and
+pipeline/register state, the latter held in NV-FFs built on the same
+pseudo-spin-transistor principle (the authors' refs [5], [6]).  This
+module provides that substrate: a positive-edge-triggered master-slave
+D flip-flop whose *slave* latch carries two PS-FinFET + MTJ branches on
+the SR/CTRL lines, exactly like the NV-SRAM storage nodes.
+
+Topology (all devices one fin):
+
+* local clock buffer producing complementary phases with finite slew;
+* master latch: input transmission gate (transparent at CLK low), two
+  inverters, feedback transmission gate (closed at CLK high);
+* slave latch: transfer gate (transparent at CLK high), two inverters,
+  feedback gate (closed at CLK low), storage nodes ``S`` (= QB sense),
+  ``Q`` and ``S3`` (= Q complement, the second inverter's output);
+* PS-FinFETs from ``Q`` / ``S3`` through MTJs to the shared CTRL line,
+  gated by SR.  Both retention taps sit on *directly driven* inverter
+  outputs — tapping the transmission-gate node ``S`` instead would leave
+  the L-store current sinking through the feedback gate's series
+  resistance and starve it below the MTJ critical current.
+
+Store and restore use the same two-step store / VVDD-pull-up recall as
+the NV-SRAM cell, executed with the clock parked low so the slave
+feedback loop is engaged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..circuit import Capacitor, Circuit
+from ..devices.finfet import FinFET, FinFETParams
+from ..devices.mtj import MTJ, MTJParams, MTJState, MTJ_TABLE1
+from ..devices.ptm20 import CJUNCTION_PER_FIN, NFET_20NM_HP, PFET_20NM_HP
+from .logic import add_clock_buffer, add_inverter, add_transmission_gate
+
+
+@dataclass
+class NvFlipFlop:
+    """Handle to an instantiated NV-FF (flat node/element names)."""
+
+    name: str
+    d: str
+    clk: str
+    q: str
+    #: Slave-latch input node (behind the transfer gate; Q complement).
+    s: str
+    #: Second slave inverter output (Q complement, directly driven) —
+    #: the node carrying the complementary retention branch.
+    s3: str
+    vvdd: str
+    sr: str
+    ctrl: str
+    mtj_q_name: str
+    mtj_s_name: str
+    element_names: Dict[str, str] = field(default_factory=dict)
+
+    def read_q(self, solution, vdd: float) -> bool:
+        """Decode the slave-latch output (True = Q high)."""
+        return solution.voltage(self.q) > solution.voltage(self.s)
+
+    def initial_conditions(self, data: bool, vdd: float) -> Dict[str, float]:
+        """IC map placing ``data`` in the slave latch (and the master,
+        so a low clock does not immediately overwrite it)."""
+        high, low = (vdd, 0.0) if data else (0.0, vdd)
+        return {
+            self.q: high,
+            self.s: low,
+            # Master consistent with the slave: m2 feeds the slave gate.
+            f"{self.name}.m1": low,
+            f"{self.name}.m2": high,
+        }
+
+    # -- MTJ access -------------------------------------------------------
+    def mtj_q(self, circuit: Circuit) -> MTJ:
+        return circuit[self.mtj_q_name]
+
+    def mtj_s(self, circuit: Circuit) -> MTJ:
+        """The MTJ on the complementary (S3) retention branch."""
+        return circuit[self.mtj_s_name]
+
+    def set_mtj_data(self, circuit: Circuit, data: bool) -> None:
+        """Program the MTJ pair to encode ``data`` (Q-high = (AP, P))."""
+        if data:
+            self.mtj_q(circuit).set_state(MTJState.ANTIPARALLEL)
+            self.mtj_s(circuit).set_state(MTJState.PARALLEL)
+        else:
+            self.mtj_q(circuit).set_state(MTJState.PARALLEL)
+            self.mtj_s(circuit).set_state(MTJState.ANTIPARALLEL)
+
+    def stored_data(self, circuit: Circuit) -> Optional[bool]:
+        """Bit encoded in the MTJ pair (None if the pair is invalid)."""
+        states = (self.mtj_q(circuit).state, self.mtj_s(circuit).state)
+        if states == (MTJState.ANTIPARALLEL, MTJState.PARALLEL):
+            return True
+        if states == (MTJState.PARALLEL, MTJState.ANTIPARALLEL):
+            return False
+        return None
+
+
+def add_nvff(
+    circuit: Circuit,
+    name: str,
+    d: str,
+    clk: str,
+    vvdd: str,
+    sr: str,
+    ctrl: str,
+    nfet: FinFETParams = NFET_20NM_HP,
+    pfet: FinFETParams = PFET_20NM_HP,
+    mtj_params: MTJParams = MTJ_TABLE1,
+    mtj_q_state: MTJState = MTJState.PARALLEL,
+    mtj_s_state: MTJState = MTJState.ANTIPARALLEL,
+) -> NvFlipFlop:
+    """Instantiate an NV-FF into ``circuit`` under prefix ``name``.
+
+    Parameters
+    ----------
+    d, clk:
+        Data and clock input nodes (testbench-owned).
+    vvdd:
+        Virtual supply rail (behind a power switch for PG studies).
+    sr, ctrl:
+        Nonvolatile-retention control lines shared with other cells.
+    """
+    clk_i, clkb_i = add_clock_buffer(circuit, f"{name}.ckbuf", clk, vvdd,
+                                     nfet=nfet, pfet=pfet)
+    m1 = f"{name}.m1"
+    m2 = f"{name}.m2"
+    m3 = f"{name}.m3"
+    s_in = f"{name}.s"
+    q = f"{name}.q"
+    s3 = f"{name}.s3"
+
+    # Master latch: transparent while CLK is low.
+    add_transmission_gate(circuit, f"{name}.tgd", d, m1,
+                          clk=clkb_i, clkb=clk_i, nfet=nfet, pfet=pfet)
+    add_inverter(circuit, f"{name}.mi1", m1, m2, vvdd, nfet=nfet, pfet=pfet)
+    add_inverter(circuit, f"{name}.mi2", m2, m3, vvdd, nfet=nfet, pfet=pfet)
+    add_transmission_gate(circuit, f"{name}.tgmf", m3, m1,
+                          clk=clk_i, clkb=clkb_i, nfet=nfet, pfet=pfet)
+
+    # Slave latch: takes the master value at the rising edge.
+    add_transmission_gate(circuit, f"{name}.tgs", m2, s_in,
+                          clk=clk_i, clkb=clkb_i, nfet=nfet, pfet=pfet)
+    add_inverter(circuit, f"{name}.si1", s_in, q, vvdd, nfet=nfet, pfet=pfet)
+    add_inverter(circuit, f"{name}.si2", q, s3, vvdd, nfet=nfet, pfet=pfet)
+    add_transmission_gate(circuit, f"{name}.tgsf", s3, s_in,
+                          clk=clkb_i, clkb=clk_i, nfet=nfet, pfet=pfet)
+
+    # Nonvolatile retention branches on the directly driven slave nodes.
+    sq_mid = f"{name}.nq"
+    ss_mid = f"{name}.ns"
+    circuit.add(FinFET(f"{name}.psq", q, sr, sq_mid, nfet, 1))
+    circuit.add(FinFET(f"{name}.pss", s3, sr, ss_mid, nfet, 1))
+    mtj_q = circuit.add(MTJ(f"{name}.mtjq", ctrl, sq_mid, mtj_params,
+                            mtj_q_state))
+    mtj_s = circuit.add(MTJ(f"{name}.mtjs", ctrl, ss_mid, mtj_params,
+                            mtj_s_state))
+    circuit.add(Capacitor(f"{name}.cnq", sq_mid, "0", CJUNCTION_PER_FIN))
+    circuit.add(Capacitor(f"{name}.cns", ss_mid, "0", CJUNCTION_PER_FIN))
+
+    return NvFlipFlop(
+        name=name,
+        d=d,
+        clk=clk,
+        q=q,
+        s=s_in,
+        s3=s3,
+        vvdd=vvdd,
+        sr=sr,
+        ctrl=ctrl,
+        mtj_q_name=mtj_q.name,
+        mtj_s_name=mtj_s.name,
+    )

@@ -1,0 +1,166 @@
+"""The NV-SRAM cell of the paper's Fig. 2.
+
+The cell is a 6T core plus, on each storage node, a **pseudo-spin-FinFET
+(PS-FinFET)**: an n-channel FinFET in series with an MTJ.  The PS-FinFET
+gates share the **SR** line (V_SR = 0.65 V activates them; 0 V separates
+the MTJs from the latch during normal operation) and the far ends of both
+MTJs share the **CTRL** line.
+
+MTJ orientation and the restore mechanism
+-----------------------------------------
+The MTJ *pinned* terminal faces the storage node and the *free* terminal
+faces the CTRL line.  With the polarity convention of
+:class:`repro.devices.mtj.MTJ` (positive free->pinned current switches
+AP -> P):
+
+* **H-store** (step 1, CTRL low): the high node drives current
+  node -> MTJ -> CTRL, i.e. pinned -> free (negative), switching that MTJ
+  **P -> AP** (high resistance).
+* **L-store** (step 2, CTRL = V_CTRL = 0.5 V): current flows
+  CTRL -> MTJ -> node into the low node, i.e. free -> pinned (positive),
+  switching that MTJ **AP -> P** (low resistance).
+
+On wake-up (SR on, CTRL at ground, virtual VDD ramping) the node behind
+the low-resistance (P) MTJ is clamped hardest toward CTRL and resolves
+low, while the AP-side node rises — regenerating the stored data exactly
+as the paper describes ("restored ... owing to the difference in current
+drivability" of the two PS-FinFET paths).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..circuit import Capacitor, Circuit
+from ..devices.finfet import FinFET, FinFETParams
+from ..devices.mtj import MTJ, MTJParams, MTJState, MTJ_TABLE1
+from ..devices.ptm20 import (
+    CJUNCTION_PER_FIN,
+    NFET_20NM_HP,
+    PFET_20NM_HP,
+)
+from .sram6t import Sram6TCell, add_sram6t
+
+
+@dataclass
+class NvSramCell:
+    """Handle to an instantiated NV-SRAM cell."""
+
+    core: Sram6TCell
+    sr: str
+    ctrl: str
+    #: Internal nodes between each PS-FinFET and its MTJ.
+    sq: str
+    sqb: str
+    mtj_q_name: str
+    mtj_qb_name: str
+    element_names: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return self.core.name
+
+    @property
+    def q(self) -> str:
+        return self.core.q
+
+    @property
+    def qb(self) -> str:
+        return self.core.qb
+
+    def initial_conditions(self, data: bool, vdd: float) -> Dict[str, float]:
+        return self.core.initial_conditions(data, vdd)
+
+    def read_data(self, solution, vdd: float) -> bool:
+        return self.core.read_data(solution, vdd)
+
+    # -- MTJ access ---------------------------------------------------------
+    def mtj_q(self, circuit: Circuit) -> MTJ:
+        """The MTJ attached to storage node Q."""
+        return circuit[self.mtj_q_name]
+
+    def mtj_qb(self, circuit: Circuit) -> MTJ:
+        """The MTJ attached to storage node QB."""
+        return circuit[self.mtj_qb_name]
+
+    def set_mtj_states(self, circuit: Circuit, q_state: MTJState,
+                       qb_state: MTJState) -> None:
+        """Force both MTJ magnetisation states (testbench initialisation)."""
+        self.mtj_q(circuit).set_state(q_state)
+        self.mtj_qb(circuit).set_state(qb_state)
+
+    def stored_data(self, circuit: Circuit) -> Optional[bool]:
+        """Bit encoded in the MTJ pair after a store (None if invalid).
+
+        H-store drives the high node's MTJ antiparallel, so Q-high is
+        encoded as (MTJ_Q, MTJ_QB) = (AP, P).
+        """
+        states = (self.mtj_q(circuit).state, self.mtj_qb(circuit).state)
+        if states == (MTJState.ANTIPARALLEL, MTJState.PARALLEL):
+            return True
+        if states == (MTJState.PARALLEL, MTJState.ANTIPARALLEL):
+            return False
+        return None
+
+
+def add_nvsram(
+    circuit: Circuit,
+    name: str,
+    vvdd: str,
+    bl: str,
+    blb: str,
+    wl: str,
+    sr: str,
+    ctrl: str,
+    nfl: int = 1,
+    nfd: int = 1,
+    nfp: int = 1,
+    nfps: int = 1,
+    nfet: FinFETParams = NFET_20NM_HP,
+    pfet: FinFETParams = PFET_20NM_HP,
+    mtj_params: MTJParams = MTJ_TABLE1,
+    mtj_q_state: MTJState = MTJState.PARALLEL,
+    mtj_qb_state: MTJState = MTJState.ANTIPARALLEL,
+) -> NvSramCell:
+    """Instantiate the Fig. 2 NV-SRAM cell into ``circuit``.
+
+    Parameters
+    ----------
+    sr, ctrl:
+        Testbench nodes driving the PS-FinFET gates and the MTJ far ends.
+    nfps:
+        Fin number of each PS-FinFET (Table I: 1).
+    mtj_q_state, mtj_qb_state:
+        Initial magnetisation states.
+
+    Returns an :class:`NvSramCell` handle.
+    """
+    core = add_sram6t(
+        circuit, name, vvdd, bl, blb, wl,
+        nfl=nfl, nfd=nfd, nfp=nfp, nfet=nfet, pfet=pfet,
+    )
+    sq = f"{name}.sq"
+    sqb = f"{name}.sqb"
+
+    elements = {
+        "psq": circuit.add(FinFET(f"{name}.psq", core.q, sr, sq, nfet, nfps)),
+        "psqb": circuit.add(FinFET(f"{name}.psqb", core.qb, sr, sqb, nfet, nfps)),
+    }
+    mtj_q = circuit.add(MTJ(f"{name}.mtjq", ctrl, sq, mtj_params, mtj_q_state))
+    mtj_qb = circuit.add(MTJ(f"{name}.mtjqb", ctrl, sqb, mtj_params, mtj_qb_state))
+
+    # Junction capacitance of the PS-FinFET / MTJ intermediate nodes.
+    circuit.add(Capacitor(f"{name}.csq", sq, "0", nfps * CJUNCTION_PER_FIN))
+    circuit.add(Capacitor(f"{name}.csqb", sqb, "0", nfps * CJUNCTION_PER_FIN))
+
+    return NvSramCell(
+        core=core,
+        sr=sr,
+        ctrl=ctrl,
+        sq=sq,
+        sqb=sqb,
+        mtj_q_name=mtj_q.name,
+        mtj_qb_name=mtj_qb.name,
+        element_names={k: e.name for k, e in elements.items()},
+    )

@@ -1,0 +1,81 @@
+"""Disk cache for characterisation results.
+
+Characterising a cell costs several transient simulations; the figure
+sweeps (Fig. 7-9) reuse the same characterisations across dozens of
+parameter points.  Results are cached as JSON keyed by a hash of every
+input that affects them (cell kind, operating conditions, domain
+geometry, device cards).
+
+Set the ``REPRO_CACHE_DIR`` environment variable to relocate the cache;
+pass ``cache_dir=None`` through the runner to disable caching entirely.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict, is_dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from .data import CellCharacterization
+
+#: Bump when characterisation semantics change to invalidate old entries.
+CACHE_SCHEMA_VERSION = 4
+
+
+def default_cache_dir() -> Path:
+    """Cache directory: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-nvsram``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-nvsram"
+
+
+def _normalise(value: Any) -> Any:
+    if is_dataclass(value) and not isinstance(value, type):
+        payload = asdict(value)
+        payload["__type__"] = type(value).__name__
+        return {k: _normalise(v) for k, v in payload.items()}
+    if isinstance(value, dict):
+        return {k: _normalise(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_normalise(v) for v in value]
+    if isinstance(value, float):
+        return float(repr(value))
+    return value
+
+
+def cache_key(**inputs: Any) -> str:
+    """Deterministic hash of the characterisation inputs."""
+    inputs["__schema__"] = CACHE_SCHEMA_VERSION
+    blob = json.dumps(_normalise(inputs), sort_keys=True)
+    return hashlib.sha256(blob.encode()).hexdigest()[:24]
+
+
+def load(cache_dir: Optional[Path], key: str) -> Optional[CellCharacterization]:
+    """Fetch a cached characterisation, or None."""
+    if cache_dir is None:
+        return None
+    path = Path(cache_dir) / f"{key}.json"
+    if not path.exists():
+        return None
+    try:
+        return CellCharacterization.from_json(path.read_text())
+    except (json.JSONDecodeError, TypeError, ValueError):
+        # Corrupt or stale entry: ignore, it will be recomputed.
+        return None
+
+
+def store(cache_dir: Optional[Path], key: str,
+          result: CellCharacterization) -> None:
+    """Persist a characterisation result."""
+    if cache_dir is None:
+        return
+    directory = Path(cache_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{key}.json"
+    tmp = path.with_suffix(".tmp")
+    tmp.write_text(result.to_json())
+    tmp.replace(path)

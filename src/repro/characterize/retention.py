@@ -1,0 +1,97 @@
+"""Minimum data-retention voltage of the bitcell (sleep-rail sizing).
+
+The paper's sleep mode lowers the (virtual) rail to 0.7 V; the cell must
+still hold its data there.  This analysis finds the **data-retention
+voltage (DRV)** — the lowest rail at which the latch remains bistable
+with a usable hold margin — by sweeping the rail downward and measuring
+the hold-mode static noise margin at each point.
+
+A margin threshold (default 50 mV) marks the practical retention limit;
+the headroom of the chosen sleep voltage above the DRV quantifies how
+conservative the paper's 0.7 V is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import CharacterizationError
+from ..devices.finfet import FinFETParams
+from ..devices.ptm20 import NFET_20NM_HP, PFET_20NM_HP
+from ..pg.modes import OperatingConditions
+from .snm import butterfly_curve
+
+#: Hold-SNM below which retention is considered unreliable (volts).
+DEFAULT_MARGIN = 0.05
+
+
+@dataclass
+class RetentionSweep:
+    """Hold margin vs rail voltage plus the derived retention limit."""
+
+    rail: np.ndarray
+    hold_snm: np.ndarray
+    #: Lowest swept rail with hold SNM >= margin (None if none qualify).
+    retention_voltage: Optional[float]
+    margin: float
+    sleep_rail: float
+
+    @property
+    def sleep_headroom(self) -> Optional[float]:
+        """How far the sleep rail sits above the retention limit (V)."""
+        if self.retention_voltage is None:
+            return None
+        return self.sleep_rail - self.retention_voltage
+
+    def rows(self):
+        return [(float(v), float(s)) for v, s in zip(self.rail,
+                                                     self.hold_snm)]
+
+
+def retention_voltage_sweep(
+    cond: Optional[OperatingConditions] = None,
+    rail_values: Optional[Sequence[float]] = None,
+    margin: float = DEFAULT_MARGIN,
+    nfet: FinFETParams = NFET_20NM_HP,
+    pfet: FinFETParams = PFET_20NM_HP,
+) -> RetentionSweep:
+    """Sweep the retention rail downward and extract the DRV.
+
+    The hold-mode butterfly is evaluated at each rail voltage; rails
+    where the latch is no longer bistable contribute a zero margin.
+    """
+    cond = cond or OperatingConditions()
+    if rail_values is None:
+        rail_values = np.linspace(0.15, cond.vdd, 16)
+    rails = np.asarray(sorted(rail_values), dtype=float)
+    if rails[0] <= 0:
+        raise CharacterizationError("rail values must be positive")
+
+    margins = []
+    for rail in rails:
+        try:
+            # Keep the conditions object self-consistent when probing
+            # rails below the nominal sleep level.
+            probe_cond = cond.with_(
+                vdd=float(rail),
+                v_sleep_rail=min(cond.v_sleep_rail, float(rail)),
+            )
+            curve = butterfly_curve(probe_cond, read_mode=False,
+                                    nfet=nfet, pfet=pfet)
+            margins.append(curve.snm)
+        except CharacterizationError:
+            margins.append(0.0)   # no butterfly eye: retention lost
+    margins_arr = np.asarray(margins)
+
+    qualifying = np.nonzero(margins_arr >= margin)[0]
+    retention = float(rails[qualifying[0]]) if qualifying.size else None
+    return RetentionSweep(
+        rail=rails,
+        hold_snm=margins_arr,
+        retention_voltage=retention,
+        margin=margin,
+        sleep_rail=cond.v_sleep_rail,
+    )

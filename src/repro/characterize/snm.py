@@ -1,0 +1,145 @@
+"""Static-noise-margin (SNM) butterfly analysis.
+
+The paper's Section II notes that the (N_FL, N_FD) = (1, 1) fin choice
+minimises area at the cost of cell stability, quantified by the static
+noise margin.  This module extracts hold- and read-mode SNM with the
+classic butterfly-curve construction:
+
+1. break the cross-coupled loop and sweep one inverter's input to get its
+   voltage transfer curve (VTC), with the access transistor loading the
+   output in read mode;
+2. overlay the VTC with its mirror about the Q = QB diagonal;
+3. the SNM is the side of the largest square nested in the smaller lobe,
+   computed with the 45-degree coordinate rotation method.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import CharacterizationError
+from ..analysis import dc_sweep
+from ..circuit import Circuit, VoltageSource
+from ..devices.finfet import FinFET, FinFETParams
+from ..devices.ptm20 import NFET_20NM_HP, PFET_20NM_HP
+from ..pg.modes import OperatingConditions
+
+
+@dataclass
+class ButterflyCurve:
+    """A VTC and the derived noise-margin geometry."""
+
+    vin: np.ndarray
+    vout: np.ndarray
+    snm: float
+    lobe_margins: Tuple[float, float]
+    mode: str  # "hold" or "read"
+
+
+def _build_half_cell(cond: OperatingConditions, read_mode: bool,
+                     nfl: int, nfd: int, nfp: int,
+                     nfet: FinFETParams, pfet: FinFETParams) -> Circuit:
+    vdd = cond.vdd
+    circuit = Circuit(f"snm-half-cell-{'read' if read_mode else 'hold'}")
+    circuit.add(VoltageSource("vdd", "vdd", "0", dc=vdd))
+    circuit.add(VoltageSource("vin", "in", "0", dc=0.0))
+    circuit.add(FinFET("pu", "out", "in", "vdd", pfet, nfl))
+    circuit.add(FinFET("pd", "out", "in", "0", nfet, nfd))
+    if read_mode:
+        # Precharged bitline held at VDD through the asserted pass gate —
+        # the worst-case disturbance of the low storage node.  Word-line
+        # underdrive (if configured) weakens the pass gate and recovers
+        # read margin, the paper's named bias-assist knob.
+        circuit.add(VoltageSource("vbl", "bl", "0", dc=vdd))
+        circuit.add(VoltageSource("vwl", "wl", "0", dc=cond.v_wl_read))
+        circuit.add(FinFET("pg", "bl", "wl", "out", nfet, nfp))
+    return circuit
+
+
+def butterfly_curve(
+    cond: Optional[OperatingConditions] = None,
+    read_mode: bool = True,
+    nfl: int = 1,
+    nfd: int = 1,
+    nfp: int = 1,
+    nfet: FinFETParams = NFET_20NM_HP,
+    pfet: FinFETParams = PFET_20NM_HP,
+    points: int = 121,
+) -> ButterflyCurve:
+    """Trace the VTC and compute the butterfly SNM."""
+    cond = cond or OperatingConditions()
+    circuit = _build_half_cell(cond, read_mode, nfl, nfd, nfp, nfet, pfet)
+    vin = np.linspace(0.0, cond.vdd, points)
+    sweep = dc_sweep(circuit, "vin", vin)
+    vout = sweep.voltage("out")
+    snm, lobes = _butterfly_snm(vin, vout)
+    return ButterflyCurve(
+        vin=vin,
+        vout=vout,
+        snm=snm,
+        lobe_margins=lobes,
+        mode="read" if read_mode else "hold",
+    )
+
+
+def static_noise_margin(cond: Optional[OperatingConditions] = None,
+                        read_mode: bool = True, **kwargs) -> float:
+    """Convenience wrapper returning just the SNM in volts."""
+    return butterfly_curve(cond, read_mode=read_mode, **kwargs).snm
+
+
+def _butterfly_snm(vin: np.ndarray, vout: np.ndarray) -> Tuple[float, Tuple[float, float]]:
+    """Symmetric-butterfly SNM: one VTC overlaid with its own mirror."""
+    return _butterfly_snm_two(vin, vout, vout)
+
+
+def _butterfly_snm_two(
+    vin: np.ndarray,
+    vout1: np.ndarray,
+    vout2: np.ndarray,
+) -> Tuple[float, Tuple[float, float]]:
+    """General (asymmetric) butterfly SNM via Seevinck's 45-deg rotation.
+
+    Curve A is inverter 1's VTC ``(x, f(x))``; curve B is inverter 2's
+    VTC mirrored about the diagonal, ``(g(y), y)``.  In the anti-diagonal
+    frame ``u = (x - y)/sqrt(2)``, ``v = (x + y)/sqrt(2)`` both curves
+    are single-valued functions of ``u`` (A increasing in x, B's ``u``
+    decreasing in y), so the eye separations reduce to the signed
+    difference ``d(u) = vB(u) - vA(u)``: the two lobes are the maxima of
+    ``+d`` and ``-d``, each divided by sqrt(2) to convert the nested
+    square's diagonal into its side.  The cell SNM is the smaller lobe.
+
+    With ``vout1 == vout2`` this reduces exactly to the classic
+    symmetric construction (both lobes equal).
+    """
+    sqrt2 = np.sqrt(2.0)
+    u_a = (vin - vout1) / sqrt2
+    v_a = (vin + vout1) / sqrt2
+    # Curve B: (g(y), y) parameterised by y = vin.
+    u_b = (vout2 - vin) / sqrt2
+    v_b = (vout2 + vin) / sqrt2
+    if not np.all(np.diff(u_a) > 0) or not np.all(np.diff(u_b) < 0):
+        raise CharacterizationError(
+            "VTC is not inverting/monotone — cannot rotate the butterfly"
+        )
+    u_b = u_b[::-1]
+    v_b = v_b[::-1]
+
+    lo = max(u_a[0], u_b[0])
+    hi = min(u_a[-1], u_b[-1])
+    if hi <= lo:
+        raise CharacterizationError(
+            "butterfly lobes did not form — the cell is not bistable"
+        )
+    u_grid = np.linspace(lo, hi, 400)
+    diff = np.interp(u_grid, u_b, v_b) - np.interp(u_grid, u_a, v_a)
+    lobe1 = float(diff.max() / sqrt2)
+    lobe2 = float(-diff.min() / sqrt2)
+    if lobe1 <= 0 or lobe2 <= 0:
+        raise CharacterizationError(
+            "butterfly lobes did not form — the cell is not bistable"
+        )
+    return min(lobe1, lobe2), (lobe1, lobe2)

@@ -1,0 +1,186 @@
+"""Single-cell transient/DC testbench shared by all characterisations.
+
+The testbench wires one cell (NV-SRAM or 6T) to ideal control-line
+sources through a header power switch, with explicit bitline capacitances
+and precharge / write-driver switches:
+
+::
+
+    rail o--[power switch]--o vvdd --- cell --- bl/blb --o C_BL
+      |                                            |
+      +--[precharge switch]<-- prech               +--[write switch]<-- write_en
+                                                        |
+                                                     bl_drv source
+
+Energy accounting sums the delivered power of every source in
+``SUPPLY_SOURCES``; the SR and PG gate drivers carry no charge in this
+netlist (peripheral driver energy is excluded, as in the paper), so
+listing them is harmless but keeps the bookkeeping honest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..errors import CharacterizationError
+from ..circuit import (
+    Capacitor,
+    Circuit,
+    VoltageControlledSwitch,
+    VoltageSource,
+)
+from ..circuit.waveforms import Waveform
+from ..devices.finfet import FinFETParams
+from ..devices.mtj import MTJParams, MTJState, MTJ_TABLE1
+from ..devices.ptm20 import NFET_20NM_HP, PFET_20NM_HP
+from ..cells import PowerDomain, add_nvsram, add_power_switch, add_sram6t
+from ..cells.nvsram import NvSramCell
+from ..cells.sram6t import Sram6TCell
+from ..pg.modes import Mode, OperatingConditions, bias_for_mode
+
+#: Precharge-device on resistance (ohms).
+_R_PRECHARGE = 4e3
+#: Write-driver on resistance (ohms).
+_R_WRITE_DRIVER = 1.5e3
+
+#: Map schedule line names to testbench source element names.
+LINE_SOURCES = {
+    "rail": "vrail",
+    "pg": "vpg",
+    "wl": "vwl",
+    "sr": "vsr",
+    "ctrl": "vctrl",
+    "bl": "vbl_drv",
+    "blb": "vblb_drv",
+    "prech": "vprech",
+    "write_en": "vwren",
+}
+
+#: Sources whose delivered energy constitutes the cell energy.
+SUPPLY_SOURCES = ("vrail", "vwl", "vctrl", "vbl_drv", "vblb_drv")
+
+
+@dataclass
+class CellTestbench:
+    """A built testbench: circuit plus handles and bookkeeping names."""
+
+    circuit: Circuit
+    kind: str
+    cell: object          # Sram6TCell or NvSramCell
+    cond: OperatingConditions
+    domain: PowerDomain
+
+    @property
+    def nv_cell(self) -> NvSramCell:
+        if self.kind != "nv":
+            raise CharacterizationError("testbench does not host an NV cell")
+        return self.cell
+
+    @property
+    def core(self) -> Sram6TCell:
+        return self.cell.core if self.kind == "nv" else self.cell
+
+    # -- drive ----------------------------------------------------------
+    def apply_mode(self, mode: Mode) -> None:
+        """Set every source to the DC bias of ``mode``."""
+        bias = bias_for_mode(mode, self.cond, volatile=self.kind == "6t")
+        for line, level in bias.as_dict().items():
+            self.circuit[LINE_SOURCES[line]].set_level(level)
+
+    def apply_waveforms(self, waves: Dict[str, Waveform]) -> None:
+        """Attach compiled schedule waveforms to the line sources."""
+        for line, wave in waves.items():
+            self.circuit[LINE_SOURCES[line]].set_waveform(wave)
+
+    def initial_conditions(self, data: bool) -> Dict[str, float]:
+        ic = self.core.initial_conditions(data, self.cond.vdd)
+        ic["vvdd"] = self.cond.vdd
+        return ic
+
+    def set_mtj_data(self, data: bool) -> None:
+        """Program the MTJ pair to encode ``data`` (NV cells only).
+
+        Q-high is encoded as (MTJ_Q, MTJ_QB) = (AP, P); see
+        :mod:`repro.cells.nvsram`.
+        """
+        cell = self.nv_cell
+        if data:
+            cell.set_mtj_states(self.circuit, MTJState.ANTIPARALLEL,
+                                MTJState.PARALLEL)
+        else:
+            cell.set_mtj_states(self.circuit, MTJState.PARALLEL,
+                                MTJState.ANTIPARALLEL)
+
+
+def build_cell_testbench(
+    kind: str,
+    cond: Optional[OperatingConditions] = None,
+    domain: Optional[PowerDomain] = None,
+    nfet: FinFETParams = NFET_20NM_HP,
+    pfet: FinFETParams = PFET_20NM_HP,
+    mtj_params: MTJParams = MTJ_TABLE1,
+    nfsw: Optional[int] = None,
+) -> CellTestbench:
+    """Build the single-cell testbench.
+
+    Parameters
+    ----------
+    kind:
+        ``"nv"`` for the NV-SRAM cell, ``"6t"`` for the volatile baseline.
+    domain:
+        Power-domain geometry; sets the bitline capacitance.
+    nfsw:
+        Power-switch fins per cell (defaults to ``cond.nfsw``).
+    """
+    if kind not in ("nv", "6t"):
+        raise CharacterizationError(f"unknown cell kind: {kind}")
+    cond = cond or OperatingConditions()
+    domain = domain or PowerDomain()
+    nfsw = cond.nfsw if nfsw is None else nfsw
+
+    circuit = Circuit(f"{kind}-cell-testbench")
+    vdd = cond.vdd
+
+    # Control-line sources (levels are (re)assigned by apply_mode /
+    # apply_waveforms before each analysis).
+    circuit.add(VoltageSource("vrail", "rail", "0", dc=vdd))
+    circuit.add(VoltageSource("vpg", "pg", "0", dc=0.0))
+    circuit.add(VoltageSource("vwl", "wl", "0", dc=0.0))
+    circuit.add(VoltageSource("vsr", "sr", "0", dc=0.0))
+    circuit.add(VoltageSource("vctrl", "ctrl", "0", dc=0.0))
+    circuit.add(VoltageSource("vbl_drv", "bl_drv", "0", dc=vdd))
+    circuit.add(VoltageSource("vblb_drv", "blb_drv", "0", dc=vdd))
+    circuit.add(VoltageSource("vprech", "prech", "0", dc=vdd))
+    circuit.add(VoltageSource("vwren", "write_en", "0", dc=0.0))
+
+    add_power_switch(circuit, "psw", "rail", "vvdd", "pg",
+                     nfsw=nfsw, pfet=pfet)
+
+    # Bitlines: capacitance set by the domain depth, precharge devices to
+    # the rail, and write drivers behind enable switches.
+    c_bl = domain.bitline_capacitance
+    for bitline, driver in (("bl", "bl_drv"), ("blb", "blb_drv")):
+        circuit.add(Capacitor(f"c_{bitline}", bitline, "0", c_bl))
+        circuit.add(VoltageControlledSwitch(
+            f"sw_prech_{bitline}", bitline, "rail", "prech", "0",
+            r_on=_R_PRECHARGE, v_on=vdd, v_off=0.0,
+        ))
+        circuit.add(VoltageControlledSwitch(
+            f"sw_write_{bitline}", bitline, driver, "write_en", "0",
+            r_on=_R_WRITE_DRIVER, v_on=vdd, v_off=0.0,
+        ))
+
+    if kind == "nv":
+        cell = add_nvsram(
+            circuit, "cell", vvdd="vvdd", bl="bl", blb="blb", wl="wl",
+            sr="sr", ctrl="ctrl", nfet=nfet, pfet=pfet,
+            mtj_params=mtj_params,
+        )
+    else:
+        cell = add_sram6t(
+            circuit, "cell", vvdd="vvdd", bl="bl", blb="blb", wl="wl",
+            nfet=nfet, pfet=pfet,
+        )
+    return CellTestbench(circuit=circuit, kind=kind, cell=cell,
+                         cond=cond, domain=domain)

@@ -1,0 +1,245 @@
+"""Monte-Carlo variability analysis: mismatch, store yield, SNM spread.
+
+The paper evaluates a nominal cell; a production assessment must ask how
+the design margins survive device variation.  This module samples
+per-device parameter variations (threshold-voltage mismatch for the
+FinFETs, critical-current and resistance spread for the MTJs) and
+propagates them through the same DC analyses used for the nominal
+design curves:
+
+* :func:`store_yield_analysis` — does the two-step store still exceed
+  the (sampled) MTJ critical current in every corner?  This is the
+  statistical justification of the paper's 1.5 x Ic margin rule.
+* :func:`read_snm_distribution` — spread of the read static noise
+  margin with mismatched cross-coupled inverters (the asymmetric
+  butterfly), quantifying the stability cost of the (1,1) fin design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import CharacterizationError
+from ..analysis import dc_sweep, operating_point
+from ..cells import PowerDomain
+from ..circuit import Circuit, VoltageSource
+from ..devices.finfet import FinFET, FinFETParams
+from ..devices.mtj import MTJ, MTJState
+from ..devices.ptm20 import NFET_20NM_HP, PFET_20NM_HP
+from ..pg.modes import Mode, OperatingConditions
+from .snm import _butterfly_snm_two
+from .testbench import build_cell_testbench
+
+
+@dataclass(frozen=True)
+class VariationModel:
+    """Statistical variation magnitudes (1-sigma).
+
+    Attributes
+    ----------
+    sigma_vth:
+        Threshold-voltage mismatch per device (volts).  ~25 mV is a
+        typical Pelgrom-law value for a minimum (one-fin) 20 nm device.
+    sigma_ispec_rel:
+        Relative current-factor spread per device.
+    sigma_ic_rel:
+        Relative MTJ critical-current spread.
+    sigma_r_rel:
+        Relative MTJ resistance (RA product) spread.
+    """
+
+    sigma_vth: float = 0.025
+    sigma_ispec_rel: float = 0.05
+    sigma_ic_rel: float = 0.05
+    sigma_r_rel: float = 0.04
+
+    def sample_fet(self, params: FinFETParams,
+                   rng: np.random.Generator) -> FinFETParams:
+        """One mismatched instance of a FinFET card."""
+        vth = max(params.vth0 + rng.normal(0.0, self.sigma_vth), 0.01)
+        i_spec = params.i_spec * float(
+            np.exp(rng.normal(0.0, self.sigma_ispec_rel))
+        )
+        return params.with_(vth0=vth, i_spec=i_spec)
+
+    def sample_mtj(self, params, rng: np.random.Generator):
+        """One varied instance of an MTJ card."""
+        jc = params.jc * float(np.exp(rng.normal(0.0, self.sigma_ic_rel)))
+        ra = params.ra_product * float(
+            np.exp(rng.normal(0.0, self.sigma_r_rel))
+        )
+        return params.with_(jc=jc, ra_product=ra)
+
+
+def _perturb_testbench(tb, variation: VariationModel,
+                       rng: np.random.Generator) -> None:
+    """Apply per-device sampled variation to every FinFET/MTJ in place."""
+    for element in tb.circuit.elements():
+        if isinstance(element, FinFET):
+            element.params = variation.sample_fet(element.params, rng)
+        elif isinstance(element, MTJ):
+            element.params = variation.sample_mtj(element.params, rng)
+
+
+@dataclass
+class StoreYieldResult:
+    """Monte-Carlo store-margin distribution."""
+
+    margins: np.ndarray          # worst-case I/Ic per sample
+    target_margin: float
+    n_samples: int
+
+    @property
+    def switching_yield(self) -> float:
+        """Fraction of samples whose store current exceeds Ic at all."""
+        return float(np.mean(self.margins > 1.0))
+
+    @property
+    def margin_yield(self) -> float:
+        """Fraction of samples meeting the full design margin."""
+        return float(np.mean(self.margins >= self.target_margin))
+
+    def percentile(self, q: float) -> float:
+        return float(np.percentile(self.margins, q))
+
+
+def store_yield_analysis(
+    cond: Optional[OperatingConditions] = None,
+    domain: Optional[PowerDomain] = None,
+    n_samples: int = 200,
+    variation: VariationModel = VariationModel(),
+    seed: int = 2015,
+) -> StoreYieldResult:
+    """Monte-Carlo the two-step store against sampled device corners.
+
+    For each sample, every FinFET and MTJ in the cell testbench receives
+    an independent parameter draw; the H-store and L-store operating
+    points are solved and the worst of the two current-over-(sampled)-Ic
+    ratios is recorded.
+    """
+    cond = cond or OperatingConditions()
+    domain = domain or PowerDomain()
+    if n_samples < 1:
+        raise CharacterizationError("n_samples must be >= 1")
+    rng = np.random.default_rng(seed)
+
+    margins = []
+    for _ in range(n_samples):
+        tb = build_cell_testbench("nv", cond, domain)
+        _perturb_testbench(tb, variation, rng)
+        cell = tb.nv_cell
+        ic_map = tb.initial_conditions(True)      # Q high
+
+        # H-store: Q-side MTJ still parallel, CTRL grounded.
+        tb.apply_mode(Mode.STORE_H)
+        cell.set_mtj_states(tb.circuit, MTJState.PARALLEL,
+                            MTJState.ANTIPARALLEL)
+        sol = operating_point(tb.circuit, ic=ic_map)
+        mtj_q = cell.mtj_q(tb.circuit)
+        margin_h = abs(mtj_q.current(sol)) / mtj_q.params.critical_current
+
+        # L-store: QB-side MTJ antiparallel, CTRL at the store level.
+        tb.apply_mode(Mode.STORE_L)
+        cell.set_mtj_states(tb.circuit, MTJState.ANTIPARALLEL,
+                            MTJState.ANTIPARALLEL)
+        sol = operating_point(tb.circuit, ic=ic_map)
+        mtj_qb = cell.mtj_qb(tb.circuit)
+        margin_l = abs(mtj_qb.current(sol)) / mtj_qb.params.critical_current
+
+        margins.append(min(margin_h, margin_l))
+
+    return StoreYieldResult(
+        margins=np.asarray(margins),
+        target_margin=cond.store_margin,
+        n_samples=n_samples,
+    )
+
+
+@dataclass
+class SnmDistribution:
+    """Monte-Carlo SNM distribution of the mismatched cell."""
+
+    snm: np.ndarray
+    mode: str
+    n_samples: int
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.snm))
+
+    @property
+    def std(self) -> float:
+        return float(np.std(self.snm))
+
+    @property
+    def stability_yield(self) -> float:
+        """Fraction of samples that remain bistable (SNM > 0)."""
+        return float(np.mean(self.snm > 0.0))
+
+    def percentile(self, q: float) -> float:
+        return float(np.percentile(self.snm, q))
+
+
+def _mismatched_vtc(cond: OperatingConditions, read_mode: bool,
+                    variation: VariationModel, rng: np.random.Generator,
+                    points: int,
+                    nfet: FinFETParams, pfet: FinFETParams) -> np.ndarray:
+    """VTC of one half-cell with per-device sampled parameters."""
+    circuit = Circuit("snm-mc-half-cell")
+    circuit.add(VoltageSource("vdd", "vdd", "0", dc=cond.vdd))
+    circuit.add(VoltageSource("vin", "in", "0", dc=0.0))
+    circuit.add(FinFET("pu", "out", "in", "vdd",
+                       variation.sample_fet(pfet, rng), 1))
+    circuit.add(FinFET("pd", "out", "in", "0",
+                       variation.sample_fet(nfet, rng), 1))
+    if read_mode:
+        circuit.add(VoltageSource("vbl", "bl", "0", dc=cond.vdd))
+        circuit.add(VoltageSource("vwl", "wl", "0", dc=cond.v_wl_read))
+        circuit.add(FinFET("pg", "bl", "wl", "out",
+                           variation.sample_fet(nfet, rng), 1))
+    vin = np.linspace(0.0, cond.vdd, points)
+    return dc_sweep(circuit, "vin", vin).voltage("out")
+
+
+def read_snm_distribution(
+    cond: Optional[OperatingConditions] = None,
+    n_samples: int = 100,
+    variation: VariationModel = VariationModel(),
+    read_mode: bool = True,
+    points: int = 41,
+    seed: int = 2015,
+    nfet: FinFETParams = NFET_20NM_HP,
+    pfet: FinFETParams = PFET_20NM_HP,
+) -> SnmDistribution:
+    """Monte-Carlo the (a)symmetric butterfly SNM under mismatch.
+
+    Each sample draws *two* independent mismatched half-cells (the two
+    cross-coupled inverters differ — that is what mismatch does to a
+    real cell) and computes the asymmetric-butterfly SNM: the smaller of
+    the two eye margins.
+    """
+    cond = cond or OperatingConditions()
+    if n_samples < 1:
+        raise CharacterizationError("n_samples must be >= 1")
+    rng = np.random.default_rng(seed)
+    vin = np.linspace(0.0, cond.vdd, points)
+
+    values = []
+    for _ in range(n_samples):
+        vtc1 = _mismatched_vtc(cond, read_mode, variation, rng, points,
+                               nfet, pfet)
+        vtc2 = _mismatched_vtc(cond, read_mode, variation, rng, points,
+                               nfet, pfet)
+        try:
+            snm, _ = _butterfly_snm_two(vin, vtc1, vtc2)
+        except CharacterizationError:
+            snm = 0.0   # monostable corner: stability lost
+        values.append(snm)
+    return SnmDistribution(
+        snm=np.asarray(values),
+        mode="read" if read_mode else "hold",
+        n_samples=n_samples,
+    )

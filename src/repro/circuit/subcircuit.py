@@ -1,0 +1,114 @@
+"""Hierarchical subcircuits that flatten into a flat :class:`Circuit`.
+
+A :class:`SubCircuit` is a reusable template with declared ports.  When
+instantiated into a parent circuit, its internal nodes are prefixed with
+the instance name (``x1.q``), its ports are connected to the parent nodes
+given at instantiation, and its element names are prefixed likewise
+(``x1.m_pull_up``).  This mirrors SPICE ``.SUBCKT`` flattening and is how
+the SRAM cell builders compose cells into arrays.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from ..errors import NetlistError
+from .netlist import Circuit, Element, is_ground
+
+
+class SubCircuit:
+    """A subcircuit template.
+
+    Parameters
+    ----------
+    name:
+        Template name (for diagnostics only).
+    ports:
+        Ordered port node names visible to the parent.
+
+    Elements are added with :meth:`add` exactly as on a
+    :class:`~repro.circuit.netlist.Circuit`; node names matching a port are
+    connected through, everything else becomes an internal node.
+    """
+
+    def __init__(self, name: str, ports: Sequence[str]):
+        if len(set(ports)) != len(ports):
+            raise NetlistError(f"{name}: duplicate port names")
+        self.name = name
+        self.ports: Tuple[str, ...] = tuple(ports)
+        self._elements: List[Element] = []
+        self._element_names: set = set()
+
+    def add(self, element: Element) -> Element:
+        if element.name in self._element_names:
+            raise NetlistError(
+                f"duplicate element name in subcircuit {self.name}: {element.name}"
+            )
+        self._elements.append(element)
+        self._element_names.add(element.name)
+        return element
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def instantiate(
+        self,
+        parent: Circuit,
+        instance: str,
+        connections: Dict[str, str],
+    ) -> List[Element]:
+        """Flatten a copy of this template into ``parent``.
+
+        Parameters
+        ----------
+        parent:
+            Circuit receiving the flattened elements.
+        instance:
+            Instance name used as a hierarchical prefix.
+        connections:
+            Mapping from each port name to a parent node name.
+
+        Returns the list of flattened elements added to the parent.
+        """
+        missing = [p for p in self.ports if p not in connections]
+        if missing:
+            raise NetlistError(
+                f"instance {instance} of {self.name}: unconnected ports {missing}"
+            )
+        extra = [p for p in connections if p not in self.ports]
+        if extra:
+            raise NetlistError(
+                f"instance {instance} of {self.name}: unknown ports {extra}"
+            )
+
+        added: List[Element] = []
+        for template in self._elements:
+            element = copy.deepcopy(template)
+            element.name = f"{instance}.{element.name}"
+            element.node_names = tuple(
+                self._map_node(node, instance, connections)
+                for node in element.node_names
+            )
+            parent.add(element)
+            added.append(element)
+        return added
+
+    def _map_node(self, node: str, instance: str,
+                  connections: Dict[str, str]) -> str:
+        if is_ground(node):
+            return node
+        if node in connections:
+            return connections[node]
+        return f"{instance}.{node}"
+
+
+def build_subcircuit(
+    name: str,
+    ports: Sequence[str],
+    builder: Callable[[SubCircuit], None],
+) -> SubCircuit:
+    """Construct a subcircuit by running ``builder`` on a fresh template."""
+    sub = SubCircuit(name, ports)
+    builder(sub)
+    return sub

@@ -1,0 +1,358 @@
+"""Time-domain waveform primitives for independent sources.
+
+Waveforms are pure functions of time with two extra capabilities needed by
+the adaptive transient integrator:
+
+* ``breakpoints(t0, t1)`` returns the instants inside ``[t0, t1]`` where the
+  waveform has a corner (edge start/end).  The integrator forces a step at
+  each breakpoint so sharp edges are never jumped over.
+* composition: :class:`Sequence` concatenates waveforms back-to-back, which
+  is how the power-gating scheduler builds the multi-mode bias timelines of
+  the paper's Fig. 5.
+
+All waveforms are immutable.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, List, Sequence as SequenceType, Tuple
+
+from ..errors import AnalysisError
+
+
+class Waveform:
+    """Base class: a scalar function of time in seconds."""
+
+    def value(self, t: float) -> float:
+        raise NotImplementedError
+
+    def breakpoints(self, t0: float, t1: float) -> List[float]:
+        """Corner instants in the half-open window ``(t0, t1]``."""
+        return []
+
+    def __call__(self, t: float) -> float:
+        return self.value(t)
+
+    def shifted(self, dt: float) -> "Shifted":
+        """This waveform delayed by ``dt`` seconds."""
+        return Shifted(self, dt)
+
+
+class Constant(Waveform):
+    """A DC level."""
+
+    def __init__(self, level: float):
+        self.level = float(level)
+
+    def value(self, t: float) -> float:
+        return self.level
+
+    def __repr__(self) -> str:
+        return f"Constant({self.level})"
+
+
+class Step(Waveform):
+    """A single linear ramp from ``v0`` to ``v1`` starting at ``t_step``.
+
+    Parameters
+    ----------
+    v0, v1:
+        Levels before and after the edge.
+    t_step:
+        Edge start time.
+    t_rise:
+        Edge duration; must be positive so the derivative stays bounded.
+    """
+
+    def __init__(self, v0: float, v1: float, t_step: float, t_rise: float = 1e-12):
+        if t_rise <= 0:
+            raise AnalysisError("Step t_rise must be positive")
+        self.v0 = float(v0)
+        self.v1 = float(v1)
+        self.t_step = float(t_step)
+        self.t_rise = float(t_rise)
+
+    def value(self, t: float) -> float:
+        if t <= self.t_step:
+            return self.v0
+        if t >= self.t_step + self.t_rise:
+            return self.v1
+        frac = (t - self.t_step) / self.t_rise
+        return self.v0 + (self.v1 - self.v0) * frac
+
+    def breakpoints(self, t0: float, t1: float) -> List[float]:
+        corners = (self.t_step, self.t_step + self.t_rise)
+        return [t for t in corners if t0 < t <= t1]
+
+    def __repr__(self) -> str:
+        return f"Step({self.v0}->{self.v1} @ {self.t_step})"
+
+
+class Pulse(Waveform):
+    """SPICE-style periodic trapezoidal pulse.
+
+    Matches the semantics of ``PULSE(v1 v2 td tr tf pw per)``: the output
+    sits at ``v1`` until ``delay``, then repeats rise / high / fall / low
+    with period ``period``.  A ``period`` of ``None`` gives a single pulse.
+    """
+
+    def __init__(
+        self,
+        v1: float,
+        v2: float,
+        delay: float = 0.0,
+        rise: float = 1e-12,
+        fall: float = 1e-12,
+        width: float = 1e-9,
+        period: "float | None" = None,
+    ):
+        if rise <= 0 or fall <= 0:
+            raise AnalysisError("Pulse rise/fall must be positive")
+        if width < 0:
+            raise AnalysisError("Pulse width must be non-negative")
+        cycle = rise + width + fall
+        if period is not None and period < cycle:
+            raise AnalysisError(
+                f"Pulse period {period} shorter than rise+width+fall {cycle}"
+            )
+        self.v1 = float(v1)
+        self.v2 = float(v2)
+        self.delay = float(delay)
+        self.rise = float(rise)
+        self.fall = float(fall)
+        self.width = float(width)
+        self.period = None if period is None else float(period)
+
+    def _local_time(self, t: float) -> float:
+        tl = t - self.delay
+        if tl < 0:
+            return -1.0
+        if self.period is not None:
+            tl = tl % self.period
+        return tl
+
+    def value(self, t: float) -> float:
+        tl = self._local_time(t)
+        if tl < 0:
+            return self.v1
+        if tl < self.rise:
+            return self.v1 + (self.v2 - self.v1) * tl / self.rise
+        if tl < self.rise + self.width:
+            return self.v2
+        if tl < self.rise + self.width + self.fall:
+            frac = (tl - self.rise - self.width) / self.fall
+            return self.v2 + (self.v1 - self.v2) * frac
+        return self.v1
+
+    def breakpoints(self, t0: float, t1: float) -> List[float]:
+        corners_local = (
+            0.0,
+            self.rise,
+            self.rise + self.width,
+            self.rise + self.width + self.fall,
+        )
+        points: List[float] = []
+        if self.period is None:
+            for c in corners_local:
+                t = self.delay + c
+                if t0 < t <= t1:
+                    points.append(t)
+            return points
+        # Periodic: enumerate the periods overlapping the window.
+        first_cycle = max(0, int((t0 - self.delay) / self.period) - 1)
+        cycle = first_cycle
+        while True:
+            base = self.delay + cycle * self.period
+            if base > t1:
+                break
+            for c in corners_local:
+                t = base + c
+                if t0 < t <= t1:
+                    points.append(t)
+            cycle += 1
+        return points
+
+    def __repr__(self) -> str:
+        return (
+            f"Pulse({self.v1}->{self.v2}, delay={self.delay}, "
+            f"width={self.width}, period={self.period})"
+        )
+
+
+class PiecewiseLinear(Waveform):
+    """SPICE PWL waveform: linear interpolation through ``(t, v)`` points.
+
+    Before the first point the value is the first level; after the last
+    point it is the last level.  Times must be strictly increasing.
+    """
+
+    def __init__(self, points: Iterable[Tuple[float, float]]):
+        pts = [(float(t), float(v)) for t, v in points]
+        if not pts:
+            raise AnalysisError("PiecewiseLinear needs at least one point")
+        times = [t for t, _ in pts]
+        for a, b in zip(times, times[1:]):
+            if b <= a:
+                raise AnalysisError("PiecewiseLinear times must strictly increase")
+        self.times = times
+        self.levels = [v for _, v in pts]
+
+    def value(self, t: float) -> float:
+        times = self.times
+        if t <= times[0]:
+            return self.levels[0]
+        if t >= times[-1]:
+            return self.levels[-1]
+        idx = bisect.bisect_right(times, t) - 1
+        t0, t1 = times[idx], times[idx + 1]
+        v0, v1 = self.levels[idx], self.levels[idx + 1]
+        return v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+
+    def breakpoints(self, t0: float, t1: float) -> List[float]:
+        lo = bisect.bisect_right(self.times, t0)
+        hi = bisect.bisect_right(self.times, t1)
+        return list(self.times[lo:hi])
+
+    def __repr__(self) -> str:
+        return f"PiecewiseLinear({len(self.times)} points)"
+
+
+class Sine(Waveform):
+    """Sinusoidal drive: ``offset + amplitude * sin(2 pi f (t - delay))``.
+
+    Zero before ``delay`` (plus the offset), like SPICE ``SIN``.  Smooth
+    everywhere, so it reports no breakpoints — the adaptive integrator's
+    truncation-error control alone must resolve it, which the test suite
+    uses to validate the LTE machinery against the analytic RC response.
+    """
+
+    def __init__(self, offset: float, amplitude: float, frequency: float,
+                 delay: float = 0.0):
+        if frequency <= 0:
+            raise AnalysisError("Sine frequency must be positive")
+        self.offset = float(offset)
+        self.amplitude = float(amplitude)
+        self.frequency = float(frequency)
+        self.delay = float(delay)
+
+    def value(self, t: float) -> float:
+        if t < self.delay:
+            return self.offset
+        import math
+
+        phase = 2.0 * math.pi * self.frequency * (t - self.delay)
+        return self.offset + self.amplitude * math.sin(phase)
+
+    def breakpoints(self, t0: float, t1: float) -> List[float]:
+        return [self.delay] if t0 < self.delay <= t1 else []
+
+    def __repr__(self) -> str:
+        return (
+            f"Sine(offset={self.offset}, amp={self.amplitude}, "
+            f"f={self.frequency:g})"
+        )
+
+
+class Exponential(Waveform):
+    """Single exponential transition: ``v0 -> v1`` with time constant tau.
+
+    ``v(t) = v1 + (v0 - v1) * exp(-(t - delay)/tau)`` for ``t >= delay``.
+    """
+
+    def __init__(self, v0: float, v1: float, tau: float,
+                 delay: float = 0.0):
+        if tau <= 0:
+            raise AnalysisError("Exponential tau must be positive")
+        self.v0 = float(v0)
+        self.v1 = float(v1)
+        self.tau = float(tau)
+        self.delay = float(delay)
+
+    def value(self, t: float) -> float:
+        if t <= self.delay:
+            return self.v0
+        import math
+
+        return self.v1 + (self.v0 - self.v1) * math.exp(
+            -(t - self.delay) / self.tau
+        )
+
+    def breakpoints(self, t0: float, t1: float) -> List[float]:
+        return [self.delay] if t0 < self.delay <= t1 else []
+
+    def __repr__(self) -> str:
+        return f"Exponential({self.v0}->{self.v1}, tau={self.tau:g})"
+
+
+class Shifted(Waveform):
+    """A waveform delayed in time (holds its t=0 value before the shift)."""
+
+    def __init__(self, inner: Waveform, dt: float):
+        self.inner = inner
+        self.dt = float(dt)
+
+    def value(self, t: float) -> float:
+        return self.inner.value(max(t - self.dt, 0.0))
+
+    def breakpoints(self, t0: float, t1: float) -> List[float]:
+        return [t + self.dt for t in self.inner.breakpoints(t0 - self.dt, t1 - self.dt)]
+
+    def __repr__(self) -> str:
+        return f"Shifted({self.inner!r}, dt={self.dt})"
+
+
+class Sequence(Waveform):
+    """Concatenation of waveform segments, each with a duration.
+
+    Segment ``i`` occupies ``[start_i, start_i + duration_i)`` and is
+    evaluated with its *local* time (so a :class:`Pulse` restarts in each
+    segment).  After the last segment the final segment's end value holds.
+
+    This is the building block used by :mod:`repro.pg.scheduler` to turn
+    mode timelines into bias waveforms.
+    """
+
+    def __init__(self, segments: SequenceType[Tuple[Waveform, float]]):
+        if not segments:
+            raise AnalysisError("Sequence needs at least one segment")
+        self.segments: List[Tuple[Waveform, float]] = []
+        self.starts: List[float] = []
+        t = 0.0
+        for wave, duration in segments:
+            duration = float(duration)
+            if duration < 0:
+                raise AnalysisError("Sequence segment duration must be >= 0")
+            self.segments.append((wave, duration))
+            self.starts.append(t)
+            t += duration
+        self.total_duration = t
+
+    def _segment_index(self, t: float) -> int:
+        idx = bisect.bisect_right(self.starts, t) - 1
+        return max(idx, 0)
+
+    def value(self, t: float) -> float:
+        if t >= self.total_duration:
+            wave, duration = self.segments[-1]
+            return wave.value(duration)
+        idx = self._segment_index(t)
+        wave, _ = self.segments[idx]
+        return wave.value(t - self.starts[idx])
+
+    def breakpoints(self, t0: float, t1: float) -> List[float]:
+        points: List[float] = []
+        for (wave, duration), start in zip(self.segments, self.starts):
+            if start > t1:
+                break
+            if t0 < start <= t1:
+                points.append(start)
+            end = start + duration
+            if end < t0 or start > t1:
+                continue
+            inner = wave.breakpoints(max(t0 - start, 0.0), min(t1 - start, duration))
+            points.extend(start + t for t in inner)
+        return sorted(set(points))
+
+    def __repr__(self) -> str:
+        return f"Sequence({len(self.segments)} segments, T={self.total_duration:g}s)"

@@ -1,0 +1,360 @@
+"""Command-line interface: regenerate any paper artefact from a shell.
+
+Usage::
+
+    python -m repro table1
+    python -m repro fig3 --points 21
+    python -m repro fig7a
+    python -m repro fig9 --panel b
+    python -m repro characterize --kind nv --wordlines 512
+    python -m repro bet --n-rw 100 --wordlines 512 [--store-free]
+    python -m repro snm [--read] [--wl-underdrive 0.1]
+    python -m repro retention
+
+Every subcommand prints the same rows/series the paper reports; see
+``benchmarks/`` for the timed versions with archived artifacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .cells import PowerDomain
+from .pg.modes import OperatingConditions
+from .pg.sequences import Architecture
+from .units import format_eng
+
+
+def _conditions(args) -> OperatingConditions:
+    cond = OperatingConditions()
+    overrides = {}
+    if getattr(args, "frequency", None):
+        overrides["frequency"] = float(args.frequency)
+    if getattr(args, "wl_underdrive", None):
+        overrides["wl_underdrive"] = float(args.wl_underdrive)
+    return cond.with_(**overrides) if overrides else cond
+
+
+def _domain(args) -> PowerDomain:
+    return PowerDomain(
+        n_wordlines=getattr(args, "wordlines", 512),
+        word_bits=getattr(args, "word_bits", 32),
+    )
+
+
+def _cmd_table1(args) -> int:
+    from .experiments import run_table1
+
+    print(run_table1(_conditions(args)).render())
+    return 0
+
+
+def _cmd_fig1(args) -> int:
+    from .experiments import ExperimentContext, run_fig1
+
+    ctx = ExperimentContext(cond=_conditions(args))
+    print(run_fig1(ctx, _domain(args)).render())
+    return 0
+
+
+def _cmd_fig3(args) -> int:
+    from .experiments import run_fig3
+
+    print(run_fig3(_conditions(args), _domain(args),
+                   points=args.points).render())
+    return 0
+
+
+def _cmd_fig4(args) -> int:
+    from .experiments import run_fig4
+
+    print(run_fig4(_conditions(args), _domain(args)).render())
+    return 0
+
+
+def _cmd_fig5(args) -> int:
+    from .experiments import run_fig5
+
+    print(run_fig5(_conditions(args)).render())
+    return 0
+
+
+def _cmd_fig6(args) -> int:
+    from .experiments import ExperimentContext, run_fig6
+
+    ctx = ExperimentContext(cond=_conditions(args))
+    print(run_fig6(ctx, _domain(args)).render())
+    return 0
+
+
+def _cmd_fig7(args, panel: str) -> int:
+    from .experiments import (
+        ExperimentContext,
+        run_fig7a,
+        run_fig7b,
+        run_fig7c,
+    )
+
+    ctx = ExperimentContext(cond=_conditions(args))
+    runner = {"a": run_fig7a, "b": run_fig7b, "c": run_fig7c}[panel]
+    if panel == "b":
+        print(runner(ctx).render())
+    else:
+        print(runner(ctx, _domain(args)).render())
+    return 0
+
+
+def _cmd_fig8(args) -> int:
+    from .experiments import ExperimentContext, run_fig8
+
+    ctx = ExperimentContext(cond=_conditions(args))
+    print(run_fig8(ctx, _domain(args)).render())
+    return 0
+
+
+def _cmd_fig9(args) -> int:
+    from .experiments import ExperimentContext, run_fig9
+
+    ctx = ExperimentContext(cond=_conditions(args))
+    print(run_fig9(ctx, panel=args.panel).render())
+    return 0
+
+
+def _cmd_characterize(args) -> int:
+    from .characterize import characterize_cell
+
+    result = characterize_cell(args.kind, _conditions(args), _domain(args))
+    print(result.to_json())
+    return 0
+
+
+def _cmd_bet(args) -> int:
+    from .experiments import ExperimentContext
+    from .pg.bet import break_even_time
+
+    ctx = ExperimentContext(cond=_conditions(args))
+    model = ctx.energy_model(_domain(args))
+    arch = Architecture(args.architecture)
+    result = break_even_time(model, arch, n_rw=args.n_rw,
+                             t_sl=args.t_sl, store_free=args.store_free)
+    print(f"architecture:     {arch.value}")
+    print(f"n_RW:             {result.n_rw}")
+    print(f"store-free:       {args.store_free}")
+    print(f"overhead energy:  {format_eng(result.overhead_energy, 'J')}")
+    print(f"saving power:     {format_eng(result.saving_power, 'W')}")
+    print(f"break-even time:  {format_eng(result.bet, 's')}")
+    return 0
+
+
+def _cmd_snm(args) -> int:
+    from .characterize.snm import butterfly_curve
+
+    curve = butterfly_curve(_conditions(args), read_mode=args.read)
+    print(f"{curve.mode} SNM: {curve.snm * 1e3:.1f} mV "
+          f"(lobes: {curve.lobe_margins[0] * 1e3:.1f} / "
+          f"{curve.lobe_margins[1] * 1e3:.1f} mV)")
+    return 0
+
+
+def _cmd_variability(args) -> int:
+    from .characterize.variability import (
+        read_snm_distribution,
+        store_yield_analysis,
+    )
+
+    cond = _conditions(args)
+    yield_result = store_yield_analysis(cond, _domain(args),
+                                        n_samples=args.samples)
+    print(f"store-yield Monte Carlo ({args.samples} samples):")
+    print(f"  switching yield (I > Ic):   "
+          f"{yield_result.switching_yield:.1%}")
+    print(f"  full-margin yield (>= "
+          f"{yield_result.target_margin:g} x Ic): "
+          f"{yield_result.margin_yield:.1%}")
+    print(f"  margin p1 / p50:            "
+          f"{yield_result.percentile(1):.2f} / "
+          f"{yield_result.percentile(50):.2f} x Ic")
+    snm = read_snm_distribution(cond, n_samples=args.samples)
+    print(f"read-SNM Monte Carlo: mean {snm.mean * 1e3:.0f} mV, "
+          f"sigma {snm.std * 1e3:.0f} mV, "
+          f"bistable yield {snm.stability_yield:.1%}")
+    return 0
+
+
+def _cmd_ff(args) -> int:
+    from .characterize.ff_runner import characterize_nvff
+    from .pg.registers import RegisterBankModel
+
+    ff = characterize_nvff(_conditions(args))
+    print(ff.to_json())
+    bank = RegisterBankModel(ff, num_ffs=args.bits)
+    print(f"\n{args.bits}-bit register bank:")
+    print(f"  idle power:      {format_eng(bank.idle_power(), 'W')}")
+    print(f"  shutdown power:  {format_eng(bank.shutdown_power(), 'W')}")
+    print(f"  gating overhead: {format_eng(bank.gating_overhead, 'J')}")
+    print(f"  break-even time: "
+          f"{format_eng(bank.break_even_time(), 's')}")
+    return 0
+
+
+def _cmd_wer(args) -> int:
+    from .devices.mtj import MTJ_TABLE1
+    from .units import parse_quantity
+
+    duration = parse_quantity(args.duration)
+    ic = MTJ_TABLE1.critical_current
+    print(f"store window: {format_eng(duration, 's')}, "
+          f"Ic = {format_eng(ic, 'A')}")
+    for mult in (1.1, 1.2, 1.5, 2.0, 3.0):
+        wer = MTJ_TABLE1.write_error_rate(mult * ic, duration)
+        print(f"  I = {mult:.1f} x Ic: WER = {wer:.3g}")
+    required = MTJ_TABLE1.required_current_for_wer(duration, args.target)
+    print(f"WER <= {args.target:g} needs I >= "
+          f"{format_eng(required, 'A')} ({required / ic:.2f} x Ic)")
+    return 0
+
+
+def _cmd_all(args) -> int:
+    from .experiments import ExperimentContext
+    from .experiments.summary import run_summary
+
+    ctx = ExperimentContext(cond=_conditions(args))
+    result = run_summary(ctx, include_figures=not args.scorecard_only)
+    print(result.render())
+    return 0 if result.all_passed else 1
+
+
+def _cmd_retention(args) -> int:
+    from .characterize.retention import retention_voltage_sweep
+
+    sweep = retention_voltage_sweep(_conditions(args))
+    for rail, snm in sweep.rows():
+        print(f"  rail {rail:5.3f} V   hold SNM {snm * 1e3:6.1f} mV")
+    if sweep.retention_voltage is None:
+        print("retention voltage: not reached in the swept range")
+    else:
+        print(f"retention voltage (DRV): {sweep.retention_voltage:.3f} V")
+        print(f"sleep rail headroom:     {sweep.sleep_headroom:.3f} V")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse tree for every subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of the DATE 2015 NV-SRAM power-gating "
+            "comparative study: regenerate tables, figures and "
+            "characterisations."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, domain=True):
+        p.add_argument("--frequency", type=float, default=None,
+                       help="read/write frequency in Hz (default Table I)")
+        p.add_argument("--wl-underdrive", type=float, default=None,
+                       help="word-line underdrive in volts")
+        if domain:
+            p.add_argument("--wordlines", type=int, default=512,
+                           help="domain depth N (default 512)")
+            p.add_argument("--word-bits", type=int, default=32,
+                           help="word length M in bits (default 32)")
+
+    common(sub.add_parser("table1", help="regenerate Table I"),
+           domain=False)
+    common(sub.add_parser("fig1", help="conceptual power timelines"))
+
+    p = sub.add_parser("fig3", help="leakage & store-current curves")
+    common(p)
+    p.add_argument("--points", type=int, default=31)
+
+    common(sub.add_parser("fig4", help="virtual-VDD vs N_FSW"))
+    common(sub.add_parser("fig5", help="benchmark sequence timelines"),
+           domain=False)
+    common(sub.add_parser("fig6", help="power traces & static power"))
+    common(sub.add_parser("fig7a", help="E_cyc vs n_RW (t_SL family)"))
+    common(sub.add_parser("fig7b", help="E_cyc vs n_RW (N family)"))
+    common(sub.add_parser("fig7c", help="E_cyc vs n_RW (t_SD family)"))
+    common(sub.add_parser("fig8", help="E_cyc vs t_SD and BET"))
+
+    p = sub.add_parser("fig9", help="BET vs domain depth")
+    common(p, domain=False)
+    p.add_argument("--panel", choices=("a", "b"), default="a")
+
+    p = sub.add_parser("characterize", help="characterise one cell")
+    common(p)
+    p.add_argument("--kind", choices=("nv", "6t"), default="nv")
+
+    p = sub.add_parser("bet", help="closed-form break-even time")
+    common(p)
+    p.add_argument("--architecture", choices=("nvpg", "nof"),
+                   default="nvpg")
+    p.add_argument("--n-rw", type=int, default=100)
+    p.add_argument("--t-sl", type=float, default=100e-9)
+    p.add_argument("--store-free", action="store_true")
+
+    p = sub.add_parser("snm", help="static noise margin")
+    common(p, domain=False)
+    p.add_argument("--read", action="store_true",
+                   help="read mode (default: hold)")
+
+    common(sub.add_parser("retention", help="data-retention voltage"),
+           domain=False)
+
+    p = sub.add_parser("variability", help="Monte-Carlo yield analysis")
+    common(p)
+    p.add_argument("--samples", type=int, default=100)
+
+    p = sub.add_parser("ff", help="NV flip-flop characterisation")
+    common(p, domain=False)
+    p.add_argument("--bits", type=int, default=1024,
+                   help="register-bank width (default 1024)")
+
+    p = sub.add_parser("all", help="full reproduction report + scorecard")
+    common(p, domain=False)
+    p.add_argument("--scorecard-only", action="store_true",
+                   help="skip the per-figure bodies")
+
+    p = sub.add_parser("wer", help="MTJ write-error-rate model")
+    common(p, domain=False)
+    p.add_argument("--duration", default="10n",
+                   help="store window, SPICE units (default 10n)")
+    p.add_argument("--target", type=float, default=1e-6,
+                   help="target write error rate (default 1e-6)")
+    return parser
+
+
+_HANDLERS = {
+    "table1": _cmd_table1,
+    "fig1": _cmd_fig1,
+    "fig3": _cmd_fig3,
+    "fig4": _cmd_fig4,
+    "fig5": _cmd_fig5,
+    "fig6": _cmd_fig6,
+    "fig7a": lambda a: _cmd_fig7(a, "a"),
+    "fig7b": lambda a: _cmd_fig7(a, "b"),
+    "fig7c": lambda a: _cmd_fig7(a, "c"),
+    "fig8": _cmd_fig8,
+    "fig9": _cmd_fig9,
+    "characterize": _cmd_characterize,
+    "bet": _cmd_bet,
+    "snm": _cmd_snm,
+    "retention": _cmd_retention,
+    "variability": _cmd_variability,
+    "ff": _cmd_ff,
+    "wer": _cmd_wer,
+    "all": _cmd_all,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

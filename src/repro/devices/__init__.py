@@ -1,0 +1,26 @@
+"""Device compact models: FinFETs (20 nm PTM-like card) and STT-MTJs.
+
+* :class:`~repro.devices.finfet.FinFET` — an EKV-style continuous compact
+  model with fin-count scaling, used for every transistor in the cells.
+* :mod:`~repro.devices.ptm20` — the 20 nm technology card calibrated to
+  public PTM-class headline figures (Ion/Ioff per fin, SS, DIBL).
+* :class:`~repro.devices.mtj.MTJ` — the spin-transfer-torque magnetic
+  tunnel junction macromodel of the paper's Table I: bias-dependent TMR
+  resistance plus current-induced magnetisation switching dynamics.
+"""
+
+from .finfet import FinFET, FinFETParams
+from .ptm20 import NFET_20NM_HP, PFET_20NM_HP, technology_summary
+from .mtj import MTJ, MTJParams, MTJState, MTJ_TABLE1
+
+__all__ = [
+    "FinFET",
+    "FinFETParams",
+    "NFET_20NM_HP",
+    "PFET_20NM_HP",
+    "technology_summary",
+    "MTJ",
+    "MTJParams",
+    "MTJState",
+    "MTJ_TABLE1",
+]

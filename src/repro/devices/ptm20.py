@@ -1,0 +1,99 @@
+"""20 nm technology card calibrated to PTM-class headline targets.
+
+The paper uses a 20-nm FinFET PTM deck (Table I: L = 20 nm, fin width
+15 nm, fin height 28 nm, VDD = 0.9 V).  The effective width per fin is
+``2 x 28 + 15 = 71 nm``.  Public high-performance 20 nm PTM-class figures
+are roughly:
+
+==============================  =======================
+Quantity (per fin, 0.9 V)        target
+==============================  =======================
+Ion (n)                          ~95 uA
+Ion (p)                          ~85 uA
+Ioff                             a few nA  (~100 nA/um)
+Subthreshold swing               ~72 mV/dec
+DIBL                             ~80 mV/V
+==============================  =======================
+
+The EKV card below reproduces these to within the fidelity that matters
+for the paper's comparative conclusions.  ``calibration_report`` prints
+the realised values so tests (and EXPERIMENTS.md) can pin them.
+
+Parasitic capacitance constants used by the cell builders are also defined
+here: they set the dynamic (CV^2) component of read/write energy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .finfet import FinFET, FinFETParams
+from ..units import FF
+
+#: Supply voltage of the technology (Table I).
+VDD_NOMINAL = 0.9
+
+#: Effective channel width per fin: 2 x fin height + fin width.
+FIN_WIDTH = 15e-9
+FIN_HEIGHT = 28e-9
+WEFF_PER_FIN = 2.0 * FIN_HEIGHT + FIN_WIDTH  # 71 nm
+CHANNEL_LENGTH = 20e-9
+
+#: Gate capacitance per fin (gate oxide + fringe), farads.
+CGATE_PER_FIN = 0.055 * FF
+#: Source/drain junction + local interconnect capacitance per fin, farads.
+CJUNCTION_PER_FIN = 0.025 * FF
+
+#: n-channel high-performance card.
+NFET_20NM_HP = FinFETParams(
+    polarity=+1,
+    vth0=0.22,
+    slope_factor=1.21,
+    i_spec=6.6e-7,
+    dibl=0.08,
+    label="nfet-20nm-hp",
+)
+
+#: p-channel high-performance card.
+PFET_20NM_HP = FinFETParams(
+    polarity=-1,
+    vth0=0.24,
+    slope_factor=1.25,
+    i_spec=6.5e-7,
+    dibl=0.09,
+    label="pfet-20nm-hp",
+)
+
+
+def _probe(params: FinFETParams, vg: float, vd: float, vdd: float) -> float:
+    """|Ids| of a one-fin device with source grounded (n) / at VDD (p)."""
+    device = FinFET("probe", "d", "g", "s", params, nfin=1)
+    if params.polarity > 0:
+        return abs(device.ids(vd, vg, 0.0))
+    return abs(device.ids(vdd - vd, vdd - vg, vdd))
+
+
+def ion_per_fin(params: FinFETParams, vdd: float = VDD_NOMINAL) -> float:
+    """On-current per fin at |Vgs| = |Vds| = VDD."""
+    return _probe(params, vdd, vdd, vdd)
+
+
+def ioff_per_fin(params: FinFETParams, vdd: float = VDD_NOMINAL) -> float:
+    """Off-state leakage per fin at Vgs = 0, |Vds| = VDD."""
+    return _probe(params, 0.0, vdd, vdd)
+
+
+def technology_summary(vdd: float = VDD_NOMINAL) -> Dict[str, float]:
+    """Realised card figures for reports and calibration tests."""
+    return {
+        "vdd": vdd,
+        "weff_per_fin": WEFF_PER_FIN,
+        "ion_n_per_fin": ion_per_fin(NFET_20NM_HP, vdd),
+        "ion_p_per_fin": ion_per_fin(PFET_20NM_HP, vdd),
+        "ioff_n_per_fin": ioff_per_fin(NFET_20NM_HP, vdd),
+        "ioff_p_per_fin": ioff_per_fin(PFET_20NM_HP, vdd),
+        "ss_n_mv_per_dec": NFET_20NM_HP.subthreshold_swing * 1e3,
+        "ss_p_mv_per_dec": PFET_20NM_HP.subthreshold_swing * 1e3,
+        "dibl_n_mv_per_v": NFET_20NM_HP.dibl * 1e3,
+        "dibl_p_mv_per_v": PFET_20NM_HP.dibl * 1e3,
+    }

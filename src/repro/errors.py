@@ -1,0 +1,61 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch library failures without also
+catching programming errors such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class UnitError(ReproError):
+    """A quantity string could not be parsed into a float."""
+
+
+class NetlistError(ReproError):
+    """The circuit description is malformed (duplicate names, bad nodes...)."""
+
+
+class AnalysisError(ReproError):
+    """An analysis was configured incorrectly."""
+
+
+class ConvergenceError(AnalysisError):
+    """The Newton-Raphson solver failed to converge.
+
+    Attributes
+    ----------
+    iterations:
+        Number of iterations performed before giving up.
+    residual:
+        Infinity norm of the final KCL residual (amps).
+    """
+
+    def __init__(self, message: str, iterations: int = 0, residual: float = float("nan")):
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual
+
+
+class TimestepError(AnalysisError):
+    """The transient integrator could not find an acceptable timestep."""
+
+
+class DeviceError(ReproError):
+    """A device model was given parameters outside its valid range."""
+
+
+class CharacterizationError(ReproError):
+    """A characterization run produced an unusable result.
+
+    Raised, for example, when a store-current extraction never reaches the
+    required current margin inside the swept bias range.
+    """
+
+
+class SequenceError(ReproError):
+    """A power-gating benchmark sequence is inconsistent."""

@@ -1,0 +1,50 @@
+"""Experiment regeneration: one module per table/figure of the paper.
+
+Every module exposes a ``run_*`` function returning a result dataclass
+with ``rows()`` (the numeric series) and ``render()`` (a printable table
+mirroring what the paper plots).  The benchmark harness under
+``benchmarks/`` simply calls these.
+
+===========  ==========================================================
+Module        Paper artefact
+===========  ==========================================================
+``table1``    Table I — device & circuit parameters (and realised card)
+``fig1``      Fig. 1 — conceptual power-vs-time of NVPG vs NOF
+``fig3``      Fig. 3(a)-(c) — leakage and store-current bias sweeps
+``fig4``      Fig. 4 — virtual-VDD vs power-switch fin number
+``fig5``      Fig. 5 — benchmark sequence timelines (textual)
+``fig6``      Fig. 6(a)-(c) — power traces and per-mode static power
+``fig7``      Fig. 7(a)-(c) — E_cyc vs n_RW sweeps
+``fig8``      Fig. 8(a)-(b) — E_cyc vs t_SD and normalised crossover
+``fig9``      Fig. 9(a)-(b) — BET vs domain depth N
+===========  ==========================================================
+"""
+
+from .context import ExperimentContext
+from .table1 import run_table1
+from .fig1 import run_fig1
+from .fig3 import run_fig3
+from .fig4 import run_fig4
+from .fig5 import run_fig5
+from .fig6 import run_fig6
+from .fig7 import run_fig7a, run_fig7b, run_fig7c
+from .fig8 import run_fig8
+from .fig9 import run_fig9
+from .summary import run_summary, SummaryResult
+
+__all__ = [
+    "ExperimentContext",
+    "run_table1",
+    "run_fig1",
+    "run_fig3",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7a",
+    "run_fig7b",
+    "run_fig7c",
+    "run_fig8",
+    "run_fig9",
+    "run_summary",
+    "SummaryResult",
+]

@@ -1,0 +1,77 @@
+"""Shared experiment context: characterisation + energy-model factory.
+
+The figure sweeps need a :class:`~repro.pg.energy.CellEnergyModel` for
+many (conditions, domain) combinations; this context memoises the
+underlying cell characterisations (in memory per process, and on disk via
+the characterisation cache) so that, e.g., Fig. 7(b)'s seven domain
+depths and Fig. 9's N-sweep do not re-simulate anything twice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+from ..cells import PowerDomain
+from ..characterize import cache as char_cache
+from ..characterize.data import CellCharacterization
+from ..characterize.runner import characterize_cell
+from ..devices.finfet import FinFETParams
+from ..devices.mtj import MTJParams, MTJ_TABLE1
+from ..devices.ptm20 import NFET_20NM_HP, PFET_20NM_HP
+from ..pg.energy import CellEnergyModel
+from ..pg.modes import OperatingConditions
+
+
+@dataclass
+class ExperimentContext:
+    """Characterisation/memoisation hub for experiment runs.
+
+    Parameters
+    ----------
+    cond:
+        Baseline operating conditions (Table I defaults).
+    mtj_params:
+        MTJ card (Table I; Fig. 9(b) swaps in the low-Jc card).
+    cache_dir:
+        Disk cache for characterisations; ``None`` disables it.
+    """
+
+    cond: OperatingConditions = field(default_factory=OperatingConditions)
+    nfet: FinFETParams = NFET_20NM_HP
+    pfet: FinFETParams = PFET_20NM_HP
+    mtj_params: MTJParams = MTJ_TABLE1
+    cache_dir: Optional[Path] = field(
+        default_factory=char_cache.default_cache_dir
+    )  # resolved at context creation; honours REPRO_CACHE_DIR
+    _memo: Dict[Tuple, CellCharacterization] = field(
+        default_factory=dict, repr=False
+    )
+
+    def characterization(self, kind: str,
+                         domain: PowerDomain,
+                         cond: Optional[OperatingConditions] = None,
+                         mtj_params: Optional[MTJParams] = None,
+                         ) -> CellCharacterization:
+        """Memoised cell characterisation."""
+        cond = cond or self.cond
+        mtj_params = mtj_params or self.mtj_params
+        key = (kind, domain.n_wordlines, domain.word_bits, cond, mtj_params)
+        if key not in self._memo:
+            self._memo[key] = characterize_cell(
+                kind, cond, domain,
+                nfet=self.nfet, pfet=self.pfet, mtj_params=mtj_params,
+                cache_dir=self.cache_dir,
+            )
+        return self._memo[key]
+
+    def energy_model(self, domain: PowerDomain,
+                     cond: Optional[OperatingConditions] = None,
+                     mtj_params: Optional[MTJParams] = None,
+                     ) -> CellEnergyModel:
+        """Energy model backed by memoised characterisations."""
+        cond = cond or self.cond
+        nv = self.characterization("nv", domain, cond, mtj_params)
+        volatile = self.characterization("6t", domain, cond, mtj_params)
+        return CellEnergyModel(nv, volatile, cond, domain)

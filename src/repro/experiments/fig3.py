@@ -1,0 +1,95 @@
+"""Fig. 3 — leakage control and store-current design curves.
+
+* (a) normal-mode leakage I_L^NV vs V_CTRL, with the 6T reference I_L^V;
+* (b) H-store current I_MTJ(P->AP) vs V_SR;
+* (c) L-store current I_MTJ(AP->P) vs V_CTRL at the chosen V_SR.
+
+The run also extracts the paper's design decisions: the leakage-optimal
+V_CTRL (paper: 0.07 V) and the biases required for the 1.5 x Ic store
+margin (paper: V_SR = 0.65 V, V_CTRL = 0.5 V).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..cells import PowerDomain
+from ..characterize.leakage import LeakageSweep, leakage_vs_vctrl
+from ..characterize.store import (
+    StoreCurrentSweep,
+    store_current_vs_vctrl,
+    store_current_vs_vsr,
+)
+from ..pg.modes import OperatingConditions
+from ..units import format_eng
+from .report import render_table
+
+
+@dataclass
+class Fig3Result:
+    """All three panels of Fig. 3."""
+
+    leakage: LeakageSweep          # panel (a)
+    store_h: StoreCurrentSweep     # panel (b)
+    store_l: StoreCurrentSweep     # panel (c)
+
+    def render(self) -> str:
+        parts = [
+            render_table(
+                ("V_CTRL [V]", "I_L^NV [A]", "I_L^V (6T) [A]"),
+                self.leakage.rows(),
+                title="Fig. 3(a): leakage vs V_CTRL (normal mode)",
+            ),
+            (
+                f"  -> optimal V_CTRL = {self.leakage.v_ctrl_optimal:.3f} V, "
+                f"min leakage = {format_eng(self.leakage.i_leak_nv_min, 'A')} "
+                f"(6T reference {format_eng(self.leakage.i_leak_6t, 'A')})"
+            ),
+            render_table(
+                ("V_SR [V]", "I_MTJ P->AP [A]"),
+                self.store_h.rows(),
+                title="Fig. 3(b): H-store current vs V_SR",
+            ),
+            _margin_line(self.store_h),
+            render_table(
+                ("V_CTRL [V]", "I_MTJ AP->P [A]"),
+                self.store_l.rows(),
+                title="Fig. 3(c): L-store current vs V_CTRL",
+            ),
+            _margin_line(self.store_l),
+        ]
+        return "\n\n".join(parts)
+
+
+def _margin_line(sweep: StoreCurrentSweep) -> str:
+    if sweep.bias_at_margin is None:
+        return (
+            f"  -> {sweep.margin:g} x Ic = "
+            f"{format_eng(sweep.i_required, 'A')} not reached in range"
+        )
+    return (
+        f"  -> {sweep.margin:g} x Ic = {format_eng(sweep.i_required, 'A')} "
+        f"reached at {sweep.bias_name} = {sweep.bias_at_margin:.3f} V"
+    )
+
+
+def run_fig3(cond: Optional[OperatingConditions] = None,
+             domain: Optional[PowerDomain] = None,
+             points: int = 31) -> Fig3Result:
+    """Regenerate all panels of Fig. 3."""
+    import numpy as np
+
+    cond = cond or OperatingConditions()
+    domain = domain or PowerDomain()
+    return Fig3Result(
+        leakage=leakage_vs_vctrl(
+            cond, domain, v_ctrl_values=np.linspace(0.0, 0.3, points)
+        ),
+        store_h=store_current_vs_vsr(
+            cond, domain, v_sr_values=np.linspace(0.0, 0.9, points)
+        ),
+        store_l=store_current_vs_vctrl(
+            cond, domain, v_ctrl_values=np.linspace(0.0, 0.9, points)
+        ),
+    )

@@ -1,0 +1,60 @@
+"""Fig. 4 — virtual-VDD voltage vs power-switch fin number N_FSW.
+
+Reproduces the sizing argument for the header switch: the store mode
+loads the virtual rail hardest (the MTJs connect to the bistable core),
+so VV_DD sags with shrinking N_FSW; N_FSW = 7 retains ~97 % of VDD.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..cells import PowerDomain
+from ..characterize.vvdd import VvddSweep, vvdd_vs_nfsw
+from ..pg.modes import OperatingConditions
+from .report import render_table
+
+#: Retention fraction the paper quotes for its chosen N_FSW = 7.
+PAPER_RETENTION_TARGET = 0.97
+
+
+@dataclass
+class Fig4Result:
+    sweep: VvddSweep
+    nfsw_for_target: Optional[int]
+
+    def render(self) -> str:
+        table = render_table(
+            ("N_FSW", "VVDD normal [V]", "VVDD store [V]", "store VVDD/VDD"),
+            [
+                (n, vn, vs, vs / self.sweep.vdd)
+                for n, vn, vs in self.sweep.rows()
+            ],
+            title="Fig. 4: virtual-VDD vs power-switch fin number",
+        )
+        if self.nfsw_for_target is None:
+            note = (
+                f"  -> {PAPER_RETENTION_TARGET:.0%} retention not reached "
+                "in the swept range"
+            )
+        else:
+            note = (
+                f"  -> smallest N_FSW with store-mode VVDD >= "
+                f"{PAPER_RETENTION_TARGET:.0%} of VDD: {self.nfsw_for_target} "
+                "(paper chooses 7)"
+            )
+        return table + "\n" + note
+
+
+def run_fig4(cond: Optional[OperatingConditions] = None,
+             domain: Optional[PowerDomain] = None,
+             nfsw_values: Sequence[int] = tuple(range(1, 11))) -> Fig4Result:
+    """Regenerate Fig. 4."""
+    cond = cond or OperatingConditions()
+    domain = domain or PowerDomain()
+    sweep = vvdd_vs_nfsw(cond, domain, nfsw_values)
+    return Fig4Result(
+        sweep=sweep,
+        nfsw_for_target=sweep.smallest_nfsw_for(PAPER_RETENTION_TARGET),
+    )

@@ -1,0 +1,45 @@
+"""Fig. 5 — benchmark sequence diagrams (textual rendering).
+
+The paper's Fig. 5 is a timing diagram of the three benchmark sequences;
+this experiment renders the same timelines from the actual
+:class:`~repro.pg.scheduler.Schedule` objects that drive the simulations,
+so the documentation and the executed waveforms cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..pg.modes import OperatingConditions
+from ..pg.sequences import (
+    Architecture,
+    BenchmarkSpec,
+    benchmark_sequence,
+    describe_sequence,
+)
+
+
+@dataclass
+class Fig5Result:
+    timelines: List[str]
+    durations: List[float]
+
+    def render(self) -> str:
+        return "\n\n".join(self.timelines)
+
+
+def run_fig5(cond: Optional[OperatingConditions] = None,
+             n_rw: int = 2,
+             t_sl: float = 20e-9,
+             t_sd: float = 50e-9) -> Fig5Result:
+    """Render the three Fig. 5 sequence diagrams."""
+    cond = cond or OperatingConditions()
+    timelines = []
+    durations = []
+    for arch in (Architecture.OSR, Architecture.NVPG, Architecture.NOF):
+        spec = BenchmarkSpec(architecture=arch, n_rw=n_rw, t_sl=t_sl,
+                             t_sd=t_sd)
+        timelines.append(describe_sequence(spec, cond))
+        durations.append(benchmark_sequence(spec, cond).total_duration)
+    return Fig5Result(timelines=timelines, durations=durations)

@@ -1,0 +1,58 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmark harness prints the same rows/series the paper plots;
+these helpers keep that output aligned and unit-annotated.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from ..units import format_eng
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render a fixed-width table with a header rule."""
+    materialised: List[List[str]] = [
+        [_cell(v) for v in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in materialised)
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def eng(value: float, unit: str) -> str:
+    """Engineering-notation cell (e.g. ``'23.4 pJ'``)."""
+    return format_eng(value, unit)
+
+
+def series_block(name: str, xs: Sequence[float], ys: Sequence[float],
+                 x_unit: str = "", y_unit: str = "") -> str:
+    """A labelled two-column series, one line per point."""
+    lines = [f"# {name}"]
+    for x, y in zip(xs, ys):
+        lines.append(f"  {format_eng(float(x), x_unit):>14}  "
+                     f"{format_eng(float(y), y_unit):>14}")
+    return "\n".join(lines)

@@ -1,0 +1,71 @@
+"""Table I — device and circuit parameters, plus realised card figures.
+
+Regenerates the paper's parameter table from the library's configuration
+objects, so a drift between documentation and code is impossible, and
+appends the *realised* characteristics of the FinFET card (Ion, Ioff,
+subthreshold swing) and of the MTJ model (R_P, R_AP(0), Ic) that the
+paper's Table I quotes as derived values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from ..devices.mtj import MTJParams, MTJ_TABLE1
+from ..devices.ptm20 import (
+    CHANNEL_LENGTH,
+    FIN_HEIGHT,
+    FIN_WIDTH,
+    technology_summary,
+)
+from ..pg.modes import OperatingConditions
+from ..units import format_eng
+from .report import render_table
+
+
+@dataclass
+class Table1Result:
+    """The regenerated Table I rows."""
+
+    rows: List[Tuple[str, str]] = field(default_factory=list)
+
+    def render(self) -> str:
+        return render_table(
+            ("parameter", "value"), self.rows,
+            title="Table I: device and circuit parameters",
+        )
+
+
+def run_table1(cond: OperatingConditions = OperatingConditions(),
+               mtj: MTJParams = MTJ_TABLE1) -> Table1Result:
+    """Regenerate Table I."""
+    tech = technology_summary(cond.vdd)
+    rows: List[Tuple[str, str]] = [
+        ("FinFET channel length L", format_eng(CHANNEL_LENGTH, "m")),
+        ("Supply voltage VDD", f"{cond.vdd:g} V"),
+        ("Fin width", format_eng(FIN_WIDTH, "m")),
+        ("Fin height", format_eng(FIN_HEIGHT, "m")),
+        ("Fin numbers (load, driver, access, PS)", "(1, 1, 1, 1)"),
+        ("V_SR", f"{cond.v_sr:g} V"),
+        ("V_CTRL (store)", f"{cond.v_ctrl_store:g} V"),
+        ("Read/write speed", format_eng(cond.frequency, "Hz")),
+        ("MTJ TMR", f"{mtj.tmr0 * 100:.0f} %"),
+        ("MTJ RA product (P)", format_eng(mtj.ra_product * 1e12, "ohm.um^2")),
+        ("MTJ V at half-max TMR", f"{mtj.v_half:g} V"),
+        ("MTJ Jc", format_eng(mtj.jc * 1e-4, "A/cm^2")),
+        ("MTJ diameter", format_eng(mtj.diameter, "m")),
+        ("MTJ Ic = Jc*A", format_eng(mtj.critical_current, "A")),
+        ("MTJ R_P(0)", format_eng(mtj.r_parallel, "ohm")),
+        ("MTJ R_AP(0)", format_eng(mtj.r_antiparallel_zero_bias, "ohm")),
+        ("-- realised FinFET card --", ""),
+        ("Ion (n) per fin", format_eng(tech["ion_n_per_fin"], "A")),
+        ("Ion (p) per fin", format_eng(tech["ion_p_per_fin"], "A")),
+        ("Ioff (n) per fin", format_eng(tech["ioff_n_per_fin"], "A")),
+        ("Ioff (p) per fin", format_eng(tech["ioff_p_per_fin"], "A")),
+        ("Subthreshold swing (n)", f"{tech['ss_n_mv_per_dec']:.1f} mV/dec"),
+        ("Subthreshold swing (p)", f"{tech['ss_p_mv_per_dec']:.1f} mV/dec"),
+        ("DIBL (n)", f"{tech['dibl_n_mv_per_v']:.0f} mV/V"),
+        ("DIBL (p)", f"{tech['dibl_p_mv_per_v']:.0f} mV/V"),
+    ]
+    return Table1Result(rows=rows)

@@ -1,0 +1,111 @@
+"""Break-even time (BET) extraction (paper Figs. 8-9).
+
+The BET is the shutdown duration at which executing nonvolatile
+power-gating costs exactly as much energy as the volatile baseline spends
+sleeping through the same interval — i.e. the minimum energetically
+meaningful shutdown period.  Graphically it is the crossing of the
+E_cyc(t_SD) curves of the PG architecture and of OSR (Fig. 8).
+
+Because E_cyc is affine in t_SD (every term except the long period is
+independent of it), the crossing solves in closed form:
+
+    BET = (E_pg(0) - E_osr(0)) / (P_sleep_OSR - P_shutdown_PG)
+
+:func:`break_even_time` implements that, and
+:func:`bet_curve_crossing` recovers the BET numerically from swept
+curves — the cross-check used by the test suite.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import AnalysisError
+from .energy import CellEnergyModel
+from .sequences import Architecture, BenchmarkSpec
+
+
+@dataclass(frozen=True)
+class BetResult:
+    """BET of one architecture/workload point.
+
+    ``bet`` is 0.0 when the PG architecture already wins at t_SD = 0 and
+    ``inf`` when it can never win (its shutdown leaks at least as much as
+    the baseline's sleep).
+    """
+
+    architecture: Architecture
+    n_rw: int
+    bet: float
+    overhead_energy: float       # E_pg(0) - E_osr(0)
+    saving_power: float          # P_sleep_OSR - P_shutdown_PG
+
+    @property
+    def achievable(self) -> bool:
+        return math.isfinite(self.bet)
+
+
+def break_even_time(
+    model: CellEnergyModel,
+    architecture: Architecture = Architecture.NVPG,
+    n_rw: int = 1,
+    t_sl: float = 0.0,
+    store_free: bool = False,
+) -> BetResult:
+    """Closed-form BET of ``architecture`` against the OSR baseline."""
+    if architecture is Architecture.OSR:
+        raise AnalysisError("BET is defined against the OSR baseline")
+    pg_spec = BenchmarkSpec(architecture=architecture, n_rw=n_rw,
+                            t_sl=t_sl, store_free=store_free)
+    osr_spec = BenchmarkSpec(architecture=Architecture.OSR, n_rw=n_rw,
+                             t_sl=t_sl)
+    e_pg0, p_pg = model.e_cyc_affine(pg_spec)
+    e_osr0, p_osr = model.e_cyc_affine(osr_spec)
+
+    overhead = e_pg0 - e_osr0
+    saving = p_osr - p_pg
+    if overhead <= 0.0:
+        bet = 0.0
+    elif saving <= 0.0:
+        bet = math.inf
+    else:
+        bet = overhead / saving
+    return BetResult(
+        architecture=architecture,
+        n_rw=n_rw,
+        bet=bet,
+        overhead_energy=overhead,
+        saving_power=saving,
+    )
+
+
+def bet_curve_crossing(
+    t_sd: Sequence[float],
+    e_pg: Sequence[float],
+    e_osr: Sequence[float],
+) -> Optional[float]:
+    """Numerical BET from swept E_cyc(t_SD) curves.
+
+    Returns the first t_SD where ``e_pg`` drops to/below ``e_osr``
+    (linearly interpolated), or ``None`` if the curves never cross in the
+    swept range.  Used to cross-validate :func:`break_even_time`.
+    """
+    t = np.asarray(list(t_sd), dtype=float)
+    pg = np.asarray(list(e_pg), dtype=float)
+    osr = np.asarray(list(e_osr), dtype=float)
+    if t.ndim != 1 or t.size < 2 or pg.shape != t.shape or osr.shape != t.shape:
+        raise AnalysisError("bet_curve_crossing: malformed inputs")
+    diff = pg - osr
+    if diff[0] <= 0.0:
+        return float(t[0])
+    below = np.nonzero(diff <= 0.0)[0]
+    if below.size == 0:
+        return None
+    k = int(below[0])
+    d0, d1 = diff[k - 1], diff[k]
+    frac = d0 / (d0 - d1)
+    return float(t[k - 1] + frac * (t[k] - t[k - 1]))

@@ -1,0 +1,212 @@
+"""System-level NVPG: a cache hierarchy of power-gated NV-SRAM domains.
+
+The paper closes by arguing that NVPG "would be effective at achieving
+fine-grained power management of logic systems in which lower and higher
+level caches are organized with the NV-SRAM array and the nonvolatile
+retention is performed for a part (power domain) of each level cache".
+This module makes that argument executable:
+
+* a :class:`CacheLevel` wraps one level's energy model with its access
+  behaviour (domains per level, accesses per active epoch, whether
+  store-free shutdown applies — upper levels are typically clean copies
+  of lower ones, the paper's store-free case);
+* a :class:`SystemModel` evaluates the whole hierarchy over a workload
+  of (active, idle) epochs, gating each level's idle domains whenever
+  the idle time clears that level's BET.
+
+The output quantifies the paper's point: with per-level BETs spanning
+two orders of magnitude (registers ~10 µs, small L1 domains ~tens of µs
+store-free, big L2 domains ~hundreds of µs), a bursty workload lets the
+upper levels power off during gaps that the lower levels must idle
+through — exactly the fine-grained management the paper envisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import SequenceError
+from ..cells.array import PowerDomain
+from .bet import break_even_time
+from .energy import CellEnergyModel
+from .sequences import Architecture, BenchmarkSpec
+
+
+@dataclass
+class CacheLevel:
+    """One cache level: an array of identical NVPG power domains.
+
+    Parameters
+    ----------
+    name:
+        Label for reports ("L1", "L2", ...).
+    model:
+        Characterised energy model of one domain of this level.
+    num_domains:
+        How many such domains the level comprises.
+    n_rw_per_epoch:
+        Benchmark passes each *active* domain performs per active epoch.
+    active_fraction:
+        Fraction of the level's domains touched during an active epoch
+        (locality: an L2 mostly sleeps even while the core runs).
+    store_free:
+        Shutdowns skip the store (the level's data is clean — the
+        paper's store-free case, typical for inclusive upper levels).
+    """
+
+    name: str
+    model: CellEnergyModel
+    num_domains: int = 1
+    n_rw_per_epoch: int = 100
+    active_fraction: float = 1.0
+    store_free: bool = False
+
+    def __post_init__(self):
+        if self.num_domains < 1:
+            raise SequenceError("num_domains must be >= 1")
+        if not (0.0 < self.active_fraction <= 1.0):
+            raise SequenceError("active_fraction must be in (0, 1]")
+        if self.n_rw_per_epoch < 1:
+            raise SequenceError("n_rw_per_epoch must be >= 1")
+
+    @property
+    def domain(self) -> PowerDomain:
+        return self.model.domain
+
+    @property
+    def capacity_bytes(self) -> float:
+        return self.num_domains * self.domain.size_bytes
+
+    def bet(self) -> float:
+        """Break-even time of one domain of this level."""
+        return break_even_time(
+            self.model, Architecture.NVPG,
+            n_rw=self.n_rw_per_epoch, store_free=self.store_free,
+        ).bet
+
+    # -- epoch energies (per domain, joules) --------------------------------
+    def _cells(self) -> int:
+        return self.domain.num_cells
+
+    def active_epoch_energy(self, duration: float) -> float:
+        """One active domain over one active epoch.
+
+        The domain performs its benchmark passes, then sleeps for the
+        rest of the epoch (it stays powered while the core is running).
+        """
+        spec = BenchmarkSpec(Architecture.NVPG,
+                             n_rw=self.n_rw_per_epoch, t_sl=0.0, t_sd=0.0,
+                             store_free=True)
+        # Active work, minus the store/restore bracket (no shutdown here).
+        breakdown = self.model.cycle_energy(spec)
+        busy = breakdown.access + breakdown.idle_active
+        t_busy = (self.domain.access_pass_duration(self.model.cond.t_cycle)
+                  * self.n_rw_per_epoch)
+        slack = max(duration - t_busy, 0.0)
+        per_cell = busy - breakdown.restore \
+            + self.model.nv.p_sleep * slack
+        return per_cell * self._cells()
+
+    def idle_epoch_energy(self, duration: float, gate: bool) -> float:
+        """One domain over one idle epoch, gated or sleeping."""
+        nv = self.model.nv
+        if not gate:
+            return nv.p_sleep * duration * self._cells()
+        store = 0.0 if self.store_free else (
+            nv.e_store + nv.p_normal * (self.domain.n_wordlines - 1)
+            * nv.t_store
+        )
+        overhead = store + nv.e_restore
+        dead = (0.0 if self.store_free else
+                self.domain.store_phase_duration(nv.t_store)) + nv.t_restore
+        if duration <= dead:
+            return nv.p_sleep * duration * self._cells()
+        off = duration - dead
+        return (overhead + nv.p_shutdown * off) * self._cells()
+
+    def epoch_energy(self, active: float, idle: float) -> float:
+        """Whole level over one (active, idle) epoch with BET gating."""
+        n_active = max(1, round(self.active_fraction * self.num_domains))
+        n_quiet = self.num_domains - n_active
+        bet = self.bet()
+        energy = n_active * self.active_epoch_energy(active)
+        # Quiet domains sleep through the active phase...
+        energy += n_quiet * self.idle_epoch_energy(active,
+                                                   gate=active > bet)
+        # ... and the whole level rides out the idle phase.
+        energy += self.num_domains * self.idle_epoch_energy(
+            idle, gate=idle > bet
+        )
+        return energy
+
+
+@dataclass
+class LevelReport:
+    """Per-level outcome of a workload evaluation."""
+
+    name: str
+    capacity_bytes: float
+    bet: float
+    energy: float
+    energy_never_gate: float
+
+    @property
+    def savings(self) -> float:
+        if self.energy_never_gate <= 0:
+            return 0.0
+        return 1.0 - self.energy / self.energy_never_gate
+
+
+@dataclass
+class SystemModel:
+    """A hierarchy of cache levels evaluated over epoch workloads."""
+
+    levels: List[CacheLevel]
+
+    def __post_init__(self):
+        if not self.levels:
+            raise SequenceError("SystemModel needs at least one level")
+        names = [lvl.name for lvl in self.levels]
+        if len(set(names)) != len(names):
+            raise SequenceError("duplicate level names")
+
+    def evaluate(self, epochs: Sequence[Tuple[float, float]]
+                 ) -> List[LevelReport]:
+        """Run the workload and report per-level energy and savings.
+
+        ``epochs`` is a sequence of (active_duration, idle_duration)
+        pairs in seconds.
+        """
+        if not epochs:
+            raise SequenceError("workload needs at least one epoch")
+        reports = []
+        for level in self.levels:
+            gated = sum(level.epoch_energy(a, i) for a, i in epochs)
+            never = sum(
+                level.active_epoch_energy(a) * max(
+                    1, round(level.active_fraction * level.num_domains))
+                + level.idle_epoch_energy(a, gate=False)
+                * (level.num_domains - max(
+                    1, round(level.active_fraction * level.num_domains)))
+                + level.idle_epoch_energy(i, gate=False)
+                * level.num_domains
+                for a, i in epochs
+            )
+            reports.append(LevelReport(
+                name=level.name,
+                capacity_bytes=level.capacity_bytes,
+                bet=level.bet(),
+                energy=gated,
+                energy_never_gate=never,
+            ))
+        return reports
+
+    def total_savings(self, epochs: Sequence[Tuple[float, float]]) -> float:
+        """System-wide fractional saving of BET gating vs never gating."""
+        reports = self.evaluate(epochs)
+        gated = sum(r.energy for r in reports)
+        never = sum(r.energy_never_gate for r in reports)
+        if never <= 0:
+            return 0.0
+        return 1.0 - gated / never

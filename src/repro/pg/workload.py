@@ -1,0 +1,191 @@
+"""Workload modelling: from access traces to power-gating inputs.
+
+The energy/policy models consume abstract quantities — idle intervals,
+(active, idle) epochs, accesses per activation.  Real evaluations start
+from an *access trace*.  This module bridges the two:
+
+* :func:`epochs_from_access_times` — burst detection: merge accesses
+  separated by less than a threshold into active epochs and report the
+  idle gaps between them (the direct input to
+  :class:`repro.pg.hierarchy.SystemModel` and the BET-gating policies);
+* trace generators for the usual suspects — periodic duty cycles,
+  Poisson bursts, and a Zipf-distributed address stream mapped onto
+  power domains (locality: a few domains take most accesses, the rest
+  idle long enough to gate — the paper's fine-grained-management
+  scenario).
+
+All generators take an explicit ``numpy`` random generator so results
+are reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import SequenceError
+
+
+@dataclass(frozen=True)
+class Epoch:
+    """One active burst followed by its idle gap."""
+
+    start: float
+    active: float
+    idle: float
+    accesses: int
+
+    @property
+    def end(self) -> float:
+        return self.start + self.active + self.idle
+
+
+def epochs_from_access_times(
+    times: Sequence[float],
+    merge_gap: float,
+    access_duration: float = 0.0,
+    tail_idle: float = 0.0,
+) -> List[Epoch]:
+    """Group an access-time series into (active, idle) epochs.
+
+    Accesses closer than ``merge_gap`` belong to the same burst; the
+    burst's active span runs from its first access to its last (plus one
+    ``access_duration``), and the idle gap extends to the next burst
+    (``tail_idle`` after the final one).
+
+    Raises on unsorted input — silent re-sorting would hide trace bugs.
+    """
+    if merge_gap <= 0:
+        raise SequenceError("merge_gap must be positive")
+    ts = list(times)
+    if not ts:
+        return []
+    if any(b < a for a, b in zip(ts, ts[1:])):
+        raise SequenceError("access times must be sorted")
+
+    bursts: List[Tuple[float, float, int]] = []   # (start, end, count)
+    start = ts[0]
+    prev = ts[0]
+    count = 1
+    for t in ts[1:]:
+        if t - prev <= merge_gap:
+            prev = t
+            count += 1
+        else:
+            bursts.append((start, prev + access_duration, count))
+            start = prev = t
+            count = 1
+    bursts.append((start, prev + access_duration, count))
+
+    epochs = []
+    for i, (b_start, b_end, n) in enumerate(bursts):
+        if i + 1 < len(bursts):
+            idle = bursts[i + 1][0] - b_end
+        else:
+            idle = tail_idle
+        epochs.append(Epoch(
+            start=b_start,
+            active=max(b_end - b_start, access_duration),
+            idle=max(idle, 0.0),
+            accesses=n,
+        ))
+    return epochs
+
+
+def epoch_pairs(epochs: Sequence[Epoch]) -> List[Tuple[float, float]]:
+    """The (active, idle) tuples the hierarchy/policy models take."""
+    return [(e.active, e.idle) for e in epochs]
+
+
+# ---------------------------------------------------------------------------
+# trace generators
+# ---------------------------------------------------------------------------
+
+def periodic_trace(period: float, duty: float, total: float,
+                   access_interval: float) -> List[float]:
+    """Accesses every ``access_interval`` during the on-phase of a fixed
+    duty cycle (the classic always-on-vs-gated textbook workload)."""
+    if not (0.0 < duty < 1.0):
+        raise SequenceError("duty must be in (0, 1)")
+    if period <= 0 or total <= 0 or access_interval <= 0:
+        raise SequenceError("durations must be positive")
+    times: List[float] = []
+    t = 0.0
+    while t < total:
+        burst_end = min(t + duty * period, total)
+        times.extend(np.arange(t, burst_end, access_interval))
+        t += period
+    return times
+
+
+def poisson_burst_trace(rng: np.random.Generator,
+                        burst_rate: float,
+                        accesses_per_burst: int,
+                        access_interval: float,
+                        total: float) -> List[float]:
+    """Bursts arriving as a Poisson process, each a dense access run."""
+    if burst_rate <= 0 or accesses_per_burst < 1:
+        raise SequenceError("burst_rate and accesses_per_burst must be "
+                            "positive")
+    times: List[float] = []
+    t = float(rng.exponential(1.0 / burst_rate))
+    while t < total:
+        burst = t + np.arange(accesses_per_burst) * access_interval
+        times.extend(burst[burst < total])
+        t += float(rng.exponential(1.0 / burst_rate))
+    return sorted(times)
+
+
+@dataclass
+class DomainTrace:
+    """Per-domain view of a shared address stream."""
+
+    domain_accesses: Dict[int, List[float]] = field(default_factory=dict)
+
+    def access_counts(self) -> Dict[int, int]:
+        return {d: len(ts) for d, ts in self.domain_accesses.items()}
+
+    def epochs(self, domain: int, merge_gap: float,
+               **kwargs) -> List[Epoch]:
+        return epochs_from_access_times(
+            self.domain_accesses.get(domain, []), merge_gap, **kwargs
+        )
+
+    def coverage(self, num_domains: int, top: int) -> float:
+        """Fraction of all accesses landing in the ``top`` hottest
+        domains (the locality the paper's store-free argument needs)."""
+        counts = sorted(self.access_counts().values(), reverse=True)
+        total = sum(counts)
+        if total == 0:
+            return 0.0
+        return sum(counts[:top]) / total
+
+
+def zipf_domain_trace(rng: np.random.Generator,
+                      num_domains: int,
+                      num_accesses: int,
+                      mean_interval: float,
+                      alpha: float = 1.2) -> DomainTrace:
+    """A Zipf-popular address stream spread over ``num_domains`` domains.
+
+    Inter-access times are exponential with ``mean_interval``; each
+    access lands in a domain drawn from a Zipf(alpha) popularity law.
+    """
+    if num_domains < 1 or num_accesses < 1:
+        raise SequenceError("need at least one domain and one access")
+    if alpha <= 1.0:
+        raise SequenceError("alpha must exceed 1 for a proper Zipf law")
+    ranks = np.arange(1, num_domains + 1, dtype=float)
+    probs = ranks ** -alpha
+    probs /= probs.sum()
+
+    gaps = rng.exponential(mean_interval, size=num_accesses)
+    times = np.cumsum(gaps)
+    domains = rng.choice(num_domains, size=num_accesses, p=probs)
+
+    trace = DomainTrace()
+    for t, d in zip(times, domains):
+        trace.domain_accesses.setdefault(int(d), []).append(float(t))
+    return trace

@@ -1,0 +1,103 @@
+"""Execute the analysis cards of a parsed SPICE deck."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+from ..errors import AnalysisError
+from ..analysis import dc_sweep, operating_point, transient
+from ..analysis.results import Solution, TransientResult
+from ..analysis.sweep import SweepResult
+from ..analysis.transient import TransientOptions
+from .parser import DcCard, MeasureCard, OpCard, ParsedDeck, TranCard
+
+AnalysisResult = Union[Solution, TransientResult, SweepResult]
+
+
+@dataclass
+class DeckResults:
+    """Results of every analysis card, in deck order."""
+
+    deck: ParsedDeck
+    results: List[AnalysisResult] = field(default_factory=list)
+    measurements: "dict[str, Optional[float]]" = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __getitem__(self, index: int) -> AnalysisResult:
+        return self.results[index]
+
+    def transients(self) -> List[TransientResult]:
+        return [r for r in self.results if isinstance(r, TransientResult)]
+
+    def operating_points(self) -> List[Solution]:
+        return [r for r in self.results if isinstance(r, Solution)]
+
+    def sweeps(self) -> List[SweepResult]:
+        return [r for r in self.results if isinstance(r, SweepResult)]
+
+
+def run_deck(deck: ParsedDeck,
+             transient_options: Optional[TransientOptions] = None,
+             ) -> DeckResults:
+    """Run each ``.OP`` / ``.DC`` / ``.TRAN`` card of ``deck``.
+
+    ``.IC`` entries apply to every analysis; a ``.TRAN`` card's optional
+    step hint is translated into the integrator's initial step.
+    """
+    if not deck.analyses:
+        raise AnalysisError("deck has no analysis cards (.op/.dc/.tran)")
+    out = DeckResults(deck=deck)
+    ic = deck.ic or None
+    for card in deck.analyses:
+        if isinstance(card, OpCard):
+            out.results.append(operating_point(deck.circuit, ic=ic))
+        elif isinstance(card, DcCard):
+            out.results.append(
+                dc_sweep(deck.circuit, card.source, card.values(), ic=ic)
+            )
+        elif isinstance(card, TranCard):
+            options = transient_options
+            if options is None and card.t_step is not None:
+                options = TransientOptions(dt_initial=card.t_step)
+            out.results.append(
+                transient(deck.circuit, card.t_stop, ic=ic,
+                          options=options)
+            )
+        else:  # pragma: no cover - parser emits only the above
+            raise AnalysisError(f"unknown analysis card: {card!r}")
+    if deck.measures:
+        transients = out.transients()
+        if not transients:
+            raise AnalysisError(".measure cards need a .tran analysis")
+        out.measurements = {
+            card.name: _evaluate_measure(card, transients[-1])
+            for card in deck.measures
+        }
+    return out
+
+
+def _evaluate_measure(card: MeasureCard, result) -> Optional[float]:
+    """Evaluate one .MEASURE card against a transient result."""
+    import numpy as np
+
+    if card.kind == "when":
+        return result.crossing_time(card.node, card.target,
+                                    direction=card.direction)
+    wave = result.voltage(card.node)
+    if card.kind == "max":
+        return float(np.max(wave))
+    if card.kind == "min":
+        return float(np.min(wave))
+    if card.kind == "pp":
+        return float(np.max(wave) - np.min(wave))
+    if card.kind == "avg":
+        span = float(result.time[-1] - result.time[0])
+        if span <= 0:
+            return float(wave[0])
+        return float(np.trapezoid(wave, result.time) / span)
+    if card.kind == "integ":
+        return float(np.trapezoid(wave, result.time))
+    raise AnalysisError(f"unknown .measure kind: {card.kind}")

@@ -1,0 +1,138 @@
+"""Tests for the AC small-signal analysis."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.analysis.ac import ac_analysis
+from repro.circuit import Capacitor, Circuit, Resistor, VoltageSource
+from repro.devices import FinFET, NFET_20NM_HP, PFET_20NM_HP
+
+FREQS = np.logspace(5, 10, 101)
+
+
+def _rc(r=1e3, cap=1e-12):
+    c = Circuit("rc")
+    c.add(VoltageSource("v", "in", "0", dc=0.0, ac=1.0))
+    c.add(Resistor("r", "in", "out", r))
+    c.add(Capacitor("c", "out", "0", cap))
+    return c
+
+
+class TestRcLowPass:
+    def test_transfer_function(self):
+        r, cap = 1e3, 1e-12
+        res = ac_analysis(_rc(r, cap), FREQS)
+        w = 2 * np.pi * FREQS
+        expected = 1.0 / np.sqrt(1.0 + (w * r * cap) ** 2)
+        np.testing.assert_allclose(res.magnitude("out"), expected,
+                                   rtol=1e-6)
+
+    def test_phase(self):
+        r, cap = 1e3, 1e-12
+        res = ac_analysis(_rc(r, cap), FREQS)
+        f_pole = 1 / (2 * np.pi * r * cap)
+        phase_at_pole = np.interp(f_pole, FREQS, res.phase_deg("out"))
+        assert phase_at_pole == pytest.approx(-45.0, abs=1.5)
+
+    def test_corner_frequency(self):
+        r, cap = 2e3, 0.5e-12
+        res = ac_analysis(_rc(r, cap), FREQS)
+        f3db = res.corner_frequency("out")
+        assert f3db == pytest.approx(1 / (2 * np.pi * r * cap), rel=0.03)
+
+    def test_input_node_flat(self):
+        res = ac_analysis(_rc(), FREQS)
+        np.testing.assert_allclose(res.magnitude("in"), 1.0, rtol=1e-9)
+
+    def test_magnitude_db(self):
+        res = ac_analysis(_rc(), FREQS)
+        db = res.magnitude_db("out")
+        assert db[0] == pytest.approx(0.0, abs=0.01)
+        assert db[-1] < -20.0
+
+    def test_no_corner_for_flat_response(self):
+        c = Circuit("divider")
+        c.add(VoltageSource("v", "in", "0", ac=1.0))
+        c.add(Resistor("r1", "in", "out", 1e3))
+        c.add(Resistor("r2", "out", "0", 1e3))
+        res = ac_analysis(c, FREQS)
+        assert res.corner_frequency("out") is None
+        np.testing.assert_allclose(res.magnitude("out"), 0.5, rtol=1e-9)
+
+
+class TestValidation:
+    def test_needs_stimulus(self):
+        c = Circuit("quiet")
+        c.add(VoltageSource("v", "in", "0", dc=1.0))
+        c.add(Resistor("r", "in", "0", 1e3))
+        with pytest.raises(AnalysisError, match="stimulus"):
+            ac_analysis(c, [1e6])
+
+    def test_needs_positive_frequencies(self):
+        with pytest.raises(AnalysisError):
+            ac_analysis(_rc(), [0.0, 1e6])
+        with pytest.raises(AnalysisError):
+            ac_analysis(_rc(), [])
+
+
+class TestLinearisedDevices:
+    def _common_source(self):
+        """N-FinFET common-source stage with a resistive load."""
+        c = Circuit("cs-amp")
+        c.add(VoltageSource("vdd", "vdd", "0", dc=0.9))
+        c.add(VoltageSource("vin", "in", "0", dc=0.45, ac=1.0))
+        c.add(Resistor("rl", "vdd", "out", 20e3))
+        c.add(FinFET("m1", "out", "in", "0", NFET_20NM_HP))
+        c.add(Capacitor("cl", "out", "0", 1e-15))
+        return c
+
+    def test_common_source_gain_matches_gm(self):
+        c = self._common_source()
+        res = ac_analysis(c, [1e5])   # well below the output pole
+        # Expected |gain| = gm * (RL || ro) from the device Jacobian.
+        m1 = c["m1"]
+        vd = res.op.voltage("out")
+        _, g_d, g_m, _ = m1._evaluate(vd, 0.45, 0.0)
+        r_out = 1.0 / (1.0 / 20e3 + g_d)
+        expected = g_m * r_out
+        assert res.magnitude("out")[0] == pytest.approx(expected,
+                                                        rel=1e-3)
+
+    def test_amplifier_rolls_off(self):
+        """A heavy 100 fF load puts the output pole near 100 MHz."""
+        c = self._common_source()
+        c.remove("cl")
+        c.add(Capacitor("cl", "out", "0", 100e-15))
+        res = ac_analysis(c, FREQS)
+        assert res.magnitude("out")[-1] < res.magnitude("out")[0] / 10
+        f3db = res.corner_frequency("out")
+        assert f3db is not None
+        assert 5e7 < f3db < 5e8
+
+    def test_inverter_gain_at_trip_point(self):
+        """Cross-coupled regeneration needs loop gain > 1: each inverter
+        must amplify at its switching threshold."""
+        c = Circuit("inv")
+        c.add(VoltageSource("vdd", "vdd", "0", dc=0.9))
+        c.add(VoltageSource("vin", "in", "0", dc=0.40, ac=1.0))
+        c.add(FinFET("pu", "out", "in", "vdd", PFET_20NM_HP))
+        c.add(FinFET("pd", "out", "in", "0", NFET_20NM_HP))
+        c.add(Capacitor("cl", "out", "0", 1e-15))
+        res = ac_analysis(c, [1e5])
+        assert res.magnitude("out")[0] > 3.0
+
+    def test_bitline_time_constant(self):
+        """The precharge-device + bitline-cap pole sets read timing."""
+        from repro.cells.array import PowerDomain
+
+        c = Circuit("bitline")
+        c.add(VoltageSource("v", "drv", "0", dc=0.9, ac=1.0))
+        r_prech = 4e3
+        c_bl = PowerDomain(512, 32).bitline_capacitance
+        c.add(Resistor("rp", "drv", "bl", r_prech))
+        c.add(Capacitor("cb", "bl", "0", c_bl))
+        res = ac_analysis(c, np.logspace(5, 11, 121))
+        f3db = res.corner_frequency("bl")
+        assert f3db == pytest.approx(1 / (2 * np.pi * r_prech * c_bl),
+                                     rel=0.05)

@@ -1,0 +1,86 @@
+"""Tests for the DC operating-point analysis (homotopy, basin selection)."""
+
+import pytest
+
+from repro.analysis import operating_point
+from repro.analysis.dc import OperatingPointOptions
+from repro.circuit import Circuit, Resistor, Step, VoltageSource
+from repro.devices import FinFET, NFET_20NM_HP, PFET_20NM_HP
+
+
+def _latch(vdd=0.9):
+    """Cross-coupled inverter pair — a bistable circuit."""
+    c = Circuit("latch")
+    c.add(VoltageSource("vdd", "vdd", "0", dc=vdd))
+    c.add(FinFET("pu1", "q", "qb", "vdd", PFET_20NM_HP))
+    c.add(FinFET("pd1", "q", "qb", "0", NFET_20NM_HP))
+    c.add(FinFET("pu2", "qb", "q", "vdd", PFET_20NM_HP))
+    c.add(FinFET("pd2", "qb", "q", "0", NFET_20NM_HP))
+    return c
+
+
+class TestOperatingPoint:
+    def test_time_evaluates_waveforms(self):
+        c = Circuit()
+        c.add(VoltageSource("v", "a", "0",
+                            waveform=Step(0.0, 1.0, 1e-9, 1e-12)))
+        c.add(Resistor("r", "a", "0", 100))
+        sol0 = operating_point(c, time=0.0)
+        sol1 = operating_point(c, time=5e-9)
+        assert sol0.voltage("a") == pytest.approx(0.0, abs=1e-9)
+        assert sol1.voltage("a") == pytest.approx(1.0, rel=1e-6)
+
+    def test_warm_start(self):
+        c = Circuit()
+        c.add(VoltageSource("v", "a", "0", dc=1.0))
+        c.add(Resistor("r", "a", "0", 100))
+        first = operating_point(c)
+        second = operating_point(c, x0=first.x)
+        assert second.voltage("a") == pytest.approx(1.0, rel=1e-9)
+
+
+class TestBasinSelection:
+    def test_latch_follows_ic_high(self):
+        c = _latch()
+        sol = operating_point(c, ic={"q": 0.9, "qb": 0.0})
+        assert sol.voltage("q") > 0.85
+        assert sol.voltage("qb") < 0.05
+
+    def test_latch_follows_ic_low(self):
+        c = _latch()
+        sol = operating_point(c, ic={"q": 0.0, "qb": 0.9})
+        assert sol.voltage("q") < 0.05
+        assert sol.voltage("qb") > 0.85
+
+    def test_clamps_released_solution_is_true_op(self):
+        """After release, the solution satisfies the unclamped KCL: the
+        latch outputs are complementary rails, not the clamp targets."""
+        c = _latch()
+        sol = operating_point(c, ic={"q": 0.7, "qb": 0.1})
+        # 0.7 is not a stable level; the latch must regenerate to ~VDD.
+        assert sol.voltage("q") > 0.85
+
+    def test_ic_on_unknown_node_rejected(self):
+        from repro.errors import NetlistError
+
+        c = _latch()
+        with pytest.raises(NetlistError):
+            operating_point(c, ic={"nonexistent": 1.0})
+
+
+class TestHomotopyFallbacks:
+    def test_gmin_ladder_options_used(self):
+        """A solve with very tight Newton budget still succeeds through
+        the gmin ladder."""
+        c = _latch()
+        opts = OperatingPointOptions()
+        opts.newton.max_iterations = 150
+        sol = operating_point(c, ic={"q": 0.9, "qb": 0.0}, options=opts)
+        assert sol.voltage("q") > 0.85
+
+    def test_fets_off_everything_floats_to_defined_state(self):
+        """With the supply at 0 every node must solve to ~0 (gmin)."""
+        c = _latch(vdd=0.0)
+        sol = operating_point(c)
+        assert abs(sol.voltage("q")) < 1e-3
+        assert abs(sol.voltage("qb")) < 1e-3

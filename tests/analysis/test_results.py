@@ -1,0 +1,145 @@
+"""Tests for Solution / TransientResult containers and measurements."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.analysis import operating_point, transient
+from repro.analysis.results import TransientResult, _windowed_trapezoid
+from repro.circuit import (
+    Capacitor,
+    Circuit,
+    Pulse,
+    Resistor,
+    Step,
+    VoltageSource,
+)
+
+
+@pytest.fixture()
+def rc_result():
+    c = Circuit()
+    c.add(VoltageSource("v", "in", "0",
+                        waveform=Step(0.0, 1.0, 1e-9, 1e-12)))
+    c.add(Resistor("r", "in", "out", 1e3))
+    c.add(Capacitor("c", "out", "0", 1e-12))
+    return transient(c, 6e-9)
+
+
+class TestSolution:
+    def test_voltages_dict(self):
+        c = Circuit()
+        c.add(VoltageSource("v", "a", "0", dc=1.0))
+        c.add(Resistor("r", "a", "0", 100))
+        sol = operating_point(c)
+        volts = sol.voltages()
+        assert volts == {"a": pytest.approx(1.0)}
+
+    def test_repr(self):
+        c = Circuit()
+        c.add(VoltageSource("v", "a", "0", dc=1.0))
+        c.add(Resistor("r", "a", "0", 100))
+        sol = operating_point(c)
+        assert "Solution" in repr(sol)
+
+
+class TestTransientAccessors:
+    def test_voltage_and_differential(self, rc_result):
+        v_in = rc_result.voltage("in")
+        v_out = rc_result.voltage("out")
+        diff = rc_result.differential("in", "out")
+        np.testing.assert_allclose(diff, v_in - v_out)
+
+    def test_ground_voltage_is_zero(self, rc_result):
+        np.testing.assert_array_equal(rc_result.voltage("0"), 0.0)
+
+    def test_sample_interpolates(self, rc_result):
+        mid = rc_result.sample("in", 0.5e-9)
+        assert mid == pytest.approx(0.0, abs=1e-9)
+
+    def test_solution_at_index_and_final(self, rc_result):
+        final = rc_result.final_solution()
+        assert final.time == rc_result.time[-1]
+        first = rc_result.solution_at_index(0)
+        assert first.time == rc_result.time[0]
+
+    def test_crossing_time_rise(self, rc_result):
+        t = rc_result.crossing_time("out", 0.5, "rise")
+        # V(out) = 1 - exp(-(t - 1ns)/1ns) crosses 0.5 at 1ns + ln2.
+        assert t == pytest.approx(1e-9 + np.log(2) * 1e-9, rel=2e-2)
+
+    def test_crossing_time_fall_none(self, rc_result):
+        assert rc_result.crossing_time("out", 0.5, "fall") is None
+
+    def test_crossing_after(self, rc_result):
+        t = rc_result.crossing_time("out", 0.5, "rise", after=3e-9)
+        assert t is None  # already above threshold by then
+
+    def test_peak(self, rc_result):
+        assert rc_result.peak("in") == pytest.approx(1.0, rel=1e-6)
+        with pytest.raises(AnalysisError):
+            rc_result.peak("in", t0=10e-9, t1=20e-9)
+
+    def test_length_mismatch_rejected(self, rc_result):
+        with pytest.raises(AnalysisError):
+            TransientResult(rc_result.circuit, rc_result.time,
+                            rc_result.states[:-1])
+
+
+class TestEnergyIntegration:
+    def test_full_window_default(self, rc_result):
+        total = rc_result.energy(["v"])
+        windowed = rc_result.energy(["v"], 0.0, float(rc_result.time[-1]))
+        assert total == pytest.approx(windowed)
+
+    def test_energy_additivity(self, rc_result):
+        t_mid = 3e-9
+        t_end = float(rc_result.time[-1])
+        e1 = rc_result.energy(["v"], 0.0, t_mid)
+        e2 = rc_result.energy(["v"], t_mid, t_end)
+        assert e1 + e2 == pytest.approx(rc_result.energy(["v"]), rel=1e-9)
+
+    def test_empty_window_zero(self, rc_result):
+        assert rc_result.energy(["v"], 2e-9, 2e-9) == 0.0
+        assert rc_result.energy(["v"], 3e-9, 2e-9) == 0.0
+
+    def test_cv2_charging_energy(self, rc_result):
+        # The source delivers C*V^2 to charge an RC to V.
+        assert rc_result.energy(["v"]) == pytest.approx(1e-12, rel=2e-2)
+
+    def test_average_power(self, rc_result):
+        t_end = float(rc_result.time[-1])
+        p = rc_result.average_power(["v"], 0.0, t_end)
+        assert p == pytest.approx(rc_result.energy(["v"]) / t_end, rel=1e-12)
+        with pytest.raises(AnalysisError):
+            rc_result.average_power(["v"], 1e-9, 1e-9)
+
+
+class TestWindowedTrapezoid:
+    def test_constant_function(self):
+        t = np.linspace(0, 1, 11)
+        v = np.full(11, 2.0)
+        assert _windowed_trapezoid(t, v, 0.25, 0.75) == pytest.approx(1.0)
+
+    def test_partial_segments_interpolated(self):
+        t = np.array([0.0, 1.0])
+        v = np.array([0.0, 1.0])
+        # Integral of f(t)=t over [0.5, 1] = 0.375.
+        assert _windowed_trapezoid(t, v, 0.5, 1.0) == pytest.approx(0.375)
+
+    def test_clamps_to_record(self):
+        t = np.array([0.0, 1.0])
+        v = np.array([1.0, 1.0])
+        assert _windowed_trapezoid(t, v, -5.0, 5.0) == pytest.approx(1.0)
+
+
+class TestEvents:
+    def test_events_matching(self):
+        c = Circuit()
+        c.add(VoltageSource("v", "a", "0", dc=1.0))
+        c.add(Resistor("r", "a", "0", 100))
+        res = transient(c, 1e-9)
+        res.events.append((1e-10, "cell.mtjq", "P->AP"))
+        res.events.append((2e-10, "cell.mtjqb", "AP->P"))
+        assert len(res.events_matching("mtjq")) == 2  # substring match
+        assert len(res.events_matching("P->AP")) == 1

@@ -1,0 +1,89 @@
+"""Tests for DC sweeps with warm-started continuation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.analysis import dc_sweep, operating_point
+from repro.circuit import Circuit, Resistor, VoltageSource
+from repro.devices import FinFET, NFET_20NM_HP, PFET_20NM_HP
+
+
+def _inverter():
+    c = Circuit()
+    c.add(VoltageSource("vdd", "vdd", "0", dc=0.9))
+    c.add(VoltageSource("vin", "in", "0", dc=0.0))
+    c.add(FinFET("pu", "out", "in", "vdd", PFET_20NM_HP))
+    c.add(FinFET("pd", "out", "in", "0", NFET_20NM_HP))
+    return c
+
+
+class TestDcSweep:
+    def test_divider_sweep_linear(self):
+        c = Circuit()
+        c.add(VoltageSource("v", "a", "0", dc=0.0))
+        c.add(Resistor("r1", "a", "m", 1000))
+        c.add(Resistor("r2", "m", "0", 1000))
+        res = dc_sweep(c, "v", [0.0, 0.5, 1.0, 2.0])
+        np.testing.assert_allclose(res.voltage("m"),
+                                   [0.0, 0.25, 0.5, 1.0], atol=1e-8)
+
+    def test_inverter_vtc_monotone_falling(self):
+        c = _inverter()
+        res = dc_sweep(c, "vin", np.linspace(0.0, 0.9, 31))
+        vtc = res.voltage("out")
+        assert vtc[0] > 0.85
+        assert vtc[-1] < 0.05
+        assert np.all(np.diff(vtc) <= 1e-9)
+
+    def test_source_state_restored_after_sweep(self):
+        c = _inverter()
+        original = c["vin"].dc
+        dc_sweep(c, "vin", [0.0, 0.9])
+        assert c["vin"].dc == original
+
+    def test_measure_callback(self):
+        c = _inverter()
+        res = dc_sweep(c, "vin", [0.0, 0.9])
+        currents = res.measure(lambda sol: sol.branch_current("vdd"))
+        assert len(currents) == 2
+
+    def test_branch_current_accessor(self):
+        c = Circuit()
+        c.add(VoltageSource("v", "a", "0", dc=0.0))
+        c.add(Resistor("r", "a", "0", 100))
+        res = dc_sweep(c, "v", [1.0, 2.0])
+        np.testing.assert_allclose(res.branch_current("v"),
+                                   [-0.01, -0.02], rtol=1e-6)
+
+    def test_empty_values_rejected(self):
+        c = _inverter()
+        with pytest.raises(AnalysisError):
+            dc_sweep(c, "vin", [])
+
+    def test_non_source_rejected(self):
+        c = _inverter()
+        with pytest.raises(AnalysisError):
+            dc_sweep(c, "pu", [0.0])
+
+    def test_len(self):
+        c = _inverter()
+        assert len(dc_sweep(c, "vin", [0.0, 0.45, 0.9])) == 3
+
+
+class TestWarmStartBasin:
+    def test_bistable_stays_on_branch(self):
+        """Sweeping a latch supply up and down keeps the selected state."""
+        c = Circuit()
+        c.add(VoltageSource("vdd", "vdd", "0", dc=0.9))
+        c.add(FinFET("pu1", "q", "qb", "vdd", PFET_20NM_HP))
+        c.add(FinFET("pd1", "q", "qb", "0", NFET_20NM_HP))
+        c.add(FinFET("pu2", "qb", "q", "vdd", PFET_20NM_HP))
+        c.add(FinFET("pd2", "qb", "q", "0", NFET_20NM_HP))
+        values = np.linspace(0.9, 0.5, 9)
+        res = dc_sweep(c, "vdd", values, ic={"q": 0.9, "qb": 0.0})
+        q = res.voltage("q")
+        qb = res.voltage("qb")
+        # Q tracks the (lowered) rail, QB stays low: state retained.
+        np.testing.assert_allclose(q, values, atol=0.05)
+        assert np.all(qb < 0.05)

@@ -1,0 +1,140 @@
+"""Tests for the adaptive transient integrator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TimestepError
+from repro.analysis import transient
+from repro.analysis.transient import TransientOptions, _collect_breakpoints
+from repro.circuit import (
+    Capacitor,
+    Circuit,
+    Pulse,
+    Resistor,
+    Step,
+    VoltageSource,
+)
+
+
+def _rc(waveform, r=1e3, cap=1e-12):
+    c = Circuit()
+    c.add(VoltageSource("v", "in", "0", waveform=waveform))
+    c.add(Resistor("r", "in", "out", r))
+    c.add(Capacitor("c", "out", "0", cap))
+    return c
+
+
+class TestBasics:
+    def test_bad_span_rejected(self):
+        c = _rc(Step(0, 1, 0, 1e-12))
+        with pytest.raises(TimestepError):
+            transient(c, 0.0)
+        with pytest.raises(TimestepError):
+            transient(c, 1e-9, t_start=2e-9)
+
+    def test_result_shape(self):
+        c = _rc(Step(0, 1, 1e-9, 1e-12))
+        res = transient(c, 5e-9)
+        assert res.time[0] == 0.0
+        assert res.time[-1] == pytest.approx(5e-9, rel=1e-9)
+        assert np.all(np.diff(res.time) > 0)
+        assert res.states.shape == (len(res.time), c.size)
+
+    def test_starts_from_operating_point(self):
+        c = _rc(Step(0.5, 1.0, 2e-9, 1e-12))
+        res = transient(c, 1e-9)
+        # Before the step the cap sits at the DC solution (0.5 V).
+        assert res.voltage("out")[0] == pytest.approx(0.5, rel=1e-3)
+
+    def test_ic_respected(self):
+        c = _rc(Step(0.0, 0.0, 1e-9, 1e-12))
+        res = transient(c, 3e-9, ic={"out": 0.8})
+        # No drive: the cap discharges from the IC through R.
+        assert res.voltage("out")[0] == pytest.approx(0.8, rel=1e-2)
+        assert res.voltage("out")[-1] < 0.15
+
+    def test_stats_recorded(self):
+        c = _rc(Step(0, 1, 1e-9, 1e-12))
+        res = transient(c, 5e-9)
+        assert res.stats["accepted_steps"] == len(res.time) - 1
+
+
+class TestAccuracy:
+    def test_rc_step_response(self):
+        tau = 1e-9
+        c = _rc(Step(0, 1, 0, 1e-13), r=1e3, cap=1e-12)
+        res = transient(c, 6 * tau)
+        for t in (0.5e-9, 1e-9, 3e-9):
+            assert res.sample("out", t) == pytest.approx(
+                1 - np.exp(-t / tau), rel=8e-3
+            )
+
+    def test_periodic_pulse_train(self):
+        wave = Pulse(0, 1, delay=0.0, rise=50e-12, fall=50e-12,
+                     width=400e-12, period=1e-9)
+        c = _rc(wave, r=100, cap=1e-13)   # tau = 10 ps, follows the pulse
+        res = transient(c, 4e-9)
+        assert res.sample("out", 0.25e-9) == pytest.approx(1.0, abs=2e-2)
+        assert res.sample("out", 0.9e-9) == pytest.approx(0.0, abs=2e-2)
+        assert res.sample("out", 2.25e-9) == pytest.approx(1.0, abs=2e-2)
+
+    def test_tight_tolerance_improves_accuracy(self):
+        tau = 1e-9
+        c = _rc(Step(0, 1, 0, 1e-13))
+        loose = transient(c, 3 * tau,
+                          options=TransientOptions(lte_reltol=3e-2))
+        c2 = _rc(Step(0, 1, 0, 1e-13))
+        tight = transient(c2, 3 * tau,
+                          options=TransientOptions(lte_reltol=1e-4))
+        exact = 1 - np.exp(-2.0)
+        err_loose = abs(loose.sample("out", 2e-9) - exact)
+        err_tight = abs(tight.sample("out", 2e-9) - exact)
+        # Both land inside their tolerance class; the tight run is
+        # accurate in absolute terms and uses more steps.
+        assert err_tight < 1e-3
+        assert err_loose < 5e-2
+        assert len(tight.time) > len(loose.time)
+
+    def test_breakpoints_not_skipped(self):
+        """A 10 ps glitch deep inside a long quiet span is still seen."""
+        wave = Pulse(0, 1, delay=50e-9, rise=1e-12, fall=1e-12,
+                     width=10e-12)
+        c = _rc(wave, r=10, cap=1e-14)   # fast RC follows the glitch
+        res = transient(c, 100e-9)
+        peak = np.max(res.voltage("out"))
+        assert peak > 0.9
+
+
+class TestBreakpointCollection:
+    def test_collects_and_sorts(self):
+        c = Circuit()
+        c.add(VoltageSource("v1", "a", "0",
+                            waveform=Step(0, 1, 3e-9, 1e-12)))
+        c.add(VoltageSource("v2", "b", "0",
+                            waveform=Step(0, 1, 1e-9, 1e-12)))
+        c.add(Resistor("r1", "a", "0", 100))
+        c.add(Resistor("r2", "b", "0", 100))
+        bps = _collect_breakpoints(c, 0.0, 10e-9)
+        assert bps == sorted(bps)
+        assert 1e-9 in bps and 3e-9 in bps
+
+    def test_excludes_start(self):
+        c = Circuit()
+        c.add(VoltageSource("v", "a", "0", waveform=Step(0, 1, 0.0, 1e-12)))
+        c.add(Resistor("r", "a", "0", 100))
+        bps = _collect_breakpoints(c, 0.0, 1e-9)
+        assert 0.0 not in bps
+
+
+class TestStepControl:
+    def test_max_steps_guard(self):
+        c = _rc(Step(0, 1, 0, 1e-13))
+        with pytest.raises(TimestepError):
+            transient(c, 10e-9,
+                      options=TransientOptions(max_steps=3))
+
+    def test_dt_max_respected(self):
+        c = _rc(Step(0, 1, 0, 1e-13))
+        res = transient(c, 10e-9,
+                        options=TransientOptions(dt_max=0.2e-9))
+        assert np.max(np.diff(res.time)) <= 0.2e-9 * (1 + 1e-9)

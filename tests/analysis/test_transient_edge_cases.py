@@ -1,0 +1,125 @@
+"""Edge-case tests for the transient integrator."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import transient
+from repro.analysis.transient import TransientOptions
+from repro.circuit import (
+    Capacitor,
+    Circuit,
+    Pulse,
+    Resistor,
+    Step,
+    VoltageSource,
+)
+from repro.devices.mtj import MTJ, MTJState
+
+
+class TestNonzeroStart:
+    def test_t_start_offsets_window(self):
+        c = Circuit()
+        c.add(VoltageSource("v", "in", "0",
+                            waveform=Step(0.0, 1.0, 5e-9, 1e-12)))
+        c.add(Resistor("r", "in", "out", 100))
+        c.add(Capacitor("cl", "out", "0", 1e-14))
+        res = transient(c, 8e-9, t_start=4e-9)
+        assert res.time[0] == pytest.approx(4e-9)
+        assert res.time[-1] == pytest.approx(8e-9)
+        # The step at 5 ns is inside the window and resolved.
+        assert res.sample("out", 4.5e-9) < 0.05
+        assert res.sample("out", 7e-9) > 0.95
+
+    def test_op_taken_at_t_start(self):
+        c = Circuit()
+        c.add(VoltageSource("v", "in", "0",
+                            waveform=Step(0.2, 0.8, 1e-9, 1e-12)))
+        c.add(Resistor("r", "in", "out", 100))
+        c.add(Capacitor("cl", "out", "0", 1e-15))
+        res = transient(c, 5e-9, t_start=2e-9)
+        # At t_start the step already happened: the OP sees 0.8 V.
+        assert res.voltage("out")[0] == pytest.approx(0.8, abs=1e-3)
+
+
+class TestEventHandling:
+    def _mtj_bench(self, drive):
+        c = Circuit()
+        c.add(VoltageSource("v", "drv", "0", waveform=drive))
+        mtj = c.add(MTJ("y1", "drv", "0", state=MTJState.ANTIPARALLEL))
+        return c, mtj
+
+    def test_event_at_waveform_breakpoint(self):
+        """A drive edge that instantly exceeds Ic: the switching event
+        lands shortly after the breakpoint without integrator upset."""
+        c, mtj = self._mtj_bench(Step(0.0, 0.35, 2e-9, 1e-12))
+        res = transient(c, 12e-9)
+        assert len(res.events) == 1
+        t_event = res.events[0][0]
+        assert 2e-9 < t_event < 8e-9
+        assert mtj.state is MTJState.PARALLEL
+
+    def test_pulse_too_short_to_switch(self):
+        """A 200 ps super-critical pulse cannot complete the switching
+        (t_sw ~ ns) and the progress relaxes afterwards."""
+        c, mtj = self._mtj_bench(
+            Pulse(0.0, 0.35, delay=1e-9, rise=10e-12, fall=10e-12,
+                  width=0.2e-9))
+        res = transient(c, 30e-9)
+        assert res.events == []
+        assert mtj.state is MTJState.ANTIPARALLEL
+        assert mtj.progress < 0.05   # relaxed away
+
+    def test_repeated_subcritical_pulses_do_not_accumulate(self):
+        """Pulses spaced >> relax_time: progress cannot ratchet up."""
+        c, mtj = self._mtj_bench(
+            Pulse(0.0, 0.35, delay=1e-9, rise=10e-12, fall=10e-12,
+                  width=0.3e-9, period=30e-9))
+        res = transient(c, 200e-9)
+        assert res.events == []
+        assert mtj.state is MTJState.ANTIPARALLEL
+
+    def test_back_to_back_switching_events(self):
+        """Drive one way then the other: two events, final state P->AP
+        round trip recorded in order."""
+        from repro.circuit import PiecewiseLinear
+
+        wave = PiecewiseLinear([
+            (0.0, 0.0), (1e-9, 0.0), (1.1e-9, 0.35),     # AP -> P
+            (10e-9, 0.35), (10.1e-9, -0.2),              # P -> AP
+            (25e-9, -0.2),
+        ])
+        c, mtj = self._mtj_bench(wave)
+        res = transient(c, 25e-9)
+        kinds = [e[2] for e in res.events]
+        assert kinds == ["AP->P", "P->AP"]
+        assert mtj.state is MTJState.ANTIPARALLEL
+
+
+class TestRecordingIntegrity:
+    def test_no_duplicate_timepoints(self):
+        c = Circuit()
+        c.add(VoltageSource("v", "in", "0",
+                            waveform=Pulse(0, 1, delay=1e-9, rise=50e-12,
+                                           fall=50e-12, width=1e-9,
+                                           period=2.5e-9)))
+        c.add(Resistor("r", "in", "out", 1e3))
+        c.add(Capacitor("cl", "out", "0", 1e-13))
+        res = transient(c, 10e-9)
+        assert np.all(np.diff(res.time) > 0)
+
+    def test_breakpoints_are_sample_points(self):
+        c = Circuit()
+        c.add(VoltageSource("v", "in", "0",
+                            waveform=Step(0, 1, 3e-9, 1e-10)))
+        c.add(Resistor("r", "in", "0", 1e3))
+        res = transient(c, 6e-9)
+        # The corner instants appear (within float fuzz) in the record.
+        for corner in (3e-9, 3.1e-9):
+            assert np.min(np.abs(res.time - corner)) < 1e-15 + 1e-9 * 1e-6
+
+    def test_final_time_exact(self):
+        c = Circuit()
+        c.add(VoltageSource("v", "in", "0", dc=1.0))
+        c.add(Resistor("r", "in", "0", 1e3))
+        res = transient(c, 7.77e-9)
+        assert res.time[-1] == pytest.approx(7.77e-9, rel=1e-12)

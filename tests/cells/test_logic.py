@@ -1,0 +1,108 @@
+"""Tests for the CMOS logic primitives."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import dc_sweep, operating_point, transient
+from repro.circuit import Circuit, Pulse, VoltageSource
+from repro.cells.logic import (
+    add_clock_buffer,
+    add_inverter,
+    add_transmission_gate,
+)
+
+VDD = 0.9
+
+
+class TestInverter:
+    def _bench(self):
+        c = Circuit("inv")
+        c.add(VoltageSource("vdd", "vdd", "0", dc=VDD))
+        c.add(VoltageSource("vin", "in", "0", dc=0.0))
+        add_inverter(c, "i1", "in", "out", "vdd")
+        return c
+
+    def test_logic_levels(self):
+        c = self._bench()
+        res = dc_sweep(c, "vin", [0.0, VDD])
+        assert res.voltage("out")[0] > 0.88
+        assert res.voltage("out")[1] < 0.02
+
+    def test_switching_threshold_near_midrail(self):
+        c = self._bench()
+        res = dc_sweep(c, "vin", np.linspace(0, VDD, 61))
+        vtc = res.voltage("out")
+        idx = int(np.argmin(np.abs(vtc - res.values)))
+        assert 0.3 < res.values[idx] < 0.6
+
+    def test_returns_output_node(self):
+        c = Circuit("inv")
+        c.add(VoltageSource("vdd", "vdd", "0", dc=VDD))
+        c.add(VoltageSource("vin", "in", "0", dc=0.0))
+        assert add_inverter(c, "i1", "in", "out", "vdd") == "out"
+        assert "i1.cout" in c
+
+
+class TestTransmissionGate:
+    def _bench(self, clk_level):
+        c = Circuit("tg")
+        c.add(VoltageSource("vdd", "vdd", "0", dc=VDD))
+        c.add(VoltageSource("va", "a", "0", dc=0.6))
+        c.add(VoltageSource("vclk", "clk", "0", dc=clk_level))
+        c.add(VoltageSource("vclkb", "clkb", "0", dc=VDD - clk_level))
+        add_transmission_gate(c, "t1", "a", "b", "clk", "clkb")
+        return c
+
+    def test_conducts_when_clocked(self):
+        sol = operating_point(self._bench(VDD))
+        assert sol.voltage("b") == pytest.approx(0.6, abs=0.01)
+
+    def test_off_current_orders_of_magnitude_below_on(self):
+        """With both terminals driven, the off gate carries only
+        subthreshold leakage.  (A *floating* node behind an off gate
+        still drifts on nA-scale HP leakage — which is why the latches
+        keep their feedback gates engaged.)"""
+
+        def tg_current(clk_level):
+            c = Circuit("tg")
+            c.add(VoltageSource("vdd", "vdd", "0", dc=VDD))
+            c.add(VoltageSource("va", "a", "0", dc=0.6))
+            c.add(VoltageSource("vb", "b", "0", dc=0.0))
+            c.add(VoltageSource("vclk", "clk", "0", dc=clk_level))
+            c.add(VoltageSource("vclkb", "clkb", "0",
+                                dc=VDD - clk_level))
+            add_transmission_gate(c, "t1", "a", "b", "clk", "clkb")
+            sol = operating_point(c)
+            return abs(sol.branch_current("vb"))
+
+        assert tg_current(VDD) > 1e3 * tg_current(0.0)
+
+    def test_full_rail_transfer(self):
+        """The complementary pair passes both strong 0 and strong 1."""
+        for level in (0.0, VDD):
+            c = Circuit("tg")
+            c.add(VoltageSource("vdd", "vdd", "0", dc=VDD))
+            c.add(VoltageSource("va", "a", "0", dc=level))
+            c.add(VoltageSource("vclk", "clk", "0", dc=VDD))
+            c.add(VoltageSource("vclkb", "clkb", "0", dc=0.0))
+            add_transmission_gate(c, "t1", "a", "b", "clk", "clkb")
+            sol = operating_point(c)
+            assert sol.voltage("b") == pytest.approx(level, abs=0.01)
+
+
+class TestClockBuffer:
+    def test_complementary_phases(self):
+        c = Circuit("ckbuf")
+        c.add(VoltageSource("vdd", "vdd", "0", dc=VDD))
+        c.add(VoltageSource("vclk", "clk", "0",
+                            waveform=Pulse(0, VDD, delay=1e-9,
+                                           rise=50e-12, fall=50e-12,
+                                           width=2e-9)))
+        clk_i, clkb_i = add_clock_buffer(c, "b1", "clk", "vdd")
+        res = transient(c, 4e-9)
+        # Before the pulse: clk low, clkb high.
+        assert res.sample(clk_i, 0.5e-9) < 0.05
+        assert res.sample(clkb_i, 0.5e-9) > 0.85
+        # During the pulse: inverted.
+        assert res.sample(clk_i, 2e-9) > 0.85
+        assert res.sample(clkb_i, 2e-9) < 0.05

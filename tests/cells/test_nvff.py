@@ -1,0 +1,169 @@
+"""Tests for the nonvolatile D flip-flop."""
+
+import pytest
+
+from repro.analysis import transient
+from repro.analysis.transient import TransientOptions
+from repro.circuit import (
+    Circuit,
+    PiecewiseLinear,
+    Pulse,
+    Step,
+    VoltageSource,
+)
+from repro.cells import add_nvff, add_power_switch
+from repro.devices.mtj import MTJState
+
+VDD = 0.9
+V_SR = 0.65
+V_CTRL = 0.5
+
+
+def _clocked_bench(d_wave, clk_wave):
+    c = Circuit("nvff-tb")
+    c.add(VoltageSource("vdd", "vdd", "0", dc=VDD))
+    c.add(VoltageSource("vpg", "pg", "0", dc=0.0))
+    add_power_switch(c, "psw", "vdd", "vvdd", "pg", nfsw=14)
+    c.add(VoltageSource("vclk", "clk", "0", waveform=clk_wave))
+    c.add(VoltageSource("vd", "d", "0", waveform=d_wave))
+    c.add(VoltageSource("vsr", "sr", "0", dc=0.0))
+    c.add(VoltageSource("vctrl", "ctrl", "0", dc=0.07))
+    ff = add_nvff(c, "ff", "d", "clk", "vvdd", "sr", "ctrl")
+    return c, ff
+
+
+class TestClockedBehaviour:
+    def test_captures_on_rising_edges(self):
+        clk = Pulse(0, VDD, delay=2e-9, rise=50e-12, fall=50e-12,
+                    width=1.8e-9, period=4e-9)
+        d = PiecewiseLinear([(0, VDD), (4e-9, VDD), (4.1e-9, 0.0),
+                             (8e-9, 0.0), (8.1e-9, VDD)])
+        c, ff = _clocked_bench(d, clk)
+        res = transient(c, 12e-9, ic=ff.initial_conditions(False, VDD),
+                        options=TransientOptions(dt_initial=20e-12))
+        # Edge at 2 ns captures D=1; edge at 6 ns captures D=0;
+        # edge at 10 ns captures D=1 again.
+        assert res.sample(ff.q, 1.5e-9) < 0.1          # initial 0
+        assert res.sample(ff.q, 3.5e-9) > 0.8
+        assert res.sample(ff.q, 7.5e-9) < 0.1
+        assert res.sample(ff.q, 11.5e-9) > 0.8
+
+    def test_opaque_while_clock_low(self):
+        """D wiggles with the clock parked low: Q must not move."""
+        clk = PiecewiseLinear([(0.0, 0.0)])
+        d = Pulse(0, VDD, delay=1e-9, rise=50e-12, fall=50e-12,
+                  width=1e-9, period=2.5e-9)
+        c, ff = _clocked_bench(d, clk)
+        res = transient(c, 8e-9, ic=ff.initial_conditions(True, VDD),
+                        options=TransientOptions(dt_initial=20e-12))
+        assert min(res.voltage(ff.q)) > 0.7
+
+    def test_complementary_internal_nodes(self):
+        clk = Pulse(0, VDD, delay=2e-9, rise=50e-12, fall=50e-12,
+                    width=1.8e-9, period=4e-9)
+        d = PiecewiseLinear([(0.0, VDD)])
+        c, ff = _clocked_bench(d, clk)
+        res = transient(c, 5e-9, ic=ff.initial_conditions(False, VDD),
+                        options=TransientOptions(dt_initial=20e-12))
+        final = res.final_solution()
+        assert abs(final.voltage(ff.q) + final.voltage(ff.s3)
+                   - VDD) < 0.05  # complementary
+
+
+def _store_bench(data):
+    c = Circuit("nvff-store")
+    c.add(VoltageSource("vdd", "vdd", "0", dc=VDD))
+    c.add(VoltageSource("vpg", "pg", "0", dc=0.0))
+    add_power_switch(c, "psw", "vdd", "vvdd", "pg", nfsw=14)
+    c.add(VoltageSource("vclk", "clk", "0", dc=0.0))
+    c.add(VoltageSource("vd", "d", "0", dc=0.0))
+    c.add(VoltageSource("vsr", "sr", "0",
+                        waveform=Step(0.0, V_SR, 1e-9, 100e-12)))
+    c.add(VoltageSource("vctrl", "ctrl", "0",
+                        waveform=Step(0.0, V_CTRL, 11e-9, 100e-12)))
+    ff = add_nvff(c, "ff", "d", "clk", "vvdd", "sr", "ctrl")
+    ff.set_mtj_data(c, not data)       # force both MTJs to flip
+    return c, ff
+
+
+class TestStore:
+    @pytest.mark.parametrize("data", [True, False])
+    def test_two_step_store_encodes_q(self, data):
+        c, ff = _store_bench(data)
+        res = transient(c, 21e-9, ic=ff.initial_conditions(data, VDD),
+                        options=TransientOptions(dt_initial=20e-12))
+        assert ff.stored_data(c) is data
+        assert len(res.events) == 2
+        assert ff.read_q(res.final_solution(), VDD) is data  # no upset
+
+    def test_no_store_without_sr(self):
+        c = Circuit("nvff-nostore")
+        c.add(VoltageSource("vdd", "vdd", "0", dc=VDD))
+        c.add(VoltageSource("vpg", "pg", "0", dc=0.0))
+        add_power_switch(c, "psw", "vdd", "vvdd", "pg", nfsw=14)
+        c.add(VoltageSource("vclk", "clk", "0", dc=0.0))
+        c.add(VoltageSource("vd", "d", "0", dc=0.0))
+        c.add(VoltageSource("vsr", "sr", "0", dc=0.0))
+        c.add(VoltageSource("vctrl", "ctrl", "0",
+                            waveform=Step(0.0, V_CTRL, 1e-9, 100e-12)))
+        ff = add_nvff(c, "ff", "d", "clk", "vvdd", "sr", "ctrl")
+        ff.set_mtj_data(c, False)
+        res = transient(c, 10e-9, ic=ff.initial_conditions(True, VDD))
+        assert len(res.events) == 0
+        assert ff.stored_data(c) is False
+
+
+class TestRestore:
+    @pytest.mark.parametrize("data", [True, False])
+    def test_wakeup_recovers_mtj_data(self, data):
+        c = Circuit("nvff-restore")
+        c.add(VoltageSource("vdd", "vdd", "0", dc=VDD))
+        c.add(VoltageSource("vpg", "pg", "0",
+                            waveform=Step(1.0, 0.0, 1e-9, 200e-12)))
+        add_power_switch(c, "psw", "vdd", "vvdd", "pg", nfsw=14)
+        c.add(VoltageSource("vclk", "clk", "0", dc=0.0))
+        c.add(VoltageSource("vd", "d", "0", dc=0.0))
+        c.add(VoltageSource("vsr", "sr", "0", dc=V_SR))
+        c.add(VoltageSource("vctrl", "ctrl", "0", dc=0.0))
+        ff = add_nvff(c, "ff", "d", "clk", "vvdd", "sr", "ctrl")
+        ff.set_mtj_data(c, data)
+        ic = {"vvdd": 0.0, ff.q: 0.0, ff.s: 0.0, ff.s3: 0.0,
+              "ff.m1": 0.0, "ff.m2": 0.0}
+        res = transient(c, 8e-9, ic=ic,
+                        options=TransientOptions(dt_initial=20e-12))
+        final = res.final_solution()
+        assert final.voltage("vvdd") > 0.8 * VDD
+        assert ff.read_q(final, VDD) is data
+        assert ff.stored_data(c) is data  # restore is non-destructive
+
+
+class TestRoundTrip:
+    def test_capture_store_collapse_restore(self):
+        """Full lifecycle in one transient: clock in a 1, store it, cut
+        the power switch, wake up, and find the 1 back at Q."""
+        c = Circuit("nvff-roundtrip")
+        c.add(VoltageSource("vdd", "vdd", "0", dc=VDD))
+        c.add(VoltageSource("vpg", "pg", "0", waveform=PiecewiseLinear(
+            [(0.0, 0.0), (33e-9, 0.0), (33.2e-9, 1.0),   # shutdown
+             (43e-9, 1.0), (43.2e-9, 0.0)])))            # wake
+        add_power_switch(c, "psw", "vdd", "vvdd", "pg", nfsw=14)
+        c.add(VoltageSource("vclk", "clk", "0", waveform=Pulse(
+            0, VDD, delay=2e-9, rise=50e-12, fall=50e-12, width=2e-9)))
+        c.add(VoltageSource("vd", "d", "0", dc=VDD))
+        c.add(VoltageSource("vsr", "sr", "0", waveform=PiecewiseLinear(
+            [(0.0, 0.0), (8e-9, 0.0), (8.2e-9, V_SR),
+             (32e-9, V_SR)])))
+        c.add(VoltageSource("vctrl", "ctrl", "0", waveform=PiecewiseLinear(
+            [(0.0, 0.0), (18e-9, 0.0), (18.2e-9, V_CTRL),
+             (28e-9, V_CTRL), (28.4e-9, 0.0)])))
+        ff = add_nvff(c, "ff", "d", "clk", "vvdd", "sr", "ctrl")
+        ff.set_mtj_data(c, False)
+        res = transient(c, 50e-9, ic=ff.initial_conditions(False, VDD),
+                        options=TransientOptions(dt_initial=20e-12))
+        final = res.final_solution()
+        assert len(res.events) == 2          # both MTJs switched at store
+        assert ff.stored_data(c) is True
+        assert ff.read_q(final, VDD) is True
+        # The rail really collapsed in between.
+        vvdd_during_off = res.sample("vvdd", 42e-9)
+        assert vvdd_during_off < final.voltage("vvdd")

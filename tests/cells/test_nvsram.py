@@ -1,0 +1,134 @@
+"""Tests for the NV-SRAM cell (Fig. 2): structure, store and restore."""
+
+import pytest
+
+from repro.analysis import operating_point, transient
+from repro.circuit import Circuit, Step, VoltageSource
+from repro.cells import add_nvsram, add_power_switch
+from repro.devices.mtj import MTJState
+
+VDD = 0.9
+V_SR = 0.65
+V_CTRL_STORE = 0.5
+
+
+def _testbench(mtj_q=MTJState.PARALLEL, mtj_qb=MTJState.ANTIPARALLEL):
+    c = Circuit("nv")
+    c.add(VoltageSource("vdd", "vdd", "0", dc=VDD))
+    c.add(VoltageSource("vbl", "bl", "0", dc=VDD))
+    c.add(VoltageSource("vblb", "blb", "0", dc=VDD))
+    c.add(VoltageSource("vwl", "wl", "0", dc=0.0))
+    c.add(VoltageSource("vsr", "sr", "0", dc=0.0))
+    c.add(VoltageSource("vctrl", "ctrl", "0", dc=0.07))
+    cell = add_nvsram(c, "cell", "vdd", "bl", "blb", "wl", "sr", "ctrl",
+                      mtj_q_state=mtj_q, mtj_qb_state=mtj_qb)
+    return c, cell
+
+
+class TestStructure:
+    def test_handles(self):
+        c, cell = _testbench()
+        assert cell.q == "cell.q"
+        assert cell.sq == "cell.sq"
+        assert cell.mtj_q(c).name == "cell.mtjq"
+        assert cell.mtj_qb(c).name == "cell.mtjqb"
+
+    def test_set_mtj_states(self):
+        c, cell = _testbench()
+        cell.set_mtj_states(c, MTJState.ANTIPARALLEL, MTJState.PARALLEL)
+        assert cell.mtj_q(c).state is MTJState.ANTIPARALLEL
+        assert cell.mtj_qb(c).state is MTJState.PARALLEL
+
+    def test_stored_data_decoding(self):
+        c, cell = _testbench()
+        cell.set_mtj_states(c, MTJState.ANTIPARALLEL, MTJState.PARALLEL)
+        assert cell.stored_data(c) is True
+        cell.set_mtj_states(c, MTJState.PARALLEL, MTJState.ANTIPARALLEL)
+        assert cell.stored_data(c) is False
+        cell.set_mtj_states(c, MTJState.PARALLEL, MTJState.PARALLEL)
+        assert cell.stored_data(c) is None
+
+
+class TestNormalMode:
+    @pytest.mark.parametrize("data", [True, False])
+    def test_holds_data_with_ps_fets_off(self, data):
+        c, cell = _testbench()
+        sol = operating_point(c, ic=cell.initial_conditions(data, VDD))
+        assert cell.read_data(sol, VDD) is data
+
+    def test_mtj_current_negligible_in_normal_mode(self):
+        """The PS-FinFETs separate the MTJs from the latch (SR = 0)."""
+        c, cell = _testbench()
+        sol = operating_point(c, ic=cell.initial_conditions(True, VDD))
+        i_q = abs(cell.mtj_q(c).current(sol))
+        i_qb = abs(cell.mtj_qb(c).current(sol))
+        assert i_q < 1e-8
+        assert i_qb < 1e-8
+
+    def test_sr_on_connects_mtjs(self):
+        c, cell = _testbench()
+        c["vsr"].set_level(V_SR)
+        c["vctrl"].set_level(0.0)
+        sol = operating_point(c, ic=cell.initial_conditions(True, VDD))
+        # The high node now drives current through its MTJ into CTRL.
+        assert abs(cell.mtj_q(c).current(sol)) > 1e-6
+
+
+class TestStoreOperation:
+    def _store_transient(self, data):
+        """Two-step store with SR/CTRL waveforms; MTJs start inverted."""
+        c = Circuit("nv-store")
+        c.add(VoltageSource("vdd", "vdd", "0", dc=VDD))
+        c.add(VoltageSource("vbl", "bl", "0", dc=VDD))
+        c.add(VoltageSource("vblb", "blb", "0", dc=VDD))
+        c.add(VoltageSource("vwl", "wl", "0", dc=0.0))
+        c.add(VoltageSource("vsr", "sr", "0",
+                            waveform=Step(0.0, V_SR, 1e-9, 100e-12)))
+        c.add(VoltageSource("vctrl", "ctrl", "0",
+                            waveform=Step(0.0, V_CTRL_STORE, 11e-9,
+                                          100e-12)))
+        q0 = MTJState.PARALLEL if data else MTJState.ANTIPARALLEL
+        qb0 = q0.opposite
+        cell = add_nvsram(c, "cell", "vdd", "bl", "blb", "wl", "sr",
+                          "ctrl", mtj_q_state=q0, mtj_qb_state=qb0)
+        res = transient(c, 21e-9, ic=cell.initial_conditions(data, VDD))
+        return c, cell, res
+
+    @pytest.mark.parametrize("data", [True, False])
+    def test_store_encodes_data(self, data):
+        c, cell, res = self._store_transient(data)
+        assert cell.stored_data(c) is data
+        assert len(res.events) == 2  # both MTJs flipped
+
+    def test_store_preserves_latch(self, ):
+        c, cell, res = self._store_transient(True)
+        assert cell.read_data(res.final_solution(), VDD) is True
+
+
+class TestRestoreOperation:
+    @pytest.mark.parametrize("data", [True, False])
+    def test_restore_recovers_data(self, data):
+        """Wake-up from a collapsed rail recovers the MTJ-encoded bit."""
+        c = Circuit("nv-restore")
+        c.add(VoltageSource("vdd", "vdd", "0", dc=VDD))
+        c.add(VoltageSource("vpg", "pg", "0",
+                            waveform=Step(1.0, 0.0, 1e-9, 200e-12)))
+        add_power_switch(c, "psw", "vdd", "vvdd", "pg", nfsw=7)
+        c.add(VoltageSource("vbl", "bl", "0", dc=0.0))
+        c.add(VoltageSource("vblb", "blb", "0", dc=0.0))
+        c.add(VoltageSource("vwl", "wl", "0", dc=0.0))
+        c.add(VoltageSource("vsr", "sr", "0", dc=V_SR))
+        c.add(VoltageSource("vctrl", "ctrl", "0", dc=0.0))
+        q_state = MTJState.ANTIPARALLEL if data else MTJState.PARALLEL
+        cell = add_nvsram(c, "cell", "vvdd", "bl", "blb", "wl", "sr",
+                          "ctrl", mtj_q_state=q_state,
+                          mtj_qb_state=q_state.opposite)
+        res = transient(
+            c, 6e-9,
+            ic={"vvdd": 0.0, cell.q: 0.0, cell.qb: 0.0},
+        )
+        final = res.final_solution()
+        assert final.voltage("vvdd") > 0.8 * VDD
+        assert cell.read_data(final, VDD) is data
+        # Restore must not overwrite the MTJs.
+        assert cell.stored_data(c) is data

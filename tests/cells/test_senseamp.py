@@ -1,0 +1,87 @@
+"""Tests for the latch-type sense amplifier."""
+
+import pytest
+
+from repro.analysis import transient
+from repro.analysis.transient import TransientOptions
+from repro.circuit import Circuit, PiecewiseLinear, VoltageSource
+from repro.cells.senseamp import add_senseamp
+
+VDD = 0.9
+T_SAMPLE = 1e-9     # iso high, sae low
+T_SENSE = 1e-9      # iso low, sae high
+
+
+def _bench(v_bl, v_blb):
+    """Sample for 1 ns, then fire the SA for 1 ns."""
+    c = Circuit("sa")
+    c.add(VoltageSource("vdd", "vdd", "0", dc=VDD))
+    c.add(VoltageSource("vbl", "bl", "0", dc=v_bl))
+    c.add(VoltageSource("vblb", "blb", "0", dc=v_blb))
+    c.add(VoltageSource("viso", "iso", "0", waveform=PiecewiseLinear(
+        [(0.0, VDD), (T_SAMPLE, VDD), (T_SAMPLE + 50e-12, 0.0)])))
+    c.add(VoltageSource("vsae", "sae", "0", waveform=PiecewiseLinear(
+        [(0.0, 0.0), (T_SAMPLE + 100e-12, 0.0),
+         (T_SAMPLE + 150e-12, VDD)])))
+    sa = add_senseamp(c, "sa", "bl", "blb", "sae", "iso", "vdd")
+    result = transient(c, T_SAMPLE + T_SENSE,
+                       options=TransientOptions(dt_initial=10e-12))
+    return c, sa, result
+
+
+class TestRegeneration:
+    @pytest.mark.parametrize("v_bl,v_blb,expected", [
+        (0.9, 0.75, True),      # BL high: reads 1
+        (0.75, 0.9, False),     # BLB high: reads 0
+        (0.9, 0.85, True),      # 50 mV differential still resolves
+        (0.85, 0.9, False),
+    ])
+    def test_resolves_differential(self, v_bl, v_blb, expected):
+        _, sa, result = self._run(v_bl, v_blb)
+        final = result.final_solution()
+        assert sa.read_output(final) is expected
+        # Full-rail regeneration.
+        assert abs(sa.differential(final)) > 0.8 * VDD
+
+    def _run(self, v_bl, v_blb):
+        return _bench(v_bl, v_blb)
+
+    def test_tracks_bitlines_before_firing(self):
+        _, sa, result = _bench(0.9, 0.7)
+        # During sampling the latch nodes follow BL/BLB (through the
+        # n-pass gates, so the high side sits a Vth below).
+        t = 0.9 * T_SAMPLE
+        assert result.sample(sa.out, t) > result.sample(sa.outb, t)
+        assert abs(result.sample(sa.outb, t) - 0.7) < 0.15
+
+    def test_sense_delay_sub_nanosecond(self):
+        """Regeneration (measured from isolation opening) is fast."""
+        _, sa, result = _bench(0.9, 0.75)
+        crossing = result.crossing_time(sa.outb, VDD / 2, "fall",
+                                        after=T_SAMPLE)
+        assert crossing is not None
+        assert crossing - T_SAMPLE < 0.5e-9
+
+    def test_small_differential_slower_than_large(self):
+        def delay(v_blb):
+            _, sa, result = _bench(0.9, v_blb)
+            t = result.crossing_time(sa.outb, VDD / 2, "fall",
+                                     after=T_SAMPLE)
+            assert t is not None
+            return t - T_SAMPLE
+
+        assert delay(0.88) > delay(0.6)
+
+
+class TestStructure:
+    def test_handle_nodes(self):
+        c = Circuit("sa")
+        c.add(VoltageSource("vdd", "vdd", "0", dc=VDD))
+        c.add(VoltageSource("vbl", "bl", "0", dc=VDD))
+        c.add(VoltageSource("vblb", "blb", "0", dc=VDD))
+        c.add(VoltageSource("viso", "iso", "0", dc=0.0))
+        c.add(VoltageSource("vsae", "sae", "0", dc=0.0))
+        sa = add_senseamp(c, "sa0", "bl", "blb", "sae", "iso", "vdd")
+        assert sa.out == "sa0.out"
+        assert "sa0.tail" in c
+        assert "sa0.iso1" in c

@@ -1,0 +1,112 @@
+"""Tests for the volatile 6T SRAM cell."""
+
+import pytest
+
+from repro.analysis import operating_point, transient
+from repro.analysis.transient import TransientOptions
+from repro.circuit import Capacitor, Circuit, Pulse, Step, VoltageSource
+from repro.cells import add_sram6t
+
+VDD = 0.9
+
+
+def _cell_fixture(bl=VDD, blb=VDD, wl=0.0):
+    c = Circuit("6t")
+    c.add(VoltageSource("vdd", "vdd", "0", dc=VDD))
+    c.add(VoltageSource("vbl", "bl", "0", dc=bl))
+    c.add(VoltageSource("vblb", "blb", "0", dc=blb))
+    c.add(VoltageSource("vwl", "wl", "0", dc=wl))
+    cell = add_sram6t(c, "cell", "vdd", "bl", "blb", "wl")
+    return c, cell
+
+
+class TestStructure:
+    def test_node_names(self):
+        _, cell = _cell_fixture()
+        assert cell.q == "cell.q"
+        assert cell.qb == "cell.qb"
+
+    def test_element_inventory(self):
+        c, cell = _cell_fixture()
+        for key in ("pul", "pur", "pdl", "pdr", "pgl", "pgr"):
+            assert cell.element_names[key] in c
+        assert "cell.cq" in c
+        assert "cell.cwl" in c
+
+    def test_initial_conditions_map(self):
+        _, cell = _cell_fixture()
+        ic = cell.initial_conditions(True, VDD)
+        assert ic == {"cell.q": VDD, "cell.qb": 0.0}
+        ic0 = cell.initial_conditions(False, VDD)
+        assert ic0 == {"cell.q": 0.0, "cell.qb": VDD}
+
+
+class TestHoldStability:
+    @pytest.mark.parametrize("data", [True, False])
+    def test_holds_both_states(self, data):
+        c, cell = _cell_fixture()
+        sol = operating_point(c, ic=cell.initial_conditions(data, VDD))
+        assert cell.read_data(sol, VDD) is data
+        high = max(sol.voltage(cell.q), sol.voltage(cell.qb))
+        low = min(sol.voltage(cell.q), sol.voltage(cell.qb))
+        assert high > 0.85 * VDD
+        assert low < 0.05 * VDD
+
+    def test_retention_at_low_rail(self):
+        """The cell retains data at the 0.7 V sleep rail."""
+        c, cell = _cell_fixture(bl=0.7, blb=0.7)
+        c["vdd"].set_level(0.7)
+        sol = operating_point(c, ic=cell.initial_conditions(True, 0.7))
+        assert cell.read_data(sol, 0.7) is True
+
+    def test_static_current_small(self):
+        c, cell = _cell_fixture()
+        sol = operating_point(c, ic=cell.initial_conditions(True, VDD))
+        i = -sol.branch_current("vdd")
+        assert 0 < i < 100e-9   # leakage, not conduction
+
+
+class TestReadBehaviour:
+    def test_wordline_on_does_not_flip(self):
+        """Read-disturb check: asserting WL with precharged bitlines must
+        not corrupt the data (read SNM > 0 for this sizing)."""
+        c, cell = _cell_fixture(wl=VDD)
+        sol = operating_point(c, ic=cell.initial_conditions(True, VDD))
+        assert cell.read_data(sol, VDD) is True
+
+    def test_low_node_rises_during_read(self):
+        """The classic read-disturb bump on the low storage node."""
+        c_hold, cell = _cell_fixture(wl=0.0)
+        hold = operating_point(c_hold,
+                               ic=cell.initial_conditions(True, VDD))
+        c_read, cell_r = _cell_fixture(wl=VDD)
+        read = operating_point(c_read,
+                               ic=cell_r.initial_conditions(True, VDD))
+        assert read.voltage(cell_r.qb) > hold.voltage(cell.qb)
+        assert read.voltage(cell_r.qb) < 0.35 * VDD  # still reads as 0
+
+
+class TestWriteBehaviour:
+    def test_write_flips_cell(self):
+        """Drive BLB high / BL low with WL pulsed: the cell must flip."""
+        c = Circuit("6t-write")
+        c.add(VoltageSource("vdd", "vdd", "0", dc=VDD))
+        c.add(VoltageSource("vbl", "bl", "0", dc=0.0))
+        c.add(VoltageSource("vblb", "blb", "0", dc=VDD))
+        c.add(VoltageSource("vwl", "wl", "0",
+                            waveform=Pulse(0.0, VDD, delay=1e-9,
+                                           rise=50e-12, fall=50e-12,
+                                           width=1.5e-9)))
+        cell = add_sram6t(c, "cell", "vdd", "bl", "blb", "wl")
+        res = transient(c, 4e-9, ic=cell.initial_conditions(True, VDD))
+        assert cell.read_data(res.final_solution(), VDD) is False
+
+    def test_no_write_without_wordline(self):
+        c = Circuit("6t-nowrite")
+        c.add(VoltageSource("vdd", "vdd", "0", dc=VDD))
+        c.add(VoltageSource("vbl", "bl", "0", dc=0.0))
+        c.add(VoltageSource("vblb", "blb", "0", dc=VDD))
+        c.add(VoltageSource("vwl", "wl", "0", dc=0.0))
+        cell = add_sram6t(c, "cell", "vdd", "bl", "blb", "wl")
+        res = transient(c, 3e-9, ic=cell.initial_conditions(True, VDD))
+        assert cell.read_data(res.final_solution(), VDD) is True

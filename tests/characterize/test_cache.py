@@ -1,0 +1,82 @@
+"""Tests for the characterisation disk cache."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.cells import PowerDomain
+from repro.characterize import cache
+from repro.characterize.data import CellCharacterization
+from repro.pg.modes import OperatingConditions
+
+
+def _record():
+    return CellCharacterization(
+        kind="6t", n_wordlines=32, vdd=0.9, frequency=300e6,
+        e_read=1e-15, e_write=1e-15, p_normal=1e-9, p_sleep=0.5e-9,
+        p_shutdown=0.5e-9, p_shutdown_nominal=0.5e-9,
+    )
+
+
+class TestCacheKey:
+    def test_deterministic(self):
+        k1 = cache.cache_key(kind="nv", cond=OperatingConditions(),
+                             domain=PowerDomain(512, 32))
+        k2 = cache.cache_key(kind="nv", cond=OperatingConditions(),
+                             domain=PowerDomain(512, 32))
+        assert k1 == k2
+
+    def test_sensitive_to_inputs(self):
+        base = cache.cache_key(kind="nv", cond=OperatingConditions(),
+                               domain=PowerDomain(512, 32))
+        other_kind = cache.cache_key(kind="6t", cond=OperatingConditions(),
+                                     domain=PowerDomain(512, 32))
+        other_cond = cache.cache_key(
+            kind="nv", cond=OperatingConditions(frequency=1e9),
+            domain=PowerDomain(512, 32),
+        )
+        other_domain = cache.cache_key(kind="nv",
+                                       cond=OperatingConditions(),
+                                       domain=PowerDomain(64, 32))
+        assert len({base, other_kind, other_cond, other_domain}) == 4
+
+    def test_dataclass_type_disambiguates(self):
+        """Two different dataclasses with equal fields hash differently."""
+        from repro.devices.mtj import MTJ_TABLE1
+
+        a = cache.cache_key(x=MTJ_TABLE1)
+        b = cache.cache_key(x=MTJ_TABLE1.with_(jc=1e10))
+        assert a != b
+
+
+class TestLoadStore:
+    def test_roundtrip(self, tmp_path):
+        record = _record()
+        cache.store(tmp_path, "abc", record)
+        assert cache.load(tmp_path, "abc") == record
+
+    def test_missing_returns_none(self, tmp_path):
+        assert cache.load(tmp_path, "missing") is None
+
+    def test_disabled_cache(self):
+        cache.store(None, "abc", _record())  # no-op
+        assert cache.load(None, "abc") is None
+
+    def test_corrupt_entry_ignored(self, tmp_path):
+        (tmp_path / "bad.json").write_text("{not json")
+        assert cache.load(tmp_path, "bad") is None
+
+    def test_stale_schema_entry_ignored(self, tmp_path):
+        (tmp_path / "stale.json").write_text('{"unexpected": 1}')
+        assert cache.load(tmp_path, "stale") is None
+
+    def test_creates_directory(self, tmp_path):
+        target = tmp_path / "nested" / "dir"
+        cache.store(target, "abc", _record())
+        assert (target / "abc.json").exists()
+
+
+class TestDefaultDir:
+    def test_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert cache.default_cache_dir() == tmp_path

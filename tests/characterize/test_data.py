@@ -1,0 +1,75 @@
+"""Tests for characterisation records and validation."""
+
+import pytest
+
+from repro.errors import CharacterizationError
+from repro.characterize.data import CellCharacterization
+
+
+def _valid_nv(**overrides):
+    payload = dict(
+        kind="nv", n_wordlines=512, vdd=0.9, frequency=300e6,
+        e_read=25e-15, e_write=26e-15,
+        p_normal=14e-9, p_sleep=7e-9, p_shutdown=1.2e-9,
+        p_shutdown_nominal=17e-9,
+        e_store=270e-15, e_store_h=170e-15, e_store_l=100e-15,
+        t_store=20e-9, e_restore=27e-15, t_restore=2e-9,
+        read_delay=130e-12, write_delay=80e-12,
+        store_current_h=21e-6, store_current_l=20e-6,
+        store_events=2, restore_ok=True,
+    )
+    payload.update(overrides)
+    return CellCharacterization(**payload)
+
+
+class TestValidation:
+    def test_valid_record_passes(self):
+        _valid_nv().validate()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(CharacterizationError):
+            CellCharacterization(kind="8t", n_wordlines=1, vdd=0.9,
+                                 frequency=1e9)
+
+    def test_failed_restore_rejected(self):
+        with pytest.raises(CharacterizationError, match="restore"):
+            _valid_nv(restore_ok=False).validate()
+
+    def test_missing_store_events_rejected(self):
+        with pytest.raises(CharacterizationError, match="MTJ"):
+            _valid_nv(store_events=1).validate()
+
+    def test_shutdown_must_beat_sleep(self):
+        with pytest.raises(CharacterizationError):
+            _valid_nv(p_shutdown=8e-9).validate()
+
+    def test_zero_store_energy_rejected_for_nv(self):
+        with pytest.raises(CharacterizationError):
+            _valid_nv(e_store=0.0).validate()
+
+    def test_6t_does_not_need_store(self):
+        record = CellCharacterization(
+            kind="6t", n_wordlines=512, vdd=0.9, frequency=300e6,
+            e_read=25e-15, e_write=26e-15,
+            p_normal=14e-9, p_sleep=6e-9, p_shutdown=6e-9,
+            p_shutdown_nominal=6e-9,
+        )
+        record.validate()
+
+    def test_is_nonvolatile(self):
+        assert _valid_nv().is_nonvolatile
+        assert not CellCharacterization(
+            kind="6t", n_wordlines=1, vdd=0.9, frequency=1e9
+        ).is_nonvolatile
+
+
+class TestSerialisation:
+    def test_json_roundtrip(self):
+        record = _valid_nv(extras={"note": 1.5})
+        clone = CellCharacterization.from_json(record.to_json())
+        assert clone == record
+
+    def test_json_is_stable_text(self):
+        a = _valid_nv().to_json()
+        b = _valid_nv().to_json()
+        assert a == b

@@ -1,0 +1,64 @@
+"""Tests for the NV-FF characterisation."""
+
+import pytest
+
+from repro.errors import CharacterizationError
+from repro.characterize.ff_runner import (
+    FlipFlopCharacterization,
+    characterize_nvff,
+)
+from repro.pg.modes import OperatingConditions
+
+
+@pytest.fixture(scope="module")
+def ff():
+    return characterize_nvff(OperatingConditions())
+
+
+class TestCharacterization:
+    def test_functional_checks(self, ff):
+        assert ff.restore_ok
+        assert ff.store_events == 2
+
+    def test_clock_energy_ordering(self, ff):
+        """Toggling costs more than holding; both are sub-femtojoule to
+        femtojoule scale for a 20-transistor FF at 0.9 V."""
+        assert 0 < ff.e_clock_hold < ff.e_clock_toggle < 1e-14
+
+    def test_clk_to_q_fast(self, ff):
+        assert 0 < ff.clk_to_q_delay < 0.2e-9
+
+    def test_static_ladder(self, ff):
+        assert ff.p_normal > ff.p_shutdown > 0
+        assert ff.p_shutdown < ff.p_normal / 5
+
+    def test_store_costs_dominate_clocking(self, ff):
+        assert ff.e_store > 20 * ff.e_clock_toggle
+
+    def test_ff_leaks_more_than_sram_cell(self, ff, nv_char):
+        """A 20-transistor FF leaks more than an 8T+2MTJ cell."""
+        assert ff.p_normal > nv_char.p_normal
+
+    def test_activity_interpolation(self, ff):
+        mid = ff.e_clock(0.5)
+        assert ff.e_clock_hold < mid < ff.e_clock_toggle
+        assert ff.e_clock(0.0) == ff.e_clock_hold
+        assert ff.e_clock(1.0) == ff.e_clock_toggle
+        with pytest.raises(CharacterizationError):
+            ff.e_clock(1.5)
+
+    def test_json_roundtrip(self, ff):
+        clone = FlipFlopCharacterization.from_json(ff.to_json())
+        assert clone == ff
+
+    def test_cache_roundtrip(self, tmp_path):
+        a = characterize_nvff(OperatingConditions(), cache_dir=tmp_path)
+        b = characterize_nvff(OperatingConditions(), cache_dir=tmp_path)
+        assert a == b
+
+    def test_validation_catches_bad_record(self, ff):
+        import dataclasses
+
+        bad = dataclasses.replace(ff, restore_ok=False)
+        with pytest.raises(CharacterizationError):
+            bad.validate()

@@ -1,0 +1,60 @@
+"""Tests for the data-retention-voltage analysis."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CharacterizationError
+from repro.characterize.retention import (
+    DEFAULT_MARGIN,
+    retention_voltage_sweep,
+)
+from repro.pg.modes import OperatingConditions
+
+COND = OperatingConditions()
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return retention_voltage_sweep(COND,
+                                   rail_values=np.linspace(0.15, 0.9, 14))
+
+
+class TestRetentionSweep:
+    def test_margin_grows_with_rail(self, sweep):
+        # Above the DRV the hold margin increases with the rail.
+        valid = sweep.hold_snm > 0
+        snm_valid = sweep.hold_snm[valid]
+        assert np.all(np.diff(snm_valid) > -1e-3)
+
+    def test_retention_voltage_found(self, sweep):
+        assert sweep.retention_voltage is not None
+        # A 20 nm latch retains data well below the paper's 0.7 V sleep
+        # rail but not arbitrarily low.
+        assert 0.1 < sweep.retention_voltage < 0.6
+
+    def test_sleep_rail_has_headroom(self, sweep):
+        """The paper's 0.7 V sleep rail must clear the DRV comfortably —
+        the quantitative justification of the sleep-mode choice."""
+        assert sweep.sleep_headroom is not None
+        assert sweep.sleep_headroom > 0.1
+
+    def test_margin_threshold_respected(self, sweep):
+        idx = list(sweep.rail).index(sweep.retention_voltage)
+        assert sweep.hold_snm[idx] >= sweep.margin
+        if idx > 0:
+            assert sweep.hold_snm[idx - 1] < sweep.margin
+
+    def test_rows(self, sweep):
+        rows = sweep.rows()
+        assert len(rows) == len(sweep.rail)
+
+    def test_unreachable_margin(self):
+        strict = retention_voltage_sweep(
+            COND, rail_values=[0.2, 0.3], margin=5.0,
+        )
+        assert strict.retention_voltage is None
+        assert strict.sleep_headroom is None
+
+    def test_bad_rails_rejected(self):
+        with pytest.raises(CharacterizationError):
+            retention_voltage_sweep(COND, rail_values=[-0.1, 0.5])

@@ -1,0 +1,115 @@
+"""Tests for the netlist linter."""
+
+import pytest
+
+from repro.circuit import Capacitor, Circuit, Resistor, VoltageSource
+from repro.circuit.lint import LintFinding, has_errors, lint
+from repro.characterize.testbench import build_cell_testbench
+
+
+def codes(findings):
+    return {f.code for f in findings}
+
+
+class TestCleanCircuits:
+    def test_divider_is_clean(self):
+        c = Circuit()
+        c.add(VoltageSource("v", "in", "0", dc=1.0))
+        c.add(Resistor("r1", "in", "mid", 1e3))
+        c.add(Resistor("r2", "mid", "0", 1e3))
+        assert lint(c) == []
+
+    def test_full_cell_testbench_is_clean(self):
+        tb = build_cell_testbench("nv")
+        findings = lint(tb.circuit)
+        assert not has_errors(findings)
+        assert findings == []
+
+
+class TestFloatingNode:
+    def test_detected(self):
+        c = Circuit()
+        c.add(VoltageSource("v", "in", "0", dc=1.0))
+        c.add(Resistor("r1", "in", "typo_node", 1e3))
+        findings = lint(c)
+        assert "floating-node" in codes(findings)
+        subject = [f for f in findings if f.code == "floating-node"][0]
+        assert subject.subject == "typo_node"
+        assert subject.severity == "warning"
+        assert "r1" in subject.message
+
+
+class TestNoDcPath:
+    def test_cap_only_node_flagged(self):
+        c = Circuit()
+        c.add(VoltageSource("v", "in", "0", dc=1.0))
+        c.add(Resistor("r", "in", "0", 1e3))
+        c.add(Capacitor("c1", "in", "float", 1e-12))
+        c.add(Capacitor("c2", "float", "0", 1e-12))
+        findings = lint(c)
+        assert "no-dc-path" in codes(findings)
+
+    def test_cap_with_resistor_not_flagged(self):
+        c = Circuit()
+        c.add(VoltageSource("v", "in", "0", dc=1.0))
+        c.add(Resistor("r", "in", "out", 1e3))
+        c.add(Capacitor("c1", "out", "0", 1e-12))
+        assert "no-dc-path" not in codes(lint(c))
+
+
+class TestShortedElement:
+    def test_detected(self):
+        c = Circuit()
+        c.add(VoltageSource("v", "a", "0", dc=1.0))
+        c.add(Resistor("rshort", "a", "a", 1e3))
+        c.add(Resistor("rload", "a", "0", 1e3))
+        findings = lint(c)
+        assert "shorted-element" in codes(findings)
+
+
+class TestSourceTopology:
+    def test_parallel_sources_error(self):
+        c = Circuit()
+        c.add(VoltageSource("v1", "a", "0", dc=1.0))
+        c.add(VoltageSource("v2", "a", "0", dc=1.0))
+        c.add(Resistor("r", "a", "0", 1e3))
+        findings = lint(c)
+        assert "parallel-sources" in codes(findings)
+        assert has_errors(findings)
+
+    def test_voltage_loop_error(self):
+        c = Circuit()
+        c.add(VoltageSource("v1", "a", "0", dc=1.0))
+        c.add(VoltageSource("v2", "b", "a", dc=0.5))
+        c.add(VoltageSource("v3", "b", "0", dc=1.5))
+        c.add(Resistor("r", "b", "0", 1e3))
+        findings = lint(c)
+        assert "voltage-loop" in codes(findings)
+
+    def test_series_sources_fine(self):
+        c = Circuit()
+        c.add(VoltageSource("v1", "a", "0", dc=1.0))
+        c.add(VoltageSource("v2", "b", "a", dc=0.5))
+        c.add(Resistor("r", "b", "0", 1e3))
+        assert lint(c) == []
+
+
+class TestOrderingAndHelpers:
+    def test_errors_sort_first(self):
+        c = Circuit()
+        c.add(VoltageSource("v1", "a", "0", dc=1.0))
+        c.add(VoltageSource("v2", "a", "0", dc=1.0))
+        c.add(Resistor("r", "a", "dangling", 1e3))
+        findings = lint(c)
+        assert findings[0].severity == "error"
+        assert findings[-1].severity == "warning"
+
+    def test_str_rendering(self):
+        f = LintFinding("floating-node", "warning", "msg", "n1")
+        assert "[warning] floating-node" in str(f)
+
+    def test_has_errors_false_for_warnings(self):
+        c = Circuit()
+        c.add(VoltageSource("v", "in", "0", dc=1.0))
+        c.add(Resistor("r1", "in", "dangle", 1e3))
+        assert not has_errors(lint(c))

@@ -1,0 +1,133 @@
+"""Tests for the netlist container and element wiring."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.circuit import Circuit, Resistor, VoltageSource
+from repro.circuit.netlist import GROUND, is_ground
+
+
+class TestGroundAliases:
+    @pytest.mark.parametrize("name", ["0", "gnd", "GND", "vss", "VSS"])
+    def test_recognised(self, name):
+        assert is_ground(name)
+
+    @pytest.mark.parametrize("name", ["out", "vdd", "g", "00"])
+    def test_not_ground(self, name):
+        assert not is_ground(name)
+
+    def test_canonical(self):
+        assert GROUND == "0"
+
+
+class TestCircuitConstruction:
+    def test_add_and_lookup(self):
+        c = Circuit("t")
+        r = c.add(Resistor("r1", "a", "0", 100))
+        assert c["r1"] is r
+        assert "r1" in c
+        assert len(c) == 1
+
+    def test_duplicate_name_rejected(self):
+        c = Circuit()
+        c.add(Resistor("r1", "a", "0", 100))
+        with pytest.raises(NetlistError):
+            c.add(Resistor("r1", "b", "0", 100))
+
+    def test_missing_lookup(self):
+        c = Circuit()
+        c.add(Resistor("r1", "a", "0", 100))
+        with pytest.raises(NetlistError):
+            c["nope"]
+
+    def test_remove(self):
+        c = Circuit()
+        c.add(Resistor("r1", "a", "0", 100))
+        c.remove("r1")
+        assert "r1" not in c
+        with pytest.raises(NetlistError):
+            c.remove("r1")
+
+    def test_empty_circuit_rejected_at_compile(self):
+        c = Circuit()
+        with pytest.raises(NetlistError):
+            c.compile()
+
+    def test_floating_circuit_rejected(self):
+        c = Circuit()
+        c.add(Resistor("r1", "a", "b", 100))
+        with pytest.raises(NetlistError):
+            c.compile()
+
+
+class TestIndexAssignment:
+    def test_node_indices_assigned(self):
+        c = Circuit()
+        c.add(VoltageSource("v1", "in", "0", dc=1.0))
+        c.add(Resistor("r1", "in", "out", 100))
+        c.add(Resistor("r2", "out", "0", 100))
+        c.compile()
+        assert c.num_nodes == 2
+        assert c.num_branches == 1          # the voltage source
+        assert c.size == 3
+        assert c.index_of("0") == -1
+        assert c.index_of("gnd") == -1
+        assert 0 <= c.index_of("in") < 2
+        assert c.index_of("in") != c.index_of("out")
+
+    def test_unknown_node(self):
+        c = Circuit()
+        c.add(Resistor("r1", "a", "0", 100))
+        with pytest.raises(NetlistError):
+            c.index_of("missing")
+
+    def test_branch_indices_follow_nodes(self):
+        c = Circuit()
+        c.add(VoltageSource("v1", "a", "0", dc=1.0))
+        c.add(VoltageSource("v2", "b", "0", dc=1.0))
+        c.add(Resistor("r", "a", "b", 10))
+        c.compile()
+        branches = [c["v1"].branch_index[0], c["v2"].branch_index[0]]
+        assert sorted(branches) == [c.num_nodes, c.num_nodes + 1]
+
+    def test_compile_idempotent(self):
+        c = Circuit()
+        c.add(Resistor("r1", "a", "0", 100))
+        c.compile()
+        first = c["r1"].node_index
+        c.compile()
+        assert c["r1"].node_index == first
+
+    def test_recompile_after_add(self):
+        c = Circuit()
+        c.add(Resistor("r1", "a", "0", 100))
+        assert c.num_nodes == 1
+        c.add(Resistor("r2", "b", "0", 100))
+        assert c.num_nodes == 2   # property recompiles
+
+
+class TestIntrospection:
+    def test_nodes_touching(self):
+        c = Circuit()
+        c.add(Resistor("r1", "a", "b", 1))
+        c.add(Resistor("r2", "b", "0", 1))
+        touching = c.nodes_touching("b")
+        assert {e.name for e in touching} == {"r1", "r2"}
+
+    def test_summary_mentions_everything(self):
+        c = Circuit("my title")
+        c.add(Resistor("r1", "a", "0", 1))
+        text = c.summary()
+        assert "my title" in text
+        assert "r1 a 0" in text
+        assert "1 elements" in text
+
+    def test_element_names(self):
+        c = Circuit()
+        c.add(Resistor("r1", "a", "0", 1))
+        c.add(Resistor("r2", "a", "0", 1))
+        assert c.element_names() == ["r1", "r2"]
+
+    def test_empty_element_name_rejected(self):
+        with pytest.raises(NetlistError):
+            Resistor("", "a", "0", 1)

@@ -1,0 +1,97 @@
+"""Tests for the smooth (Sine / Exponential) waveforms and the
+integrator's ability to resolve them with no breakpoint help."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AnalysisError
+from repro.analysis import transient
+from repro.analysis.transient import TransientOptions
+from repro.circuit import (
+    Capacitor,
+    Circuit,
+    Exponential,
+    Resistor,
+    Sine,
+    VoltageSource,
+)
+
+
+class TestSineWaveform:
+    def test_values(self):
+        w = Sine(offset=0.5, amplitude=0.4, frequency=1e6)
+        assert w(0.0) == pytest.approx(0.5)
+        assert w(0.25e-6) == pytest.approx(0.9)
+        assert w(0.75e-6) == pytest.approx(0.1)
+        assert w(1.0e-6) == pytest.approx(0.5, abs=1e-9)
+
+    def test_delay(self):
+        w = Sine(0.0, 1.0, 1e6, delay=1e-6)
+        assert w(0.5e-6) == 0.0
+        assert w(1.25e-6) == pytest.approx(1.0)
+        assert w.breakpoints(0, 2e-6) == [1e-6]
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            Sine(0, 1, 0.0)
+
+    @given(t=st.floats(min_value=0, max_value=1e-3))
+    @settings(max_examples=40, deadline=None)
+    def test_bounded(self, t):
+        w = Sine(0.2, 0.7, 3e5)
+        assert -0.5 - 1e-12 <= w(t) <= 0.9 + 1e-12
+
+
+class TestExponentialWaveform:
+    def test_limits(self):
+        w = Exponential(v0=0.0, v1=1.0, tau=1e-9)
+        assert w(0.0) == 0.0
+        assert w(1e-9) == pytest.approx(1 - np.exp(-1))
+        assert w(20e-9) == pytest.approx(1.0, abs=1e-6)
+
+    def test_falling(self):
+        w = Exponential(v0=1.0, v1=0.2, tau=2e-9, delay=1e-9)
+        assert w(0.5e-9) == 1.0
+        assert w(3e-9) == pytest.approx(0.2 + 0.8 * np.exp(-1))
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            Exponential(0, 1, tau=0.0)
+
+
+class TestIntegratorOnSmoothDrive:
+    def test_rc_driven_by_sine_matches_analytic(self):
+        """Steady-state RC response to a sine: amplitude and phase from
+        the analytic transfer function 1/(1 + j w RC).  The sine has no
+        breakpoints, so this validates the LTE step control alone."""
+        r, cap, freq = 1e3, 1e-12, 50e6
+        c = Circuit()
+        c.add(VoltageSource("v", "in", "0",
+                            waveform=Sine(0.0, 1.0, freq)))
+        c.add(Resistor("r", "in", "out", r))
+        c.add(Capacitor("c", "out", "0", cap))
+        # Simulate long enough to reach steady state (RC = 1 ns << 10 T).
+        t_stop = 10 / freq
+        res = transient(c, t_stop,
+                        options=TransientOptions(lte_reltol=3e-4))
+
+        w = 2 * np.pi * freq
+        gain = 1 / np.sqrt(1 + (w * r * cap) ** 2)
+        phase = -np.arctan(w * r * cap)
+        # Compare over the final period against the analytic waveform.
+        mask = res.time > t_stop - 1 / freq
+        t = res.time[mask]
+        expected = gain * np.sin(w * t + phase)
+        measured = res.voltage("out")[mask]
+        assert np.max(np.abs(measured - expected)) < 0.02
+
+    def test_exponential_drive_tracks(self):
+        c = Circuit()
+        c.add(VoltageSource("v", "in", "0",
+                            waveform=Exponential(0.0, 1.0, tau=5e-9)))
+        c.add(Resistor("r", "in", "out", 10.0))   # fast RC: follows
+        c.add(Capacitor("c", "out", "0", 1e-15))
+        res = transient(c, 20e-9)
+        assert res.sample("out", 5e-9) == pytest.approx(1 - np.exp(-1),
+                                                        rel=2e-2)

@@ -1,0 +1,100 @@
+"""Tests for independent voltage/current sources."""
+
+import pytest
+
+from repro.circuit import (
+    Circuit,
+    Constant,
+    CurrentSource,
+    Pulse,
+    Resistor,
+    Step,
+    VoltageSource,
+)
+from repro.analysis import operating_point, transient
+
+
+class TestVoltageSource:
+    def test_dc_level(self):
+        v = VoltageSource("v", "a", "0", dc=0.9)
+        assert v.level(0.0) == 0.9
+        assert v.level(1e-6) == 0.9
+
+    def test_waveform_overrides_dc(self):
+        v = VoltageSource("v", "a", "0", dc=0.1,
+                          waveform=Step(0.0, 1.0, 1e-9, 1e-12))
+        assert v.level(0.0) == 0.0
+        assert v.level(2e-9) == 1.0
+
+    def test_set_level_clears_waveform(self):
+        v = VoltageSource("v", "a", "0", waveform=Constant(5.0))
+        v.set_level(0.3)
+        assert v.waveform is None
+        assert v.level(123.0) == 0.3
+
+    def test_branch_current_sign_spice_convention(self):
+        """A delivering supply reports a negative branch current."""
+        c = Circuit()
+        v = c.add(VoltageSource("v", "a", "0", dc=1.0))
+        c.add(Resistor("r", "a", "0", 100))
+        sol = operating_point(c)
+        assert v.branch_current(sol) == pytest.approx(-0.01, rel=1e-6)
+        assert v.delivered_power(sol) == pytest.approx(0.01, rel=1e-6)
+
+    def test_absorbing_source_has_negative_delivered_power(self):
+        c = Circuit()
+        hi = c.add(VoltageSource("hi", "a", "0", dc=2.0))
+        lo = c.add(VoltageSource("lo", "b", "0", dc=1.0))
+        c.add(Resistor("r", "a", "b", 100))
+        sol = operating_point(c)
+        assert hi.delivered_power(sol) > 0
+        assert lo.delivered_power(sol) < 0
+
+    def test_breakpoints_forwarded(self):
+        v = VoltageSource("v", "a", "0",
+                          waveform=Step(0, 1, 1e-9, 1e-10))
+        assert v.breakpoints(0, 1e-8) == pytest.approx([1e-9, 1.1e-9])
+        assert VoltageSource("w", "a", "0", dc=1.0).breakpoints(0, 1) == []
+
+    def test_two_sources_define_difference(self):
+        c = Circuit()
+        c.add(VoltageSource("v1", "a", "0", dc=0.9))
+        c.add(VoltageSource("v2", "b", "0", dc=0.4))
+        c.add(Resistor("r", "a", "b", 1000))
+        sol = operating_point(c)
+        assert sol.voltage("a") == pytest.approx(0.9)
+        assert sol.voltage("b") == pytest.approx(0.4)
+        assert c["r"].current(sol) == pytest.approx(0.5e-3, rel=1e-6)
+
+
+class TestCurrentSource:
+    def test_drives_resistor(self):
+        c = Circuit()
+        c.add(CurrentSource("i", "0", "out", dc=1e-3))  # inject into out
+        c.add(Resistor("r", "out", "0", 1000))
+        sol = operating_point(c)
+        assert sol.voltage("out") == pytest.approx(1.0, rel=1e-6)
+
+    def test_direction(self):
+        c = Circuit()
+        c.add(CurrentSource("i", "out", "0", dc=1e-3))  # extract from out
+        c.add(Resistor("r", "out", "0", 1000))
+        sol = operating_point(c)
+        assert sol.voltage("out") == pytest.approx(-1.0, rel=1e-6)
+
+    def test_waveform_driven(self):
+        c = Circuit()
+        c.add(CurrentSource("i", "0", "out",
+                            waveform=Pulse(0.0, 1e-3, delay=1e-9,
+                                           width=2e-9)))
+        c.add(Resistor("r", "out", "0", 1000))
+        result = transient(c, 5e-9)
+        assert result.sample("out", 0.5e-9) == pytest.approx(0.0, abs=1e-6)
+        assert result.sample("out", 2e-9) == pytest.approx(1.0, rel=1e-3)
+        assert result.sample("out", 4.5e-9) == pytest.approx(0.0, abs=1e-3)
+
+    def test_set_level(self):
+        i = CurrentSource("i", "a", "0", waveform=Constant(1.0))
+        i.set_level(2e-3)
+        assert i.waveform is None
+        assert i.level(0.0) == 2e-3

@@ -1,0 +1,114 @@
+"""Tests for hierarchical subcircuit flattening."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.circuit import Circuit, Resistor, SubCircuit, VoltageSource
+from repro.circuit.subcircuit import build_subcircuit
+from repro.analysis import operating_point
+
+
+def _divider_template() -> SubCircuit:
+    sub = SubCircuit("divider", ports=("top", "tap"))
+    sub.add(Resistor("ra", "top", "tap", 1000))
+    sub.add(Resistor("rb", "tap", "0", 1000))
+    return sub
+
+
+class TestInstantiate:
+    def test_flattening_names(self):
+        sub = _divider_template()
+        c = Circuit()
+        c.add(VoltageSource("v", "in", "0", dc=1.0))
+        added = sub.instantiate(c, "x1", {"top": "in", "tap": "out"})
+        assert {e.name for e in added} == {"x1.ra", "x1.rb"}
+        assert "x1.ra" in c
+
+    def test_port_mapping_electrical(self):
+        sub = _divider_template()
+        c = Circuit()
+        c.add(VoltageSource("v", "in", "0", dc=2.0))
+        sub.instantiate(c, "x1", {"top": "in", "tap": "out"})
+        sol = operating_point(c)
+        assert sol.voltage("out") == pytest.approx(1.0, rel=1e-6)
+
+    def test_internal_nodes_prefixed(self):
+        sub = SubCircuit("chain", ports=("a", "b"))
+        sub.add(Resistor("r1", "a", "mid", 100))
+        sub.add(Resistor("r2", "mid", "b", 100))
+        c = Circuit()
+        c.add(VoltageSource("v", "in", "0", dc=1.0))
+        sub.instantiate(c, "u7", {"a": "in", "b": "0"})
+        c.compile()
+        assert "u7.mid" in c.node_names()
+
+    def test_ground_passes_through(self):
+        sub = SubCircuit("g", ports=("a",))
+        sub.add(Resistor("r", "a", "gnd", 100))
+        c = Circuit()
+        c.add(VoltageSource("v", "in", "0", dc=1.0))
+        sub.instantiate(c, "x", {"a": "in"})
+        sol = operating_point(c)
+        assert sol.branch_current("v") == pytest.approx(-0.01, rel=1e-6)
+
+    def test_two_instances_independent(self):
+        sub = _divider_template()
+        c = Circuit()
+        c.add(VoltageSource("v", "in", "0", dc=1.0))
+        sub.instantiate(c, "x1", {"top": "in", "tap": "o1"})
+        sub.instantiate(c, "x2", {"top": "o1", "tap": "o2"})
+        sol = operating_point(c)
+        assert sol.voltage("o1") > sol.voltage("o2") > 0.0
+
+    def test_template_unmodified_by_instantiation(self):
+        sub = _divider_template()
+        c = Circuit()
+        c.add(VoltageSource("v", "in", "0", dc=1.0))
+        sub.instantiate(c, "x1", {"top": "in", "tap": "out"})
+        # The template elements keep their local node names.
+        c2 = Circuit()
+        c2.add(VoltageSource("v", "in", "0", dc=1.0))
+        added = sub.instantiate(c2, "x1", {"top": "in", "tap": "out"})
+        assert added[0].node_names == ("in", "out")
+
+
+class TestValidation:
+    def test_missing_port_rejected(self):
+        sub = _divider_template()
+        c = Circuit()
+        with pytest.raises(NetlistError, match="unconnected"):
+            sub.instantiate(c, "x1", {"top": "in"})
+
+    def test_unknown_port_rejected(self):
+        sub = _divider_template()
+        c = Circuit()
+        with pytest.raises(NetlistError, match="unknown ports"):
+            sub.instantiate(c, "x1",
+                            {"top": "in", "tap": "out", "oops": "x"})
+
+    def test_duplicate_ports_rejected(self):
+        with pytest.raises(NetlistError):
+            SubCircuit("bad", ports=("a", "a"))
+
+    def test_duplicate_element_rejected(self):
+        sub = SubCircuit("s", ports=("a",))
+        sub.add(Resistor("r", "a", "0", 1))
+        with pytest.raises(NetlistError):
+            sub.add(Resistor("r", "a", "0", 1))
+
+    def test_duplicate_instance_name_collides(self):
+        sub = _divider_template()
+        c = Circuit()
+        c.add(VoltageSource("v", "in", "0", dc=1.0))
+        sub.instantiate(c, "x1", {"top": "in", "tap": "out"})
+        with pytest.raises(NetlistError):
+            sub.instantiate(c, "x1", {"top": "in", "tap": "out2"})
+
+
+class TestBuilder:
+    def test_build_subcircuit_helper(self):
+        def builder(sub):
+            sub.add(Resistor("r", "a", "0", 42))
+
+        sub = build_subcircuit("x", ("a",), builder)
+        assert len(sub) == 1

@@ -1,0 +1,171 @@
+"""Tests for the time-domain waveform primitives."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import AnalysisError
+from repro.circuit.waveforms import (
+    Constant,
+    PiecewiseLinear,
+    Pulse,
+    Sequence,
+    Step,
+)
+
+
+class TestConstant:
+    def test_value(self):
+        w = Constant(0.9)
+        assert w(0.0) == 0.9
+        assert w(1e9) == 0.9
+
+    def test_no_breakpoints(self):
+        assert Constant(1.0).breakpoints(0, 1) == []
+
+
+class TestStep:
+    def test_levels(self):
+        w = Step(0.0, 1.0, t_step=1e-9, t_rise=1e-10)
+        assert w(0.0) == 0.0
+        assert w(1e-9) == 0.0
+        assert w(1.05e-9) == pytest.approx(0.5)
+        assert w(1.1e-9) == pytest.approx(1.0)
+        assert w(5e-9) == 1.0
+
+    def test_falling(self):
+        w = Step(1.0, 0.2, t_step=0.0, t_rise=1.0)
+        assert w(0.5) == pytest.approx(0.6)
+
+    def test_breakpoints(self):
+        w = Step(0, 1, t_step=2.0, t_rise=0.5)
+        assert w.breakpoints(0.0, 10.0) == [2.0, 2.5]
+        assert w.breakpoints(2.0, 2.4) == []  # half-open (t0, t1]
+        assert w.breakpoints(1.9, 2.0) == [2.0]
+
+    def test_zero_rise_rejected(self):
+        with pytest.raises(AnalysisError):
+            Step(0, 1, 0.0, 0.0)
+
+    def test_shifted(self):
+        w = Step(0, 1, t_step=1.0, t_rise=0.1).shifted(2.0)
+        assert w(2.5) == 0.0
+        assert w(3.2) == 1.0
+        assert w.breakpoints(0, 10) == [3.0, 3.1]
+
+
+class TestPulse:
+    def test_single_pulse_profile(self):
+        w = Pulse(0, 1, delay=1.0, rise=0.1, fall=0.1, width=0.5)
+        assert w(0.5) == 0
+        assert w(1.05) == pytest.approx(0.5)
+        assert w(1.3) == 1
+        assert w(1.65) == pytest.approx(0.5)
+        assert w(2.5) == 0
+
+    def test_periodic(self):
+        w = Pulse(0, 1, delay=0.0, rise=0.1, fall=0.1, width=0.3, period=1.0)
+        for k in range(4):
+            assert w(k + 0.25) == 1.0
+            assert w(k + 0.9) == 0.0
+
+    def test_periodic_breakpoints_cover_all_cycles(self):
+        w = Pulse(0, 1, rise=0.1, fall=0.1, width=0.3, period=1.0)
+        bps = w.breakpoints(0.0, 2.5)
+        # cycles at 0, 1, 2 each contribute up to 4 corners in (0, 2.5]
+        assert 1.0 in bps and 2.0 in bps
+        assert all(0.0 < t <= 2.5 for t in bps)
+
+    def test_period_shorter_than_pulse_rejected(self):
+        with pytest.raises(AnalysisError):
+            Pulse(0, 1, rise=0.3, fall=0.3, width=0.5, period=1.0)
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(AnalysisError):
+            Pulse(0, 1, width=-1e-9)
+
+
+class TestPiecewiseLinear:
+    def test_interpolation(self):
+        w = PiecewiseLinear([(0.0, 0.0), (1.0, 1.0), (3.0, 0.0)])
+        assert w(-1.0) == 0.0
+        assert w(0.5) == pytest.approx(0.5)
+        assert w(2.0) == pytest.approx(0.5)
+        assert w(5.0) == 0.0
+
+    def test_breakpoints_window(self):
+        w = PiecewiseLinear([(0.0, 0.0), (1.0, 1.0), (3.0, 0.0)])
+        assert w.breakpoints(0.0, 2.0) == [1.0]
+        assert w.breakpoints(0.5, 5.0) == [1.0, 3.0]
+
+    def test_monotonic_times_required(self):
+        with pytest.raises(AnalysisError):
+            PiecewiseLinear([(0.0, 0.0), (0.0, 1.0)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            PiecewiseLinear([])
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=100, allow_nan=False),
+                st.floats(min_value=-5, max_value=5, allow_nan=False),
+            ),
+            min_size=2,
+            max_size=12,
+        )
+    )
+    def test_value_bounded_by_levels(self, points):
+        # Deduplicate and sort times to make a valid PWL.
+        by_time = {}
+        for t, v in points:
+            by_time[round(t, 6)] = v
+        if len(by_time) < 2:
+            return
+        pts = sorted(by_time.items())
+        w = PiecewiseLinear(pts)
+        lo = min(v for _, v in pts)
+        hi = max(v for _, v in pts)
+        for frac in (0.0, 0.1, 0.37, 0.5, 0.93, 1.0):
+            t = pts[0][0] + frac * (pts[-1][0] - pts[0][0])
+            assert lo - 1e-9 <= w(t) <= hi + 1e-9
+
+
+class TestSequence:
+    def test_concatenation_with_local_time(self):
+        seg1 = Step(0, 1, t_step=0.5, t_rise=0.1)
+        seg2 = Constant(0.25)
+        w = Sequence([(seg1, 1.0), (seg2, 2.0)])
+        assert w.total_duration == 3.0
+        assert w(0.25) == 0.0
+        assert w(0.9) == 1.0
+        assert w(1.5) == 0.25
+        assert w(10.0) == 0.25  # holds final value
+
+    def test_breakpoints_include_segment_starts(self):
+        w = Sequence([(Constant(0), 1.0), (Step(0, 1, 0.2, 0.1), 1.0)])
+        bps = w.breakpoints(0.0, 2.0)
+        assert 1.0 in bps          # segment boundary
+        assert 1.2 in bps          # inner step corner, shifted
+        assert pytest.approx(1.3) in bps
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(AnalysisError):
+            Sequence([(Constant(0), -1.0)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            Sequence([])
+
+    @given(st.floats(min_value=0.0, max_value=3.0, allow_nan=False))
+    def test_piecewise_agreement_with_segments(self, t):
+        seg1 = PiecewiseLinear([(0.0, 0.0), (1.0, 1.0)])
+        seg2 = Constant(0.5)
+        seg3 = PiecewiseLinear([(0.0, 0.5), (1.0, 0.0)])
+        w = Sequence([(seg1, 1.0), (seg2, 1.0), (seg3, 1.0)])
+        if t < 1.0:
+            assert w(t) == pytest.approx(seg1(t))
+        elif t < 2.0:
+            assert w(t) == pytest.approx(0.5)
+        else:
+            assert w(t) == pytest.approx(seg3(t - 2.0))

@@ -1,0 +1,114 @@
+"""Tests for the stochastic CIMS extension (write error rate, retention)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DeviceError
+from repro.devices.mtj import MTJParams, MTJ_TABLE1
+
+IC = MTJ_TABLE1.critical_current
+
+
+class TestThermalTau:
+    def test_zero_bias_is_retention(self):
+        assert MTJ_TABLE1.thermal_tau(0.0) == MTJ_TABLE1.retention_time()
+
+    def test_retention_exceeds_ten_years(self):
+        """Delta = 60 gives the standard >> 10-year retention spec."""
+        assert MTJ_TABLE1.retention_time() > 10 * 3.15e7
+
+    def test_monotone_decreasing_in_current(self):
+        taus = [MTJ_TABLE1.thermal_tau(m * IC)
+                for m in (0.0, 0.3, 0.6, 0.9, 1.0)]
+        assert all(t2 < t1 for t1, t2 in zip(taus, taus[1:]))
+
+    def test_clamped_at_critical(self):
+        assert MTJ_TABLE1.thermal_tau(2 * IC) == \
+            MTJ_TABLE1.thermal_tau(1.0 * IC)
+
+    def test_validation(self):
+        with pytest.raises(DeviceError):
+            MTJ_TABLE1.with_(delta=0.0)
+        with pytest.raises(DeviceError):
+            MTJ_TABLE1.with_(attempt_time=-1.0)
+        with pytest.raises(DeviceError):
+            MTJ_TABLE1.with_(t_sw_sigma=0.0)
+
+
+class TestWriteErrorRate:
+    def test_paper_design_point_is_reliable(self):
+        """1.5 x Ic for 10 ns: WER well below 1e-6 — consistent with the
+        paper treating it as 'complete magnetization switching'."""
+        assert MTJ_TABLE1.write_error_rate(1.5 * IC, 10e-9) < 1e-6
+
+    def test_subcritical_store_never_completes(self):
+        """Well below Ic the thermal path is astronomically slow; near Ic
+        a small thermally-assisted switching probability appears (the
+        reason stores need a current *margin*, not just I = Ic)."""
+        assert MTJ_TABLE1.write_error_rate(0.5 * IC, 10e-9) > 1 - 1e-9
+        assert MTJ_TABLE1.write_error_rate(0.8 * IC, 10e-9) > 0.999
+
+    def test_monotone_in_current(self):
+        currents = np.linspace(0.5, 3.0, 40) * IC
+        wers = [MTJ_TABLE1.write_error_rate(i, 10e-9) for i in currents]
+        assert all(w2 <= w1 + 1e-15 for w1, w2 in zip(wers, wers[1:]))
+
+    def test_monotone_in_duration(self):
+        times = np.linspace(1e-9, 30e-9, 30)
+        wers = [MTJ_TABLE1.write_error_rate(1.5 * IC, t) for t in times]
+        assert all(w2 <= w1 + 1e-15 for w1, w2 in zip(wers, wers[1:]))
+
+    def test_zero_duration(self):
+        assert MTJ_TABLE1.write_error_rate(2 * IC, 0.0) == 1.0
+
+    @given(mult=st.floats(min_value=0.1, max_value=5.0),
+           t=st.floats(min_value=1e-12, max_value=1e-6))
+    @settings(max_examples=60, deadline=None)
+    def test_is_probability(self, mult, t):
+        wer = MTJ_TABLE1.write_error_rate(mult * IC, t)
+        assert 0.0 <= wer <= 1.0
+
+
+class TestRequiredCurrent:
+    def test_shorter_store_needs_more_current(self):
+        """The paper's prose claim, quantified."""
+        currents = [MTJ_TABLE1.required_current_for_wer(t, 1e-9)
+                    for t in (20e-9, 10e-9, 5e-9, 2e-9)]
+        assert all(i2 > i1 for i1, i2 in zip(currents, currents[1:]))
+
+    def test_tighter_wer_needs_more_current(self):
+        loose = MTJ_TABLE1.required_current_for_wer(10e-9, 1e-3)
+        tight = MTJ_TABLE1.required_current_for_wer(10e-9, 1e-12)
+        assert tight > loose
+
+    def test_requirement_is_super_critical(self):
+        assert MTJ_TABLE1.required_current_for_wer(10e-9, 1e-6) > IC
+
+    def test_design_point_near_paper_margin(self):
+        """A 10 ns store at ~1e-6 WER lands close to the paper's 1.5 x Ic
+        current margin."""
+        required = MTJ_TABLE1.required_current_for_wer(10e-9, 1e-6)
+        assert required == pytest.approx(1.5 * IC, rel=0.15)
+
+    def test_self_consistent_with_wer(self):
+        """The required current always meets the target; it matches it
+        tightly when the precessional tail (not the thermal floor)
+        limits the error rate."""
+        for t, wer in ((10e-9, 1e-6), (5e-9, 1e-9), (20e-9, 1e-3)):
+            i_req = MTJ_TABLE1.required_current_for_wer(t, wer)
+            achieved = MTJ_TABLE1.write_error_rate(i_req, t)
+            assert achieved <= wer * 1.05
+        # Tight target, thermal floor negligible: near equality.
+        i_req = MTJ_TABLE1.required_current_for_wer(5e-9, 1e-9)
+        assert MTJ_TABLE1.write_error_rate(i_req, 5e-9) == pytest.approx(
+            1e-9, rel=0.1
+        )
+
+    def test_validation(self):
+        with pytest.raises(DeviceError):
+            MTJ_TABLE1.required_current_for_wer(10e-9, 1.5)
+        with pytest.raises(DeviceError):
+            MTJ_TABLE1.required_current_for_wer(0.0, 1e-6)

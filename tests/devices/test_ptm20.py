@@ -1,0 +1,68 @@
+"""Tests pinning the realised 20 nm technology card to its targets."""
+
+import pytest
+
+from repro.devices.ptm20 import (
+    CGATE_PER_FIN,
+    CJUNCTION_PER_FIN,
+    FIN_HEIGHT,
+    FIN_WIDTH,
+    NFET_20NM_HP,
+    PFET_20NM_HP,
+    VDD_NOMINAL,
+    WEFF_PER_FIN,
+    ioff_per_fin,
+    ion_per_fin,
+    technology_summary,
+)
+
+
+class TestGeometry:
+    def test_table1_dimensions(self):
+        assert FIN_WIDTH == 15e-9
+        assert FIN_HEIGHT == 28e-9
+        assert WEFF_PER_FIN == pytest.approx(71e-9)
+        assert VDD_NOMINAL == 0.9
+
+    def test_parasitic_caps_sane(self):
+        # Sub-femtofarad per-fin parasitics at 20 nm.
+        assert 1e-17 < CGATE_PER_FIN < 2e-16
+        assert 1e-18 < CJUNCTION_PER_FIN < 1e-16
+
+
+class TestCalibration:
+    """Pin the card's headline figures; these anchor every energy number
+    in EXPERIMENTS.md, so drift must fail loudly."""
+
+    def test_ion_n(self):
+        assert ion_per_fin(NFET_20NM_HP) == pytest.approx(95e-6, rel=0.10)
+
+    def test_ion_p(self):
+        assert ion_per_fin(PFET_20NM_HP) == pytest.approx(85e-6, rel=0.10)
+
+    def test_ioff_n_in_hp_range(self):
+        ioff = ioff_per_fin(NFET_20NM_HP)
+        assert 1e-9 < ioff < 2e-8   # a few nA/fin: HP-class leakage
+
+    def test_ioff_p_in_hp_range(self):
+        ioff = ioff_per_fin(PFET_20NM_HP)
+        assert 1e-9 < ioff < 2e-8
+
+    def test_on_off_ratio(self):
+        ratio = ion_per_fin(NFET_20NM_HP) / ioff_per_fin(NFET_20NM_HP)
+        assert ratio > 1e3
+
+    def test_summary_keys(self):
+        summary = technology_summary()
+        expected = {
+            "vdd", "weff_per_fin", "ion_n_per_fin", "ion_p_per_fin",
+            "ioff_n_per_fin", "ioff_p_per_fin", "ss_n_mv_per_dec",
+            "ss_p_mv_per_dec", "dibl_n_mv_per_v", "dibl_p_mv_per_v",
+        }
+        assert set(summary) == expected
+
+    def test_summary_at_lower_vdd(self):
+        low = technology_summary(0.7)
+        nom = technology_summary(0.9)
+        assert low["ion_n_per_fin"] < nom["ion_n_per_fin"]
+        assert low["ioff_n_per_fin"] < nom["ioff_n_per_fin"]  # DIBL

@@ -1,0 +1,77 @@
+"""Tests for device temperature scaling."""
+
+import pytest
+
+from repro.errors import DeviceError
+from repro.devices.mtj import MTJ_TABLE1
+from repro.devices.ptm20 import (
+    NFET_20NM_HP,
+    PFET_20NM_HP,
+    ioff_per_fin,
+    ion_per_fin,
+)
+
+
+class TestFinFETTemperature:
+    def test_nominal_card_is_300k(self):
+        assert NFET_20NM_HP.temperature == pytest.approx(300.0)
+
+    def test_identity_at_300k(self):
+        card = NFET_20NM_HP.at_temperature(300.0)
+        assert card.vth0 == pytest.approx(NFET_20NM_HP.vth0)
+        assert card.i_spec == pytest.approx(NFET_20NM_HP.i_spec)
+
+    def test_swing_scales_linearly(self):
+        hot = NFET_20NM_HP.at_temperature(400.0)
+        assert hot.subthreshold_swing == pytest.approx(
+            NFET_20NM_HP.subthreshold_swing * 400.0 / 300.0
+        )
+
+    def test_leakage_grows_strongly_with_temperature(self):
+        cold = ioff_per_fin(NFET_20NM_HP.at_temperature(250.0))
+        nominal = ioff_per_fin(NFET_20NM_HP)
+        hot = ioff_per_fin(NFET_20NM_HP.at_temperature(400.0))
+        assert cold < nominal / 5
+        assert hot > nominal * 10
+
+    def test_on_current_drops_with_temperature(self):
+        """Mobility degradation wins over the Vth drop at strong drive."""
+        hot = ion_per_fin(NFET_20NM_HP.at_temperature(400.0))
+        assert hot < ion_per_fin(NFET_20NM_HP)
+
+    def test_pfet_scales_too(self):
+        hot = PFET_20NM_HP.at_temperature(350.0)
+        assert ioff_per_fin(hot) > ioff_per_fin(PFET_20NM_HP)
+
+    def test_double_scaling_rejected(self):
+        hot = NFET_20NM_HP.at_temperature(350.0)
+        with pytest.raises(DeviceError):
+            hot.at_temperature(400.0)
+
+    def test_bad_temperature_rejected(self):
+        with pytest.raises(DeviceError):
+            NFET_20NM_HP.at_temperature(0.0)
+
+    def test_label_annotated(self):
+        assert "350" in NFET_20NM_HP.at_temperature(350.0).label
+
+
+class TestMtjTemperature:
+    def test_delta_inverse_in_t(self):
+        hot = MTJ_TABLE1.at_temperature(400.0)
+        assert hot.delta == pytest.approx(MTJ_TABLE1.delta * 0.75)
+
+    def test_retention_collapses_when_hot(self):
+        hot = MTJ_TABLE1.at_temperature(400.0)
+        assert hot.retention_time() < MTJ_TABLE1.retention_time() / 1e5
+        # ... but still years at Delta = 45.
+        assert hot.retention_time() > 10 * 3.15e7
+
+    def test_critical_current_unchanged(self):
+        """Jc is treated as athermal to first order."""
+        hot = MTJ_TABLE1.at_temperature(400.0)
+        assert hot.critical_current == MTJ_TABLE1.critical_current
+
+    def test_bad_temperature_rejected(self):
+        with pytest.raises(DeviceError):
+            MTJ_TABLE1.at_temperature(-10.0)

@@ -1,0 +1,76 @@
+"""Tests for the experiment context (memoisation and overrides)."""
+
+import pytest
+
+from repro.cells import PowerDomain
+from repro.devices.mtj import MTJ_FIG9B
+from repro.experiments import ExperimentContext
+from repro.pg.modes import OperatingConditions
+
+
+@pytest.fixture()
+def fresh_ctx(tmp_path):
+    return ExperimentContext(cache_dir=tmp_path)
+
+
+class TestMemoisation:
+    def test_same_inputs_same_object(self, ctx):
+        domain = PowerDomain(64, 32)
+        a = ctx.characterization("nv", domain)
+        b = ctx.characterization("nv", domain)
+        assert a is b
+
+    def test_kind_distinguished(self, ctx):
+        domain = PowerDomain(64, 32)
+        assert ctx.characterization("nv", domain) is not \
+            ctx.characterization("6t", domain)
+
+    def test_domain_distinguished(self, ctx):
+        a = ctx.characterization("nv", PowerDomain(64, 32))
+        b = ctx.characterization("nv", PowerDomain(128, 32))
+        assert a is not b
+        assert a.n_wordlines != b.n_wordlines
+
+    def test_cond_override_distinguished(self, ctx):
+        domain = PowerDomain(64, 32)
+        base = ctx.characterization("nv", domain)
+        fast = ctx.characterization("nv", domain,
+                                    cond=ctx.cond.fast_variant())
+        assert fast is not base
+        assert fast.frequency == 1e9
+
+    def test_mtj_override_distinguished(self, ctx):
+        domain = PowerDomain(64, 32)
+        base = ctx.characterization("nv", domain)
+        relaxed = ctx.characterization("nv", domain,
+                                       mtj_params=MTJ_FIG9B)
+        assert relaxed is not base
+
+
+class TestEnergyModelFactory:
+    def test_model_uses_matching_domain(self, ctx):
+        domain = PowerDomain(64, 32)
+        model = ctx.energy_model(domain)
+        assert model.domain is domain
+        assert model.nv.n_wordlines == 64
+        assert model.volatile.kind == "6t"
+
+    def test_model_cond_override(self, ctx):
+        domain = PowerDomain(64, 32)
+        fast = ctx.energy_model(domain, cond=ctx.cond.fast_variant())
+        assert fast.cond.frequency == 1e9
+
+
+class TestDefaults:
+    def test_default_conditions_are_table1(self):
+        ctx = ExperimentContext()
+        assert ctx.cond == OperatingConditions()
+
+    def test_disk_cache_round_trip(self, fresh_ctx, tmp_path):
+        domain = PowerDomain(32, 32)
+        first = fresh_ctx.characterization("6t", domain)
+        # A new context with the same cache dir loads from disk.
+        clone = ExperimentContext(cache_dir=tmp_path)
+        second = clone.characterization("6t", domain)
+        assert second == first
+        assert any(tmp_path.iterdir())

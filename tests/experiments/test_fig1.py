@@ -1,0 +1,62 @@
+"""Tests for the Fig. 1 power-timeline experiment."""
+
+import numpy as np
+import pytest
+
+from repro.cells import PowerDomain
+from repro.experiments.fig1 import PowerTimeline, run_fig1
+from repro.pg.sequences import Architecture
+
+SMALL = PowerDomain(64, 32)
+
+
+@pytest.fixture(scope="module")
+def result(ctx):
+    return run_fig1(ctx, domain=SMALL)
+
+
+class TestTimelines:
+    def test_both_architectures_present(self, result):
+        archs = {tl.architecture for tl in result.timelines}
+        assert archs == {Architecture.NVPG, Architecture.NOF}
+
+    def test_levels_match_windows(self, result):
+        for tl in result.timelines:
+            assert len(tl.levels) == len(tl.labels)
+            assert len(tl.times) == len(tl.levels) + 1
+            assert np.all(np.diff(tl.times) >= 0)
+            assert np.all(tl.levels >= 0)
+
+    def test_nof_average_exceeds_nvpg(self, result):
+        by_arch = {tl.architecture: tl for tl in result.timelines}
+        assert by_arch[Architecture.NOF].average_power() > \
+            by_arch[Architecture.NVPG].average_power()
+
+    def test_shutdown_is_the_floor(self, result):
+        for tl in result.timelines:
+            shutdown_levels = [
+                lvl for lvl, lab in zip(tl.levels, tl.labels)
+                if lab == "shutdown"
+            ]
+            assert shutdown_levels
+            assert min(shutdown_levels) == pytest.approx(min(tl.levels))
+
+    def test_store_is_a_spike(self, result):
+        by_arch = {tl.architecture: tl for tl in result.timelines}
+        nvpg = by_arch[Architecture.NVPG]
+        store = [lvl for lvl, lab in zip(nvpg.levels, nvpg.labels)
+                 if lab.startswith("store")]
+        normal = [lvl for lvl, lab in zip(nvpg.levels, nvpg.labels)
+                  if lab == "sleep"]
+        assert min(store) > 10 * max(normal)
+
+    def test_render_contains_staircase(self, result):
+        text = result.render()
+        assert "NVPG" in text and "NOF" in text
+        assert "#" in text and "|" in text
+
+    def test_average_power_consistent(self, result):
+        tl = result.timelines[0]
+        widths = np.diff(tl.times)
+        manual = float(np.sum(widths * tl.levels) / tl.times[-1])
+        assert tl.average_power() == pytest.approx(manual)

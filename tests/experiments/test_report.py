@@ -1,0 +1,39 @@
+"""Tests for the report rendering helpers."""
+
+from repro.experiments.report import eng, render_table, series_block
+
+
+class TestRenderTable:
+    def test_alignment_and_rule(self):
+        text = render_table(("a", "bbbb"), [(1, 2.5), (33, 4.0)],
+                            title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bbbb" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        # All rows share the same width.
+        assert len({len(line) for line in lines[1:]}) == 1
+
+    def test_float_formatting(self):
+        text = render_table(("x",), [(1.23456789e-13,)])
+        assert "1.235e-13" in text
+
+    def test_no_title(self):
+        text = render_table(("x",), [(1,)])
+        assert text.splitlines()[0].strip() == "x"
+
+
+class TestEng:
+    def test_eng_wrapper(self):
+        assert eng(2.5e-12, "J") == "2.50 pJ"
+
+
+class TestSeriesBlock:
+    def test_block_structure(self):
+        text = series_block("curve", [1e-9, 2e-9], [1e-12, 2e-12],
+                            "s", "J")
+        lines = text.splitlines()
+        assert lines[0] == "# curve"
+        assert len(lines) == 3
+        assert "1.00 ns" in lines[1]
+        assert "2.00 pJ" in lines[2]

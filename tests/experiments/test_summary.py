@@ -1,0 +1,52 @@
+"""Tests for the consolidated reproduction report."""
+
+import pytest
+
+from repro.experiments.summary import ClaimCheck, SummaryResult, run_summary
+
+
+@pytest.fixture(scope="module")
+def scorecard(ctx):
+    return run_summary(ctx, include_figures=False)
+
+
+class TestScorecard:
+    def test_every_claim_passes(self, scorecard):
+        failed = [c.claim for c in scorecard.claims if not c.passed]
+        assert failed == []
+        assert scorecard.all_passed
+
+    def test_claim_inventory(self, scorecard):
+        text = " ".join(c.claim for c in scorecard.claims)
+        for phrase in ("asymptotically", "NOF", "super cutoff",
+                       "store-free", "domain depth"):
+            assert phrase in text
+        assert len(scorecard.claims) >= 9
+
+    def test_measured_strings_nonempty(self, scorecard):
+        assert all(c.measured for c in scorecard.claims)
+
+    def test_render_scorecard(self, scorecard):
+        text = scorecard.render()
+        assert "Headline-claim scorecard" in text
+        assert "PASS" in text
+        assert "FAIL" not in text
+
+    def test_render_flags_failures(self):
+        result = SummaryResult(claims=[
+            ClaimCheck("it works", "no it doesn't", False),
+        ])
+        assert "FAIL" in result.render()
+        assert not result.all_passed
+
+
+class TestFullReport:
+    def test_sections_present(self, ctx):
+        result = run_summary(ctx, include_figures=True)
+        titles = [t for t, _ in result.sections]
+        for expected in ("Table I", "Fig. 1", "Fig. 3", "Fig. 4",
+                         "Fig. 5", "Fig. 7(a)", "Fig. 7(b)", "Fig. 8",
+                         "Fig. 9(a)", "Fig. 9(b)"):
+            assert expected in titles
+        text = result.render()
+        assert "Fig. 9(b): BET vs domain depth N" in text

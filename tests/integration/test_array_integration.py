@@ -1,0 +1,117 @@
+"""Multi-cell array integration: the single-cell results transfer.
+
+Runs real transients on small SPICE-level arrays with shared bitlines,
+word lines and per-row power switches — checking store/restore and
+row-level power gating work when cells electrically interact.
+"""
+
+import pytest
+
+from repro.analysis import operating_point, transient
+from repro.analysis.transient import TransientOptions
+from repro.circuit import Step
+from repro.cells import build_cell_array
+from repro.devices.mtj import MTJState
+
+VDD = 0.9
+V_SR = 0.65
+V_CTRL = 0.5
+
+
+@pytest.fixture()
+def array2x2():
+    return build_cell_array(2, 2)
+
+
+class TestArrayStore:
+    def test_row_store_encodes_row_data(self, array2x2):
+        """Storing row 0 flips exactly that row's MTJs to its data."""
+        tb = array2x2
+        c = tb.circuit
+        data = [[True, False], [False, True]]
+        # Program all MTJs to the complement so every store must switch.
+        for row in tb.cells:
+            for cell in row:
+                cell.set_mtj_states(c, MTJState.PARALLEL,
+                                    MTJState.ANTIPARALLEL)
+                if cell.stored_data(c) is data[tb.cells.index(row)][row.index(cell)]:
+                    cell.set_mtj_states(c, MTJState.ANTIPARALLEL,
+                                        MTJState.PARALLEL)
+        # Two-step store on row 0 only.
+        c["vsr0"].set_waveform(Step(0.0, V_SR, 1e-9, 100e-12))
+        c["vctrl0"].set_waveform(Step(0.0, V_CTRL, 11e-9, 100e-12))
+        res = transient(
+            c, 21e-9, ic=tb.initial_conditions(data),
+            options=TransientOptions(dt_initial=20e-12),
+        )
+        # Row 0 now encodes its data; row 1 untouched.
+        for col in range(2):
+            assert tb.cells[0][col].stored_data(c) is data[0][col]
+        assert all(name.startswith("cell0_") for _, name, _ in res.events)
+
+    def test_store_does_not_disturb_neighbours(self, array2x2):
+        tb = array2x2
+        c = tb.circuit
+        data = [[True, True], [False, True]]
+        c["vsr0"].set_waveform(Step(0.0, V_SR, 1e-9, 100e-12))
+        c["vctrl0"].set_waveform(Step(0.0, V_CTRL, 11e-9, 100e-12))
+        res = transient(c, 21e-9, ic=tb.initial_conditions(data))
+        final = res.final_solution()
+        for r in range(2):
+            for col in range(2):
+                assert tb.cells[r][col].read_data(final, VDD) is data[r][col]
+
+
+class TestRowPowerGating:
+    def test_gated_row_collapses_other_survives(self, array2x2):
+        tb = array2x2
+        c = tb.circuit
+        c["vpg1"].set_waveform(Step(0.0, 1.0, 1e-9, 200e-12))
+        data = [[True, False], [True, False]]
+        res = transient(c, 30e-9, ic=tb.initial_conditions(data))
+        final = res.final_solution()
+        # Row 1's virtual rail decays (slowly - leakage discharges it),
+        # row 0 still holds its data solid.
+        assert final.voltage("vvdd1") < final.voltage("vvdd0")
+        for col in range(2):
+            assert tb.cells[0][col].read_data(final, VDD) is data[0][col]
+
+    def test_restore_after_row_shutdown(self):
+        tb = build_cell_array(1, 2)
+        c = tb.circuit
+        # Power switch off initially, MTJs hold a known pattern.
+        tb.cells[0][0].set_mtj_states(c, MTJState.ANTIPARALLEL,
+                                      MTJState.PARALLEL)   # True
+        tb.cells[0][1].set_mtj_states(c, MTJState.PARALLEL,
+                                      MTJState.ANTIPARALLEL)  # False
+        c["vpg0"].set_waveform(Step(1.0, 0.0, 1e-9, 200e-12))
+        c["vsr0"].set_level(V_SR)
+        c["vctrl0"].set_level(0.0)
+        c["vbl0"].set_level(0.0)
+        c["vblb0"].set_level(0.0)
+        c["vbl1"].set_level(0.0)
+        c["vblb1"].set_level(0.0)
+        ic = {"vvdd0": 0.0}
+        for cell in tb.cells[0]:
+            ic[cell.q] = 0.0
+            ic[cell.qb] = 0.0
+        res = transient(c, 8e-9, ic=ic)
+        final = res.final_solution()
+        assert final.voltage("vvdd0") > 0.8 * VDD
+        assert tb.cells[0][0].read_data(final, VDD) is True
+        assert tb.cells[0][1].read_data(final, VDD) is False
+
+
+class TestArrayStatic:
+    def test_static_power_scales_with_cells(self):
+        def total_power(rows, cols):
+            tb = build_cell_array(rows, cols)
+            data = [[True] * cols for _ in range(rows)]
+            sol = operating_point(tb.circuit,
+                                  ic=tb.initial_conditions(data))
+            return -sol.branch_current("vdd") * VDD
+
+        p1 = total_power(1, 1)
+        p4 = total_power(2, 2)
+        # Within 40%: bitline/switch overheads are not per-cell-linear.
+        assert p4 == pytest.approx(4 * p1, rel=0.4)

@@ -1,0 +1,199 @@
+"""The paper's headline claims, asserted against simulated numbers.
+
+Every test cites the claim it checks.  These run on the reference domain
+(N = 512, M = 32) with the session-cached characterisations, so they
+exercise the whole stack: device models -> transient characterisation ->
+energy composition -> BET.
+"""
+
+import numpy as np
+import pytest
+
+from repro.pg.bet import break_even_time
+from repro.pg.sequences import Architecture, BenchmarkSpec
+
+T_SL = 100e-9
+
+
+def _e(model, arch, n_rw, t_sl=T_SL, t_sd=0.0, **kw):
+    return model.e_cyc(BenchmarkSpec(arch, n_rw=n_rw, t_sl=t_sl,
+                                     t_sd=t_sd, **kw))
+
+
+class TestFig7aClaims:
+    def test_nvpg_approaches_osr_asymptotically(self, energy_model):
+        """'When n_RW increases, E_cyc for the NVPG architecture
+        approaches asymptotically to that for the OSR architecture.'"""
+        ratios = [
+            _e(energy_model, Architecture.NVPG, n)
+            / _e(energy_model, Architecture.OSR, n)
+            for n in (1, 10, 100, 1000, 10000)
+        ]
+        assert all(r2 < r1 for r1, r2 in zip(ratios, ratios[1:]))
+        assert ratios[-1] < 1.05
+        assert ratios[0] > 2.0   # the store dominates a single pass
+
+    def test_nof_monotonically_worse_than_osr(self, energy_model):
+        """'E_cyc for the NOF architecture monotonously increases with
+        increasing n_RW and is much higher than that for OSR.'"""
+        for n in (10, 100, 1000):
+            nof = _e(energy_model, Architecture.NOF, n)
+            osr = _e(energy_model, Architecture.OSR, n)
+            assert nof > 2.0 * osr
+
+    def test_nvpg_close_to_nof_at_single_pass(self, energy_model):
+        """'E_cyc of NVPG is almost the same as NOF at n_RW = 1 since the
+        store count is equal.'  (With N = 512 the serialised store phase
+        makes NVPG somewhat higher — the Fig. 7(b) caveat.)"""
+        nvpg = _e(energy_model, Architecture.NVPG, 1)
+        nof = _e(energy_model, Architecture.NOF, 1)
+        assert nvpg == pytest.approx(nof, rel=0.6)
+
+    def test_read_write_ratio_does_not_change_story(self, ctx, domain):
+        """'When a repetition ratio of the read operation to the write
+        operation enlarges (10 times or more), these features remain
+        unchanged.'"""
+        cond10 = ctx.cond.with_(read_write_ratio=10.0)
+        model = ctx.energy_model(domain, cond=cond10)
+        ratio_small = (_e(model, Architecture.NVPG, 1)
+                       / _e(model, Architecture.OSR, 1))
+        ratio_large = (_e(model, Architecture.NVPG, 10000)
+                       / _e(model, Architecture.OSR, 10000))
+        assert ratio_large < 1.05 < ratio_small
+        # NOF's relative penalty shrinks with a read-heavy mix (reads do
+        # not write back) but it stays clearly worse than OSR.
+        for n in (10, 1000):
+            assert _e(model, Architecture.NOF, n) > \
+                1.3 * _e(model, Architecture.OSR, n)
+
+
+class TestFig7bClaims:
+    def test_large_domain_penalises_nvpg_at_small_n_rw(self, ctx):
+        """'For very small n_RW, E_cyc for the NVPG architecture with
+        larger N (>= 256) is higher than that for the NOF architecture.'"""
+        from repro.cells import PowerDomain
+
+        large = ctx.energy_model(PowerDomain(1024, 32))
+        assert _e(large, Architecture.NVPG, 1) > \
+            _e(large, Architecture.NOF, 1)
+
+    def test_penalty_recovers_by_n_rw_10(self, ctx):
+        """'This unwanted effect is rapidly reduced with increasing n_RW
+        to more than ~10.'"""
+        from repro.cells import PowerDomain
+
+        large = ctx.energy_model(PowerDomain(1024, 32))
+        assert _e(large, Architecture.NVPG, 30) < \
+            _e(large, Architecture.NOF, 30)
+
+    def test_small_domain_no_penalty(self, ctx):
+        from repro.cells import PowerDomain
+
+        small = ctx.energy_model(PowerDomain(32, 32))
+        assert _e(small, Architecture.NVPG, 1) < \
+            1.5 * _e(small, Architecture.NOF, 1)
+
+
+class TestFig8Claims:
+    def test_nvpg_bet_several_tens_of_microseconds(self, energy_model):
+        """'The NVPG architecture has a sufficiently short BET
+        (~ several 10 us).'"""
+        bet = break_even_time(energy_model, Architecture.NVPG, n_rw=10,
+                              t_sl=T_SL).bet
+        assert 10e-6 < bet < 500e-6
+
+    def test_nof_bet_much_longer(self, energy_model):
+        """'E_cyc for the NOF architecture requires much longer BET.'"""
+        for n_rw in (10, 100, 1000):
+            nvpg = break_even_time(energy_model, Architecture.NVPG,
+                                   n_rw=n_rw, t_sl=T_SL).bet
+            nof = break_even_time(energy_model, Architecture.NOF,
+                                  n_rw=n_rw, t_sl=T_SL).bet
+            assert nof > 4 * nvpg
+
+    def test_nof_bet_strongly_n_rw_dependent(self, energy_model):
+        """'This condition strongly depends on n_RW.'"""
+        bet10 = break_even_time(energy_model, Architecture.NOF, n_rw=10,
+                                t_sl=T_SL).bet
+        bet1000 = break_even_time(energy_model, Architecture.NOF,
+                                  n_rw=1000, t_sl=T_SL).bet
+        assert bet1000 > 20 * bet10
+
+
+class TestFig9Claims:
+    def test_bet_grows_with_n_and_n_rw(self, ctx):
+        """'BET increases with increasing N or n_RW.'"""
+        from repro.cells import PowerDomain
+
+        bets = {}
+        for n in (32, 512, 2048):
+            model = ctx.energy_model(PowerDomain(n, 32))
+            for n_rw in (10, 1000):
+                bets[(n, n_rw)] = break_even_time(
+                    model, Architecture.NVPG, n_rw=n_rw, t_sl=T_SL).bet
+        assert bets[(32, 10)] < bets[(512, 10)] < bets[(2048, 10)]
+        assert bets[(32, 10)] < bets[(32, 1000)]
+        assert bets[(512, 10)] < bets[(512, 1000)]
+
+    def test_store_free_reduces_bet_to_microseconds(self, energy_model):
+        """'Store-free shutdown can dramatically reduce BET to several
+        us.'"""
+        full = break_even_time(energy_model, Architecture.NVPG, n_rw=10,
+                               t_sl=T_SL).bet
+        free = break_even_time(energy_model, Architecture.NVPG, n_rw=10,
+                               t_sl=T_SL, store_free=True).bet
+        assert free < full / 5
+        assert 1e-6 < free < 40e-6
+
+    def test_fast_low_jc_configuration_shortens_bet(self, ctx):
+        """Fig. 9(b): 1 GHz + Jc = 1e6 A/cm^2 (with biases re-derived per
+        the Fig. 3 methodology) gives much shorter BET without
+        store-free."""
+        from repro.cells import PowerDomain
+        from repro.characterize.store import derive_store_biases
+        from repro.devices.mtj import MTJ_FIG9B
+
+        domain = PowerDomain(512, 32)
+        base_bet = break_even_time(
+            ctx.energy_model(domain), Architecture.NVPG, n_rw=10,
+            t_sl=T_SL).bet
+        fast_cond = derive_store_biases(
+            ctx.cond.fast_variant(), PowerDomain(32, 32),
+            mtj_params=MTJ_FIG9B,
+        )
+        fast_model = ctx.energy_model(domain, cond=fast_cond,
+                                      mtj_params=MTJ_FIG9B)
+        fast_bet = break_even_time(fast_model, Architecture.NVPG,
+                                   n_rw=10, t_sl=T_SL).bet
+        assert fast_bet < base_bet / 1.5
+
+
+class TestPerformanceClaims:
+    def test_nvpg_no_speed_degradation(self, energy_model):
+        """'The NV-SRAM cell with the NVPG architecture can have the same
+        read/write speed as the 6T-SRAM cell.'"""
+        assert energy_model.effective_cycle_time(Architecture.NVPG) == \
+            energy_model.effective_cycle_time(Architecture.OSR)
+
+    def test_nof_severe_degradation(self, energy_model):
+        """'The cell executing the NOF architecture suffers from the
+        degradation of the read/write cycle speed.'"""
+        nof = energy_model.effective_cycle_time(Architecture.NOF)
+        osr = energy_model.effective_cycle_time(Architecture.OSR)
+        assert nof > 5 * osr
+
+
+class TestFig6cClaims:
+    def test_static_power_comparable_in_normal_and_sleep(
+            self, nv_char, vt_char):
+        """'The static power of the NV-SRAM cell is comparable to that of
+        the 6T-SRAM cell during the normal operation and sleep modes.'"""
+        assert nv_char.p_normal == pytest.approx(vt_char.p_normal,
+                                                 rel=0.25)
+        assert nv_char.p_sleep == pytest.approx(vt_char.p_sleep, rel=0.25)
+
+    def test_super_cutoff_dramatic_reduction(self, nv_char):
+        """'The static power during the shutdown mode can be dramatically
+        reduced by the super-cutoff technique.'"""
+        assert nv_char.p_shutdown < nv_char.p_sleep / 3
+        assert nv_char.p_shutdown < nv_char.p_shutdown_nominal / 5

@@ -1,0 +1,149 @@
+"""Tests for break-even-time extraction."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AnalysisError
+from repro.cells import PowerDomain
+from repro.characterize.data import CellCharacterization
+from repro.pg.bet import BetResult, bet_curve_crossing, break_even_time
+from repro.pg.energy import CellEnergyModel
+from repro.pg.modes import OperatingConditions
+from repro.pg.sequences import Architecture, BenchmarkSpec
+
+COND = OperatingConditions(frequency=100e6)
+DOMAIN = PowerDomain(n_wordlines=4, word_bits=32)
+
+
+def _model(p_shutdown=1e-9, p_sleep_v=4e-9, e_store=300e-15,
+           p_normal_nv=10e-9):
+    nv = CellCharacterization(
+        kind="nv", n_wordlines=4, vdd=0.9, frequency=100e6,
+        e_read=10e-15, e_write=20e-15,
+        p_normal=p_normal_nv, p_sleep=5e-9, p_shutdown=p_shutdown,
+        p_shutdown_nominal=8e-9,
+        e_store=e_store, t_store=20e-9,
+        e_restore=30e-15, t_restore=2e-9,
+        store_events=2,
+    )
+    vt = CellCharacterization(
+        kind="6t", n_wordlines=4, vdd=0.9, frequency=100e6,
+        e_read=9e-15, e_write=18e-15,
+        p_normal=9e-9, p_sleep=p_sleep_v, p_shutdown=p_sleep_v,
+        p_shutdown_nominal=p_sleep_v,
+    )
+    return CellEnergyModel(nv, vt, COND, DOMAIN)
+
+
+class TestClosedForm:
+    def test_matches_manual_crossing(self):
+        model = _model()
+        result = break_even_time(model, Architecture.NVPG, n_rw=1)
+        # Crossing: E_nvpg(0) + p_shd*t = E_osr(0) + p_sleep_v*t.
+        e_nvpg0 = model.e_cyc(BenchmarkSpec(Architecture.NVPG, n_rw=1))
+        e_osr0 = model.e_cyc(BenchmarkSpec(Architecture.OSR, n_rw=1))
+        expected = (e_nvpg0 - e_osr0) / (4e-9 - 1e-9)
+        assert result.bet == pytest.approx(expected, rel=1e-12)
+        assert result.achievable
+
+    def test_zero_when_pg_wins_immediately(self):
+        # A volatile cell whose sleep leaks heavily loses during the
+        # short t_SL standbys already: the NVPG overhead at t_SD = 0 is
+        # negative and the BET collapses to 0.
+        model = _model(e_store=1e-18, p_sleep_v=40e-9)
+        result = break_even_time(model, Architecture.NVPG, n_rw=100,
+                                 t_sl=1e-6)
+        assert result.bet == 0.0
+
+    def test_infinite_when_shutdown_leaks_more(self):
+        model = _model(p_shutdown=10e-9, p_sleep_v=4e-9)
+        result = break_even_time(model, Architecture.NVPG, n_rw=1)
+        assert math.isinf(result.bet)
+        assert not result.achievable
+
+    def test_osr_rejected(self):
+        with pytest.raises(AnalysisError):
+            break_even_time(_model(), Architecture.OSR)
+
+    def test_store_free_shortens_bet(self):
+        model = _model()
+        full = break_even_time(model, Architecture.NVPG, n_rw=1)
+        free = break_even_time(model, Architecture.NVPG, n_rw=1,
+                               store_free=True)
+        assert free.bet < full.bet
+
+    def test_bet_grows_with_n_rw(self):
+        """NV cell leaks slightly more in normal mode, so longer normal
+        phases raise the overhead — the Fig. 9 trend."""
+        model = _model()
+        bets = [break_even_time(model, Architecture.NVPG, n_rw=n).bet
+                for n in (1, 10, 100, 1000)]
+        assert all(b2 > b1 for b1, b2 in zip(bets, bets[1:]))
+
+    def test_nof_bet_longer_than_nvpg(self):
+        model = _model()
+        nvpg = break_even_time(model, Architecture.NVPG, n_rw=10)
+        nof = break_even_time(model, Architecture.NOF, n_rw=10)
+        assert nof.bet > nvpg.bet
+
+    def test_result_fields(self):
+        result = break_even_time(_model(), Architecture.NVPG, n_rw=7)
+        assert isinstance(result, BetResult)
+        assert result.n_rw == 7
+        assert result.architecture is Architecture.NVPG
+        assert result.saving_power == pytest.approx(3e-9)
+
+
+class TestCurveCrossing:
+    def test_simple_crossing(self):
+        t = np.array([0.0, 1.0, 2.0, 3.0])
+        e_pg = np.array([4.0, 3.0, 2.0, 1.0])
+        e_osr = np.array([1.0, 2.0, 3.0, 4.0])
+        assert bet_curve_crossing(t, e_pg, e_osr) == pytest.approx(1.5)
+
+    def test_no_crossing_returns_none(self):
+        t = np.array([0.0, 1.0])
+        assert bet_curve_crossing(t, [5.0, 6.0], [1.0, 2.0]) is None
+
+    def test_already_below_returns_first_point(self):
+        t = np.array([0.5, 1.0])
+        assert bet_curve_crossing(t, [1.0, 1.0], [2.0, 2.0]) == 0.5
+
+    def test_malformed_inputs_rejected(self):
+        with pytest.raises(AnalysisError):
+            bet_curve_crossing([0.0], [1.0], [2.0])
+        with pytest.raises(AnalysisError):
+            bet_curve_crossing([0.0, 1.0], [1.0], [2.0, 3.0])
+
+    @given(
+        overhead=st.floats(min_value=1e-15, max_value=1e-10),
+        saving=st.floats(min_value=1e-10, max_value=1e-8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_closed_form_agrees_with_numeric(self, overhead, saving):
+        """For affine curves the numeric crossing equals the closed form."""
+        bet = overhead / saving
+        t = np.linspace(0.0, max(bet * 2, 1e-9), 400)
+        e_pg = overhead + 0.0 * t
+        e_osr = saving * t
+        numeric = bet_curve_crossing(t, e_pg, e_osr)
+        assert numeric == pytest.approx(bet, rel=1e-2)
+
+
+class TestClosedFormVsNumericOnModel:
+    @pytest.mark.parametrize("arch", [Architecture.NVPG, Architecture.NOF])
+    @pytest.mark.parametrize("n_rw", [1, 10, 100])
+    def test_consistency(self, arch, n_rw):
+        model = _model()
+        closed = break_even_time(model, arch, n_rw=n_rw, t_sl=100e-9)
+        t = np.linspace(0.0, closed.bet * 3 + 1e-6, 500)
+        e_pg = [model.e_cyc(BenchmarkSpec(arch, n_rw=n_rw, t_sl=100e-9,
+                                          t_sd=float(x))) for x in t]
+        e_osr = [model.e_cyc(BenchmarkSpec(Architecture.OSR, n_rw=n_rw,
+                                           t_sl=100e-9, t_sd=float(x)))
+                 for x in t]
+        numeric = bet_curve_crossing(t, e_pg, e_osr)
+        assert numeric == pytest.approx(closed.bet, rel=2e-2)

@@ -1,0 +1,165 @@
+"""Tests for the discrete-event power-domain simulator.
+
+The headline assertion: the event-driven accounting reproduces the
+closed-form E_cyc composition exactly, for every architecture and
+workload shape — two independent derivations of the paper's metric.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SequenceError
+from repro.cells import PowerDomain
+from repro.characterize.data import CellCharacterization
+from repro.pg.domainsim import (
+    DomainEvent,
+    DomainSimResult,
+    PowerDomainSimulator,
+    RowState,
+)
+from repro.pg.energy import CellEnergyModel
+from repro.pg.modes import OperatingConditions
+from repro.pg.sequences import Architecture, BenchmarkSpec
+
+COND = OperatingConditions(frequency=100e6)
+DOMAIN = PowerDomain(n_wordlines=8, word_bits=32)
+
+
+def _nv() -> CellCharacterization:
+    return CellCharacterization(
+        kind="nv", n_wordlines=8, vdd=0.9, frequency=100e6,
+        e_read=10e-15, e_write=20e-15,
+        p_normal=10e-9, p_sleep=5e-9, p_shutdown=1e-9,
+        p_shutdown_nominal=8e-9,
+        e_store=300e-15, t_store=20e-9,
+        e_restore=30e-15, t_restore=2e-9,
+        store_events=2,
+    )
+
+
+def _6t() -> CellCharacterization:
+    return CellCharacterization(
+        kind="6t", n_wordlines=8, vdd=0.9, frequency=100e6,
+        e_read=9e-15, e_write=18e-15,
+        p_normal=9e-9, p_sleep=4e-9, p_shutdown=4e-9,
+        p_shutdown_nominal=4e-9,
+    )
+
+
+@pytest.fixture()
+def sim() -> PowerDomainSimulator:
+    return PowerDomainSimulator(_nv(), _6t(), COND, DOMAIN)
+
+
+@pytest.fixture()
+def model() -> CellEnergyModel:
+    return CellEnergyModel(_nv(), _6t(), COND, DOMAIN)
+
+
+class TestAgreementWithClosedForm:
+    @pytest.mark.parametrize("arch", list(Architecture))
+    @pytest.mark.parametrize("n_rw", [1, 3, 10])
+    def test_exact_agreement(self, sim, model, arch, n_rw):
+        spec = BenchmarkSpec(arch, n_rw=n_rw, t_sl=50e-9, t_sd=1e-5)
+        assert sim.run(spec).energy_per_cell == pytest.approx(
+            model.e_cyc(spec), rel=1e-12
+        )
+
+    @pytest.mark.parametrize("arch",
+                             [Architecture.NVPG, Architecture.NOF])
+    def test_store_free_agreement(self, sim, model, arch):
+        spec = BenchmarkSpec(arch, n_rw=4, t_sd=1e-6, store_free=True)
+        assert sim.run(spec).energy_per_cell == pytest.approx(
+            model.e_cyc(spec), rel=1e-12
+        )
+
+    @given(
+        n_rw=st.integers(min_value=1, max_value=12),
+        t_sl=st.floats(min_value=0.0, max_value=1e-6),
+        t_sd=st.floats(min_value=0.0, max_value=1e-3),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_agreement_property(self, n_rw, t_sl, t_sd):
+        sim = PowerDomainSimulator(_nv(), _6t(), COND, DOMAIN,
+                                   log_events=False)
+        model = CellEnergyModel(_nv(), _6t(), COND, DOMAIN)
+        for arch in Architecture:
+            spec = BenchmarkSpec(arch, n_rw=n_rw, t_sl=t_sl, t_sd=t_sd)
+            assert sim.run(spec).energy_per_cell == pytest.approx(
+                model.e_cyc(spec), rel=1e-10
+            )
+
+    def test_read_ratio_agreement(self):
+        cond = COND.with_(read_write_ratio=4.0)
+        sim = PowerDomainSimulator(_nv(), _6t(), cond, DOMAIN)
+        model = CellEnergyModel(_nv(), _6t(), cond, DOMAIN)
+        spec = BenchmarkSpec(Architecture.NOF, n_rw=2, t_sl=10e-9)
+        assert sim.run(spec).energy_per_cell == pytest.approx(
+            model.e_cyc(spec), rel=1e-12
+        )
+
+
+class TestSimulatorMechanics:
+    def test_kind_order_enforced(self):
+        with pytest.raises(SequenceError):
+            PowerDomainSimulator(_6t(), _nv(), COND, DOMAIN)
+
+    def test_non_integer_ratio_rejected(self):
+        sim = PowerDomainSimulator(_nv(), _6t(),
+                                   COND.with_(read_write_ratio=1.5),
+                                   DOMAIN)
+        with pytest.raises(SequenceError):
+            sim.run(BenchmarkSpec(Architecture.OSR, n_rw=1))
+
+    def test_duration_matches_schedule(self, sim):
+        spec = BenchmarkSpec(Architecture.OSR, n_rw=2, t_sl=100e-9,
+                             t_sd=1e-6)
+        result = sim.run(spec)
+        n = DOMAIN.n_wordlines
+        expected = 2 * (n * 2 * COND.t_cycle + 100e-9) + 1e-6
+        assert result.duration == pytest.approx(expected)
+
+    def test_nvpg_duration_includes_store_phase(self, sim):
+        spec = BenchmarkSpec(Architecture.NVPG, n_rw=1, t_sd=0.0)
+        result = sim.run(spec)
+        n = DOMAIN.n_wordlines
+        expected = (n * 2 * COND.t_cycle + n * 20e-9 + 2e-9)
+        assert result.duration == pytest.approx(expected)
+
+    def test_nof_slots_longer(self, sim):
+        osr = sim.run(BenchmarkSpec(Architecture.OSR, n_rw=1))
+        nof = sim.run(BenchmarkSpec(Architecture.NOF, n_rw=1))
+        assert nof.duration > osr.duration
+
+    def test_events_logged(self, sim):
+        spec = BenchmarkSpec(Architecture.NVPG, n_rw=1, t_sd=1e-6)
+        result = sim.run(spec)
+        actions = [e.action for e in result.events]
+        assert actions.count("read") == DOMAIN.n_wordlines
+        assert actions.count("write") == DOMAIN.n_wordlines
+        assert actions.count("store") == DOMAIN.n_wordlines
+        assert actions.count("restore") == 1       # parallel wake-up
+        assert "long_shutdown" in actions
+        times = [e.time for e in result.events]
+        assert times == sorted(times)
+
+    def test_log_events_flag(self):
+        sim = PowerDomainSimulator(_nv(), _6t(), COND, DOMAIN,
+                                   log_events=False)
+        result = sim.run(BenchmarkSpec(Architecture.OSR, n_rw=1))
+        assert result.events == []
+
+    def test_breakdown_sums_to_total(self, sim):
+        spec = BenchmarkSpec(Architecture.NOF, n_rw=3, t_sl=50e-9,
+                             t_sd=1e-5)
+        result = sim.run(spec)
+        assert sum(result.breakdown.values()) == pytest.approx(
+            result.total_energy, rel=1e-12
+        )
+
+    def test_breakdown_per_cell(self, sim):
+        result = sim.run(BenchmarkSpec(Architecture.OSR, n_rw=1))
+        per_cell = result.breakdown_per_cell()
+        assert sum(per_cell.values()) == pytest.approx(
+            result.energy_per_cell, rel=1e-12
+        )

@@ -1,0 +1,190 @@
+"""Tests for the E_cyc composition, cross-checked by hand arithmetic.
+
+Synthetic characterisations with round numbers make every formula
+verifiable by hand; the integration tests elsewhere exercise the same
+composition with simulated numbers.
+"""
+
+import pytest
+
+from repro.errors import SequenceError
+from repro.cells import PowerDomain
+from repro.characterize.data import CellCharacterization
+from repro.pg.energy import CellEnergyModel, CycleEnergyBreakdown
+from repro.pg.modes import OperatingConditions
+from repro.pg.sequences import Architecture, BenchmarkSpec
+
+#: Round-number conditions: t_cycle = 10 ns.
+COND = OperatingConditions(frequency=100e6, t_store_step=10e-9,
+                           t_restore=2e-9)
+DOMAIN = PowerDomain(n_wordlines=4, word_bits=32)
+
+
+def _nv() -> CellCharacterization:
+    return CellCharacterization(
+        kind="nv", n_wordlines=4, vdd=0.9, frequency=100e6,
+        e_read=10e-15, e_write=20e-15,
+        p_normal=10e-9, p_sleep=5e-9, p_shutdown=1e-9,
+        p_shutdown_nominal=8e-9,
+        e_store=300e-15, e_store_h=200e-15, e_store_l=100e-15,
+        t_store=20e-9,
+        e_restore=30e-15, t_restore=2e-9,
+        store_events=2, restore_ok=True,
+    )
+
+
+def _6t() -> CellCharacterization:
+    return CellCharacterization(
+        kind="6t", n_wordlines=4, vdd=0.9, frequency=100e6,
+        e_read=9e-15, e_write=18e-15,
+        p_normal=9e-9, p_sleep=4e-9, p_shutdown=4e-9,
+        p_shutdown_nominal=4e-9,
+    )
+
+
+@pytest.fixture()
+def model() -> CellEnergyModel:
+    return CellEnergyModel(_nv(), _6t(), COND, DOMAIN)
+
+
+class TestConstruction:
+    def test_kind_order_enforced(self):
+        with pytest.raises(SequenceError):
+            CellEnergyModel(_6t(), _nv(), COND, DOMAIN)
+
+    def test_domain_mismatch_rejected(self):
+        with pytest.raises(SequenceError):
+            CellEnergyModel(_nv(), _6t(), COND,
+                            PowerDomain(n_wordlines=8, word_bits=32))
+
+
+class TestOsrComposition:
+    def test_hand_computed(self, model):
+        # n_rw=2, t_sl=100ns, t_sd=1us, N=4, t_cyc=10ns:
+        # access    = 2*(9f + 18f)            = 54 fJ
+        # idle      = 2 * 9nW * 3 * 2 * 10ns  = 1.08 fJ
+        # standby   = 2 * 4nW * 100ns         = 0.8 fJ
+        # long      = 4nW * 1us               = 4 fJ
+        spec = BenchmarkSpec(Architecture.OSR, n_rw=2, t_sl=100e-9,
+                             t_sd=1e-6)
+        b = model.cycle_energy(spec)
+        assert b.access == pytest.approx(54e-15)
+        assert b.idle_active == pytest.approx(1.08e-15)
+        assert b.standby == pytest.approx(0.8e-15)
+        assert b.long_period == pytest.approx(4e-15)
+        assert b.store == 0.0
+        assert b.restore == 0.0
+        assert b.total == pytest.approx(59.88e-15)
+
+    def test_no_store_even_with_store_free_flag(self, model):
+        spec = BenchmarkSpec(Architecture.OSR, n_rw=1, store_free=True)
+        assert model.cycle_energy(spec).store == 0.0
+
+
+class TestNvpgComposition:
+    def test_hand_computed(self, model):
+        # n_rw=1, t_sl=0, t_sd=1ms:
+        # access  = 10f + 20f                     = 30 fJ
+        # idle    = 10nW * 3 * 2 * 10ns           = 0.6 fJ
+        # store   = 300f + 10nW * 3 * 20ns        = 300.6 fJ
+        # long    = 1nW * 1ms                     = 1 pJ
+        # restore = 30 fJ
+        spec = BenchmarkSpec(Architecture.NVPG, n_rw=1, t_sd=1e-3)
+        b = model.cycle_energy(spec)
+        assert b.access == pytest.approx(30e-15)
+        assert b.idle_active == pytest.approx(0.6e-15)
+        assert b.store == pytest.approx(300.6e-15)
+        assert b.long_period == pytest.approx(1e-12)
+        assert b.restore == pytest.approx(30e-15)
+
+    def test_store_free_removes_store_only(self, model):
+        with_store = model.cycle_energy(
+            BenchmarkSpec(Architecture.NVPG, n_rw=1, t_sd=1e-6))
+        without = model.cycle_energy(
+            BenchmarkSpec(Architecture.NVPG, n_rw=1, t_sd=1e-6,
+                          store_free=True))
+        assert without.store == 0.0
+        assert without.restore == with_store.restore
+        assert without.total == pytest.approx(
+            with_store.total - with_store.store
+        )
+
+    def test_approaches_osr_at_large_n_rw(self, model):
+        """The paper's headline Fig. 7(a) effect, in ratio form."""
+        def ratio(n_rw):
+            nvpg = model.e_cyc(BenchmarkSpec(Architecture.NVPG, n_rw=n_rw))
+            osr = model.e_cyc(BenchmarkSpec(Architecture.OSR, n_rw=n_rw))
+            return nvpg / osr
+
+        assert ratio(10000) < ratio(100) < ratio(1)
+        assert ratio(10000) < 1.25
+
+
+class TestNofComposition:
+    def test_hand_computed(self, model):
+        # n_rw=1, t_sl=0, t_sd=0, rho=1:
+        # access  = (10f + 30f) + (20f + 30f)  = 90 fJ
+        # store   = 300 fJ
+        # idle    = 1nW * 3 * (12ns + 32ns)    = 0.132 fJ
+        # restore = 30 fJ (final wake)
+        spec = BenchmarkSpec(Architecture.NOF, n_rw=1)
+        b = model.cycle_energy(spec)
+        assert b.access == pytest.approx(90e-15)
+        assert b.store == pytest.approx(300e-15)
+        assert b.idle_active == pytest.approx(0.132e-15)
+        assert b.restore == pytest.approx(30e-15)
+
+    def test_grows_linearly_with_n_rw(self, model):
+        e1 = model.e_cyc(BenchmarkSpec(Architecture.NOF, n_rw=1))
+        e2 = model.e_cyc(BenchmarkSpec(Architecture.NOF, n_rw=2))
+        e3 = model.e_cyc(BenchmarkSpec(Architecture.NOF, n_rw=3))
+        assert e3 - e2 == pytest.approx(e2 - e1, rel=1e-9)
+
+    def test_short_standby_billed_at_shutdown_power(self, model):
+        base = model.e_cyc(BenchmarkSpec(Architecture.NOF, n_rw=1))
+        with_sl = model.e_cyc(BenchmarkSpec(Architecture.NOF, n_rw=1,
+                                            t_sl=100e-9))
+        assert with_sl - base == pytest.approx(1e-9 * 100e-9)
+
+
+class TestSharedProperties:
+    @pytest.mark.parametrize("arch", list(Architecture))
+    def test_affine_in_t_sd(self, model, arch):
+        spec0 = BenchmarkSpec(arch, n_rw=3, t_sl=10e-9, t_sd=0.0)
+        base, slope = model.e_cyc_affine(
+            BenchmarkSpec(arch, n_rw=3, t_sl=10e-9, t_sd=5e-3))
+        for t_sd in (0.0, 1e-6, 1e-3):
+            spec = BenchmarkSpec(arch, n_rw=3, t_sl=10e-9, t_sd=t_sd)
+            assert model.e_cyc(spec) == pytest.approx(
+                base + slope * t_sd, rel=1e-12
+            )
+
+    @pytest.mark.parametrize("arch", list(Architecture))
+    def test_breakdown_sums_to_total(self, model, arch):
+        spec = BenchmarkSpec(arch, n_rw=5, t_sl=50e-9, t_sd=1e-6)
+        b = model.cycle_energy(spec)
+        parts = (b.access + b.idle_active + b.standby + b.store
+                 + b.long_period + b.restore)
+        assert b.total == pytest.approx(parts)
+
+    def test_as_dict(self, model):
+        b = model.cycle_energy(BenchmarkSpec(Architecture.NVPG, n_rw=1))
+        d = b.as_dict()
+        assert d["total"] == pytest.approx(b.total)
+        assert set(d) == {"access", "idle_active", "standby", "store",
+                          "long_period", "restore", "total"}
+
+    def test_read_write_ratio_scales_reads(self):
+        cond10 = COND.with_(read_write_ratio=10.0)
+        model10 = CellEnergyModel(_nv(), _6t(), cond10, DOMAIN)
+        spec = BenchmarkSpec(Architecture.OSR, n_rw=1)
+        b = model10.cycle_energy(spec)
+        assert b.access == pytest.approx(10 * 9e-15 + 18e-15)
+
+    def test_effective_cycle_time(self, model):
+        assert model.effective_cycle_time(Architecture.OSR) == \
+            pytest.approx(10e-9)
+        assert model.effective_cycle_time(Architecture.NVPG) == \
+            pytest.approx(10e-9)
+        assert model.effective_cycle_time(Architecture.NOF) == \
+            pytest.approx(10e-9 + 2e-9 + 20e-9)

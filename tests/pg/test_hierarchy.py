@@ -1,0 +1,145 @@
+"""Tests for the cache-hierarchy system model."""
+
+import pytest
+
+from repro.errors import SequenceError
+from repro.cells import PowerDomain
+from repro.characterize.data import CellCharacterization
+from repro.pg.energy import CellEnergyModel
+from repro.pg.hierarchy import CacheLevel, LevelReport, SystemModel
+from repro.pg.modes import OperatingConditions
+
+COND = OperatingConditions(frequency=100e6)
+
+
+def _model(n_wordlines=8):
+    nv = CellCharacterization(
+        kind="nv", n_wordlines=n_wordlines, vdd=0.9, frequency=100e6,
+        e_read=10e-15, e_write=20e-15,
+        p_normal=10e-9, p_sleep=5e-9, p_shutdown=1e-9,
+        p_shutdown_nominal=8e-9,
+        e_store=300e-15, t_store=20e-9,
+        e_restore=30e-15, t_restore=2e-9, store_events=2,
+    )
+    vt = CellCharacterization(
+        kind="6t", n_wordlines=n_wordlines, vdd=0.9, frequency=100e6,
+        e_read=9e-15, e_write=18e-15,
+        p_normal=9e-9, p_sleep=4e-9, p_shutdown=4e-9,
+        p_shutdown_nominal=4e-9,
+    )
+    domain = PowerDomain(n_wordlines, 32)
+    return CellEnergyModel(nv, vt, COND, domain)
+
+
+def _level(**overrides) -> CacheLevel:
+    payload = dict(name="L1", model=_model(), num_domains=4,
+                   n_rw_per_epoch=10, active_fraction=1.0,
+                   store_free=False)
+    payload.update(overrides)
+    return CacheLevel(**payload)
+
+
+EPOCHS = [(50e-6, 500e-6), (20e-6, 2e-3)]
+
+
+class TestCacheLevel:
+    def test_validation(self):
+        with pytest.raises(SequenceError):
+            _level(num_domains=0)
+        with pytest.raises(SequenceError):
+            _level(active_fraction=0.0)
+        with pytest.raises(SequenceError):
+            _level(n_rw_per_epoch=0)
+
+    def test_capacity(self):
+        level = _level(num_domains=4)
+        assert level.capacity_bytes == 4 * 8 * 32 / 8
+
+    def test_store_free_shortens_bet(self):
+        full = _level(store_free=False).bet()
+        free = _level(store_free=True).bet()
+        assert free < full
+
+    def test_active_epoch_scales_with_duration(self):
+        level = _level()
+        assert level.active_epoch_energy(1e-3) > \
+            level.active_epoch_energy(1e-4)
+
+    def test_idle_gating_wins_beyond_bet(self):
+        level = _level()
+        long_idle = level.bet() * 20
+        assert level.idle_epoch_energy(long_idle, gate=True) < \
+            level.idle_epoch_energy(long_idle, gate=False)
+
+    def test_idle_gating_falls_back_below_dead_time(self):
+        level = _level()
+        tiny = 1e-9
+        assert level.idle_epoch_energy(tiny, gate=True) == \
+            level.idle_epoch_energy(tiny, gate=False)
+
+    def test_epoch_energy_positive(self):
+        assert _level().epoch_energy(50e-6, 500e-6) > 0
+
+
+class TestSystemModel:
+    def test_needs_levels(self):
+        with pytest.raises(SequenceError):
+            SystemModel([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SequenceError):
+            SystemModel([_level(), _level()])
+
+    def test_empty_workload_rejected(self):
+        sys_model = SystemModel([_level()])
+        with pytest.raises(SequenceError):
+            sys_model.evaluate([])
+
+    def test_reports_per_level(self):
+        sys_model = SystemModel([
+            _level(name="L1"),
+            _level(name="L2", model=_model(), num_domains=8,
+                   active_fraction=0.5, store_free=True),
+        ])
+        reports = sys_model.evaluate(EPOCHS)
+        assert [r.name for r in reports] == ["L1", "L2"]
+        for r in reports:
+            assert isinstance(r, LevelReport)
+            assert r.energy > 0
+            assert 0.0 <= r.savings < 1.0
+
+    def test_gating_never_loses(self):
+        sys_model = SystemModel([_level()])
+        for epochs in ([(1e-5, 1e-7)], [(1e-5, 1e-2)], EPOCHS):
+            assert sys_model.total_savings(epochs) >= -1e-9
+
+    def test_long_idles_give_large_savings(self):
+        sys_model = SystemModel([_level()])
+        savings = sys_model.total_savings([(10e-6, 10e-3)] * 3)
+        assert savings > 0.5
+
+    def test_store_free_level_saves_more(self):
+        """The paper's fine-grained argument: store-free upper levels
+        gate profitably on gaps a storing level can't exploit."""
+        idle = _level(store_free=False).bet() * 0.8   # below full BET
+        epochs = [(5e-6, idle)] * 10
+        storing = SystemModel([_level(name="A", store_free=False)])
+        free = SystemModel([_level(name="A", store_free=True)])
+        assert free.total_savings(epochs) > storing.total_savings(epochs)
+
+
+class TestRealCharacterisation:
+    def test_two_level_hierarchy(self, ctx):
+        """End-to-end: L1 (small, storing) + L2 (big, store-free)."""
+        l1 = CacheLevel("L1", ctx.energy_model(PowerDomain(64, 32)),
+                        num_domains=4, n_rw_per_epoch=200)
+        l2 = CacheLevel("L2", ctx.energy_model(PowerDomain(512, 32)),
+                        num_domains=8, n_rw_per_epoch=20,
+                        active_fraction=0.25, store_free=True)
+        sys_model = SystemModel([l1, l2])
+        epochs = [(200e-6, 800e-6)] * 3 + [(100e-6, 5e-3)]
+        reports = sys_model.evaluate(epochs)
+        by_name = {r.name: r for r in reports}
+        # Store-free makes the larger L2 domain break even sooner.
+        assert by_name["L2"].bet < by_name["L1"].bet
+        assert sys_model.total_savings(epochs) > 0.3

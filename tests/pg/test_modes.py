@@ -1,0 +1,127 @@
+"""Tests for operating modes and Table I bias conditions."""
+
+import pytest
+
+from repro.errors import SequenceError
+from repro.pg.modes import (
+    LineLevels,
+    Mode,
+    OperatingConditions,
+    bias_for_mode,
+)
+
+
+class TestOperatingConditions:
+    def test_table1_defaults(self):
+        cond = OperatingConditions()
+        assert cond.vdd == 0.9
+        assert cond.v_sr == 0.65
+        assert cond.v_ctrl_store == 0.5
+        assert cond.v_ctrl_normal == 0.07
+        assert cond.v_ctrl_sleep == 0.04
+        assert cond.v_sleep_rail == 0.7
+        assert cond.v_pg_super == 1.0
+        assert cond.frequency == 300e6
+        assert cond.t_store_step == 10e-9
+        assert cond.store_margin == 1.5
+        assert cond.nfsw == 7
+
+    def test_derived_timings(self):
+        cond = OperatingConditions()
+        assert cond.t_cycle == pytest.approx(1 / 300e6)
+        assert cond.t_store == pytest.approx(20e-9)
+
+    def test_fast_variant(self):
+        fast = OperatingConditions().fast_variant()
+        assert fast.frequency == 1e9
+        assert fast.vdd == 0.9  # everything else untouched
+
+    def test_with_(self):
+        cond = OperatingConditions().with_(t_store_step=5e-9)
+        assert cond.t_store == pytest.approx(10e-9)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"frequency": 0.0},
+        {"t_store_step": -1e-9},
+        {"t_restore": 0.0},
+        {"v_sleep_rail": 0.0},
+        {"v_sleep_rail": 1.0},
+        {"read_write_ratio": 0.0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(SequenceError):
+            OperatingConditions(**kwargs)
+
+
+class TestBiasForMode:
+    def setup_method(self):
+        self.cond = OperatingConditions()
+
+    def test_normal_mode(self):
+        bias = bias_for_mode(Mode.STANDBY, self.cond)
+        assert bias.rail == 0.9
+        assert bias.pg == 0.0
+        assert bias.sr == 0.0
+        assert bias.ctrl == 0.07
+        assert bias.prech == 0.9   # bitlines precharged
+
+    def test_sleep_mode_lowers_rail(self):
+        bias = bias_for_mode(Mode.SLEEP, self.cond)
+        assert bias.rail == 0.7
+        assert bias.ctrl == 0.04
+
+    def test_store_steps(self):
+        h = bias_for_mode(Mode.STORE_H, self.cond)
+        assert h.sr == 0.65
+        assert h.ctrl == 0.0
+        l = bias_for_mode(Mode.STORE_L, self.cond)
+        assert l.sr == 0.65
+        assert l.ctrl == 0.5
+
+    def test_shutdown_super_cutoff(self):
+        bias = bias_for_mode(Mode.SHUTDOWN, self.cond)
+        assert bias.pg == 1.0
+        assert bias.prech == 0.0   # bitlines released
+
+    def test_restore_mode(self):
+        bias = bias_for_mode(Mode.RESTORE, self.cond)
+        assert bias.pg == 0.0      # switch back on
+        assert bias.sr == 0.65     # PS-FinFETs active
+        assert bias.ctrl == 0.0
+
+    @pytest.mark.parametrize("mode", list(Mode))
+    def test_volatile_masks_nv_lines(self, mode):
+        bias = bias_for_mode(mode, self.cond, volatile=True)
+        assert bias.sr == 0.0
+        assert bias.ctrl == 0.0
+
+    @pytest.mark.parametrize("mode", list(Mode))
+    def test_as_dict_complete(self, mode):
+        bias = bias_for_mode(mode, self.cond)
+        d = bias.as_dict()
+        assert set(d) == {
+            "rail", "pg", "wl", "sr", "ctrl", "bl", "blb", "prech",
+            "write_en",
+        }
+
+    def test_read_write_share_quiescent_levels(self):
+        r = bias_for_mode(Mode.READ, self.cond)
+        w = bias_for_mode(Mode.WRITE, self.cond)
+        s = bias_for_mode(Mode.STANDBY, self.cond)
+        assert r == w == s
+
+
+class TestWordlineUnderdrive:
+    def test_default_off(self):
+        cond = OperatingConditions()
+        assert cond.wl_underdrive == 0.0
+        assert cond.v_wl_read == cond.vdd
+
+    def test_underdrive_lowers_read_level(self):
+        cond = OperatingConditions(wl_underdrive=0.1)
+        assert cond.v_wl_read == pytest.approx(0.8)
+
+    @pytest.mark.parametrize("bad", [-0.1, 0.9, 1.5])
+    def test_validation(self, bad):
+        with pytest.raises(SequenceError):
+            OperatingConditions(wl_underdrive=bad)

@@ -1,0 +1,134 @@
+"""Tests for the register-bank power-gating model."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SequenceError
+from repro.characterize.ff_runner import FlipFlopCharacterization
+from repro.pg.registers import RegisterBankModel
+
+
+def _ff(**overrides) -> FlipFlopCharacterization:
+    payload = dict(
+        vdd=0.9, clock_frequency=300e6,
+        e_clock_toggle=1e-15, e_clock_hold=0.5e-15,
+        clk_to_q_delay=40e-12,
+        p_normal=30e-9, p_shutdown=2e-9,
+        e_store=270e-15, t_store=20e-9,
+        e_restore=50e-15, t_restore=4e-9,
+        store_events=2, restore_ok=True,
+    )
+    payload.update(overrides)
+    return FlipFlopCharacterization(**payload)
+
+
+@pytest.fixture()
+def bank() -> RegisterBankModel:
+    return RegisterBankModel(_ff(), num_ffs=1024)
+
+
+class TestPowers:
+    def test_active_power_scales_with_activity(self, bank):
+        assert bank.active_power(0.0) < bank.active_power(0.5) \
+            < bank.active_power(1.0)
+
+    def test_active_power_hand_computed(self, bank):
+        # 1024 FFs x 1 fJ x 300 MHz = 307.2 uW at full activity.
+        assert bank.active_power(1.0) == pytest.approx(307.2e-6)
+
+    def test_idle_and_shutdown(self, bank):
+        assert bank.idle_power() == pytest.approx(1024 * 30e-9)
+        assert bank.shutdown_power() == pytest.approx(1024 * 2e-9)
+
+    def test_bank_width_validated(self):
+        with pytest.raises(SequenceError):
+            RegisterBankModel(_ff(), num_ffs=0)
+
+
+class TestBreakEven:
+    def test_hand_computed(self, bank):
+        # (270f + 50f) / (30n - 2n) = 11.43 us.
+        assert bank.break_even_time() == pytest.approx(
+            320e-15 / 28e-9, rel=1e-9
+        )
+
+    def test_independent_of_bank_width(self):
+        small = RegisterBankModel(_ff(), num_ffs=8)
+        large = RegisterBankModel(_ff(), num_ffs=8192)
+        assert small.break_even_time() == large.break_even_time()
+
+    def test_infinite_when_shutdown_leaks(self):
+        bank = RegisterBankModel(_ff(p_shutdown=40e-9), num_ffs=16)
+        assert math.isinf(bank.break_even_time())
+
+    def test_real_characterisation_bet_microseconds(self):
+        from repro.characterize.ff_runner import characterize_nvff
+        from repro.pg.modes import OperatingConditions
+
+        ff = characterize_nvff(OperatingConditions())
+        bank = RegisterBankModel(ff, num_ffs=1024)
+        assert 1e-6 < bank.break_even_time() < 100e-6
+
+
+class TestIdleEnergy:
+    def test_short_interval_cannot_gate(self, bank):
+        t = bank.gating_dead_time / 2
+        assert bank.idle_energy(t, gate=True) == \
+            bank.idle_energy(t, gate=False)
+
+    def test_gating_wins_beyond_bet(self, bank):
+        t = bank.break_even_time() * 10
+        assert bank.idle_energy(t, gate=True) < \
+            bank.idle_energy(t, gate=False)
+
+    def test_gating_loses_below_bet(self, bank):
+        t = bank.break_even_time() / 4
+        assert bank.idle_energy(t, gate=True) > \
+            bank.idle_energy(t, gate=False)
+
+    def test_crossover_at_bet(self, bank):
+        """At exactly the BET (plus the dead time correction) the two
+        strategies nearly tie."""
+        bet = bank.break_even_time()
+        gated = bank.idle_energy(bet + bank.gating_dead_time, gate=True)
+        idle = bank.idle_energy(bet + bank.gating_dead_time, gate=False)
+        assert gated == pytest.approx(idle, rel=0.02)
+
+    def test_negative_duration_rejected(self, bank):
+        with pytest.raises(SequenceError):
+            bank.idle_energy(-1.0, gate=False)
+
+
+class TestPolicy:
+    def test_bet_policy_never_loses(self, bank):
+        intervals = [1e-7, 1e-6, 1e-5, 1e-4, 1e-3]
+        assert bank.savings_vs_idle(intervals) >= 0.0
+
+    def test_long_intervals_give_big_savings(self, bank):
+        assert bank.savings_vs_idle([1e-3] * 10) > 0.85
+
+    def test_short_intervals_give_no_savings(self, bank):
+        assert bank.savings_vs_idle([1e-7] * 10) == pytest.approx(0.0)
+
+    def test_custom_threshold(self, bank):
+        intervals = [1e-4] * 5
+        eager = bank.policy_energy(intervals, threshold=0.0)
+        never = bank.policy_energy(intervals, threshold=math.inf)
+        optimal = bank.policy_energy(intervals)
+        assert optimal <= eager
+        assert optimal <= never
+
+    @given(st.lists(st.floats(min_value=1e-9, max_value=1e-2),
+                    min_size=1, max_size=30))
+    @settings(max_examples=30, deadline=None)
+    def test_bet_policy_dominates_property(self, intervals):
+        """The BET-threshold policy is never worse than always or never
+        gating, for any interval mix."""
+        bank = RegisterBankModel(_ff(), num_ffs=64)
+        optimal = bank.policy_energy(intervals)
+        always = bank.policy_energy(intervals, threshold=0.0)
+        never = bank.policy_energy(intervals, threshold=math.inf)
+        assert optimal <= always * (1 + 1e-12)
+        assert optimal <= never * (1 + 1e-12)

@@ -1,0 +1,170 @@
+"""Tests for the mode-timeline to waveform compiler."""
+
+import pytest
+
+from repro.errors import SequenceError
+from repro.pg.modes import Mode, OperatingConditions
+from repro.pg.scheduler import (
+    PhaseWindow,
+    Schedule,
+    ScheduleStep,
+    _PwlBuilder,
+)
+
+COND = OperatingConditions()
+T_CYC = COND.t_cycle
+
+
+def _schedule(steps, volatile=False):
+    return Schedule(steps, COND, volatile=volatile)
+
+
+class TestScheduleStep:
+    def test_write_requires_data(self):
+        with pytest.raises(SequenceError):
+            ScheduleStep(Mode.WRITE, T_CYC)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(SequenceError):
+            ScheduleStep(Mode.READ, -1.0)
+
+
+class TestWindows:
+    def test_windows_cover_timeline(self):
+        sched = _schedule([
+            ScheduleStep(Mode.STANDBY, 1e-9),
+            ScheduleStep(Mode.READ, T_CYC),
+            ScheduleStep(Mode.SLEEP, 5e-9),
+        ])
+        windows = sched.windows()
+        assert windows[0].t_start == 0.0
+        for w1, w2 in zip(windows, windows[1:]):
+            assert w2.t_start == pytest.approx(w1.t_end)
+        assert windows[-1].t_end == pytest.approx(sched.total_duration)
+
+    def test_windows_of_filters(self):
+        sched = _schedule([
+            ScheduleStep(Mode.READ, T_CYC),
+            ScheduleStep(Mode.WRITE, T_CYC, data=True),
+            ScheduleStep(Mode.READ, T_CYC),
+        ])
+        assert len(sched.windows_of(Mode.READ)) == 2
+        assert sched.windows_of(Mode.WRITE)[0].data is True
+
+    def test_empty_schedule_rejected(self):
+        with pytest.raises(SequenceError):
+            _schedule([])
+
+
+class TestCompiledWaveforms:
+    def test_all_lines_present(self):
+        sched = _schedule([ScheduleStep(Mode.STANDBY, 1e-9)])
+        waves = sched.line_waveforms()
+        assert set(waves) == set(Schedule.LINES)
+
+    def test_quiescent_levels_mid_segment(self):
+        sched = _schedule([
+            ScheduleStep(Mode.STANDBY, 2e-9),
+            ScheduleStep(Mode.STORE_H, 10e-9),
+            ScheduleStep(Mode.STORE_L, 10e-9),
+        ])
+        waves = sched.line_waveforms()
+        # Mid-STORE_H: SR active, CTRL grounded.
+        assert waves["sr"](7e-9) == pytest.approx(COND.v_sr)
+        assert waves["ctrl"](7e-9) == pytest.approx(0.0, abs=1e-9)
+        # Mid-STORE_L: CTRL raised.
+        assert waves["ctrl"](17e-9) == pytest.approx(COND.v_ctrl_store)
+
+    def test_read_cycle_pulses(self):
+        sched = _schedule([
+            ScheduleStep(Mode.STANDBY, T_CYC),
+            ScheduleStep(Mode.READ, T_CYC),
+            ScheduleStep(Mode.STANDBY, T_CYC),
+        ])
+        waves = sched.line_waveforms()
+        t0 = T_CYC
+        # Precharge on early in the cycle, off before WL rises.
+        assert waves["prech"](t0 + 0.2 * T_CYC) == pytest.approx(COND.vdd)
+        assert waves["prech"](t0 + 0.43 * T_CYC) == pytest.approx(0.0,
+                                                                  abs=1e-9)
+        # Word line asserted mid-cycle.
+        assert waves["wl"](t0 + 0.7 * T_CYC) == pytest.approx(COND.vdd)
+        assert waves["wl"](t0 + 0.99 * T_CYC) == pytest.approx(0.0,
+                                                               abs=1e-9)
+
+    def test_write_cycle_drives_data(self):
+        sched = _schedule([
+            ScheduleStep(Mode.STANDBY, T_CYC),
+            ScheduleStep(Mode.WRITE, T_CYC, data=False),
+        ])
+        waves = sched.line_waveforms()
+        t_mid = T_CYC + 0.6 * T_CYC
+        assert waves["bl"](t_mid) == pytest.approx(0.0, abs=1e-9)
+        assert waves["blb"](t_mid) == pytest.approx(COND.vdd)
+        assert waves["write_en"](t_mid) == pytest.approx(COND.vdd)
+        assert waves["wl"](t_mid) == pytest.approx(COND.vdd)
+
+    def test_write_true_swaps_bitlines(self):
+        sched = _schedule([ScheduleStep(Mode.WRITE, T_CYC, data=True)])
+        waves = sched.line_waveforms()
+        t_mid = 0.6 * T_CYC
+        assert waves["bl"](t_mid) == pytest.approx(COND.vdd)
+        assert waves["blb"](t_mid) == pytest.approx(0.0, abs=1e-9)
+
+    def test_volatile_keeps_sr_ctrl_grounded(self):
+        sched = _schedule(
+            [ScheduleStep(Mode.SLEEP, 5e-9),
+             ScheduleStep(Mode.SHUTDOWN, 5e-9)],
+            volatile=True,
+        )
+        waves = sched.line_waveforms()
+        for t in (1e-9, 4e-9, 7e-9):
+            assert waves["sr"](t) == 0.0
+            assert waves["ctrl"](t) == 0.0
+
+    def test_waveforms_have_breakpoints(self):
+        sched = _schedule([
+            ScheduleStep(Mode.STANDBY, 1e-9),
+            ScheduleStep(Mode.STORE_H, 10e-9),
+        ])
+        waves = sched.line_waveforms()
+        assert len(waves["sr"].breakpoints(0.0, 11e-9)) >= 2
+
+
+class TestWordlineUnderdrive:
+    def test_read_wl_level_underdriven(self):
+        cond = OperatingConditions(wl_underdrive=0.15)
+        sched = Schedule([ScheduleStep(Mode.READ, cond.t_cycle)], cond)
+        waves = sched.line_waveforms()
+        t_mid_wl = 0.7 * cond.t_cycle
+        assert waves["wl"](t_mid_wl) == pytest.approx(cond.vdd - 0.15)
+
+    def test_write_wl_stays_full_rail(self):
+        cond = OperatingConditions(wl_underdrive=0.15)
+        sched = Schedule(
+            [ScheduleStep(Mode.WRITE, cond.t_cycle, data=True)], cond)
+        waves = sched.line_waveforms()
+        t_mid_wl = 0.6 * cond.t_cycle
+        assert waves["wl"](t_mid_wl) == pytest.approx(cond.vdd)
+
+
+class TestPwlBuilder:
+    def test_no_redundant_points_for_same_level(self):
+        b = _PwlBuilder(0.5)
+        b.set(1e-9, 0.5, 1e-12)
+        assert len(b.points) == 1
+
+    def test_transitions_ramp(self):
+        b = _PwlBuilder(0.0)
+        b.set(1e-9, 1.0, 1e-10)
+        w = b.waveform()
+        assert w(0.5e-9) == 0.0
+        assert w(1.05e-9) == pytest.approx(0.5)
+        assert w(2e-9) == 1.0
+
+    def test_colliding_times_resolved(self):
+        b = _PwlBuilder(0.0)
+        b.set(1e-9, 1.0, 1e-10)
+        b.set(1e-9, 0.5, 1e-10)   # same nominal instant
+        w = b.waveform()          # must not raise (strictly increasing)
+        assert w(2e-9) == pytest.approx(0.5)

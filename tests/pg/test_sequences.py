@@ -1,0 +1,142 @@
+"""Tests for the Fig. 5 benchmark sequences."""
+
+import pytest
+
+from repro.errors import SequenceError
+from repro.pg.modes import Mode, OperatingConditions
+from repro.pg.sequences import (
+    Architecture,
+    BenchmarkSpec,
+    benchmark_sequence,
+    describe_sequence,
+)
+
+COND = OperatingConditions()
+
+
+def _modes(spec):
+    return [s.mode for s in benchmark_sequence(spec, COND).steps]
+
+
+class TestSpecValidation:
+    def test_bad_n_rw(self):
+        with pytest.raises(SequenceError):
+            BenchmarkSpec(Architecture.OSR, n_rw=0)
+
+    def test_bad_durations(self):
+        with pytest.raises(SequenceError):
+            BenchmarkSpec(Architecture.OSR, t_sl=-1.0)
+        with pytest.raises(SequenceError):
+            BenchmarkSpec(Architecture.OSR, t_sd=-1.0)
+
+    def test_volatility(self):
+        assert Architecture.OSR.is_volatile
+        assert not Architecture.NVPG.is_volatile
+        assert not Architecture.NOF.is_volatile
+
+
+class TestOsrSequence:
+    def test_structure(self):
+        spec = BenchmarkSpec(Architecture.OSR, n_rw=2, t_sl=10e-9,
+                             t_sd=50e-9)
+        modes = _modes(spec)
+        assert modes == [
+            Mode.READ, Mode.WRITE, Mode.SLEEP,
+            Mode.READ, Mode.WRITE, Mode.SLEEP,
+            Mode.SLEEP,
+        ]
+
+    def test_no_store_or_restore_ever(self):
+        spec = BenchmarkSpec(Architecture.OSR, n_rw=5, t_sl=1e-9,
+                             t_sd=1e-6)
+        modes = _modes(spec)
+        assert Mode.STORE_H not in modes
+        assert Mode.RESTORE not in modes
+        assert Mode.SHUTDOWN not in modes
+
+    def test_volatile_schedule(self):
+        spec = BenchmarkSpec(Architecture.OSR, n_rw=1)
+        assert benchmark_sequence(spec, COND).volatile
+
+
+class TestNvpgSequence:
+    def test_structure(self):
+        spec = BenchmarkSpec(Architecture.NVPG, n_rw=1, t_sl=10e-9,
+                             t_sd=50e-9)
+        modes = _modes(spec)
+        assert modes == [
+            Mode.READ, Mode.WRITE, Mode.SLEEP,
+            Mode.STORE_H, Mode.STORE_L, Mode.SHUTDOWN, Mode.RESTORE,
+        ]
+
+    def test_single_store_regardless_of_n_rw(self):
+        spec = BenchmarkSpec(Architecture.NVPG, n_rw=7, t_sl=1e-9,
+                             t_sd=1e-6)
+        modes = _modes(spec)
+        assert modes.count(Mode.STORE_H) == 1
+        assert modes.count(Mode.STORE_L) == 1
+
+    def test_store_free_elides_store(self):
+        spec = BenchmarkSpec(Architecture.NVPG, n_rw=1, t_sd=1e-6,
+                             store_free=True)
+        modes = _modes(spec)
+        assert Mode.STORE_H not in modes
+        assert Mode.SHUTDOWN in modes
+        assert Mode.RESTORE in modes
+
+    def test_zero_standby_elided(self):
+        spec = BenchmarkSpec(Architecture.NVPG, n_rw=1, t_sl=0.0, t_sd=0.0)
+        modes = _modes(spec)
+        assert Mode.SLEEP not in modes
+        assert Mode.SHUTDOWN not in modes
+
+
+class TestNofSequence:
+    def test_per_pass_store_and_wake(self):
+        spec = BenchmarkSpec(Architecture.NOF, n_rw=3, t_sl=10e-9,
+                             t_sd=50e-9)
+        modes = _modes(spec)
+        assert modes.count(Mode.STORE_H) == 3     # write-back every pass
+        assert modes.count(Mode.RESTORE) == 4     # per pass + final wake
+        assert modes.count(Mode.SHUTDOWN) == 4    # short ones + long one
+
+    def test_store_count_matches_nvpg_at_n_rw_1(self):
+        """Paper: E_cyc(NVPG) ~ E_cyc(NOF) at n_RW = 1 because the store
+        count is equal."""
+        nof = _modes(BenchmarkSpec(Architecture.NOF, n_rw=1, t_sd=1e-6))
+        nvpg = _modes(BenchmarkSpec(Architecture.NVPG, n_rw=1, t_sd=1e-6))
+        assert nof.count(Mode.STORE_H) == nvpg.count(Mode.STORE_H) == 1
+
+    def test_short_standby_is_shutdown_not_sleep(self):
+        spec = BenchmarkSpec(Architecture.NOF, n_rw=1, t_sl=10e-9)
+        modes = _modes(spec)
+        assert Mode.SLEEP not in modes
+        assert Mode.SHUTDOWN in modes
+
+
+class TestDataToggling:
+    def test_writes_alternate(self):
+        spec = BenchmarkSpec(Architecture.OSR, n_rw=4, initial_data=True)
+        writes = [s.data for s in benchmark_sequence(spec, COND).steps
+                  if s.mode is Mode.WRITE]
+        assert writes == [False, True, False, True]
+
+
+class TestDescribe:
+    def test_describe_mentions_all_phases(self):
+        spec = BenchmarkSpec(Architecture.NVPG, n_rw=1, t_sl=10e-9,
+                             t_sd=50e-9)
+        text = describe_sequence(spec, COND)
+        for phase in ("read", "write", "sleep", "store_h", "store_l",
+                      "shutdown", "restore"):
+            assert phase in text
+
+    def test_durations_sum(self):
+        spec = BenchmarkSpec(Architecture.NVPG, n_rw=2, t_sl=10e-9,
+                             t_sd=100e-9)
+        sched = benchmark_sequence(spec, COND)
+        expected = (
+            2 * (2 * COND.t_cycle + 10e-9)
+            + COND.t_store + 100e-9 + COND.t_restore
+        )
+        assert sched.total_duration == pytest.approx(expected)

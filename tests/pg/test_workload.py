@@ -1,0 +1,173 @@
+"""Tests for the workload / trace modelling layer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SequenceError
+from repro.pg.workload import (
+    DomainTrace,
+    Epoch,
+    epoch_pairs,
+    epochs_from_access_times,
+    periodic_trace,
+    poisson_burst_trace,
+    zipf_domain_trace,
+)
+
+
+class TestEpochExtraction:
+    def test_single_burst(self):
+        epochs = epochs_from_access_times(
+            [0.0, 1e-9, 2e-9], merge_gap=5e-9, tail_idle=1e-6)
+        assert len(epochs) == 1
+        assert epochs[0].accesses == 3
+        assert epochs[0].active == pytest.approx(2e-9)
+        assert epochs[0].idle == pytest.approx(1e-6)
+
+    def test_gap_splits_bursts(self):
+        epochs = epochs_from_access_times(
+            [0.0, 1e-9, 100e-9, 101e-9], merge_gap=10e-9)
+        assert len(epochs) == 2
+        assert epochs[0].idle == pytest.approx(99e-9)
+        assert [e.accesses for e in epochs] == [2, 2]
+
+    def test_access_duration_extends_burst(self):
+        epochs = epochs_from_access_times(
+            [0.0], merge_gap=1e-9, access_duration=3e-9)
+        assert epochs[0].active == pytest.approx(3e-9)
+
+    def test_empty_trace(self):
+        assert epochs_from_access_times([], merge_gap=1e-9) == []
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(SequenceError):
+            epochs_from_access_times([1e-9, 0.0], merge_gap=1e-9)
+
+    def test_bad_gap_rejected(self):
+        with pytest.raises(SequenceError):
+            epochs_from_access_times([0.0], merge_gap=0.0)
+
+    def test_epoch_pairs(self):
+        epochs = [Epoch(0.0, 1e-6, 2e-6, 5)]
+        assert epoch_pairs(epochs) == [(1e-6, 2e-6)]
+
+    @given(
+        gaps=st.lists(st.floats(min_value=1e-10, max_value=1e-5),
+                      min_size=1, max_size=60),
+        merge_gap=st.floats(min_value=1e-9, max_value=1e-6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_span_conservation_property(self, gaps, merge_gap):
+        """Epochs tile the trace: sum(active + idle) spans first to last
+        access, every inter-burst idle exceeds the merge gap, and access
+        counts are conserved."""
+        times = list(np.cumsum(gaps))
+        epochs = epochs_from_access_times(times, merge_gap=merge_gap)
+        assert sum(e.accesses for e in epochs) == len(times)
+        span = sum(e.active + e.idle for e in epochs)
+        assert span == pytest.approx(times[-1] - times[0], abs=1e-12)
+        for e in epochs[:-1]:
+            assert e.idle > merge_gap - 1e-15
+        starts = [e.start for e in epochs]
+        assert starts == sorted(starts)
+
+
+class TestPeriodicTrace:
+    def test_duty_cycle_structure(self):
+        times = periodic_trace(period=1e-3, duty=0.25, total=4e-3,
+                               access_interval=10e-6)
+        epochs = epochs_from_access_times(times, merge_gap=50e-6)
+        assert len(epochs) == 4
+        for e in epochs[:-1]:
+            assert e.active == pytest.approx(0.25e-3, rel=0.1)
+            assert e.idle == pytest.approx(0.75e-3, rel=0.1)
+
+    def test_validation(self):
+        with pytest.raises(SequenceError):
+            periodic_trace(1e-3, duty=1.5, total=1e-2,
+                           access_interval=1e-6)
+        with pytest.raises(SequenceError):
+            periodic_trace(-1.0, duty=0.5, total=1e-2,
+                           access_interval=1e-6)
+
+
+class TestPoissonTrace:
+    def test_sorted_and_bounded(self):
+        rng = np.random.default_rng(3)
+        times = poisson_burst_trace(rng, burst_rate=1e4,
+                                    accesses_per_burst=10,
+                                    access_interval=10e-9, total=1e-3)
+        assert times == sorted(times)
+        assert all(0 <= t < 1e-3 for t in times)
+
+    def test_burst_count_scales_with_rate(self):
+        rng = np.random.default_rng(4)
+        slow = poisson_burst_trace(rng, 1e3, 5, 10e-9, 1e-2)
+        rng = np.random.default_rng(4)
+        fast = poisson_burst_trace(rng, 1e4, 5, 10e-9, 1e-2)
+        assert len(fast) > 2 * len(slow)
+
+    def test_validation(self):
+        rng = np.random.default_rng(1)
+        with pytest.raises(SequenceError):
+            poisson_burst_trace(rng, 0.0, 5, 1e-9, 1e-3)
+
+
+class TestZipfDomainTrace:
+    @pytest.fixture(scope="class")
+    def trace(self) -> DomainTrace:
+        rng = np.random.default_rng(11)
+        return zipf_domain_trace(rng, num_domains=16,
+                                 num_accesses=20000,
+                                 mean_interval=1e-7)
+
+    def test_all_accesses_assigned(self, trace):
+        assert sum(trace.access_counts().values()) == 20000
+
+    def test_locality_concentrates_traffic(self, trace):
+        """Zipf(1.2) over 16 domains: the hottest quarter of the domains
+        takes the clear majority of accesses."""
+        assert trace.coverage(16, top=4) > 0.6
+
+    def test_cold_domains_have_long_idles(self, trace):
+        counts = trace.access_counts()
+        hot = max(counts, key=counts.get)
+        cold = min(counts, key=counts.get)
+        hot_epochs = trace.epochs(hot, merge_gap=1e-6)
+        cold_epochs = trace.epochs(cold, merge_gap=1e-6)
+        median = lambda es: float(np.median([e.idle for e in es[:-1]])) \
+            if len(es) > 1 else 0.0
+        assert median(cold_epochs) > median(hot_epochs)
+
+    def test_validation(self):
+        rng = np.random.default_rng(1)
+        with pytest.raises(SequenceError):
+            zipf_domain_trace(rng, 0, 10, 1e-6)
+        with pytest.raises(SequenceError):
+            zipf_domain_trace(rng, 4, 10, 1e-6, alpha=0.9)
+
+
+class TestEndToEndPolicy:
+    def test_trace_to_bet_gating(self, ctx):
+        """Trace -> epochs -> BET-gated policy on a real characterised
+        domain: gating saves energy on a bursty trace."""
+        from repro.cells import PowerDomain
+        from repro.pg.bet import break_even_time
+        from repro.pg.sequences import Architecture
+
+        rng = np.random.default_rng(5)
+        times = poisson_burst_trace(rng, burst_rate=2e3,
+                                    accesses_per_burst=50,
+                                    access_interval=3.4e-9, total=5e-3)
+        epochs = epochs_from_access_times(times, merge_gap=1e-6)
+        model = ctx.energy_model(PowerDomain(64, 32))
+        bet = break_even_time(model, Architecture.NVPG, n_rw=10).bet
+        nv = model.nv
+        idle_energy_gated = sum(
+            (nv.e_store + nv.e_restore + nv.p_shutdown * e.idle)
+            if e.idle > bet else nv.p_sleep * e.idle
+            for e in epochs
+        )
+        idle_energy_never = sum(nv.p_sleep * e.idle for e in epochs)
+        assert idle_energy_gated <= idle_energy_never

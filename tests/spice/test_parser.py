@@ -1,0 +1,230 @@
+"""Tests for the SPICE-deck parser."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.circuit import Capacitor, Resistor, VoltageSource
+from repro.circuit.waveforms import PiecewiseLinear, Pulse
+from repro.devices.finfet import FinFET
+from repro.devices.mtj import MTJ, MTJState
+from repro.spice import parse_deck
+from repro.spice.parser import DcCard, OpCard, TranCard, _logical_lines
+
+
+def deck(body: str):
+    return parse_deck("test deck\n" + body + "\n.end\n")
+
+
+class TestLexer:
+    def test_title_preserved(self):
+        d = parse_deck("My Title Line\nr1 a 0 1k\n.end")
+        assert d.title == "My Title Line"
+
+    def test_comments_stripped(self):
+        lines = _logical_lines("t\n* comment\nr1 a 0 1k ; tail\n$ gone\n")
+        assert lines == ["t", "r1 a 0 1k"]
+
+    def test_continuation_lines(self):
+        d = deck("v1 in 0 pwl(0 0\n+ 1n 1)")
+        assert isinstance(d.circuit["v1"].waveform, PiecewiseLinear)
+
+    def test_continuation_as_first_line_rejected(self):
+        with pytest.raises(NetlistError):
+            _logical_lines("+ orphan\n.end")
+
+    def test_unbalanced_parens_rejected(self):
+        with pytest.raises(NetlistError):
+            deck("v1 in 0 pulse(0 1")
+
+    def test_cards_after_end_ignored(self):
+        d = parse_deck("t\nr1 a 0 1k\n.end\nr2 b 0 1k\n")
+        assert "r2" not in d.circuit
+
+    def test_empty_deck_rejected(self):
+        with pytest.raises(NetlistError):
+            parse_deck("")
+
+    def test_case_insensitive(self):
+        d = deck("R1 A 0 1K\nV1 A 0 DC 1.0")
+        assert "r1" in d.circuit
+        assert d.circuit["r1"].resistance == pytest.approx(1000)
+
+
+class TestPassives:
+    def test_resistor(self):
+        d = deck("r1 in out 4.7k")
+        r = d.circuit["r1"]
+        assert isinstance(r, Resistor)
+        assert r.resistance == pytest.approx(4700)
+        assert r.node_names == ("in", "out")
+
+    def test_capacitor_with_ic(self):
+        d = deck("c1 out 0 10f ic=0.5")
+        c = d.circuit["c1"]
+        assert isinstance(c, Capacitor)
+        assert c.capacitance == pytest.approx(10e-15)
+        assert c.ic == 0.5
+
+    def test_malformed_resistor(self):
+        with pytest.raises(NetlistError):
+            deck("r1 a 0")
+
+
+class TestSources:
+    def test_dc_forms(self):
+        d = deck("v1 a 0 0.9\nv2 b 0 dc 1.2\ni1 0 c 1m")
+        assert d.circuit["v1"].dc == pytest.approx(0.9)
+        assert d.circuit["v2"].dc == pytest.approx(1.2)
+        assert d.circuit["i1"].dc == pytest.approx(1e-3)
+
+    def test_pulse(self):
+        d = deck("v1 a 0 pulse(0 0.9 1n 50p 50p 2n 5n)")
+        w = d.circuit["v1"].waveform
+        assert isinstance(w, Pulse)
+        assert w.v2 == pytest.approx(0.9)
+        assert w.period == pytest.approx(5e-9)
+
+    def test_pulse_single_shot(self):
+        d = deck("v1 a 0 pulse(0 1 0 1p 1p 1n)")
+        assert d.circuit["v1"].waveform.period is None
+
+    def test_pwl(self):
+        d = deck("v1 a 0 pwl(0 0 1n 0.9 2n 0.45)")
+        w = d.circuit["v1"].waveform
+        assert w(1e-9) == pytest.approx(0.9)
+        assert w(2e-9) == pytest.approx(0.45)
+
+    def test_pwl_odd_values_rejected(self):
+        with pytest.raises(NetlistError):
+            deck("v1 a 0 pwl(0 0 1n)")
+
+    def test_unknown_drive_rejected(self):
+        with pytest.raises(NetlistError):
+            deck("v1 a 0 sin(0 1 1meg)")
+
+
+class TestDevices:
+    def test_builtin_finfet_models(self):
+        d = deck("m1 d g 0 nfet20hp nfin=3\nm2 d2 g 0 pfet20hp")
+        m1 = d.circuit["m1"]
+        assert isinstance(m1, FinFET)
+        assert m1.nfin == 3
+        assert m1.params.polarity == +1
+        assert d.circuit["m2"].params.polarity == -1
+
+    def test_custom_finfet_model(self):
+        d = deck(".model myn nfet(vth0=0.3 dibl=0.05)\nm1 d g 0 myn")
+        params = d.circuit["m1"].params
+        assert params.vth0 == pytest.approx(0.3)
+        assert params.dibl == pytest.approx(0.05)
+        assert params.label == "myn"
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(NetlistError):
+            deck("m1 d g 0 mystery")
+
+    def test_model_kind_mismatch_rejected(self):
+        with pytest.raises(NetlistError):
+            deck("m1 d g 0 mtj_table1")
+
+    def test_mtj_default_and_state(self):
+        d = deck("y1 a b\ny2 c d mtj_table1 state=AP")
+        assert isinstance(d.circuit["y1"], MTJ)
+        assert d.circuit["y1"].state is MTJState.PARALLEL
+        assert d.circuit["y2"].state is MTJState.ANTIPARALLEL
+
+    def test_custom_mtj_model(self):
+        d = deck(".model fast mtj(jc=1e10 tmr0=1.5)\ny1 a b fast")
+        params = d.circuit["y1"].params
+        assert params.jc == pytest.approx(1e10)
+        assert params.tmr0 == pytest.approx(1.5)
+
+    def test_bad_mtj_state_rejected(self):
+        with pytest.raises(NetlistError):
+            deck("y1 a b mtj_table1 state=X")
+
+    def test_switch(self):
+        d = deck("s1 a b c 0 ron=100 von=0.9")
+        s = d.circuit["s1"]
+        assert s.g_on == pytest.approx(1e-2)
+        assert s.v_on == pytest.approx(0.9)
+
+
+class TestParams:
+    def test_substitution(self):
+        d = deck(".param rload=2k vdd=0.9\nr1 a 0 {rload}\nv1 a 0 {vdd}")
+        assert d.circuit["r1"].resistance == pytest.approx(2000)
+        assert d.circuit["v1"].dc == pytest.approx(0.9)
+
+    def test_undefined_param_rejected(self):
+        with pytest.raises(NetlistError):
+            deck("r1 a 0 {nope}")
+
+    def test_params_inside_waveforms(self):
+        d = deck(".param hi=0.9\nv1 a 0 pwl(0 0 1n {hi})")
+        assert d.circuit["v1"].waveform(1e-9) == pytest.approx(0.9)
+
+
+class TestSubcircuits:
+    DIVIDER = """
+.subckt div top tap
+r1 top tap 1k
+r2 tap 0 1k
+.ends
+v1 in 0 1.0
+x1 in out div
+"""
+
+    def test_instantiation(self):
+        d = deck(self.DIVIDER)
+        assert "x1.r1" in d.circuit
+        assert "div" in d.subcircuits
+
+    def test_port_count_checked(self):
+        with pytest.raises(NetlistError):
+            deck(self.DIVIDER + "\nx2 in div")
+
+    def test_unknown_subckt_rejected(self):
+        with pytest.raises(NetlistError):
+            deck("x1 a b nosuch")
+
+    def test_unclosed_subckt_rejected(self):
+        with pytest.raises(NetlistError):
+            deck(".subckt s a\nr1 a 0 1k")
+
+    def test_nested_subckt_rejected(self):
+        with pytest.raises(NetlistError):
+            deck(".subckt a x\n.subckt b y\n.ends\n.ends")
+
+
+class TestAnalysisCards:
+    def test_tran(self):
+        d = deck("r1 a 0 1k\n.tran 10n")
+        assert d.analyses == [TranCard(t_stop=10e-9)]
+
+    def test_tran_with_step(self):
+        d = deck("r1 a 0 1k\n.tran 1p 10n")
+        assert d.analyses[0].t_step == pytest.approx(1e-12)
+        assert d.analyses[0].t_stop == pytest.approx(10e-9)
+
+    def test_dc(self):
+        d = deck("v1 a 0 0\nr1 a 0 1k\n.dc v1 0 0.9 0.1")
+        card = d.analyses[0]
+        assert isinstance(card, DcCard)
+        assert len(card.values()) == 10
+
+    def test_op(self):
+        d = deck("r1 a 0 1k\n.op")
+        assert isinstance(d.analyses[0], OpCard)
+
+    def test_ic(self):
+        d = deck("c1 a 0 1f\n.ic v(a)=0.5 v(b)=0.1")
+        assert d.ic == {"a": 0.5, "b": 0.1}
+
+    def test_bad_ic_rejected(self):
+        with pytest.raises(NetlistError):
+            deck(".ic a=0.5")
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(NetlistError):
+            deck(".noise v(out) v1 dec")

@@ -1,0 +1,205 @@
+"""Tests for deck execution (end-to-end SPICE front end)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.devices.mtj import MTJState
+from repro.spice import parse_deck, run_deck
+
+
+def run(body: str, **kwargs):
+    deck = parse_deck("runner test\n" + body + "\n.end\n")
+    return deck, run_deck(deck, **kwargs)
+
+
+class TestOp:
+    def test_divider(self):
+        _, results = run("v1 in 0 2.0\nr1 in mid 1k\nr2 mid 0 1k\n.op")
+        sol = results.operating_points()[0]
+        assert sol.voltage("mid") == pytest.approx(1.0, rel=1e-6)
+
+    def test_ic_selects_basin(self):
+        body = """
+v1 vdd 0 0.9
+mpu1 q qb vdd pfet20hp
+mpd1 q qb 0 nfet20hp
+mpu2 qb q vdd pfet20hp
+mpd2 qb q 0 nfet20hp
+.ic v(q)=0.9 v(qb)=0
+.op
+"""
+        _, results = run(body)
+        sol = results.operating_points()[0]
+        assert sol.voltage("q") > 0.8
+        assert sol.voltage("qb") < 0.1
+
+
+class TestDc:
+    def test_inverter_vtc(self):
+        body = """
+vdd vdd 0 0.9
+vin in 0 0
+mpu out in vdd pfet20hp
+mpd out in 0 nfet20hp
+.dc vin 0 0.9 0.05
+"""
+        _, results = run(body)
+        sweep = results.sweeps()[0]
+        vtc = sweep.voltage("out")
+        assert vtc[0] > 0.85
+        assert vtc[-1] < 0.05
+
+    def test_bad_step_rejected(self):
+        deck = parse_deck("t\nv1 a 0 0\nr1 a 0 1\n.dc v1 0 1 0\n.end")
+        with pytest.raises(Exception):
+            run_deck(deck)
+
+
+class TestTran:
+    def test_rc_step(self):
+        body = """
+v1 in 0 pwl(0 0 1p 1)
+r1 in out 1k
+c1 out 0 1p
+.tran 5n
+"""
+        _, results = run(body)
+        tr = results.transients()[0]
+        assert tr.sample("out", 1e-9) == pytest.approx(1 - np.exp(-1),
+                                                       rel=1e-2)
+
+    def test_step_hint_used(self):
+        body = "v1 a 0 1\nr1 a 0 1k\n.tran 10p 1n"
+        _, results = run(body)
+        assert len(results.transients()[0]) > 10
+
+    def test_mtj_store_deck(self):
+        body = """
+.param vdd=0.9
+vdrv drv 0 pwl(0 0 0.5n 0 0.6n 0.35)
+y1 drv 0 mtj_table1 state=AP
+.tran 10n
+"""
+        deck, results = run(body)
+        tr = results.transients()[0]
+        # 0.35 V across a P-ward-driven AP junction: I ~ 33 uA > Ic.
+        assert any("AP->P" in e[2] for e in tr.events)
+        assert deck.circuit["y1"].state is MTJState.PARALLEL
+
+
+class TestMultipleAnalyses:
+    def test_cards_run_in_order(self):
+        body = """
+v1 in 0 1.0
+r1 in out 1k
+r2 out 0 1k
+.op
+.dc v1 0 1 0.5
+.op
+"""
+        _, results = run(body)
+        assert len(results) == 3
+        assert len(results.operating_points()) == 2
+        assert len(results.sweeps()) == 1
+
+    def test_no_analysis_rejected(self):
+        deck = parse_deck("t\nr1 a 0 1k\n.end")
+        with pytest.raises(AnalysisError):
+            run_deck(deck)
+
+
+class TestFullCellDeck:
+    """The headline integration: the paper's cell as a plain deck."""
+
+    DECK = """NV-SRAM store/restore from a SPICE deck
+.param vdd=0.9 vsr=0.65 vctrlst=0.5
+
+.subckt nvcell vvdd bl blb wl sr ctrl
+mpul q qb vvdd pfet20hp
+mpur qb q vvdd pfet20hp
+mpdl q qb 0 nfet20hp
+mpdr qb q 0 nfet20hp
+mpgl bl wl q nfet20hp
+mpgr blb wl qb nfet20hp
+cq q 0 0.14f
+cqb qb 0 0.14f
+mpsq q sr nq nfet20hp
+mpsqb qb sr nqb nfet20hp
+ymtjq ctrl nq mtj_table1 state=P
+ymtjqb ctrl nqb mtj_table1 state=AP
+.ends
+
+vdd vdd 0 {vdd}
+vbl bl 0 {vdd}
+vblb blb 0 {vdd}
+vwl wl 0 0
+vsr sr 0 pwl(0 0 1n 0 1.1n {vsr})
+vctrl ctrl 0 pwl(0 0 11n 0 11.1n {vctrlst})
+xcell vdd bl blb wl sr ctrl nvcell
+.ic v(xcell.q)=0.9 v(xcell.qb)=0
+.tran 21n
+.end
+"""
+
+    def test_two_step_store_executes(self):
+        deck = parse_deck(self.DECK)
+        results = run_deck(deck)
+        tr = results.transients()[0]
+        assert len(tr.events) == 2
+        assert deck.circuit["xcell.ymtjq"].state is MTJState.ANTIPARALLEL
+        assert deck.circuit["xcell.ymtjqb"].state is MTJState.PARALLEL
+        # The latch survives the store.
+        final = tr.final_solution()
+        assert final.voltage("xcell.q") > 0.8
+
+
+class TestMeasureCards:
+    BODY = """
+v1 in 0 pwl(0 0 1n 1)
+r1 in out 1k
+c1 out 0 1p
+.tran 6n
+.measure tran vpeak MAX v(out)
+.measure tran vmin MIN v(out)
+.measure tran vavg AVG v(out)
+.measure tran vswing PP v(out)
+.measure tran charge INTEG v(in)
+.measure tran thalf WHEN v(out)=0.5 RISE
+"""
+
+    def test_all_kinds_evaluate(self):
+        _, results = run(self.BODY)
+        m = results.measurements
+        assert m["vpeak"] == pytest.approx(1.0, abs=0.01)
+        assert m["vmin"] == pytest.approx(0.0, abs=1e-6)
+        assert 0.5 < m["vavg"] < 1.0
+        assert m["vswing"] == pytest.approx(m["vpeak"] - m["vmin"])
+        # integral of the ramp+hold input: 0.5n + 5n = 5.5 nV.s
+        assert m["charge"] == pytest.approx(5.5e-9, rel=1e-2)
+        # 0.5 V crossing: ramp reaches 0.5 at 0.5 ns, the RC lags ~ tau.
+        assert 0.5e-9 < m["thalf"] < 2.5e-9
+
+    def test_when_fall_missing_returns_none(self):
+        _, results = run(self.BODY + ".measure tran tf WHEN v(out)=0.5 FALL")
+        assert results.measurements["tf"] is None
+
+    def test_measure_without_tran_rejected(self):
+        deck = parse_deck(
+            "t\nv1 a 0 1\nr1 a 0 1k\n.op\n"
+            ".measure tran x MAX v(a)\n.end"
+        )
+        with pytest.raises(AnalysisError):
+            run_deck(deck)
+
+    def test_malformed_measure_rejected(self):
+        from repro.errors import NetlistError
+
+        for bad in (
+            ".measure tran x MAX out",
+            ".measure dc x MAX v(out)",
+            ".measure tran x WHEN v(out)=0.5 SIDEWAYS",
+            ".measure tran x MEDIAN v(out)",
+        ):
+            with pytest.raises(NetlistError):
+                parse_deck(f"t\nr1 a 0 1k\n{bad}\n.end")

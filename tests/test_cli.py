@@ -1,0 +1,111 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figX"])
+
+    @pytest.mark.parametrize("command", [
+        "table1", "fig1", "fig3", "fig4", "fig5", "fig6", "fig7a", "fig7b",
+        "fig7c", "fig8", "fig9", "characterize", "bet", "snm",
+        "retention", "variability", "ff", "wer", "all",
+    ])
+    def test_all_commands_parse(self, command):
+        args = build_parser().parse_args([command])
+        assert args.command == command
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "6.37 kohm" in out
+
+    def test_fig5(self, capsys):
+        assert main(["fig5"]) == 0
+        out = capsys.readouterr().out
+        assert "NVPG" in out and "NOF" in out
+
+    def test_snm_hold_and_read(self, capsys):
+        assert main(["snm"]) == 0
+        hold = capsys.readouterr().out
+        assert "hold SNM" in hold
+        assert main(["snm", "--read"]) == 0
+        read = capsys.readouterr().out
+        assert "read SNM" in read
+
+    def test_snm_underdrive_flag(self, capsys):
+        main(["snm", "--read"])
+        base = float(capsys.readouterr().out.split()[2])
+        main(["snm", "--read", "--wl-underdrive", "0.1"])
+        assisted = float(capsys.readouterr().out.split()[2])
+        assert assisted > base
+
+    def test_bet(self, capsys):
+        assert main(["bet", "--n-rw", "10", "--wordlines", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "break-even time" in out
+
+    def test_bet_store_free(self, capsys):
+        main(["bet", "--n-rw", "10", "--wordlines", "64"])
+        full = capsys.readouterr().out
+        main(["bet", "--n-rw", "10", "--wordlines", "64", "--store-free"])
+        free = capsys.readouterr().out
+        assert "store-free:       True" in free
+        assert full != free
+
+    def test_characterize_emits_json(self, capsys):
+        assert main(["characterize", "--kind", "6t",
+                     "--wordlines", "64"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "6t"
+        assert payload["p_normal"] > 0
+
+    def test_fig4_with_domain_flags(self, capsys):
+        assert main(["fig4", "--wordlines", "64"]) == 0
+        assert "Fig. 4" in capsys.readouterr().out
+
+    def test_retention(self, capsys):
+        assert main(["retention"]) == 0
+        out = capsys.readouterr().out
+        assert "retention voltage" in out
+
+
+class TestExtensionCommands:
+    def test_wer(self, capsys):
+        assert main(["wer", "--duration", "10n", "--target", "1e-6"]) == 0
+        out = capsys.readouterr().out
+        assert "x Ic" in out
+        assert "WER" in out
+
+    def test_variability(self, capsys):
+        assert main(["variability", "--samples", "5",
+                     "--wordlines", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "switching yield" in out
+        assert "read-SNM" in out
+
+    def test_ff(self, capsys):
+        assert main(["ff", "--bits", "256"]) == 0
+        out = capsys.readouterr().out
+        assert "256-bit register bank" in out
+        assert "break-even time" in out
+
+
+    def test_all_scorecard(self, capsys):
+        assert main(["all", "--scorecard-only"]) == 0
+        out = capsys.readouterr().out
+        assert "Headline-claim scorecard" in out
+        assert "FAIL" not in out

@@ -1,0 +1,108 @@
+"""Tests for SI-quantity parsing and engineering formatting."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import UnitError
+from repro.units import (
+    NS,
+    PJ,
+    THERMAL_VOLTAGE_300K,
+    format_eng,
+    parse_quantity,
+)
+
+
+class TestParseQuantity:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("0.9", 0.9),
+            ("1e-9", 1e-9),
+            ("-3.3", -3.3),
+            ("10n", 10e-9),
+            ("1.5u", 1.5e-6),
+            ("1.5µ", 1.5e-6),
+            ("20p", 20e-12),
+            ("2k", 2e3),
+            ("5meg", 5e6),
+            ("3m", 3e-3),
+            ("7f", 7e-15),
+            ("2a", 2e-18),
+            ("4g", 4e9),
+            ("1t", 1e12),
+            ("+.5", 0.5),
+        ],
+    )
+    def test_basic(self, text, expected):
+        assert parse_quantity(text) == pytest.approx(expected)
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("10ns", 10e-9),       # trailing unit letters ignored
+            ("2kohm", 2e3),
+            ("0.65V", 0.65),       # unknown suffix => multiplier one
+            ("1.5MEG", 1.5e6),     # case-insensitive
+        ],
+    )
+    def test_suffix_tails(self, text, expected):
+        assert parse_quantity(text) == pytest.approx(expected)
+
+    def test_passthrough_numbers(self):
+        assert parse_quantity(3) == 3.0
+        assert parse_quantity(2.5) == 2.5
+        assert isinstance(parse_quantity(3), float)
+
+    @pytest.mark.parametrize("bad", ["", "volts", "1..2", "--3", "n10"])
+    def test_rejects_garbage(self, bad):
+        with pytest.raises(UnitError):
+            parse_quantity(bad)
+
+    @given(st.floats(min_value=-1e18, max_value=1e18,
+                     allow_nan=False, allow_infinity=False))
+    def test_roundtrip_plain_floats(self, value):
+        assert parse_quantity(repr(value)) == pytest.approx(value, rel=1e-12)
+
+
+class TestFormatEng:
+    @pytest.mark.parametrize(
+        "value,unit,expected",
+        [
+            (3.3e-9, "s", "3.30 ns"),
+            (2.34e-11, "J", "23.40 pJ"),
+            (0.0, "W", "0.00 W"),
+            (1.0, "V", "1.00 V"),
+            (4.7e3, "ohm", "4.70 kohm"),
+            (1.5e7, "Hz", "15.00 MHz"),
+            (-2e-6, "A", "-2.00 uA"),
+        ],
+    )
+    def test_formatting(self, value, unit, expected):
+        assert format_eng(value, unit) == expected
+
+    def test_nan_and_inf(self):
+        assert format_eng(float("nan"), "V") == "nan V"
+        assert format_eng(float("inf"), "s") == "inf s"
+        assert format_eng(float("-inf"), "s") == "-inf s"
+
+    def test_digits(self):
+        assert format_eng(1.23456e-9, "s", digits=4) == "1.2346 ns"
+
+    @given(st.floats(min_value=1e-17, max_value=1e13, allow_nan=False))
+    def test_mantissa_in_engineering_range(self, value):
+        text = format_eng(value, "X")
+        mantissa = float(text.split()[0])
+        assert 0.99 <= abs(mantissa) < 1000.1
+
+
+class TestConstants:
+    def test_unit_constants(self):
+        assert NS == 1e-9
+        assert PJ == 1e-12
+
+    def test_thermal_voltage(self):
+        # kT/q at 300 K.
+        assert THERMAL_VOLTAGE_300K == pytest.approx(0.02585, rel=1e-3)
