@@ -95,6 +95,7 @@ def build_cell_array(
     nfet: FinFETParams = NFET_20NM_HP,
     pfet: FinFETParams = PFET_20NM_HP,
     mtj_params: MTJParams = MTJ_TABLE1,
+    lint: bool = True,
 ) -> "ArrayTestbench":
     """Build a small SPICE-level NV-SRAM array with shared lines.
 
@@ -102,6 +103,11 @@ def build_cell_array(
     switch of ``nfsw * cols`` fins), SR and CTRL lines; each column has a
     BL/BLB pair shared by all rows.  All control lines are ideal voltage
     sources so integration tests can script arbitrary mode sequences.
+
+    The finished netlist is statically analysed before being returned
+    (``lint=True``, the default; see :func:`repro.verify.assert_clean`),
+    so a wiring slip in the row/column plumbing fails here with rule
+    codes rather than downstream in a transient.
     """
     if rows < 1 or cols < 1:
         raise NetlistError("array dimensions must be >= 1")
@@ -131,6 +137,9 @@ def build_cell_array(
             )
             row_cells.append(cell)
         cells.append(row_cells)
+    if lint:
+        from ..verify import assert_clean
+        assert_clean(circuit, target=f"array:{rows}x{cols}")
     return ArrayTestbench(circuit=circuit, cells=cells, vdd=vdd)
 
 

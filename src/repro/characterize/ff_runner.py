@@ -124,12 +124,16 @@ def characterize_nvff(
     mtj_params: MTJParams = MTJ_TABLE1,
     cache_dir: "Optional[Path] | str" = "auto",
     validate: bool = True,
+    lint: bool = True,
 ) -> FlipFlopCharacterization:
     """Characterise the NV-FF under ``cond``.
 
     Runs: clocked-toggle and clocked-hold transients (per-cycle energy,
     clk-to-Q delay), static operating points (normal and super-cutoff
-    shutdown), a two-step store and a collapsed-rail restore.
+    shutdown), a two-step store and a collapsed-rail restore.  With
+    ``lint=True`` (default) the bench netlist is statically analysed
+    first (:func:`repro.verify.assert_clean`); error findings raise
+    :class:`~repro.errors.VerificationError`.
     """
     if cache_dir == "auto":
         cache_dir = cache.default_cache_dir()
@@ -149,6 +153,10 @@ def characterize_nvff(
     result = FlipFlopCharacterization(
         vdd=cond.vdd, clock_frequency=cond.frequency,
     )
+    if lint:
+        from ..verify import assert_clean
+        bench, _ = _build_ff_bench(cond, nfet, pfet, mtj_params)
+        assert_clean(bench, target="cell:nvff")
     _extract_static(cond, nfet, pfet, mtj_params, result)
     _extract_clocking(cond, nfet, pfet, mtj_params, result)
     _extract_store(cond, nfet, pfet, mtj_params, result)

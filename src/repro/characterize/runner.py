@@ -51,6 +51,7 @@ def characterize_cell(
     mtj_params: MTJParams = MTJ_TABLE1,
     cache_dir: "Optional[Path] | str" = "auto",
     validate: bool = True,
+    lint: bool = True,
 ) -> CellCharacterization:
     """Characterise one cell flavour under the given conditions.
 
@@ -65,6 +66,11 @@ def characterize_cell(
         caching.
     validate:
         Run the physical sanity checks on the result (recommended).
+    lint:
+        Statically analyse the testbench netlist before simulating
+        (:func:`repro.verify.assert_clean`); error findings raise
+        :class:`~repro.errors.VerificationError`.  ``REPRO_LINT=0``
+        disables the check globally.
     """
     if cache_dir == "auto":
         cache_dir = cache.default_cache_dir()
@@ -87,6 +93,9 @@ def characterize_cell(
         return build_cell_testbench(kind, cond, domain, nfet=nfet,
                                     pfet=pfet, mtj_params=mtj_params)
 
+    if lint:
+        from ..verify import assert_clean
+        assert_clean(fresh_tb().circuit, target=f"cell:{kind}")
     _extract_static_powers(fresh_tb(), result)
     _extract_read(fresh_tb(), result)
     _extract_write(fresh_tb(), result)

@@ -1,39 +1,37 @@
-"""Netlist linting: catch wiring mistakes before they become Newton
-convergence failures.
+"""Netlist linting (compatibility shim over :mod:`repro.verify`).
 
-The solver's gmin floor will happily "solve" a floating node to 0 V and
-a typo'd bitline to nonsense; :func:`lint` finds the classic mistakes
-first:
+The checks that used to live here — ``floating-node``, ``no-dc-path``,
+``shorted-element``, ``voltage-loop``, ``parallel-sources`` — are now
+rules RV001..RV005 of the :mod:`repro.verify` framework, which adds
+power-gating-aware and MNA-solvability analyses on top.  This module
+keeps the original ``lint()`` / :class:`LintFinding` API for existing
+callers and tests: it runs exactly the five legacy rules and maps their
+diagnostics back to the legacy code strings.
 
-* ``floating-node`` — a node touched by only one element terminal;
-* ``no-dc-path`` — a node whose only connections are capacitive, so its
-  DC level is set by gmin alone;
-* ``shorted-element`` — both terminals of a two-terminal element on the
-  same node;
-* ``voltage-loop`` — a cycle made purely of voltage sources, which
-  over-determines the branch currents;
-* ``parallel-sources`` — two voltage sources across the same node pair.
-
-Each finding carries a severity: ``error`` findings make the MNA system
-singular or meaningless; ``warning`` findings usually indicate a typo
-but can be intentional (e.g. dynamic nodes).
+New code should call :func:`repro.verify.verify_circuit` (all rules,
+rule codes, configurable policy) instead.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Set, Tuple
-
-import networkx as nx
+from typing import List
 
 from .netlist import Circuit
-from .passives import Capacitor
-from .sources import VoltageSource
+
+#: Rule-code -> legacy code-string mapping (and the rule subset to run).
+LEGACY_CODES = {
+    "RV001": "floating-node",
+    "RV002": "no-dc-path",
+    "RV003": "shorted-element",
+    "RV004": "voltage-loop",
+    "RV005": "parallel-sources",
+}
 
 
 @dataclass(frozen=True)
 class LintFinding:
-    """One lint diagnostic."""
+    """One lint diagnostic (legacy shape)."""
 
     code: str
     severity: str          # "error" or "warning"
@@ -45,13 +43,26 @@ class LintFinding:
 
 
 def lint(circuit: Circuit) -> List[LintFinding]:
-    """Run every check; returns findings sorted errors-first."""
+    """Run the five legacy checks; returns findings sorted errors-first.
+
+    Raises :class:`~repro.errors.NetlistError` if the circuit does not
+    compile, exactly like the original linter did.
+    """
     circuit.compile()
-    findings: List[LintFinding] = []
-    findings.extend(_floating_nodes(circuit))
-    findings.extend(_no_dc_path(circuit))
-    findings.extend(_shorted_elements(circuit))
-    findings.extend(_voltage_source_graph(circuit))
+    # Imported lazily: repro.circuit.__init__ imports this module, and
+    # repro.verify imports repro.circuit submodules.
+    from ..verify import VerifyConfig, run_rules
+    config = VerifyConfig(only=frozenset(LEGACY_CODES))
+    report = run_rules(circuit, "circuit", config=config)
+    findings = [
+        LintFinding(
+            code=LEGACY_CODES[diag.code],
+            severity=diag.severity.value,
+            message=diag.message,
+            subject=diag.subject,
+        )
+        for diag in report
+    ]
     findings.sort(key=lambda f: (f.severity != "error", f.code, f.subject))
     return findings
 
@@ -59,110 +70,3 @@ def lint(circuit: Circuit) -> List[LintFinding]:
 def has_errors(findings: List[LintFinding]) -> bool:
     """True if any finding is error-severity."""
     return any(f.severity == "error" for f in findings)
-
-
-def _terminal_counts(circuit: Circuit) -> Dict[str, int]:
-    counts: Dict[str, int] = {}
-    for element in circuit.elements():
-        for node in element.node_names:
-            counts[node] = counts.get(node, 0) + 1
-    return counts
-
-
-def _floating_nodes(circuit: Circuit) -> List[LintFinding]:
-    out = []
-    counts = _terminal_counts(circuit)
-    for node in circuit.node_names():
-        if counts.get(node, 0) == 1:
-            touching = circuit.nodes_touching(node)
-            culprit = touching[0].name if touching else "?"
-            out.append(LintFinding(
-                code="floating-node",
-                severity="warning",
-                message=(
-                    f"node {node!r} touches only one terminal "
-                    f"(element {culprit}); likely a typo"
-                ),
-                subject=node,
-            ))
-    return out
-
-
-def _no_dc_path(circuit: Circuit) -> List[LintFinding]:
-    """Nodes whose every connection is a capacitor: DC set by gmin."""
-    out = []
-    for node in circuit.node_names():
-        touching = circuit.nodes_touching(node)
-        if touching and all(isinstance(e, Capacitor) for e in touching):
-            out.append(LintFinding(
-                code="no-dc-path",
-                severity="warning",
-                message=(
-                    f"node {node!r} has only capacitive connections; "
-                    "its DC level is defined by gmin alone"
-                ),
-                subject=node,
-            ))
-    return out
-
-
-def _shorted_elements(circuit: Circuit) -> List[LintFinding]:
-    out = []
-    for element in circuit.elements():
-        names = element.node_names
-        if len(names) >= 2 and len(set(names[:2])) == 1:
-            out.append(LintFinding(
-                code="shorted-element",
-                severity="warning",
-                message=(
-                    f"element {element.name} has both main terminals on "
-                    f"node {names[0]!r}"
-                ),
-                subject=element.name,
-            ))
-    return out
-
-
-def _voltage_source_graph(circuit: Circuit) -> List[LintFinding]:
-    """Loops and parallels in the pure voltage-source subgraph."""
-    out = []
-    graph = nx.MultiGraph()
-    pairs: Dict[Tuple[str, str], List[str]] = {}
-    for element in circuit.elements():
-        if not isinstance(element, VoltageSource):
-            continue
-        p, n = element.node_names
-        graph.add_edge(p, n, name=element.name)
-        key = tuple(sorted((p, n)))
-        pairs.setdefault(key, []).append(element.name)
-
-    for (p, n), names in pairs.items():
-        if len(names) > 1:
-            out.append(LintFinding(
-                code="parallel-sources",
-                severity="error",
-                message=(
-                    f"voltage sources {', '.join(sorted(names))} are in "
-                    f"parallel between {p!r} and {n!r}"
-                ),
-                subject=sorted(names)[0],
-            ))
-
-    # Cycles using distinct sources (a multigraph cycle of length >= 2
-    # that is not just the same parallel pair counted again).
-    try:
-        cycles = nx.cycle_basis(nx.Graph(graph))
-    except nx.NetworkXError:   # pragma: no cover
-        cycles = []
-    for cycle in cycles:
-        if len(cycle) >= 3:
-            out.append(LintFinding(
-                code="voltage-loop",
-                severity="error",
-                message=(
-                    "voltage sources form a loop through nodes "
-                    + " -> ".join(repr(n) for n in cycle)
-                ),
-                subject=cycle[0],
-            ))
-    return out

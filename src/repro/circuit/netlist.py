@@ -39,6 +39,17 @@ from ..errors import NetlistError
 #: Canonical ground node name.
 GROUND = "0"
 
+
+def conductance_pattern(p: int, n: int) -> List[Tuple[int, int]]:
+    """Stamp positions of a two-terminal conductance between ``p``/``n``.
+
+    The four positions a ``stamper.conductance(p, n, g)`` call touches;
+    shared by every :meth:`Element.stamp_pattern` implementation that
+    models a resistive branch.  Ground entries (index -1) are included —
+    pattern consumers drop them.
+    """
+    return [(p, p), (p, n), (n, p), (n, n)]
+
 _GROUND_ALIASES = {"0", "gnd", "GND", "Gnd", "vss", "VSS"}
 
 
@@ -81,6 +92,23 @@ class Element:
     # -- analysis interface ---------------------------------------------
     def stamp(self, stamper, ctx) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
+
+    def stamp_pattern(self, mode: str = "dc") -> List[Tuple[int, int]]:
+        """Matrix positions this element *may* write in ``mode``.
+
+        Returns ``(row, col)`` index pairs into the MNA matrix (node and
+        branch indices as assigned by :meth:`Circuit.compile`; -1 marks
+        ground, which consumers ignore).  The structural-singularity
+        check (:mod:`repro.verify.rules_mna`) builds its bipartite
+        incidence from these patterns, so an entry means "can be
+        nonzero", not "is nonzero at this operating point".
+
+        The base implementation is deliberately conservative — a dense
+        block over all of the element's unknowns — so custom elements
+        are never reported as structurally singular by omission.
+        """
+        indices = tuple(self.node_index) + tuple(self.branch_index)
+        return [(r, c) for r in indices for c in indices]
 
     def init_state(self, ctx) -> None:
         """Initialise internal history from the DC solution in ``ctx``."""

@@ -10,7 +10,7 @@ from __future__ import annotations
 from typing import Optional, Tuple
 
 from ..errors import NetlistError
-from .netlist import Element
+from .netlist import Element, conductance_pattern
 
 
 class Resistor(Element):
@@ -37,6 +37,11 @@ class Resistor(Element):
     def stamp(self, stamper, ctx) -> None:
         p, n = self.node_index
         stamper.conductance(p, n, self.conductance)
+
+    def stamp_pattern(self, mode: str = "dc"):
+        """Conductance block across p-n in every mode."""
+        p, n = self.node_index
+        return conductance_pattern(p, n)
 
     def current(self, solution) -> float:
         """Current flowing p -> n for a solved operating point/timepoint."""
@@ -91,6 +96,13 @@ class Capacitor(Element):
         geq, ieq = self._companion(ctx)
         stamper.conductance(p, n, geq)
         stamper.current(p, n, ieq)
+
+    def stamp_pattern(self, mode: str = "dc"):
+        """Open at DC (empty pattern); companion conductance otherwise."""
+        if mode == "dc":
+            return []
+        p, n = self.node_index
+        return conductance_pattern(p, n)
 
     def init_state(self, ctx) -> None:
         p, n = self.node_index

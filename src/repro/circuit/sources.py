@@ -68,6 +68,12 @@ class VoltageSource(Element):
         stamper.matrix(k, n, -1.0)
         stamper.rhs(k, ctx.source_scale * self.level(ctx.time))
 
+    def stamp_pattern(self, mode: str = "dc"):
+        """Branch row/column couplings of the ideal source."""
+        p, n = self.node_index
+        (k,) = self.branch_index
+        return [(p, k), (n, k), (k, p), (k, n)]
+
     def breakpoints(self, t0: float, t1: float) -> List[float]:
         if self.waveform is None:
             return []
@@ -111,6 +117,10 @@ class CurrentSource(Element):
     def stamp(self, stamper, ctx) -> None:
         p, n = self.node_index
         stamper.current(p, n, ctx.source_scale * self.level(ctx.time))
+
+    def stamp_pattern(self, mode: str = "dc"):
+        """RHS-only element: no matrix entries in any mode."""
+        return []
 
     def breakpoints(self, t0: float, t1: float) -> List[float]:
         if self.waveform is None:

@@ -12,7 +12,7 @@ from __future__ import annotations
 import math
 
 from ..errors import NetlistError
-from .netlist import Element
+from .netlist import Element, conductance_pattern
 
 
 class VoltageControlledSwitch(Element):
@@ -78,6 +78,13 @@ class VoltageControlledSwitch(Element):
         i0 = g * v_pn
         correction = i0 - g * v_pn - gm * vc
         stamper.current(p, n, correction)
+
+    def stamp_pattern(self, mode: str = "dc"):
+        """Channel conductance block plus the control-voltage VCCS."""
+        p, n, cp, cn = self.node_index
+        pattern = conductance_pattern(p, n)
+        pattern.extend((row, col) for row in (p, n) for col in (cp, cn))
+        return pattern
 
     def current(self, solution) -> float:
         """Current p -> n at a solved point."""

@@ -10,6 +10,7 @@ Usage::
     python -m repro bet --n-rw 100 --wordlines 512 [--store-free]
     python -m repro snm [--read] [--wl-underdrive 0.1]
     python -m repro retention
+    python -m repro lint examples/decks/*.sp nv 6t [--format sarif]
 
 Every subcommand prints the same rows/series the paper reports; see
 ``benchmarks/`` for the timed versions with archived artifacts.
@@ -226,6 +227,79 @@ def _cmd_all(args) -> int:
     return 0 if result.all_passed else 1
 
 
+#: Built-in lint targets: aliases for the shipped cell testbenches.
+LINT_ALIASES = ("nv", "6t", "nvff", "array")
+
+
+def _lint_alias_circuit(alias: str):
+    """Build the circuit behind a ``repro lint`` cell alias."""
+    from .characterize.testbench import build_cell_testbench
+
+    if alias in ("nv", "6t"):
+        return build_cell_testbench(alias).circuit
+    if alias == "nvff":
+        from .characterize.ff_runner import _build_ff_bench
+        from .devices.mtj import MTJ_TABLE1
+        from .devices.ptm20 import NFET_20NM_HP, PFET_20NM_HP
+
+        circuit, _ff = _build_ff_bench(OperatingConditions(), NFET_20NM_HP,
+                                       PFET_20NM_HP, MTJ_TABLE1)
+        return circuit
+    if alias == "array":
+        from .cells.array import build_cell_array
+
+        return build_cell_array(2, 2).circuit
+    raise ValueError(f"unknown lint alias: {alias}")
+
+
+def _cmd_lint(args) -> int:
+    from .verify import (
+        REGISTRY,
+        Report,
+        VerifyConfig,
+        render_json,
+        render_sarif,
+        render_text,
+        verify_circuit,
+        verify_deck_file,
+    )
+
+    if args.list_rules:
+        for rule_ in REGISTRY.rules():
+            print(f"{rule_.code}  {rule_.severity.value:7s} "
+                  f"[{rule_.scope}] {rule_.name}: {rule_.description}")
+        return 0
+    if not args.targets:
+        print("repro lint: no targets (deck paths or one of "
+              + "/".join(LINT_ALIASES) + ")", file=sys.stderr)
+        return 2
+    disable = frozenset(
+        token.strip() for spec in args.disable
+        for token in spec.split(",") if token.strip()
+    )
+    # --disable adds to (never replaces) the REPRO_LINT_DISABLE env set.
+    config = VerifyConfig(disable=disable
+                          | VerifyConfig.from_env().disable)
+    report = Report(target=", ".join(args.targets))
+    for target in args.targets:
+        if target in LINT_ALIASES:
+            part = verify_circuit(_lint_alias_circuit(target),
+                                  config=config, target=f"cell:{target}")
+        else:
+            try:
+                part = verify_deck_file(target, config=config)
+            except OSError as exc:
+                print(f"repro lint: cannot read {target!r}: "
+                      f"{exc.strerror or exc}", file=sys.stderr)
+                return 2
+        report.extend(part)
+    renderer = {"text": render_text, "json": render_json,
+                "sarif": render_sarif}[args.format]
+    print(renderer(report))
+    failed = report.has_errors or (args.strict and report.warnings())
+    return 1 if failed else 0
+
+
 def _cmd_retention(args) -> int:
     from .characterize.retention import retention_voltage_sweep
 
@@ -318,6 +392,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scorecard-only", action="store_true",
                    help="skip the per-figure bodies")
 
+    p = sub.add_parser("lint", help="static-analyse decks / cell benches")
+    p.add_argument("targets", nargs="*", metavar="TARGET",
+                   help="SPICE deck path or cell alias "
+                        "(nv, 6t, nvff, array)")
+    p.add_argument("--format", choices=("text", "json", "sarif"),
+                   default="text", help="output format (default text)")
+    p.add_argument("--disable", action="append", default=[],
+                   metavar="RULES",
+                   help="comma-separated rule codes/names to skip "
+                        "(repeatable)")
+    p.add_argument("--strict", action="store_true",
+                   help="exit non-zero on warnings too")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the rule catalog and exit")
+
     p = sub.add_parser("wer", help="MTJ write-error-rate model")
     common(p, domain=False)
     p.add_argument("--duration", default="10n",
@@ -347,6 +436,7 @@ _HANDLERS = {
     "ff": _cmd_ff,
     "wer": _cmd_wer,
     "all": _cmd_all,
+    "lint": _cmd_lint,
 }
 
 

@@ -273,6 +273,16 @@ class FinFET(Element):
         residual = i - (g_d * vd + g_g * vg + g_s * vs)
         stamper.current(d, s, residual)
 
+    def stamp_pattern(self, mode: str = "dc"):
+        """KCL rows at drain/source, columns for all three terminals.
+
+        The gate row is absent: zero gate current means the gate node
+        must be held up by some other element, which is exactly what the
+        structural-singularity check exploits to catch floating gates.
+        """
+        d, g, s = self.node_index
+        return [(row, col) for row in (d, s) for col in (d, g, s)]
+
     def __repr__(self) -> str:
         kind = "n" if self.params.polarity > 0 else "p"
         return f"<FinFET {self.name} {kind}-ch nfin={self.nfin}>"

@@ -37,7 +37,7 @@ from dataclasses import dataclass, replace
 from typing import Optional, Tuple
 
 from ..errors import DeviceError
-from ..circuit.netlist import Element
+from ..circuit.netlist import Element, conductance_pattern
 
 
 class MTJState(enum.Enum):
@@ -292,6 +292,11 @@ class MTJ(Element):
         i, g = self._current_and_derivative(v)
         stamper.conductance(free, pinned, g)
         stamper.current(free, pinned, i - g * v)
+
+    def stamp_pattern(self, mode: str = "dc"):
+        """Nonlinear-resistor conductance block across free-pinned."""
+        free, pinned = self.node_index
+        return conductance_pattern(free, pinned)
 
     # -- measurements -----------------------------------------------------------
     def current(self, solution) -> float:

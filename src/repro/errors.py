@@ -59,3 +59,23 @@ class CharacterizationError(ReproError):
 
 class SequenceError(ReproError):
     """A power-gating benchmark sequence is inconsistent."""
+
+
+class VerificationError(ReproError):
+    """Static analysis found error-severity problems in a netlist.
+
+    Raised by the lint-before-simulate hooks (``repro.verify``) so a
+    mis-wired power switch or orphaned MTJ stops a run *before* the
+    solver turns it into a convergence failure or a silently wrong
+    energy number.
+
+    Attributes
+    ----------
+    diagnostics:
+        The error-severity :class:`repro.verify.Diagnostic` records that
+        triggered the failure.
+    """
+
+    def __init__(self, message: str, diagnostics=()):
+        super().__init__(message)
+        self.diagnostics = list(diagnostics)

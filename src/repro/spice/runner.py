@@ -41,14 +41,24 @@ class DeckResults:
 
 def run_deck(deck: ParsedDeck,
              transient_options: Optional[TransientOptions] = None,
-             ) -> DeckResults:
+             lint: bool = True) -> DeckResults:
     """Run each ``.OP`` / ``.DC`` / ``.TRAN`` card of ``deck``.
 
     ``.IC`` entries apply to every analysis; a ``.TRAN`` card's optional
     step hint is translated into the integrator's initial step.
+
+    Before the first analysis the flattened circuit is passed through
+    the static analyser (:func:`repro.verify.assert_clean`); an
+    error-severity finding raises
+    :class:`~repro.errors.VerificationError` instead of letting the
+    solver fail cryptically.  Disable with ``lint=False`` or the
+    ``REPRO_LINT=0`` environment escape hatch.
     """
     if not deck.analyses:
         raise AnalysisError("deck has no analysis cards (.op/.dc/.tran)")
+    if lint:
+        from ..verify import assert_clean
+        assert_clean(deck.circuit, target=deck.title or "deck")
     out = DeckResults(deck=deck)
     ic = deck.ic or None
     for card in deck.analyses:

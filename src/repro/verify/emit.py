@@ -1,0 +1,122 @@
+"""Report emitters: plain text, JSON, and SARIF 2.1.0.
+
+SARIF output lets the deck linter plug into code-review tooling (GitHub
+code scanning, VS Code SARIF viewers) unchanged: rule metadata comes
+from the registry, physical locations from deck findings, and logical
+locations (node/element names) from circuit findings.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from .core import REGISTRY, Diagnostic, Report, RuleRegistry, Severity
+
+#: SARIF severity levels for each internal severity.
+_SARIF_LEVEL = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+
+
+def render_text(report: Report) -> str:
+    """One diagnostic per line, plus a severity-count summary line."""
+    lines = [str(d) for d in report.diagnostics]
+    counts = report.counts()
+    lines.append(
+        f"{report.target or 'netlist'}: "
+        f"{counts['error']} error(s), {counts['warning']} warning(s), "
+        f"{counts['info']} info"
+    )
+    return "\n".join(lines)
+
+
+def _diag_dict(diag: Diagnostic) -> Dict[str, object]:
+    out: Dict[str, object] = {
+        "code": diag.code,
+        "name": diag.name,
+        "severity": diag.severity.value,
+        "subject": diag.subject,
+        "message": diag.message,
+        "target": diag.target,
+    }
+    if diag.location is not None:
+        out["line"] = diag.location.line
+        out["text"] = diag.location.text
+    return out
+
+
+def render_json(report: Report, indent: int = 2) -> str:
+    """Machine-readable dump: target, counts and all diagnostics."""
+    payload = {
+        "target": report.target,
+        "counts": report.counts(),
+        "diagnostics": [_diag_dict(d) for d in report.diagnostics],
+    }
+    return json.dumps(payload, indent=indent)
+
+
+def _sarif_result(diag: Diagnostic) -> Dict[str, object]:
+    result: Dict[str, object] = {
+        "ruleId": diag.code,
+        "level": _SARIF_LEVEL[diag.severity],
+        "message": {"text": diag.message},
+    }
+    location: Dict[str, object] = {}
+    if diag.location is not None:
+        location["physicalLocation"] = {
+            "artifactLocation": {"uri": diag.target or "netlist"},
+            "region": {
+                "startLine": diag.location.line,
+                "snippet": {"text": diag.location.text},
+            },
+        }
+    if diag.subject:
+        location["logicalLocations"] = [
+            {"name": diag.subject, "kind": "member"}
+        ]
+    if not location.get("physicalLocation"):
+        location["physicalLocation"] = {
+            "artifactLocation": {"uri": diag.target or "netlist"}
+        }
+    result["locations"] = [location]
+    return result
+
+
+def render_sarif(report: Report, indent: int = 2,
+                 registry: RuleRegistry = REGISTRY) -> str:
+    """Serialise ``report`` as a SARIF 2.1.0 log."""
+    rules: List[Dict[str, object]] = []
+    for rule_ in registry.rules():
+        rules.append({
+            "id": rule_.code,
+            "name": rule_.name,
+            "shortDescription": {"text": rule_.description},
+            "fullDescription": {"text": rule_.rationale
+                                or rule_.description},
+            "defaultConfiguration": {
+                "level": _SARIF_LEVEL[rule_.severity],
+            },
+        })
+    log = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-lint",
+                    "informationUri":
+                        "https://example.invalid/repro/docs/LINT.md",
+                    "rules": rules,
+                },
+            },
+            "results": [_sarif_result(d) for d in report.diagnostics],
+        }],
+    }
+    return json.dumps(log, indent=indent)

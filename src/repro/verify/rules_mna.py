@@ -1,0 +1,170 @@
+"""Structural MNA solvability check (RV2xx).
+
+A Newton-Raphson iteration can only work if the DC Jacobian admits a
+perfect matching between equations (matrix rows) and unknowns (columns)
+— a *structural* property of where elements stamp, independent of
+operating point.  This module rebuilds that zero/nonzero pattern from
+each element's :meth:`~repro.circuit.netlist.Element.stamp_pattern` and
+runs Kuhn's augmenting-path algorithm for maximum bipartite matching; an
+unmatched row or column pinpoints the equation/unknown that makes the
+matrix singular for *every* parameter value (the Dulmage-Mendelsohn
+"structurally deficient" part), long before the solver wastes
+iterations discovering it as a numerical blow-up.
+
+Classic triggers in this codebase's domain:
+
+* a node touched only by current sources (no element determines its
+  voltage — its KCL row is empty);
+* a floating FinFET gate (zero gate current means the FinFET contributes
+  no row for the gate node; something else must pin it);
+* a voltage source whose branch current appears in no KCL row because
+  both terminals are ground aliases.
+
+Nodes connected only to capacitors are *excluded* from the test: at DC
+they are singular by design and the solver's gmin handles them — rule
+RV002 already reports them as warnings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Set
+
+from ..circuit.netlist import Circuit
+from ..circuit.passives import Capacitor
+from .core import Finding, rule
+from .rules_circuit import _compiles
+
+
+def stamp_incidence(circuit: Circuit, mode: str = "dc") -> Dict[int, Set[int]]:
+    """Row -> columns map of possible MNA matrix entries.
+
+    Ground rows/columns (index -1) are dropped; the circuit must be
+    compiled (callers go through :func:`structural_deficiency` or
+    compile themselves).
+    """
+    incidence: Dict[int, Set[int]] = {}
+    for element in circuit.elements():
+        for row, col in element.stamp_pattern(mode):
+            if row >= 0 and col >= 0:
+                incidence.setdefault(row, set()).add(col)
+    return incidence
+
+
+def _maximum_matching(rows: List[int],
+                      incidence: Dict[int, Set[int]],
+                      allowed_cols: Set[int]) -> Dict[int, int]:
+    """Kuhn's algorithm: maximum matching row -> column.
+
+    Iterative augmenting-path search (explicit stack) so deep
+    alternating paths in large arrays cannot hit the recursion limit.
+    Returns the ``row -> col`` matching.
+    """
+    match_col: Dict[int, int] = {}   # col -> row
+    match_row: Dict[int, int] = {}   # row -> col
+
+    def neighbours(r: int) -> List[int]:
+        return sorted(c for c in incidence.get(r, ()) if c in allowed_cols)
+
+    for start in rows:
+        if start in match_row:
+            continue
+        # DFS over alternating paths from the free row `start`.
+        stack = [(start, iter(neighbours(start)))]
+        parent: Dict[int, int] = {}     # col -> row that discovered it
+        visited: Set[int] = set()
+        while stack:
+            r, it = stack[-1]
+            for col in it:
+                if col in visited:
+                    continue
+                visited.add(col)
+                parent[col] = r
+                owner = match_col.get(col)
+                if owner is None:
+                    # Free column: flip the alternating path end-to-end.
+                    cur: int | None = col
+                    while cur is not None:
+                        claimer = parent[cur]
+                        nxt = match_row.get(claimer)
+                        match_col[cur] = claimer
+                        match_row[claimer] = cur
+                        cur = nxt
+                    stack.clear()
+                else:
+                    stack.append((owner, iter(neighbours(owner))))
+                break
+            else:
+                stack.pop()
+    return match_row
+
+
+def _capacitor_only_indices(circuit: Circuit) -> Set[int]:
+    """MNA indices of nodes whose every connection is a capacitor."""
+    out: Set[int] = set()
+    for node in circuit.node_names():
+        touching = circuit.nodes_touching(node)
+        if touching and all(isinstance(e, Capacitor) for e in touching):
+            out.add(circuit.index_of(node))
+    return out
+
+
+def _unknown_name(circuit: Circuit, index: int):
+    """(subject, description) of MNA unknown ``index``."""
+    names = circuit.node_names()
+    if 0 <= index < len(names):
+        return names[index], f"node {names[index]!r}"
+    for element in circuit.elements():
+        if index in element.branch_index:
+            return element.name, f"the branch current of {element.name}"
+    return str(index), f"unknown #{index}"   # pragma: no cover - defensive
+
+
+def structural_deficiency(circuit: Circuit,
+                          mode: str = "dc") -> List[int]:
+    """Indices of MNA rows/columns left unmatched by a maximum matching.
+
+    Empty list means the matrix is structurally nonsingular; parameter
+    cancellations can still make it *numerically* singular at specific
+    values.  The converse subsumes the voltage-source topology errors:
+    source loops and parallel sources (RV004/RV005) are structurally
+    deficient too, so they additionally surface here — RV004/RV005
+    remain the actionable diagnosis, RV201 the generic backstop.
+    Capacitor-only nodes are exempted (gmin territory, see module
+    docstring).
+    """
+    circuit.compile()
+    exempt = _capacitor_only_indices(circuit) if mode == "dc" else set()
+    active = [i for i in range(circuit.size) if i not in exempt]
+    allowed = set(active)
+    incidence = {
+        row: cols for row, cols in stamp_incidence(circuit, mode).items()
+        if row in allowed
+    }
+    match_row = _maximum_matching(active, incidence, allowed)
+    unmatched_rows = [i for i in active if i not in match_row]
+    matched_cols = set(match_row.values())
+    unmatched_cols = [i for i in active if i not in matched_cols]
+    return sorted(set(unmatched_rows) | set(unmatched_cols))
+
+
+@rule("RV201", "structural-singularity", "circuit", "error",
+      "The DC MNA matrix is structurally singular",
+      "When no perfect row/column matching exists, the Jacobian is "
+      "singular at every operating point: Newton-Raphson cannot even "
+      "start, and the failure surfaces as an opaque linear-algebra or "
+      "convergence error deep inside the solver.  Flagging the exact "
+      "equation/unknown here turns that into an actionable netlist fix.")
+def check_structural_singularity(circuit: Circuit) -> Iterator[Finding]:
+    """Bipartite-matching rank test on the DC stamp pattern."""
+    if not _compiles(circuit):
+        return
+    deficient = structural_deficiency(circuit, mode="dc")
+    for index in deficient:
+        subject, what = _unknown_name(circuit, index)
+        yield Finding(
+            subject=subject,
+            message=(f"no MNA equation can determine {what}: the DC "
+                     "Jacobian is structurally singular (check for "
+                     "current-source-only nodes or floating FinFET "
+                     "gates)"),
+        )

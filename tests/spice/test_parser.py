@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import NetlistError
+from repro.errors import NetlistError, UnitError
 from repro.circuit import Capacitor, Resistor, VoltageSource
 from repro.circuit.waveforms import PiecewiseLinear, Pulse
 from repro.devices.finfet import FinFET
@@ -228,3 +228,51 @@ class TestAnalysisCards:
     def test_unknown_directive_rejected(self):
         with pytest.raises(NetlistError):
             deck(".noise v(out) v1 dec")
+
+
+class TestErrorPaths:
+    """The parser must reject malformed decks with a located message."""
+
+    def test_unknown_card_letter(self):
+        with pytest.raises(NetlistError, match="unsupported element card"):
+            deck("q1 a b c 1k")
+
+    def test_pulse_too_few_args(self):
+        with pytest.raises(NetlistError, match="PULSE needs"):
+            deck("v1 a 0 pulse(0.9)")
+
+    def test_pulse_non_numeric_arg(self):
+        with pytest.raises(UnitError):
+            deck("v1 a 0 pulse(0 1 zz)")
+
+    def test_pwl_non_numeric_value(self):
+        with pytest.raises(UnitError):
+            deck("v1 a 0 pwl(0 zz)")
+
+    def test_duplicate_element_name(self):
+        with pytest.raises(NetlistError, match="duplicate element"):
+            deck("r1 a 0 1k\nr1 b 0 1k")
+
+    def test_tran_without_stop_time(self):
+        with pytest.raises(NetlistError, match=r"\.tran needs"):
+            deck("r1 a 0 1k\n.tran")
+
+    def test_dc_wrong_arity(self):
+        with pytest.raises(NetlistError, match=r"\.dc needs"):
+            deck("v1 a 0 0\nr1 a 0 1k\n.dc v1 0 1")
+
+    def test_finfet_too_few_nodes(self):
+        with pytest.raises(NetlistError, match="M needs"):
+            deck("m1 d g nfet20hp")
+
+    def test_non_numeric_resistance(self):
+        with pytest.raises(UnitError):
+            deck("r1 a 0 zz")
+
+    def test_unsupported_model_kind(self):
+        with pytest.raises(NetlistError, match="unsupported model type"):
+            deck(".model x diode(is=1e-14)\nr1 a 0 1k")
+
+    def test_negative_capacitance(self):
+        with pytest.raises(NetlistError, match="must be positive"):
+            deck("c1 a 0 -1f")

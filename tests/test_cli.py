@@ -109,3 +109,71 @@ class TestExtensionCommands:
         out = capsys.readouterr().out
         assert "Headline-claim scorecard" in out
         assert "FAIL" not in out
+
+
+class TestLintCommand:
+    BAD_DECK = "bad deck\nv1 a 0 1\nv2 a 0 1\nr1 a 0 1k\n.end\n"
+    WARN_DECK = "warn deck\nv1 a 0 1\nr1 a 0 1k\nrd a dangle 1k\n.end\n"
+
+    def test_no_targets_is_usage_error(self, capsys):
+        assert main(["lint"]) == 2
+        assert "no targets" in capsys.readouterr().err
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("RV001", "RV101", "RV201", "RV307"):
+            assert code in out
+
+    def test_clean_alias_exits_zero(self, capsys):
+        assert main(["lint", "nv"]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_bad_deck_exits_one(self, tmp_path, capsys):
+        deck = tmp_path / "bad.sp"
+        deck.write_text(self.BAD_DECK)
+        assert main(["lint", str(deck)]) == 1
+        assert "RV005" in capsys.readouterr().out
+
+    def test_disable_turns_error_off(self, tmp_path):
+        # The island trips exactly one rule, so disabling it cleans
+        # the deck.  (BAD_DECK would not work here: parallel sources
+        # are structurally singular too, so RV201 backs RV005 up.)
+        deck = tmp_path / "island.sp"
+        deck.write_text("island\nv1 vdd 0 1\nr1 vdd 0 1k\n"
+                        "ra isl_a isl_b 1k\nrb isl_b isl_a 2k\n.end\n")
+        assert main(["lint", str(deck)]) == 1
+        assert main(["lint", str(deck), "--disable", "RV101"]) == 0
+
+    def test_env_disable_honored(self, tmp_path, monkeypatch):
+        deck = tmp_path / "island.sp"
+        deck.write_text("island\nv1 vdd 0 1\nr1 vdd 0 1k\n"
+                        "ra isl_a isl_b 1k\nrb isl_b isl_a 2k\n.end\n")
+        monkeypatch.setenv("REPRO_LINT_DISABLE", "RV101")
+        assert main(["lint", str(deck)]) == 0
+
+    def test_missing_file_is_usage_error(self, capsys):
+        assert main(["lint", "/nonexistent/nope.sp"]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_strict_fails_on_warnings(self, tmp_path):
+        deck = tmp_path / "warn.sp"
+        deck.write_text(self.WARN_DECK)
+        assert main(["lint", str(deck)]) == 0
+        assert main(["lint", str(deck), "--strict"]) == 1
+
+    def test_sarif_output_is_valid_json(self, tmp_path, capsys):
+        deck = tmp_path / "bad.sp"
+        deck.write_text(self.BAD_DECK)
+        assert main(["lint", str(deck), "--format", "sarif"]) == 1
+        log = json.loads(capsys.readouterr().out)
+        assert log["version"] == "2.1.0"
+        results = log["runs"][0]["results"]
+        assert any(r["ruleId"] == "RV005" for r in results)
+
+    def test_json_output(self, tmp_path, capsys):
+        deck = tmp_path / "warn.sp"
+        deck.write_text(self.WARN_DECK)
+        assert main(["lint", str(deck), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"]["warning"] >= 1

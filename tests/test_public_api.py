@@ -54,6 +54,13 @@ SUBPACKAGE_EXPORTS = {
         "run_fig6", "run_fig7a", "run_fig7b", "run_fig7c", "run_fig8",
         "run_fig9", "run_summary",
     ],
+    "repro.verify": [
+        "REGISTRY", "Diagnostic", "Finding", "Report", "Rule",
+        "Severity", "VerifyConfig", "assert_clean", "lint_enabled",
+        "render_json", "render_sarif", "render_text", "rule",
+        "run_rules", "verify_circuit", "verify_deck",
+        "verify_deck_file",
+    ],
 }
 
 

@@ -98,6 +98,66 @@ class TestFormatEng:
         assert 0.99 <= abs(mantissa) < 1000.1
 
 
+#: format_eng prefixes that parse_quantity reads back at the same scale.
+#: "M" (mega) is excluded: SPICE spells mega "meg", so a lone "m" parses
+#: as *milli* — see test_mega_milli_asymmetry.
+_ROUNDTRIP_SCALES = [1e12, 1e9, 1e3, 1.0, 1e-3, 1e-6,
+                     1e-9, 1e-12, 1e-15, 1e-18]
+
+
+class TestRoundTrip:
+    """format_eng -> parse_quantity closes the loop (SPICE-suffix caveats)."""
+
+    @given(
+        mantissa=st.floats(min_value=1.0, max_value=999.0,
+                           allow_nan=False, allow_infinity=False),
+        scale=st.sampled_from(_ROUNDTRIP_SCALES),
+        sign=st.sampled_from([1.0, -1.0]),
+    )
+    def test_format_then_parse(self, mantissa, scale, sign):
+        value = sign * mantissa * scale
+        text = format_eng(value, "", digits=9)
+        assert parse_quantity(text.replace(" ", "")) == pytest.approx(
+            value, rel=1e-8
+        )
+
+    @given(
+        mantissa=st.floats(min_value=1.0, max_value=999.0,
+                           allow_nan=False, allow_infinity=False),
+        scale=st.sampled_from(_ROUNDTRIP_SCALES),
+    )
+    def test_format_then_parse_with_unit(self, mantissa, scale):
+        # A trailing unit name must not change the parsed magnitude.
+        value = mantissa * scale
+        text = format_eng(value, "s", digits=9)
+        assert parse_quantity(text.replace(" ", "")) == pytest.approx(
+            value, rel=1e-8
+        )
+
+    @given(
+        mantissa=st.floats(min_value=-1e6, max_value=1e6,
+                           allow_nan=False, allow_infinity=False),
+        suffix_mult=st.sampled_from(
+            [("meg", 1e6), ("t", 1e12), ("g", 1e9), ("k", 1e3),
+             ("m", 1e-3), ("u", 1e-6), ("n", 1e-9), ("p", 1e-12),
+             ("f", 1e-15), ("a", 1e-18)]
+        ),
+    )
+    def test_constructed_suffix_strings(self, mantissa, suffix_mult):
+        suffix, mult = suffix_mult
+        text = repr(mantissa) + suffix
+        assert parse_quantity(text) == pytest.approx(mantissa * mult)
+        # SPICE suffixes are case-insensitive.
+        assert parse_quantity(text.upper()) == pytest.approx(mantissa * mult)
+
+    def test_mega_milli_asymmetry(self):
+        # The documented SPICE trap: format_eng writes mega as "M", but
+        # parse_quantity (like SPICE) needs "meg" — a bare "m" is milli.
+        assert format_eng(1.5e7, "Hz") == "15.00 MHz"
+        assert parse_quantity("15.00MHz") == pytest.approx(15.00e-3)
+        assert parse_quantity("15meg") == pytest.approx(1.5e7)
+
+
 class TestConstants:
     def test_unit_constants(self):
         assert NS == 1e-9

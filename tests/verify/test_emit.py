@@ -1,0 +1,100 @@
+"""Tests for the text/JSON/SARIF report emitters."""
+
+import json
+
+from repro.circuit import Circuit, Resistor, VoltageSource
+from repro.verify import (
+    REGISTRY,
+    render_json,
+    render_sarif,
+    render_text,
+    verify_circuit,
+    verify_deck,
+)
+
+
+def sample_circuit_report():
+    c = Circuit()
+    c.add(VoltageSource("v1", "a", "0", dc=1.0))
+    c.add(VoltageSource("v2", "a", "0", dc=1.0))
+    c.add(Resistor("r", "a", "dangle", 1e3))
+    return verify_circuit(c, target="tb")
+
+
+def sample_deck_report():
+    return verify_deck("t\nr1 a 0 10x\nv1 a 0 1\n.end\n",
+                       path="bad.sp", include_circuit=False)
+
+
+class TestText:
+    def test_one_line_per_diag_plus_summary(self):
+        report = sample_circuit_report()
+        lines = render_text(report).splitlines()
+        assert len(lines) == len(report) + 1
+        assert lines[0].startswith("tb: [error] RV005")
+        assert "error(s)" in lines[-1] and lines[-1].startswith("tb:")
+
+    def test_empty_report_still_summarises(self):
+        c = Circuit()
+        c.add(VoltageSource("v", "a", "0", dc=1.0))
+        c.add(Resistor("r", "a", "0", 1e3))
+        text = render_text(verify_circuit(c, target="ok"))
+        assert text == "ok: 0 error(s), 0 warning(s), 0 info"
+
+
+class TestJson:
+    def test_payload_round_trips(self):
+        report = sample_circuit_report()
+        payload = json.loads(render_json(report))
+        assert payload["target"] == "tb"
+        assert payload["counts"]["error"] == len(report.errors())
+        codes = {d["code"] for d in payload["diagnostics"]}
+        assert "RV005" in codes and "RV001" in codes
+
+    def test_deck_findings_carry_lines(self):
+        payload = json.loads(render_json(sample_deck_report()))
+        suspicious = [d for d in payload["diagnostics"]
+                      if d["code"] == "RV306"][0]
+        assert suspicious["line"] == 2
+        assert "10x" in suspicious["text"]
+
+
+class TestSarif:
+    def test_skeleton(self):
+        log = json.loads(render_sarif(sample_circuit_report()))
+        assert log["version"] == "2.1.0"
+        assert log["$schema"].endswith("sarif-schema-2.1.0.json")
+        run = log["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        assert len(run["tool"]["driver"]["rules"]) == len(REGISTRY)
+
+    def test_rule_metadata_and_levels(self):
+        log = json.loads(render_sarif(sample_circuit_report()))
+        rules = {r["id"]: r for r in
+                 log["runs"][0]["tool"]["driver"]["rules"]}
+        assert rules["RV005"]["defaultConfiguration"]["level"] == "error"
+        assert rules["RV001"]["defaultConfiguration"]["level"] == "warning"
+        assert rules["RV101"]["shortDescription"]["text"]
+
+    def test_results_reference_registered_rules(self):
+        log = json.loads(render_sarif(sample_circuit_report()))
+        run = log["runs"][0]
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        for result in run["results"]:
+            assert result["ruleId"] in rule_ids
+            assert result["level"] in ("error", "warning", "note")
+            assert result["message"]["text"]
+
+    def test_physical_location_for_deck_findings(self):
+        log = json.loads(render_sarif(sample_deck_report()))
+        results = [r for r in log["runs"][0]["results"]
+                   if r["ruleId"] == "RV306"]
+        region = results[0]["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == 2
+
+    def test_logical_location_for_circuit_findings(self):
+        log = json.loads(render_sarif(sample_circuit_report()))
+        result = [r for r in log["runs"][0]["results"]
+                  if r["ruleId"] == "RV001"][0]
+        logical = result["locations"][0]["logicalLocations"]
+        assert logical[0]["name"] == "dangle"

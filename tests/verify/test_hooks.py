@@ -1,0 +1,55 @@
+"""The lint-before-simulate hooks must fail fast on broken netlists."""
+
+import pytest
+
+from repro.cells import build_cell_array
+from repro.errors import VerificationError
+from repro.spice import parse_deck
+from repro.spice.runner import run_deck
+
+#: Parses fine, simulates fine (gmin pins the island), but is wrong:
+#: nodes isl_a/isl_b float in every operating mode (RV101).
+ISLAND_DECK = """islanded deck
+v1 vdd 0 0.9
+r1 vdd out 1k
+r2 out 0 1k
+risl isl_a isl_b 1k
+risl2 isl_b isl_a 2k
+.op
+.end
+"""
+
+
+class TestRunDeckHook:
+    def test_error_findings_block_simulation(self):
+        with pytest.raises(VerificationError) as excinfo:
+            run_deck(parse_deck(ISLAND_DECK))
+        assert any(d.code == "RV101" for d in excinfo.value.diagnostics)
+
+    def test_lint_kwarg_bypasses_gate(self):
+        result = run_deck(parse_deck(ISLAND_DECK), lint=False)
+        assert len(result.operating_points()) == 1
+
+    def test_env_kill_switch_bypasses_gate(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LINT", "0")
+        result = run_deck(parse_deck(ISLAND_DECK))
+        assert len(result.operating_points()) == 1
+
+
+class TestBuilderHook:
+    def test_clean_array_builds(self):
+        tb = build_cell_array(2, 2)
+        assert tb.circuit is not None
+
+    def test_array_error_message_names_target(self):
+        # Sanity-check the error text a broken builder would produce by
+        # injecting a bypass into a built array and re-asserting.
+        from repro.circuit import Resistor
+        from repro.verify import assert_clean
+
+        tb = build_cell_array(1, 1)
+        tb.circuit.add(Resistor("rleak", "vdd", "vvdd0", 10e3))
+        with pytest.raises(VerificationError) as excinfo:
+            assert_clean(tb.circuit, target="array:1x1")
+        assert "array:1x1" in str(excinfo.value)
+        assert any(d.code == "RV105" for d in excinfo.value.diagnostics)

@@ -1,0 +1,105 @@
+"""Tests for the RV0xx hygiene rules, including the multigraph fix."""
+
+from repro.circuit import Capacitor, Circuit, Resistor, VoltageSource
+from repro.verify import verify_circuit
+
+
+def codes(report):
+    return {d.code for d in report}
+
+
+def by_code(report, code):
+    return [d for d in report if d.code == code]
+
+
+class TestCompileGate:
+    def test_uncompilable_circuit_yields_rv006_only(self):
+        c = Circuit("no ground")
+        c.add(Resistor("r1", "a", "b", 1e3))
+        report = verify_circuit(c)
+        assert codes(report) == {"RV006"}
+        assert report.has_errors
+
+
+class TestVoltageLoops:
+    def test_self_loop_source_flagged(self):
+        # The seed linter's collapsed graph dropped this entirely.
+        c = Circuit()
+        c.add(VoltageSource("vshort", "a", "a", dc=0.0))
+        c.add(VoltageSource("v1", "a", "0", dc=1.0))
+        c.add(Resistor("r", "a", "0", 1e3))
+        loops = by_code(verify_circuit(c), "RV004")
+        assert [d.subject for d in loops] == ["vshort"]
+
+    def test_three_node_loop_flagged(self):
+        c = Circuit()
+        c.add(VoltageSource("v1", "a", "0", dc=1.0))
+        c.add(VoltageSource("v2", "b", "a", dc=0.5))
+        c.add(VoltageSource("v3", "b", "0", dc=1.5))
+        c.add(Resistor("r", "b", "0", 1e3))
+        assert len(by_code(verify_circuit(c), "RV004")) == 1
+
+    def test_parallel_pair_reported_once_by_rv005(self):
+        # Two sources on one node pair is one RV005 finding, not an
+        # additional RV004 loop: the rules partition the cycle space.
+        c = Circuit()
+        c.add(VoltageSource("v1", "a", "0", dc=1.0))
+        c.add(VoltageSource("v2", "a", "0", dc=1.0))
+        c.add(Resistor("r", "a", "0", 1e3))
+        report = verify_circuit(c)
+        assert len(by_code(report, "RV005")) == 1
+        assert not by_code(report, "RV004")
+
+    def test_parallel_pair_plus_third_path_both_reported(self):
+        # The seed bug: v1 || v2 between (a, 0) collapsed to one edge,
+        # so the a-b-0 loop through v3/v4 went unreported.
+        c = Circuit()
+        c.add(VoltageSource("v1", "a", "0", dc=1.0))
+        c.add(VoltageSource("v2", "a", "0", dc=1.0))
+        c.add(VoltageSource("v3", "b", "a", dc=0.5))
+        c.add(VoltageSource("v4", "b", "0", dc=1.5))
+        c.add(Resistor("r", "b", "0", 1e3))
+        report = verify_circuit(c)
+        assert len(by_code(report, "RV005")) == 1
+        assert len(by_code(report, "RV004")) == 1
+
+    def test_ground_aliases_merged(self):
+        c = Circuit()
+        c.add(VoltageSource("v1", "a", "0", dc=1.0))
+        c.add(VoltageSource("v2", "a", "gnd", dc=1.0))
+        c.add(Resistor("r", "a", "0", 1e3))
+        assert len(by_code(verify_circuit(c), "RV005")) == 1
+
+    def test_series_sources_clean(self):
+        c = Circuit()
+        c.add(VoltageSource("v1", "a", "0", dc=1.0))
+        c.add(VoltageSource("v2", "b", "a", dc=0.5))
+        c.add(Resistor("r", "b", "0", 1e3))
+        report = verify_circuit(c)
+        assert not by_code(report, "RV004")
+        assert not by_code(report, "RV005")
+
+
+class TestHygiene:
+    def test_floating_node_warning(self):
+        c = Circuit()
+        c.add(VoltageSource("v", "in", "0", dc=1.0))
+        c.add(Resistor("r1", "in", "typo", 1e3))
+        diag = by_code(verify_circuit(c), "RV001")[0]
+        assert diag.subject == "typo"
+        assert diag.severity.value == "warning"
+
+    def test_cap_only_node_warning(self):
+        c = Circuit()
+        c.add(VoltageSource("v", "in", "0", dc=1.0))
+        c.add(Resistor("r", "in", "0", 1e3))
+        c.add(Capacitor("c1", "in", "dyn", 1e-15))
+        c.add(Capacitor("c2", "dyn", "0", 1e-15))
+        assert by_code(verify_circuit(c), "RV002")
+
+    def test_shorted_element_warning(self):
+        c = Circuit()
+        c.add(VoltageSource("v", "a", "0", dc=1.0))
+        c.add(Resistor("rshort", "a", "a", 1e3))
+        c.add(Resistor("rload", "a", "0", 1e3))
+        assert by_code(verify_circuit(c), "RV003")

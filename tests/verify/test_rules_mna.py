@@ -1,0 +1,122 @@
+"""Tests for the RV201 structural MNA-singularity check."""
+
+from repro.circuit import (
+    Capacitor,
+    Circuit,
+    CurrentSource,
+    Resistor,
+    VoltageSource,
+)
+from repro.devices.finfet import FinFET
+from repro.devices.ptm20 import NFET_20NM_HP
+from repro.verify import verify_circuit
+from repro.verify.rules_mna import stamp_incidence, structural_deficiency
+
+
+def by_code(report, code):
+    return [d for d in report if d.code == code]
+
+
+class TestStructuralDeficiency:
+    def test_divider_is_nonsingular(self):
+        c = Circuit()
+        c.add(VoltageSource("v", "in", "0", dc=1.0))
+        c.add(Resistor("r1", "in", "mid", 1e3))
+        c.add(Resistor("r2", "mid", "0", 1e3))
+        assert structural_deficiency(c) == []
+
+    def test_current_source_only_node(self):
+        # Nothing stamps a row for n1's voltage: singular for every
+        # parameter value, not just an unlucky operating point.
+        c = Circuit()
+        c.add(CurrentSource("i1", "0", "n1", dc=1e-6))
+        c.add(CurrentSource("i2", "n1", "0", dc=1e-6))
+        c.add(Resistor("r", "ref", "0", 1e3))
+        c.add(VoltageSource("v", "ref", "0", dc=1.0))
+        deficient = structural_deficiency(c)
+        c.compile()
+        assert c.index_of("n1") in deficient
+
+    def test_floating_finfet_gate(self):
+        # FinFETs draw zero gate current, so a gate node nothing else
+        # touches has an empty KCL row.
+        c = Circuit()
+        c.add(VoltageSource("v", "vdd", "0", dc=0.9))
+        c.add(Resistor("rload", "vdd", "d", 10e3))
+        c.add(FinFET("m1", "d", "gfloat", "0", NFET_20NM_HP))
+        deficient = structural_deficiency(c)
+        c.compile()
+        assert c.index_of("gfloat") in deficient
+
+    def test_cap_only_node_exempt_at_dc(self):
+        # gmin territory: RV002 warns, RV201 must stay silent.
+        c = Circuit()
+        c.add(VoltageSource("v", "in", "0", dc=1.0))
+        c.add(Resistor("r", "in", "0", 1e3))
+        c.add(Capacitor("c1", "in", "dyn", 1e-15))
+        c.add(Capacitor("c2", "dyn", "0", 1e-15))
+        assert structural_deficiency(c, mode="dc") == []
+
+    def test_cap_only_node_counted_in_transient_mode(self):
+        c = Circuit()
+        c.add(VoltageSource("v", "in", "0", dc=1.0))
+        c.add(Resistor("r", "in", "0", 1e3))
+        c.add(Capacitor("c1", "in", "dyn", 1e-15))
+        c.add(Capacitor("c2", "dyn", "0", 1e-15))
+        assert structural_deficiency(c, mode="tran") == []
+
+
+class TestStampIncidence:
+    def test_ground_entries_dropped(self):
+        c = Circuit()
+        c.add(VoltageSource("v", "in", "0", dc=1.0))
+        c.add(Resistor("r", "in", "0", 1e3))
+        c.compile()
+        incidence = stamp_incidence(c)
+        for row, cols in incidence.items():
+            assert row >= 0
+            assert all(col >= 0 for col in cols)
+
+    def test_capacitor_stamps_nothing_at_dc(self):
+        c = Circuit()
+        c.add(VoltageSource("v", "in", "0", dc=1.0))
+        c.add(Capacitor("c1", "in", "out", 1e-15))
+        c.add(Resistor("r", "out", "0", 1e3))
+        c.compile()
+        dc = stamp_incidence(c, mode="dc")
+        tran = stamp_incidence(c, mode="tran")
+        out = c.index_of("out")
+        # At DC only the resistor touches "out"'s row; in transient mode
+        # the capacitor couples it to "in" as well.
+        assert dc[out] == {out}
+        assert c.index_of("in") in tran[out]
+
+
+class TestRule:
+    def test_rv201_reports_node_by_name(self):
+        c = Circuit()
+        c.add(CurrentSource("i1", "0", "n1", dc=1e-6))
+        c.add(CurrentSource("i2", "n1", "0", dc=1e-6))
+        c.add(Resistor("r", "ref", "0", 1e3))
+        c.add(VoltageSource("v", "ref", "0", dc=1.0))
+        diags = by_code(verify_circuit(c), "RV201")
+        assert diags
+        assert any(d.subject == "n1" for d in diags)
+        assert diags[0].severity.value == "error"
+
+    def test_source_topology_errors_also_structural(self):
+        # Parallel sources and V-loops are structurally deficient, so
+        # RV201 backs up the specific RV004/RV005 diagnoses.
+        c = Circuit()
+        c.add(VoltageSource("v1", "a", "0", dc=1.0))
+        c.add(VoltageSource("v2", "a", "0", dc=1.0))
+        c.add(Resistor("r", "a", "0", 1e3))
+        report = verify_circuit(c)
+        assert by_code(report, "RV005")
+        assert by_code(report, "RV201")
+
+    def test_healthy_cell_bench_has_no_rv201(self):
+        from repro.characterize.testbench import build_cell_testbench
+
+        report = verify_circuit(build_cell_testbench("nv").circuit)
+        assert not by_code(report, "RV201")

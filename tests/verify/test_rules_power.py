@@ -1,0 +1,162 @@
+"""Tests for the RV1xx power-gating topology rules."""
+
+from repro.cells.powerswitch import add_power_switch
+from repro.circuit import Capacitor, Circuit, Resistor, VoltageSource
+from repro.devices.finfet import FinFET
+from repro.devices.mtj import MTJ
+from repro.devices.ptm20 import NFET_20NM_HP, PFET_20NM_HP
+from repro.verify import verify_circuit
+
+
+def codes(report):
+    return {d.code for d in report}
+
+
+def by_code(report, code):
+    return [d for d in report if d.code == code]
+
+
+def latch(c, vdd="vdd"):
+    """Minimal cross-coupled pair: storage nodes q/qb."""
+    c.add(FinFET("mn1", "q", "qb", "0", NFET_20NM_HP))
+    c.add(FinFET("mn2", "qb", "q", "0", NFET_20NM_HP))
+    c.add(Resistor("rl1", vdd, "q", 10e3))
+    c.add(Resistor("rl2", vdd, "qb", 10e3))
+
+
+class TestIslandedNode:
+    def test_isolated_resistor_pair_is_error(self):
+        c = Circuit()
+        c.add(VoltageSource("v1", "vdd", "0", dc=0.9))
+        c.add(Resistor("r1", "vdd", "out", 1e3))
+        c.add(Resistor("r2", "out", "0", 1e3))
+        c.add(Resistor("risl", "isl_a", "isl_b", 1e3))
+        c.add(Resistor("risl2", "isl_b", "isl_a", 2e3))
+        diags = by_code(verify_circuit(c), "RV101")
+        assert len(diags) == 1
+        assert diags[0].severity.value == "error"
+        assert "isl_a" in diags[0].message and "isl_b" in diags[0].message
+
+    def test_single_cap_only_node_left_to_rv002(self):
+        c = Circuit()
+        c.add(VoltageSource("v1", "vdd", "0", dc=0.9))
+        c.add(Resistor("r1", "vdd", "0", 1e3))
+        c.add(Capacitor("c1", "dyn", "0", 1e-15))
+        report = verify_circuit(c)
+        assert not by_code(report, "RV101")
+        assert by_code(report, "RV002")
+
+    def test_powered_netlist_clean(self):
+        c = Circuit()
+        c.add(VoltageSource("v1", "vdd", "0", dc=0.9))
+        latch(c)
+        assert not by_code(verify_circuit(c), "RV101")
+
+
+class TestOrphanMtj:
+    def test_dangling_terminal_is_error(self):
+        c = Circuit()
+        c.add(VoltageSource("v1", "vdd", "0", dc=0.9))
+        latch(c)
+        c.add(MTJ("y1", "mfree", "0"))
+        c.add(Capacitor("cpar", "mfree", "0", 1e-15))
+        diags = by_code(verify_circuit(c), "RV102")
+        assert diags and diags[0].subject == "y1"
+        assert "mfree" in diags[0].message
+
+    def test_no_path_to_finfet_channel_is_error(self):
+        c = Circuit()
+        c.add(VoltageSource("v1", "vdd", "0", dc=0.9))
+        latch(c)
+        # MTJ hangs off a divider on the hard rail: conduction reaches
+        # the rail but never a FinFET channel.
+        c.add(Resistor("rtap", "vdd", "tap", 1e3))
+        c.add(MTJ("y1", "tap", "sink"))
+        c.add(Resistor("rsink", "sink", "vdd", 1e3))
+        assert by_code(verify_circuit(c), "RV102")
+
+    def test_device_level_bench_without_fets_not_flagged(self):
+        # A lone MTJ driven by a source is a legitimate device bench.
+        c = Circuit()
+        c.add(VoltageSource("vdrv", "top", "0", dc=0.3))
+        c.add(MTJ("y1", "top", "0"))
+        assert not by_code(verify_circuit(c), "RV102")
+
+    def test_mtj_behind_ps_finfet_clean(self):
+        c = Circuit()
+        c.add(VoltageSource("v1", "vdd", "0", dc=0.9))
+        c.add(VoltageSource("vsr", "sr", "0", dc=0.0))
+        latch(c)
+        c.add(FinFET("msr", "q", "sr", "mnode", NFET_20NM_HP))
+        c.add(MTJ("y1", "mnode", "0"))
+        assert not by_code(verify_circuit(c), "RV102")
+
+
+class TestAlwaysOnStorePath:
+    def test_mtj_on_storage_node_is_error(self):
+        c = Circuit()
+        c.add(VoltageSource("v1", "vdd", "0", dc=0.9))
+        latch(c)
+        c.add(MTJ("y1", "q", "0"))
+        diags = by_code(verify_circuit(c), "RV103")
+        assert diags and diags[0].subject == "y1"
+        assert "'q'" in diags[0].message
+
+    def test_separated_mtj_clean(self):
+        c = Circuit()
+        c.add(VoltageSource("v1", "vdd", "0", dc=0.9))
+        c.add(VoltageSource("vsr", "sr", "0", dc=0.0))
+        latch(c)
+        c.add(FinFET("msr", "q", "sr", "mnode", NFET_20NM_HP))
+        c.add(MTJ("y1", "mnode", "0"))
+        assert not by_code(verify_circuit(c), "RV103")
+
+
+class TestRetentionGate:
+    def test_internal_gate_node_is_warning(self):
+        c = Circuit()
+        c.add(VoltageSource("v1", "vdd", "0", dc=0.9))
+        latch(c)
+        c.add(Resistor("rint", "q", "srint", 1e3))
+        c.add(FinFET("msr", "q", "srint", "mnode", NFET_20NM_HP))
+        c.add(MTJ("y1", "mnode", "0"))
+        diags = by_code(verify_circuit(c), "RV104")
+        assert diags and diags[0].subject == "msr"
+        assert diags[0].severity.value == "warning"
+
+    def test_rail_driven_gate_clean(self):
+        c = Circuit()
+        c.add(VoltageSource("v1", "vdd", "0", dc=0.9))
+        c.add(VoltageSource("vsr", "sr", "0", dc=0.0))
+        latch(c)
+        c.add(FinFET("msr", "q", "sr", "mnode", NFET_20NM_HP))
+        c.add(MTJ("y1", "mnode", "0"))
+        assert not by_code(verify_circuit(c), "RV104")
+
+
+class TestPgBypass:
+    def _gated_domain(self):
+        c = Circuit()
+        c.add(VoltageSource("v1", "vdd", "0", dc=0.9))
+        c.add(VoltageSource("vpg", "pg", "0", dc=0.0))
+        add_power_switch(c, "psw", "vdd", "vvdd", "pg", nfsw=7,
+                         pfet=PFET_20NM_HP)
+        latch(c, vdd="vvdd")
+        return c
+
+    def test_resistive_bypass_is_error(self):
+        c = self._gated_domain()
+        c.add(Resistor("rleak", "vdd", "vvdd", 10e3))
+        diags = by_code(verify_circuit(c), "RV105")
+        assert diags and diags[0].subject == "psw.sw"
+        assert "'vvdd'" in diags[0].message
+
+    def test_bypass_deeper_in_domain_detected(self):
+        c = self._gated_domain()
+        c.add(Resistor("rleak", "vdd", "q", 50e3))
+        assert by_code(verify_circuit(c), "RV105")
+
+    def test_properly_gated_domain_clean(self):
+        report = verify_circuit(self._gated_domain())
+        assert not by_code(report, "RV105")
+        assert not report.has_errors
