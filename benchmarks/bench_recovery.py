@@ -1,0 +1,55 @@
+"""Recovery-ladder overhead benches.
+
+The ladder's contract is "free when you don't need it": a clean solve
+must cost the same with the ladder armed or disarmed, because no rung
+runs until the plain attempt has already failed.  The rescue bench
+prices a full escalation for scale.
+"""
+
+from repro.analysis import operating_point
+from repro.analysis.dc import OperatingPointOptions
+from repro.analysis.solver import NewtonOptions
+from repro.cells import PowerDomain
+from repro.characterize.testbench import build_cell_testbench
+from repro.pg.modes import Mode, OperatingConditions
+from repro.recovery import RecoveryOptions, recover_dc
+
+DOMAIN = PowerDomain(512, 32)
+COND = OperatingConditions()
+
+
+def _nv_bench():
+    tb = build_cell_testbench("nv", COND, DOMAIN)
+    tb.apply_mode(Mode.STANDBY)
+    return tb, tb.initial_conditions(True)
+
+
+def bench_clean_op_ladder_enabled(benchmark):
+    """NV operating point with the full ladder armed (the default)."""
+    tb, ic = _nv_bench()
+    sol = benchmark(lambda: operating_point(tb.circuit, ic=ic))
+    # Clean solve: no rung may have fired, or the bench isn't measuring
+    # the ladder-free fast path.
+    assert sol.recovery_rung is None
+    assert sol.voltage("vvdd") > 0.85
+
+
+def bench_clean_op_ladder_disabled(benchmark):
+    """Same solve with recovery off — the baseline the ladder must match."""
+    tb, ic = _nv_bench()
+    opts = OperatingPointOptions(recovery=RecoveryOptions(enabled=False))
+    sol = benchmark(lambda: operating_point(tb.circuit, ic=ic, options=opts))
+    assert sol.voltage("vvdd") > 0.85
+
+
+def bench_ladder_rescue(benchmark):
+    """Full price of rescuing an iteration-starved latch solve."""
+    tb, ic = _nv_bench()
+    starved = NewtonOptions(max_iterations=3)
+
+    def run():
+        tb.circuit.compile()
+        return recover_dc(tb.circuit, newton=starved)
+
+    result = benchmark(run)
+    assert result.recovered

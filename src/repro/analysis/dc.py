@@ -10,15 +10,15 @@ requested stability basin — the same trick as SPICE ``.NODESET``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Optional
 
 import numpy as np
 
-from ..errors import ConvergenceError
+from ..recovery.ladder import LadderResult, RecoveryOptions, recover_dc
 from .mna import Context, Stamper
 from .results import Solution
-from .solver import GMIN_FLOOR, NewtonOptions, newton_solve
+from .solver import GMIN_FLOOR, NewtonOptions
 
 #: Conductance of the initial-condition clamps (siemens).  Device currents
 #: are micro-amps, so 1 kS pins nodes to within nanovolts of the target.
@@ -34,6 +34,14 @@ class OperatingPointOptions:
     gmin_steps: tuple = (1e-3, 1e-5, 1e-7, 1e-9, GMIN_FLOOR)
     #: source-stepping ladder (fractions of full source level).
     source_steps: tuple = (0.1, 0.3, 0.5, 0.7, 0.85, 1.0)
+    #: Recovery-ladder configuration (the gmin/source steps above feed
+    #: the corresponding rungs, so existing callers keep their knobs).
+    recovery: RecoveryOptions = field(default_factory=RecoveryOptions)
+
+    def recovery_options(self) -> RecoveryOptions:
+        return replace(self.recovery,
+                       gmin_steps=tuple(self.gmin_steps),
+                       source_steps=tuple(self.source_steps))
 
 
 def operating_point(
@@ -68,29 +76,41 @@ def operating_point(
     Returns
     -------
     Solution
-        The converged operating point.
+        The converged operating point, annotated with ``recovery_rung``
+        (``None`` for a clean solve) and ``recovery_trace``.
     """
     opts = options or OperatingPointOptions()
     circuit.compile()
     guess = np.zeros(circuit.size) if x0 is None else np.array(x0, dtype=float)
+    recovery = opts.recovery_options()
 
     clamps = _resolve_clamps(circuit, ic)
     if clamps:
-        clamped = _solve_with_fallbacks(
-            circuit, time, guess, opts, extra=_make_clamp_stamper(clamps)
-        )
+        clamped = recover_dc(circuit, time, guess, opts.newton,
+                             extra_stamps=_make_clamp_stamper(clamps),
+                             options=recovery)
         if not release_clamps:
-            return Solution(circuit, clamped, time)
+            return _annotate(Solution(circuit, clamped.x, time), clamped)
         # Release the clamps; warm-start from the clamped solution.  The
         # solve must stay in the selected basin because the clamped point
-        # is (near) a true solution there.
-        x = newton_solve(
-            circuit, Context(mode="dc", time=time), clamped, opts.newton
-        )
-        return Solution(circuit, x, time)
+        # is (near) a true solution there — so the source-ramp rung (which
+        # restarts from zero and may land a bistable cell on the other
+        # branch) is disabled for the release solve.
+        released = recover_dc(circuit, time, clamped.x, opts.newton,
+                              options=replace(recovery, source_ramp=False))
+        return _annotate(Solution(circuit, released.x, time),
+                         clamped, released)
 
-    x = _solve_with_fallbacks(circuit, time, guess, opts, extra=None)
-    return Solution(circuit, x, time)
+    result = recover_dc(circuit, time, guess, opts.newton, options=recovery)
+    return _annotate(Solution(circuit, result.x, time), result)
+
+
+def _annotate(sol: Solution, *ladders: LadderResult) -> Solution:
+    """Attach recovery forensics from the ladder run(s) to a solution."""
+    rungs = [lad.rung for lad in ladders if lad.rung is not None]
+    sol.recovery_rung = rungs[-1] if rungs else None
+    sol.recovery_trace = [a.to_dict() for lad in ladders for a in lad.trace]
+    return sol
 
 
 def _resolve_clamps(circuit, ic: Optional[Dict[str, float]]):
@@ -109,41 +129,3 @@ def _make_clamp_stamper(clamps):
             stamper.current(-1, node, _CLAMP_CONDUCTANCE * target * ctx.source_scale)
 
     return extra
-
-
-def _solve_with_fallbacks(circuit, time, guess, opts, extra):
-    """Direct Newton, then gmin stepping, then source stepping."""
-    ctx = Context(mode="dc", time=time)
-    try:
-        return newton_solve(circuit, ctx, guess, opts.newton, extra)
-    except ConvergenceError:
-        pass
-
-    # gmin stepping: relax with large shunt conductances, tighten gradually.
-    x = guess
-    try:
-        for gmin in opts.gmin_steps:
-            stepped = NewtonOptions(**{**opts.newton.__dict__, "gmin": gmin})
-            ctx = Context(mode="dc", time=time)
-            x = newton_solve(circuit, ctx, x, stepped, extra)
-        return x
-    except ConvergenceError:
-        pass
-
-    # Source stepping: ramp all independent sources from a fraction upward.
-    x = np.zeros_like(guess)
-    last_error: Optional[ConvergenceError] = None
-    for scale in opts.source_steps:
-        ctx = Context(mode="dc", time=time, source_scale=scale)
-        try:
-            x = newton_solve(circuit, ctx, x, opts.newton, extra)
-        except ConvergenceError as err:
-            last_error = err
-            # One retry with elevated gmin at this rung.
-            stepped = NewtonOptions(**{**opts.newton.__dict__, "gmin": 1e-6})
-            x = newton_solve(circuit, ctx, x, stepped, extra)
-    if last_error is not None:
-        # Final polish at full scale and floor gmin.
-        ctx = Context(mode="dc", time=time)
-        x = newton_solve(circuit, ctx, x, opts.newton, extra)
-    return x

@@ -64,11 +64,16 @@ class TransientResult:
     events:
         List of ``(time, element_name, event_string)`` recorded when an
         element's ``commit`` reported something (MTJ switching).
+    recoveries:
+        List of ``{"time", "rung", "trace"}`` dicts, one per timepoint the
+        integrator salvaged through the recovery ladder instead of cutting
+        the step (empty for a clean run).
     """
 
     def __init__(self, circuit, time: np.ndarray, states: np.ndarray,
                  events: Optional[List[Tuple[float, str, str]]] = None,
-                 stats: Optional[Dict[str, float]] = None):
+                 stats: Optional[Dict[str, float]] = None,
+                 recoveries: Optional[List[Dict]] = None):
         self.circuit = circuit
         self.time = np.asarray(time, dtype=float)
         self.states = np.asarray(states, dtype=float)
@@ -76,6 +81,7 @@ class TransientResult:
             raise AnalysisError("time/state length mismatch")
         self.events = events or []
         self.stats = stats or {}
+        self.recoveries = recoveries or []
 
     # -- accessors --------------------------------------------------------
     def __len__(self) -> int:

@@ -7,14 +7,21 @@ exponential subthreshold characteristics of the FinFET model.
 
 A small ``gmin`` conductance from every node to ground keeps the matrix
 non-singular when devices are fully cut off; homotopy strategies in
-:mod:`repro.analysis.dc` raise it temporarily to walk difficult operating
+:mod:`repro.analysis.dc` and the escalation ladder in
+:mod:`repro.recovery` raise it temporarily to walk difficult operating
 points in.
+
+On failure the raised :class:`~repro.errors.ConvergenceError` carries the
+true KCL residual ``‖A(x)·x − b(x)‖∞`` (amps) re-evaluated at the final
+iterate, the worst-offending equations by name, and the consecutive-damped
+-step count, so callers (and ``repro diagnose``) see *which nodes* failed
+to balance rather than just a voltage-delta norm.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
@@ -23,6 +30,9 @@ from .mna import Context, Stamper
 
 #: Extra per-node conductance to ground, always present (siemens).
 GMIN_FLOOR = 1e-12
+
+#: How many worst-offending equations a failure report names.
+_WORST_NODE_COUNT = 5
 
 
 @dataclass
@@ -40,6 +50,99 @@ class NewtonOptions:
     damping: float = 0.4
     #: Extra conductance from each node to ground (homotopy knob).
     gmin: float = GMIN_FLOOR
+
+
+def row_labels(circuit) -> List[str]:
+    """Human-readable label of every MNA equation row.
+
+    Node rows carry the node name; branch rows are labelled
+    ``I(<element>)`` after the element owning the branch unknown.
+    """
+    circuit.compile()
+    labels = list(circuit.node_names())
+    labels.extend(f"branch:{k}" for k in range(circuit.num_branches))
+    for element in circuit.elements():
+        for k, row in enumerate(element.branch_index):
+            suffix = f"[{k}]" if len(element.branch_index) > 1 else ""
+            labels[row] = f"I({element.name}){suffix}"
+    return labels
+
+
+def _restamp(circuit, ctx: Context, stamper: Stamper, x: np.ndarray,
+             gmin: float,
+             extra_stamps: Optional[Callable[[Stamper, Context], None]]) -> None:
+    """Assemble the linearised system at the iterate ``x`` in place."""
+    ctx.x = x
+    stamper.clear()
+    for element in circuit.elements():
+        element.stamp(stamper, ctx)
+    if extra_stamps is not None:
+        extra_stamps(stamper, ctx)
+    num_nodes = circuit.num_nodes
+    if num_nodes:
+        idx = np.arange(num_nodes)
+        stamper.A[idx, idx] += gmin
+
+
+def kcl_residual(circuit, ctx: Context, x: np.ndarray,
+                 gmin: float = GMIN_FLOOR,
+                 extra_stamps: Optional[Callable[[Stamper, Context], None]]
+                 = None) -> np.ndarray:
+    """True KCL residual ``A(x)·x − b(x)`` at the point ``x``.
+
+    For node rows the entries are current imbalances in amps (devices are
+    stamped as Norton companion pairs, so the linearised ``A·x − b`` *is*
+    the sum of device currents into each node); branch rows are
+    constraint violations in volts.
+    """
+    circuit.compile()
+    stamper = Stamper(circuit.size)
+    _restamp(circuit, ctx, stamper, x, max(gmin, GMIN_FLOOR), extra_stamps)
+    return stamper.A @ x - stamper.b
+
+
+def worst_offenders(circuit, residual: np.ndarray,
+                    count: int = _WORST_NODE_COUNT) -> List[Tuple[str, float]]:
+    """The ``count`` largest-|residual| equations as ``(label, value)``."""
+    labels = row_labels(circuit)
+    magnitude = np.abs(np.nan_to_num(residual, nan=np.inf,
+                                     posinf=np.inf, neginf=np.inf))
+    order = np.argsort(-magnitude)[:count]
+    return [(labels[i], float(residual[i])) for i in order]
+
+
+def _convergence_failure(message: str, circuit, ctx: Context,
+                         stamper: Stamper, x: np.ndarray, gmin: float,
+                         extra_stamps, iterations: int,
+                         damped_streak: int) -> ConvergenceError:
+    """Build a fully-forensic ConvergenceError at the final iterate."""
+    residual_vec: Optional[np.ndarray] = None
+    residual = float("nan")
+    worst: List[Tuple[str, float]] = []
+    try:
+        if np.all(np.isfinite(x)):
+            _restamp(circuit, ctx, stamper, x, gmin, extra_stamps)
+            residual_vec = stamper.A @ x - stamper.b
+            if residual_vec.size and np.all(np.isfinite(residual_vec)):
+                residual = float(np.max(np.abs(residual_vec)))
+            worst = worst_offenders(circuit, residual_vec)
+    except Exception:   # noqa: BLE001 - forensics must never mask the error
+        residual_vec = None
+    if damped_streak:
+        message += (f" ({damped_streak} consecutive damped steps at exit"
+                    + ("; damping-starved" if damped_streak >= iterations
+                       else "") + ")")
+    return ConvergenceError(
+        message,
+        iterations=iterations,
+        residual=residual,
+        residual_vector=None if residual_vec is None else list(residual_vec),
+        worst_nodes=worst,
+        time=ctx.time,
+        mode=ctx.mode,
+        damped_streak=damped_streak,
+        x=list(x) if np.all(np.isfinite(x)) else None,
+    )
 
 
 def newton_solve(
@@ -70,7 +173,8 @@ def newton_solve(
     ------
     ConvergenceError
         If the iteration does not meet tolerance within the allowed number
-        of iterations, or the matrix becomes singular.
+        of iterations, or the matrix becomes singular.  The error carries
+        the KCL residual forensics described in the module docstring.
     """
     opts = options or NewtonOptions()
     circuit.compile()
@@ -83,30 +187,25 @@ def newton_solve(
             f"initial guess has wrong size {x.shape}, expected ({size},)"
         )
 
-    elements = list(circuit.elements())
     gmin = max(opts.gmin, GMIN_FLOOR)
+    #: Consecutive damped steps; an undamped step resets it.
+    damped_streak = 0
 
     for iteration in range(opts.max_iterations):
-        ctx.x = x
-        stamper.clear()
-        for element in elements:
-            element.stamp(stamper, ctx)
-        if extra_stamps is not None:
-            extra_stamps(stamper, ctx)
-        if num_nodes:
-            idx = np.arange(num_nodes)
-            stamper.A[idx, idx] += gmin
+        _restamp(circuit, ctx, stamper, x, gmin, extra_stamps)
         try:
             x_new = np.linalg.solve(stamper.A, stamper.b)
         except np.linalg.LinAlgError:
-            raise ConvergenceError(
+            raise _convergence_failure(
                 f"singular MNA matrix at iteration {iteration}",
-                iterations=iteration,
+                circuit, ctx, stamper, x, gmin, extra_stamps,
+                iterations=iteration, damped_streak=damped_streak,
             ) from None
         if not np.all(np.isfinite(x_new)):
-            raise ConvergenceError(
+            raise _convergence_failure(
                 f"non-finite solution at iteration {iteration}",
-                iterations=iteration,
+                circuit, ctx, stamper, x, gmin, extra_stamps,
+                iterations=iteration, damped_streak=damped_streak,
             )
 
         dx = x_new - x
@@ -116,7 +215,9 @@ def newton_solve(
         if max_dv > opts.damping:
             dx = dx * (opts.damping / max_dv)
             x = x + dx
+            damped_streak += 1
             continue  # a damped step cannot be judged converged
+        damped_streak = 0
         x = x_new
 
         v_err = max_dv
@@ -128,8 +229,8 @@ def newton_solve(
             ctx.x = x
             return x
 
-    raise ConvergenceError(
+    raise _convergence_failure(
         f"Newton failed to converge in {opts.max_iterations} iterations",
-        iterations=opts.max_iterations,
-        residual=float(np.max(np.abs(dx))) if "dx" in locals() else float("nan"),
+        circuit, ctx, stamper, x, gmin, extra_stamps,
+        iterations=opts.max_iterations, damped_streak=damped_streak,
     )

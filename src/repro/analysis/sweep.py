@@ -5,16 +5,23 @@ operating point at each value starting from the previous solution.  This
 is how the Fig. 3 leakage/store-current curves and the Fig. 4 power-switch
 sizing curves are produced, and how static-noise-margin butterfly curves
 are traced.
+
+With ``on_error="skip"`` the sweep has partial-result semantics: a point
+whose solve fails even after the recovery ladder is recorded as a
+:class:`~repro.recovery.partial.SkipRecord` and rendered as NaN in every
+array accessor, and the sweep continues — a 100-point sweep always comes
+back with 100 annotated entries.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..errors import AnalysisError
+from ..errors import AnalysisError, ConvergenceError
+from ..recovery.partial import SkipRecord
 from .dc import OperatingPointOptions, operating_point
 from .results import Solution
 
@@ -28,24 +35,39 @@ class SweepResult:
     values:
         The swept source levels.
     solutions:
-        One :class:`~repro.analysis.results.Solution` per level.
+        One :class:`~repro.analysis.results.Solution` per level, or
+        ``None`` for points skipped under ``on_error="skip"``.
+    skips:
+        :class:`~repro.recovery.partial.SkipRecord` entries for the
+        skipped points (empty for a fully converged sweep).
     """
 
     source_name: str
     values: np.ndarray
-    solutions: List[Solution]
+    solutions: List[Optional[Solution]]
+    skips: List[SkipRecord] = field(default_factory=list)
 
     def voltage(self, node: str) -> np.ndarray:
-        """Node voltage across the sweep."""
-        return np.array([s.voltage(node) for s in self.solutions])
+        """Node voltage across the sweep (NaN at skipped points)."""
+        return self.measure(lambda s: s.voltage(node))
 
     def measure(self, func: Callable[[Solution], float]) -> np.ndarray:
-        """Apply an arbitrary per-point measurement across the sweep."""
-        return np.array([func(s) for s in self.solutions])
+        """Apply an arbitrary per-point measurement across the sweep.
+
+        Skipped points yield NaN without calling ``func``.
+        """
+        return np.array([
+            func(s) if s is not None else float("nan")
+            for s in self.solutions
+        ])
 
     def branch_current(self, source: str) -> np.ndarray:
         """Branch current of a voltage source across the sweep."""
-        return np.array([s.branch_current(source) for s in self.solutions])
+        return self.measure(lambda s: s.branch_current(source))
+
+    @property
+    def num_skipped(self) -> int:
+        return len(self.skips)
 
     def __len__(self) -> int:
         return len(self.values)
@@ -57,6 +79,7 @@ def dc_sweep(
     values: Sequence[float],
     ic: Optional[Dict[str, float]] = None,
     options: Optional[OperatingPointOptions] = None,
+    on_error: str = "raise",
 ) -> SweepResult:
     """Sweep the DC level of ``source_name`` over ``values``.
 
@@ -64,7 +87,17 @@ def dc_sweep(
     points are warm-started from the previous solution, which keeps
     bistable cells on the same branch through the sweep (the behaviour
     needed for butterfly-curve tracing).
+
+    ``on_error`` selects the failure policy: ``"raise"`` (default)
+    propagates the first :class:`~repro.errors.ConvergenceError` after the
+    recovery ladder is exhausted; ``"skip"`` records the point as a
+    :class:`~repro.recovery.partial.SkipRecord` in ``SweepResult.skips``
+    and continues, warm-starting the next point from the last good
+    solution.
     """
+    if on_error not in ("raise", "skip"):
+        raise AnalysisError(
+            f"dc_sweep: on_error must be 'raise' or 'skip', got {on_error!r}")
     values = np.asarray(list(values), dtype=float)
     if values.size == 0:
         raise AnalysisError("dc_sweep: empty value list")
@@ -74,20 +107,30 @@ def dc_sweep(
 
     original_dc = element.dc
     original_wave = element.waveform
-    solutions: List[Solution] = []
+    solutions: List[Optional[Solution]] = []
+    skips: List[SkipRecord] = []
     try:
         x_prev = None
         for i, value in enumerate(values):
             element.set_level(float(value))
-            sol = operating_point(
-                circuit,
-                ic=ic if i == 0 else None,
-                x0=x_prev,
-                options=options,
-            )
+            try:
+                sol = operating_point(
+                    circuit,
+                    ic=ic if i == 0 else None,
+                    x0=x_prev,
+                    options=options,
+                )
+            except ConvergenceError as err:
+                if on_error == "raise":
+                    raise
+                solutions.append(None)
+                skips.append(SkipRecord.from_error(
+                    err, index=i, label=f"{source_name}={value:g}",
+                    stage="dc_sweep", value=float(value)))
+                continue
             solutions.append(sol)
             x_prev = sol.x
     finally:
         element.dc = original_dc
         element.waveform = original_wave
-    return SweepResult(source_name, values, solutions)
+    return SweepResult(source_name, values, solutions, skips)

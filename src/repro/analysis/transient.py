@@ -20,16 +20,21 @@ the step after an event is restarted small.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..errors import ConvergenceError, TimestepError
+from ..recovery.ladder import RecoveryOptions, recover_transient_step
 from .dc import OperatingPointOptions, operating_point
 from .mna import Context
 from .results import Solution, TransientResult
 from .solver import NewtonOptions, newton_solve
+
+#: Number of recent step sizes kept for TimestepError forensics.
+_DT_HISTORY = 16
 
 
 @dataclass
@@ -49,6 +54,8 @@ class TransientOptions:
     op: OperatingPointOptions = field(default_factory=OperatingPointOptions)
     #: Step-growth limit per accepted step.
     max_growth: float = 2.0
+    #: Transient-local recovery ladder, tried before the step is cut.
+    recovery: RecoveryOptions = field(default_factory=RecoveryOptions)
 
 
 def transient(
@@ -103,6 +110,8 @@ def transient(
     times: List[float] = [t_start]
     states: List[np.ndarray] = [op.x.copy()]
     events: List[Tuple[float, str, str]] = []
+    recoveries: List[Dict] = []
+    dt_history: deque = deque(maxlen=_DT_HISTORY)
     newton_iters_total = 0
 
     t = t_start
@@ -118,7 +127,9 @@ def transient(
     while t < t_stop - 1e-18 * max(1.0, abs(t_stop)):
         if accepted >= opts.max_steps:
             raise TimestepError(
-                f"transient exceeded max_steps={opts.max_steps} at t={t:g}"
+                f"transient exceeded max_steps={opts.max_steps} at t={t:g}",
+                time=t, dt=dt, rejected_steps=rejected,
+                dt_history=list(dt_history),
             )
         dt = min(max(dt, dt_min), dt_max)
 
@@ -137,20 +148,45 @@ def transient(
         method = "be" if fresh > 0 else "trap"
         ctx = Context(mode="tran", time=t + dt, dt=dt, method=method, x=x)
         guess = _predict(times, states, t + dt)
+        dt_history.append(dt)
 
+        recovered_rung = None
         try:
             x_new = newton_solve(circuit, ctx, guess, opts.newton)
-        except ConvergenceError:
-            rejected += 1
-            dt *= 0.25
-            if dt < dt_min:
-                raise TimestepError(
-                    f"Newton failure at t={t:g}s with dt below dt_min"
-                ) from None
-            continue
+        except ConvergenceError as err:
+            # Local recovery ladder at this fixed timepoint before the
+            # (much more expensive) step-size cut.
+            salvage = recover_transient_step(circuit, ctx, x, guess,
+                                             opts.newton, opts.recovery)
+            if salvage is None:
+                rejected += 1
+                dt *= 0.25
+                if dt < dt_min:
+                    raise TimestepError(
+                        f"Newton failure at t={t:g}s with dt below dt_min",
+                        time=t, dt=dt, rejected_steps=rejected,
+                        dt_history=list(dt_history), cause=err,
+                    ) from err
+                continue
+            x_new = salvage.x
+            recovered_rung = salvage.rung
+            recoveries.append({
+                "time": t + dt,
+                "rung": salvage.rung,
+                "trace": [a.to_dict() for a in salvage.trace],
+            })
+            if salvage.rung in ("backward-euler", "gmin-step"):
+                # Those rungs solved a backward-Euler step; commit must see
+                # the method that actually produced x_new.
+                ctx = Context(mode="tran", time=t + dt, dt=dt, method="be",
+                              x=x)
 
-        # LTE control (skipped in the fresh-start regime).
-        if fresh <= 0 and len(times) >= 3:
+        # LTE control (skipped in the fresh-start regime; a recovered step
+        # used a different discretisation, so its trapezoidal LTE estimate
+        # is meaningless — hold the step instead).
+        if recovered_rung is not None:
+            next_dt = dt
+        elif fresh <= 0 and len(times) >= 3:
             err_ratio = _lte_ratio(
                 times, states, t + dt, x_new, num_nodes,
                 opts.lte_reltol, opts.lte_abstol,
@@ -178,6 +214,10 @@ def transient(
         accepted += 1
         fresh -= 1
 
+        if recovered_rung is not None:
+            # Re-enter the fresh-start regime: the next step after a
+            # salvaged point integrates with backward Euler, no LTE cut.
+            fresh = max(fresh, 1)
         if step_events:
             events.extend(step_events)
             next_dt = dt_init
@@ -191,6 +231,7 @@ def transient(
     stats = {
         "accepted_steps": float(accepted),
         "rejected_steps": float(rejected),
+        "ladder_recoveries": float(len(recoveries)),
     }
     return TransientResult(
         circuit,
@@ -198,6 +239,7 @@ def transient(
         np.vstack(states),
         events=events,
         stats=stats,
+        recoveries=recoveries,
     )
 
 

@@ -12,9 +12,11 @@ pass ``cache_dir=None`` through the runner to disable caching entirely.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
+import tempfile
 from dataclasses import asdict, is_dataclass
 from pathlib import Path
 from typing import Any, Dict, Optional
@@ -70,12 +72,25 @@ def load(cache_dir: Optional[Path], key: str) -> Optional[CellCharacterization]:
 
 def store(cache_dir: Optional[Path], key: str,
           result: CellCharacterization) -> None:
-    """Persist a characterisation result."""
+    """Persist a characterisation result.
+
+    Safe under concurrent writers (parallel figure sweeps sharing one
+    cache): each writer stages into its own ``mkstemp`` file before the
+    atomic rename, so two processes storing the same key can never
+    interleave into a corrupt entry.
+    """
     if cache_dir is None:
         return
     directory = Path(cache_dir)
     directory.mkdir(parents=True, exist_ok=True)
     path = directory / f"{key}.json"
-    tmp = path.with_suffix(".tmp")
-    tmp.write_text(result.to_json())
-    tmp.replace(path)
+    fd, tmp_name = tempfile.mkstemp(dir=directory, prefix=f"{key}.",
+                                    suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(result.to_json())
+        os.replace(tmp_name, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp_name)
+        raise

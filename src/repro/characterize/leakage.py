@@ -15,12 +15,14 @@ becomes comparable to the 6T cell — emerges from two competing paths:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Sequence
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from ..analysis import dc_sweep, operating_point
+from ..errors import ConvergenceError
+from ..recovery.partial import SkipRecord
 from ..cells import PowerDomain
 from ..devices.finfet import FinFETParams
 from ..devices.mtj import MTJParams, MTJ_TABLE1
@@ -31,13 +33,18 @@ from .testbench import SUPPLY_SOURCES, build_cell_testbench
 
 @dataclass
 class LeakageSweep:
-    """Fig. 3(a) data: leakage vs V_CTRL plus the 6T reference."""
+    """Fig. 3(a) data: leakage vs V_CTRL plus the 6T reference.
+
+    ``i_leak_nv`` is NaN at skipped points (see ``skips``); the optimum is
+    taken over the converged points only.
+    """
 
     v_ctrl: np.ndarray
     i_leak_nv: np.ndarray
     i_leak_6t: float
     v_ctrl_optimal: float
     i_leak_nv_min: float
+    skips: List[SkipRecord] = field(default_factory=list)
 
     def rows(self):
         """(v_ctrl, i_nv, i_6t) tuples for tabular reports."""
@@ -72,7 +79,8 @@ def leakage_vs_vctrl(
                               mtj_params=mtj_params)
     tb.apply_mode(Mode.STANDBY)
     ic = tb.initial_conditions(data)
-    sweep = dc_sweep(tb.circuit, "vctrl", v_ctrl_values, ic=ic)
+    sweep = dc_sweep(tb.circuit, "vctrl", v_ctrl_values, ic=ic,
+                     on_error="skip")
     i_nv = sweep.measure(lambda sol: _cell_leakage_current(tb, sol))
 
     tb6 = build_cell_testbench("6t", cond, domain, nfet=nfet, pfet=pfet)
@@ -81,11 +89,15 @@ def leakage_vs_vctrl(
     i_6t = _cell_leakage_current(tb6, sol6)
 
     values = np.asarray(list(v_ctrl_values), dtype=float)
-    best = int(np.argmin(i_nv))
+    if np.all(np.isnan(i_nv)):
+        raise ConvergenceError(
+            "leakage sweep: every V_CTRL point failed to converge")
+    best = int(np.nanargmin(i_nv))
     return LeakageSweep(
         v_ctrl=values,
         i_leak_nv=np.asarray(i_nv),
         i_leak_6t=i_6t,
         v_ctrl_optimal=float(values[best]),
         i_leak_nv_min=float(i_nv[best]),
+        skips=list(sweep.skips),
     )

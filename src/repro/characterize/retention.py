@@ -18,7 +18,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from ..errors import CharacterizationError
+from ..errors import CharacterizationError, ConvergenceError
 from ..devices.finfet import FinFETParams
 from ..devices.ptm20 import NFET_20NM_HP, PFET_20NM_HP
 from ..pg.modes import OperatingConditions
@@ -82,8 +82,11 @@ def retention_voltage_sweep(
             curve = butterfly_curve(probe_cond, read_mode=False,
                                     nfet=nfet, pfet=pfet)
             margins.append(curve.snm)
-        except CharacterizationError:
-            margins.append(0.0)   # no butterfly eye: retention lost
+        except (CharacterizationError, ConvergenceError):
+            # No butterfly eye, or a rail so low the VTC sweep itself no
+            # longer converges (ladder exhausted): retention lost either
+            # way — a zero margin, not an aborted sweep.
+            margins.append(0.0)
     margins_arr = np.asarray(margins)
 
     qualifying = np.nonzero(margins_arr >= margin)[0]

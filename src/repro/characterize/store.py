@@ -18,13 +18,14 @@ which is how the paper justifies V_SR = 0.65 V / V_CTRL = 0.5 V.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Sequence
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from ..errors import CharacterizationError
 from ..analysis import dc_sweep
+from ..recovery.partial import SkipRecord
 from ..cells import PowerDomain
 from ..devices.mtj import MTJState
 from ..devices.finfet import FinFETParams
@@ -44,6 +45,7 @@ class StoreCurrentSweep:
     i_critical: float              # MTJ critical current Ic
     margin: float                  # required multiple of Ic
     bias_at_margin: Optional[float]  # smallest bias reaching margin*Ic
+    skips: List[SkipRecord] = field(default_factory=list)  # NaN points
 
     @property
     def i_required(self) -> float:
@@ -55,7 +57,12 @@ class StoreCurrentSweep:
 
 def _find_margin_bias(bias: np.ndarray, current: np.ndarray,
                       target: float) -> Optional[float]:
-    """Smallest bias where |I| first reaches ``target`` (interpolated)."""
+    """Smallest bias where |I| first reaches ``target`` (interpolated).
+
+    NaN entries (skipped sweep points) never satisfy the comparison and
+    are never interpolated against: the conservative answer is the first
+    *converged* point at or above the target.
+    """
     above = np.nonzero(current >= target)[0]
     if above.size == 0:
         return None
@@ -64,6 +71,8 @@ def _find_margin_bias(bias: np.ndarray, current: np.ndarray,
         return float(bias[0])
     b0, b1 = bias[k - 1], bias[k]
     i0, i1 = current[k - 1], current[k]
+    if not np.isfinite(i0):
+        return float(b1)
     if i1 == i0:
         return float(b1)
     return float(b0 + (target - i0) * (b1 - b0) / (i1 - i0))
@@ -91,7 +100,7 @@ def store_current_vs_vsr(
     cell.set_mtj_states(tb.circuit, MTJState.PARALLEL, MTJState.ANTIPARALLEL)
     ic = tb.initial_conditions(True)     # Q high
 
-    sweep = dc_sweep(tb.circuit, "vsr", v_sr_values, ic=ic)
+    sweep = dc_sweep(tb.circuit, "vsr", v_sr_values, ic=ic, on_error="skip")
     mtj = cell.mtj_q(tb.circuit)
     current = np.abs(sweep.measure(mtj.current))
     bias = np.asarray(list(v_sr_values), dtype=float)
@@ -105,6 +114,7 @@ def store_current_vs_vsr(
         bias_at_margin=_find_margin_bias(
             bias, current, cond.store_margin * mtj.params.critical_current
         ),
+        skips=list(sweep.skips),
     )
 
 
@@ -131,7 +141,8 @@ def store_current_vs_vctrl(
     cell.set_mtj_states(tb.circuit, MTJState.ANTIPARALLEL, MTJState.ANTIPARALLEL)
     ic = tb.initial_conditions(True)     # QB low
 
-    sweep = dc_sweep(tb.circuit, "vctrl", v_ctrl_values, ic=ic)
+    sweep = dc_sweep(tb.circuit, "vctrl", v_ctrl_values, ic=ic,
+                     on_error="skip")
     mtj = cell.mtj_qb(tb.circuit)
     current = np.abs(sweep.measure(mtj.current))
     bias = np.asarray(list(v_ctrl_values), dtype=float)
@@ -145,6 +156,7 @@ def store_current_vs_vctrl(
         bias_at_margin=_find_margin_bias(
             bias, current, cond.store_margin * mtj.params.critical_current
         ),
+        skips=list(sweep.skips),
     )
 
 
@@ -202,7 +214,7 @@ def derive_store_biases(
     if h.bias_at_margin is None:
         raise CharacterizationError(
             "H-store margin unreachable: max "
-            f"{h.current.max():.3g} A < {h.i_required:.3g} A"
+            f"{np.nanmax(h.current):.3g} A < {h.i_required:.3g} A"
         )
     v_sr = min(h.bias_at_margin + guard_band, cond.vdd)
     cond_h = cond.with_(v_sr=v_sr)
@@ -211,7 +223,7 @@ def derive_store_biases(
     if l.bias_at_margin is None:
         raise CharacterizationError(
             "L-store margin unreachable: max "
-            f"{l.current.max():.3g} A < {l.i_required:.3g} A"
+            f"{np.nanmax(l.current):.3g} A < {l.i_required:.3g} A"
         )
     v_ctrl = min(l.bias_at_margin + guard_band, cond.vdd)
     return cond_h.with_(v_ctrl_store=v_ctrl)

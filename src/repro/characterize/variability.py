@@ -22,8 +22,9 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from ..errors import CharacterizationError
+from ..errors import CharacterizationError, ConvergenceError
 from ..analysis import dc_sweep, operating_point
+from ..recovery.partial import SkipRecord, run_point
 from ..cells import PowerDomain
 from ..circuit import Circuit, VoltageSource
 from ..devices.finfet import FinFET, FinFETParams
@@ -86,11 +87,23 @@ def _perturb_testbench(tb, variation: VariationModel,
 
 @dataclass
 class StoreYieldResult:
-    """Monte-Carlo store-margin distribution."""
+    """Monte-Carlo store-margin distribution.
 
-    margins: np.ndarray          # worst-case I/Ic per sample
+    Samples whose solves failed even through the recovery ladder carry a
+    NaN margin and a :class:`~repro.recovery.partial.SkipRecord`; the
+    yield figures count them as *failing* (a corner we could not verify
+    is not a passing corner).
+    """
+
+    margins: np.ndarray          # worst-case I/Ic per sample (NaN=skipped)
     target_margin: float
     n_samples: int
+    skips: List[SkipRecord] = field(default_factory=list)
+
+    @property
+    def n_failed(self) -> int:
+        """Samples skipped after ladder exhaustion."""
+        return len(self.skips)
 
     @property
     def switching_yield(self) -> float:
@@ -103,7 +116,7 @@ class StoreYieldResult:
         return float(np.mean(self.margins >= self.target_margin))
 
     def percentile(self, q: float) -> float:
-        return float(np.percentile(self.margins, q))
+        return float(np.nanpercentile(self.margins, q))
 
 
 def store_yield_analysis(
@@ -127,52 +140,71 @@ def store_yield_analysis(
     rng = np.random.default_rng(seed)
 
     margins = []
-    for _ in range(n_samples):
+    skips: List[SkipRecord] = []
+    for i in range(n_samples):
         tb = build_cell_testbench("nv", cond, domain)
         _perturb_testbench(tb, variation, rng)
         cell = tb.nv_cell
         ic_map = tb.initial_conditions(True)      # Q high
 
-        # H-store: Q-side MTJ still parallel, CTRL grounded.
-        tb.apply_mode(Mode.STORE_H)
-        cell.set_mtj_states(tb.circuit, MTJState.PARALLEL,
-                            MTJState.ANTIPARALLEL)
-        sol = operating_point(tb.circuit, ic=ic_map)
-        mtj_q = cell.mtj_q(tb.circuit)
-        margin_h = abs(mtj_q.current(sol)) / mtj_q.params.critical_current
+        def sample_margin():
+            # H-store: Q-side MTJ still parallel, CTRL grounded.
+            tb.apply_mode(Mode.STORE_H)
+            cell.set_mtj_states(tb.circuit, MTJState.PARALLEL,
+                                MTJState.ANTIPARALLEL)
+            sol = operating_point(tb.circuit, ic=ic_map)
+            mtj_q = cell.mtj_q(tb.circuit)
+            margin_h = abs(mtj_q.current(sol)) / mtj_q.params.critical_current
 
-        # L-store: QB-side MTJ antiparallel, CTRL at the store level.
-        tb.apply_mode(Mode.STORE_L)
-        cell.set_mtj_states(tb.circuit, MTJState.ANTIPARALLEL,
-                            MTJState.ANTIPARALLEL)
-        sol = operating_point(tb.circuit, ic=ic_map)
-        mtj_qb = cell.mtj_qb(tb.circuit)
-        margin_l = abs(mtj_qb.current(sol)) / mtj_qb.params.critical_current
+            # L-store: QB-side MTJ antiparallel, CTRL at the store level.
+            tb.apply_mode(Mode.STORE_L)
+            cell.set_mtj_states(tb.circuit, MTJState.ANTIPARALLEL,
+                                MTJState.ANTIPARALLEL)
+            sol = operating_point(tb.circuit, ic=ic_map)
+            mtj_qb = cell.mtj_qb(tb.circuit)
+            margin_l = abs(mtj_qb.current(sol)) / mtj_qb.params.critical_current
+            return min(margin_h, margin_l)
 
-        margins.append(min(margin_h, margin_l))
+        value, skip = run_point(sample_margin, index=i,
+                                label=f"sample {i}",
+                                stage="store_yield_analysis")
+        margins.append(float("nan") if skip else value)
+        if skip:
+            skips.append(skip)
 
     return StoreYieldResult(
         margins=np.asarray(margins),
         target_margin=cond.store_margin,
         n_samples=n_samples,
+        skips=skips,
     )
 
 
 @dataclass
 class SnmDistribution:
-    """Monte-Carlo SNM distribution of the mismatched cell."""
+    """Monte-Carlo SNM distribution of the mismatched cell.
+
+    Samples whose VTC sweeps failed to converge carry NaN and a
+    :class:`~repro.recovery.partial.SkipRecord`; ``stability_yield``
+    counts them as unstable (unverifiable corners don't pass).
+    """
 
     snm: np.ndarray
     mode: str
     n_samples: int
+    skips: List[SkipRecord] = field(default_factory=list)
+
+    @property
+    def n_failed(self) -> int:
+        return len(self.skips)
 
     @property
     def mean(self) -> float:
-        return float(np.mean(self.snm))
+        return float(np.nanmean(self.snm))
 
     @property
     def std(self) -> float:
-        return float(np.std(self.snm))
+        return float(np.nanstd(self.snm))
 
     @property
     def stability_yield(self) -> float:
@@ -180,7 +212,7 @@ class SnmDistribution:
         return float(np.mean(self.snm > 0.0))
 
     def percentile(self, q: float) -> float:
-        return float(np.percentile(self.snm, q))
+        return float(np.nanpercentile(self.snm, q))
 
 
 def _mismatched_vtc(cond: OperatingConditions, read_mode: bool,
@@ -228,11 +260,19 @@ def read_snm_distribution(
     vin = np.linspace(0.0, cond.vdd, points)
 
     values = []
-    for _ in range(n_samples):
-        vtc1 = _mismatched_vtc(cond, read_mode, variation, rng, points,
-                               nfet, pfet)
-        vtc2 = _mismatched_vtc(cond, read_mode, variation, rng, points,
-                               nfet, pfet)
+    skips: List[SkipRecord] = []
+    for i in range(n_samples):
+        try:
+            vtc1 = _mismatched_vtc(cond, read_mode, variation, rng, points,
+                                   nfet, pfet)
+            vtc2 = _mismatched_vtc(cond, read_mode, variation, rng, points,
+                                   nfet, pfet)
+        except ConvergenceError as err:
+            skips.append(SkipRecord.from_error(
+                err, index=i, label=f"sample {i}",
+                stage="read_snm_distribution"))
+            values.append(float("nan"))
+            continue
         try:
             snm, _ = _butterfly_snm_two(vin, vtc1, vtc2)
         except CharacterizationError:
@@ -242,4 +282,5 @@ def read_snm_distribution(
         snm=np.asarray(values),
         mode="read" if read_mode else "hold",
         n_samples=n_samples,
+        skips=skips,
     )

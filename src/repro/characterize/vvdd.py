@@ -9,12 +9,13 @@ during the store.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Sequence
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from ..analysis import operating_point
+from ..recovery.partial import SkipRecord, run_point
 from ..cells import PowerDomain
 from ..devices.mtj import MTJState
 from ..devices.finfet import FinFETParams
@@ -32,13 +33,18 @@ class VvddSweep:
     vvdd_normal: np.ndarray
     vvdd_store: np.ndarray
     vdd: float
+    skips: List[SkipRecord] = field(default_factory=list)  # NaN points
 
     def retention_fraction_store(self) -> np.ndarray:
-        """VV_DD / V_DD during the store mode."""
+        """VV_DD / V_DD during the store mode (NaN at skipped points)."""
         return self.vvdd_store / self.vdd
 
     def smallest_nfsw_for(self, fraction: float) -> Optional[int]:
-        """Smallest N_FSW whose store-mode VV_DD >= fraction * VDD."""
+        """Smallest N_FSW whose store-mode VV_DD >= fraction * VDD.
+
+        Skipped (NaN) points never compare true, so the answer is always
+        backed by a converged solve.
+        """
         ok = np.nonzero(self.retention_fraction_store() >= fraction)[0]
         if ok.size == 0:
             return None
@@ -69,25 +75,41 @@ def vvdd_vs_nfsw(
     domain = domain or PowerDomain()
     v_normal = []
     v_store = []
-    for nfsw in nfsw_values:
+    skips: List[SkipRecord] = []
+    for i, nfsw in enumerate(nfsw_values):
         tb = build_cell_testbench("nv", cond, domain, nfsw=int(nfsw),
                                   nfet=nfet, pfet=pfet,
                                   mtj_params=mtj_params)
         ic = tb.initial_conditions(True)
 
-        tb.apply_mode(Mode.STANDBY)
-        sol = operating_point(tb.circuit, ic=ic)
-        v_normal.append(sol.voltage("vvdd"))
+        def normal_point():
+            tb.apply_mode(Mode.STANDBY)
+            return operating_point(tb.circuit, ic=ic).voltage("vvdd")
 
-        tb.apply_mode(Mode.STORE_H)
-        tb.nv_cell.set_mtj_states(tb.circuit, MTJState.PARALLEL,
-                                  MTJState.ANTIPARALLEL)
-        sol = operating_point(tb.circuit, ic=ic)
-        v_store.append(sol.voltage("vvdd"))
+        def store_point():
+            tb.apply_mode(Mode.STORE_H)
+            tb.nv_cell.set_mtj_states(tb.circuit, MTJState.PARALLEL,
+                                      MTJState.ANTIPARALLEL)
+            return operating_point(tb.circuit, ic=ic).voltage("vvdd")
+
+        value, skip = run_point(normal_point, index=i,
+                                label=f"nfsw={int(nfsw)} (normal)",
+                                stage="vvdd_vs_nfsw", nfsw=int(nfsw))
+        v_normal.append(float("nan") if skip else value)
+        if skip:
+            skips.append(skip)
+
+        value, skip = run_point(store_point, index=i,
+                                label=f"nfsw={int(nfsw)} (store)",
+                                stage="vvdd_vs_nfsw", nfsw=int(nfsw))
+        v_store.append(float("nan") if skip else value)
+        if skip:
+            skips.append(skip)
 
     return VvddSweep(
         nfsw=np.asarray(list(nfsw_values), dtype=int),
         vvdd_normal=np.asarray(v_normal),
         vvdd_store=np.asarray(v_store),
         vdd=cond.vdd,
+        skips=skips,
     )

@@ -11,6 +11,8 @@ Usage::
     python -m repro snm [--read] [--wl-underdrive 0.1]
     python -m repro retention
     python -m repro lint examples/decks/*.sp nv 6t [--format sarif]
+    python -m repro diagnose failure.json   # or --demo
+    python -m repro chaos --target nv --faults 20 [--json report.json]
 
 Every subcommand prints the same rows/series the paper reports; see
 ``benchmarks/`` for the timed versions with archived artifacts.
@@ -177,10 +179,16 @@ def _cmd_variability(args) -> int:
     print(f"  margin p1 / p50:            "
           f"{yield_result.percentile(1):.2f} / "
           f"{yield_result.percentile(50):.2f} x Ic")
+    if yield_result.n_failed:
+        print(f"  !! {yield_result.n_failed} sample(s) skipped after "
+              "recovery-ladder exhaustion (counted as failing)")
     snm = read_snm_distribution(cond, n_samples=args.samples)
     print(f"read-SNM Monte Carlo: mean {snm.mean * 1e3:.0f} mV, "
           f"sigma {snm.std * 1e3:.0f} mV, "
           f"bistable yield {snm.stability_yield:.1%}")
+    if snm.n_failed:
+        print(f"  !! {snm.n_failed} sample(s) skipped after "
+              "recovery-ladder exhaustion (counted as unstable)")
     return 0
 
 
@@ -300,6 +308,80 @@ def _cmd_lint(args) -> int:
     return 1 if failed else 0
 
 
+def _cmd_diagnose(args) -> int:
+    from .recovery import load_failure, render_failure
+
+    if args.demo:
+        return _diagnose_demo()
+    if not args.path:
+        print("repro diagnose: need a JSON failure dump (or --demo)",
+              file=sys.stderr)
+        return 2
+    try:
+        payload = load_failure(args.path)
+    except OSError as exc:
+        print(f"repro diagnose: cannot read {args.path!r}: "
+              f"{exc.strerror or exc}", file=sys.stderr)
+        return 2
+    print(render_failure(payload))
+    return 0
+
+
+def _diagnose_demo() -> int:
+    """Run a deliberately unsolvable deck and show the forensics live."""
+    from .analysis import operating_point
+    from .analysis.dc import OperatingPointOptions
+    from .circuit import Circuit, Resistor, VoltageSource
+    from .devices import FinFET, NFET_20NM_HP, PFET_20NM_HP
+    from .errors import ConvergenceError
+    from .recovery import render_failure
+    from .recovery.ladder import RecoveryOptions
+
+    # A latch with a starved Newton budget and every rung disabled: the
+    # textbook hopeless solve.
+    c = Circuit("diagnose-demo latch")
+    c.add(VoltageSource("vdd", "vdd", "0", dc=0.9))
+    c.add(Resistor("rload", "vdd", "q", 1e5))
+    c.add(FinFET("pu1", "q", "qb", "vdd", PFET_20NM_HP))
+    c.add(FinFET("pd1", "q", "qb", "0", NFET_20NM_HP))
+    c.add(FinFET("pu2", "qb", "q", "vdd", PFET_20NM_HP))
+    c.add(FinFET("pd2", "qb", "q", "0", NFET_20NM_HP))
+    opts = OperatingPointOptions(recovery=RecoveryOptions(
+        damping_factors=(0.5,), damping_iteration_boost=1,
+        pseudo_transient=False, source_ramp=False))
+    opts.newton.max_iterations = 2
+    opts.gmin_steps = ()
+    opts.source_steps = ()
+    print("demo: solving a cross-coupled latch with a 2-iteration Newton "
+          "budget and the ladder mostly disabled...\n")
+    try:
+        operating_point(c, options=opts)
+    except ConvergenceError as err:
+        print(render_failure(err))
+        return 0
+    print("demo unexpectedly converged (solver got too good!)")
+    return 1
+
+
+def _cmd_chaos(args) -> int:
+    from .recovery import dump_failure
+    from .recovery.faults import chaos_operating_points, chaos_store_transient
+
+    if args.transient:
+        report = chaos_store_transient(n_faults=args.faults, seed=args.seed)
+    else:
+        report = chaos_operating_points(target=args.target,
+                                        n_faults=args.faults,
+                                        seed=args.seed)
+    print(report.render())
+    if args.json:
+        dump_failure(report.to_dict(), args.json)
+        print(f"\nreport written to {args.json}")
+    counts = report.counts()
+    unhandled = counts.get("error", 0)
+    return 1 if unhandled else 0
+
+
 def _cmd_retention(args) -> int:
     from .characterize.retention import retention_voltage_sweep
 
@@ -407,6 +489,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--list-rules", action="store_true",
                    help="print the rule catalog and exit")
 
+    p = sub.add_parser("diagnose",
+                       help="render a solver-failure JSON dump")
+    p.add_argument("path", nargs="?", default=None,
+                   help="JSON file written by repro.recovery.dump_failure")
+    p.add_argument("--demo", action="store_true",
+                   help="run a deliberately failing solve and render "
+                        "its forensics live")
+
+    p = sub.add_parser("chaos",
+                       help="fault-injection stress run on a cell deck")
+    p.add_argument("--target", choices=("nv", "6t", "nvff"), default="nv")
+    p.add_argument("--faults", type=int, default=20,
+                   help="number of faults to inject (default 20)")
+    p.add_argument("--seed", type=int, default=2015)
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="also dump the chaos report as JSON")
+    p.add_argument("--transient", action="store_true",
+                   help="run shortened store transients instead of DC "
+                        "operating points (slower; NV only)")
+
     p = sub.add_parser("wer", help="MTJ write-error-rate model")
     common(p, domain=False)
     p.add_argument("--duration", default="10n",
@@ -437,6 +539,8 @@ _HANDLERS = {
     "wer": _cmd_wer,
     "all": _cmd_all,
     "lint": _cmd_lint,
+    "diagnose": _cmd_diagnose,
+    "chaos": _cmd_chaos,
 }
 
 

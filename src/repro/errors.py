@@ -27,22 +27,117 @@ class AnalysisError(ReproError):
 class ConvergenceError(AnalysisError):
     """The Newton-Raphson solver failed to converge.
 
+    Beyond the message, the error carries the full failure forensics the
+    recovery layer (:mod:`repro.recovery`) and the ``repro diagnose`` CLI
+    consume.  All attributes are plain data so :meth:`to_dict` is always
+    JSON-serialisable.
+
     Attributes
     ----------
     iterations:
         Number of iterations performed before giving up.
     residual:
-        Infinity norm of the final KCL residual (amps).
+        Infinity norm of the true KCL residual ``‖A·x − b‖∞`` at the
+        final iterate (amps).
+    residual_vector:
+        The full per-equation residual vector (amps for node rows), or
+        ``None`` when it could not be computed (e.g. non-finite iterate).
+    worst_nodes:
+        ``(row_label, residual_amps)`` pairs for the worst-offending
+        equations, largest first.  Node rows are labelled with the node
+        name, branch rows with ``I(<element>)``.
+    time:
+        Simulation time of the failing solve (seconds; 0 for DC).
+    mode:
+        Analysis mode of the failing solve (``"dc"`` or ``"tran"``).
+    damped_streak:
+        Number of *consecutive* damped Newton steps at exit.  A streak
+        equal to ``iterations`` means the solve was damping-starved: it
+        never took an undamped step, so it was never even eligible for
+        the convergence test.
+    x:
+        Final iterate (list of floats), or ``None``.
+    ladder_trace:
+        Per-rung ``{"rung", "ok", "detail", "residual"}`` dicts filled in
+        by the recovery ladder when every escalation strategy failed too.
     """
 
-    def __init__(self, message: str, iterations: int = 0, residual: float = float("nan")):
+    def __init__(self, message: str, iterations: int = 0,
+                 residual: float = float("nan"), *,
+                 residual_vector=None, worst_nodes=(), time: float = 0.0,
+                 mode: str = "dc", damped_streak: int = 0, x=None,
+                 ladder_trace=None):
         super().__init__(message)
         self.iterations = iterations
         self.residual = residual
+        self.residual_vector = residual_vector
+        self.worst_nodes = list(worst_nodes)
+        self.time = time
+        self.mode = mode
+        self.damped_streak = damped_streak
+        self.x = x
+        self.ladder_trace = list(ladder_trace) if ladder_trace else []
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable forensics payload (see ``repro diagnose``)."""
+        return {
+            "kind": "convergence_failure",
+            "message": str(self),
+            "mode": self.mode,
+            "time": self.time,
+            "iterations": self.iterations,
+            "damped_streak": self.damped_streak,
+            "residual": self.residual,
+            "worst_nodes": [[name, float(r)] for name, r in self.worst_nodes],
+            "residual_vector": (None if self.residual_vector is None
+                                else [float(v) for v in self.residual_vector]),
+            "x": None if self.x is None else [float(v) for v in self.x],
+            "ladder_trace": list(self.ladder_trace),
+        }
 
 
 class TimestepError(AnalysisError):
-    """The transient integrator could not find an acceptable timestep."""
+    """The transient integrator could not find an acceptable timestep.
+
+    Mirrors :class:`ConvergenceError`'s structured context so a failed
+    transient names *where* it died, not just that it did.
+
+    Attributes
+    ----------
+    time:
+        Time of the step that could not be taken (seconds).
+    dt:
+        Timestep at which the integrator gave up (seconds).
+    rejected_steps:
+        Total rejected steps over the whole run up to the failure.
+    dt_history:
+        The most recent attempted timesteps, oldest first.
+    cause:
+        The final underlying :class:`ConvergenceError` (or ``None`` when
+        the failure was not convergence-related, e.g. ``max_steps``).
+    """
+
+    def __init__(self, message: str, *, time: float = float("nan"),
+                 dt: float = float("nan"), rejected_steps: int = 0,
+                 dt_history=(), cause=None):
+        super().__init__(message)
+        self.time = time
+        self.dt = dt
+        self.rejected_steps = rejected_steps
+        self.dt_history = [float(v) for v in dt_history]
+        self.cause = cause
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable forensics payload (see ``repro diagnose``)."""
+        return {
+            "kind": "timestep_failure",
+            "message": str(self),
+            "time": self.time,
+            "dt": self.dt,
+            "rejected_steps": self.rejected_steps,
+            "dt_history": list(self.dt_history),
+            "cause": self.cause.to_dict() if self.cause is not None else None,
+        }
 
 
 class DeviceError(ReproError):

@@ -59,6 +59,13 @@ class Fig3Result:
             ),
             _margin_line(self.store_l),
         ]
+        skipped = (self.leakage.skips + self.store_h.skips
+                   + self.store_l.skips)
+        if skipped:
+            lines = [f"  !! {len(skipped)} sweep point(s) skipped after "
+                     "recovery-ladder exhaustion (NaN in the tables):"]
+            lines.extend(f"     {record.render()}" for record in skipped)
+            parts.append("\n".join(lines))
         return "\n\n".join(parts)
 
 

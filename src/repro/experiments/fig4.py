@@ -44,6 +44,11 @@ class Fig4Result:
                 f"{PAPER_RETENTION_TARGET:.0%} of VDD: {self.nfsw_for_target} "
                 "(paper chooses 7)"
             )
+        if self.sweep.skips:
+            skipped = "\n".join(
+                f"     {record.render()}" for record in self.sweep.skips)
+            note += (f"\n  !! {len(self.sweep.skips)} point(s) skipped "
+                     f"after recovery-ladder exhaustion:\n{skipped}")
         return table + "\n" + note
 
 

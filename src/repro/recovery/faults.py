@@ -1,0 +1,389 @@
+"""Fault injection: stress the recovery ladder with broken circuits.
+
+The NV-SRAM corner sweeps only matter if the solver survives pathological
+inputs, so this harness deliberately breaks decks the way silicon (and
+variation models) break them:
+
+* ``vth_shift`` — a FinFET threshold pushed far off its card;
+* ``device_open`` — a FinFET's current factor collapsed to ~zero (an
+  open device: floating gates and cut-off stacks downstream);
+* ``mtj_drift`` — an MTJ RA product scaled orders of magnitude (toward
+  open or short);
+* ``node_short`` — a low-ohmic short from an internal node to ground;
+* ``node_bridge`` — a low-ohmic bridge between two internal nodes;
+* ``bad_ic`` — a corrupted initial-condition entry (e.g. a storage node
+  "remembered" outside the rails).
+
+:func:`chaos_operating_points` is the chaos mode used by the stress
+tests and the ``python -m repro chaos`` CLI: every injected fault must
+either converge (possibly via a ladder rung) or produce a structured
+:class:`~repro.recovery.partial.SkipRecord` — never an unhandled
+exception, never a silent abort of the remaining points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuit import Resistor
+from ..devices.finfet import FinFET
+from ..devices.mtj import MTJ
+from ..errors import AnalysisError
+from .partial import SkipRecord
+
+#: All fault kinds the sampler draws from.
+FAULT_KINDS = ("vth_shift", "device_open", "mtj_drift", "node_short",
+               "node_bridge", "bad_ic")
+
+#: Resistance of injected shorts/bridges (ohms).
+_R_SHORT = 1.0
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injectable fault.
+
+    ``target`` names an element (parameter faults) or a node (shorts,
+    corrupted ICs); ``aux`` carries the second node of a bridge.
+    """
+
+    kind: str
+    target: str
+    magnitude: float = 0.0
+    aux: str = ""
+
+    def describe(self) -> str:
+        if self.kind == "vth_shift":
+            return f"vth of {self.target} shifted {self.magnitude:+.2f} V"
+        if self.kind == "device_open":
+            return f"{self.target} opened (i_spec x {self.magnitude:g})"
+        if self.kind == "mtj_drift":
+            return f"{self.target} RA product x {self.magnitude:g}"
+        if self.kind == "node_short":
+            return f"{self.target} shorted to ground ({_R_SHORT:g} ohm)"
+        if self.kind == "node_bridge":
+            return f"{self.target} bridged to {self.aux} ({_R_SHORT:g} ohm)"
+        if self.kind == "bad_ic":
+            return f"ic[{self.target}] corrupted to {self.magnitude:.2f} V"
+        return f"{self.kind} on {self.target}"
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "target": self.target,
+                "magnitude": self.magnitude, "aux": self.aux,
+                "description": self.describe()}
+
+
+def _fets(circuit) -> List[FinFET]:
+    return [e for e in circuit.elements() if isinstance(e, FinFET)]
+
+
+def _mtjs(circuit) -> List[MTJ]:
+    return [e for e in circuit.elements() if isinstance(e, MTJ)]
+
+
+def _internal_nodes(circuit) -> List[str]:
+    """Nodes that belong to the cell under test, not the ideal sources."""
+    circuit.compile()
+    driven = set()
+    for element in circuit.elements():
+        if type(element).__name__ == "VoltageSource":
+            driven.add(element.node_names[0])
+    return [n for n in circuit.node_names() if n not in driven]
+
+
+def sample_fault(circuit, rng: np.random.Generator,
+                 kinds: Sequence[str] = FAULT_KINDS) -> FaultSpec:
+    """Draw one random fault applicable to ``circuit``."""
+    kinds = list(kinds)
+    rng.shuffle(kinds)
+    for kind in kinds:
+        spec = _try_sample(circuit, rng, kind)
+        if spec is not None:
+            return spec
+    raise ValueError("no fault kind applicable to this circuit")
+
+
+def _try_sample(circuit, rng: np.random.Generator,
+                kind: str) -> Optional[FaultSpec]:
+    if kind == "vth_shift":
+        fets = _fets(circuit)
+        if not fets:
+            return None
+        shift = float(rng.uniform(0.15, 0.45)) * (1 if rng.random() < 0.5
+                                                  else -1)
+        return FaultSpec(kind, str(rng.choice([f.name for f in fets])),
+                         magnitude=shift)
+    if kind == "device_open":
+        fets = _fets(circuit)
+        if not fets:
+            return None
+        return FaultSpec(kind, str(rng.choice([f.name for f in fets])),
+                         magnitude=1e-9)
+    if kind == "mtj_drift":
+        mtjs = _mtjs(circuit)
+        if not mtjs:
+            return None
+        scale = float(10.0 ** rng.uniform(1.0, 3.0))
+        if rng.random() < 0.5:
+            scale = 1.0 / scale
+        return FaultSpec(kind, str(rng.choice([m.name for m in mtjs])),
+                         magnitude=scale)
+    if kind == "node_short":
+        nodes = _internal_nodes(circuit)
+        if not nodes:
+            return None
+        return FaultSpec(kind, str(rng.choice(nodes)))
+    if kind == "node_bridge":
+        nodes = _internal_nodes(circuit)
+        if len(nodes) < 2:
+            return None
+        a, b = rng.choice(nodes, size=2, replace=False)
+        return FaultSpec(kind, str(a), aux=str(b))
+    if kind == "bad_ic":
+        nodes = _internal_nodes(circuit)
+        if not nodes:
+            return None
+        level = float(rng.uniform(-0.9, 1.8))
+        return FaultSpec(kind, str(rng.choice(nodes)), magnitude=level)
+    return None
+
+
+_FAULT_COUNTER = 0
+
+
+def inject_fault(circuit, fault: FaultSpec) -> Dict[str, float]:
+    """Apply ``fault`` to ``circuit`` in place.
+
+    Returns an initial-condition override map (non-empty only for
+    ``bad_ic`` faults) the caller must merge into its ``ic`` mapping.
+    """
+    global _FAULT_COUNTER
+    if fault.kind == "vth_shift":
+        element = circuit[fault.target]
+        element.params = element.params.with_(
+            vth0=max(element.params.vth0 + fault.magnitude, 0.01))
+        return {}
+    if fault.kind == "device_open":
+        element = circuit[fault.target]
+        element.params = element.params.with_(
+            i_spec=element.params.i_spec * fault.magnitude)
+        return {}
+    if fault.kind == "mtj_drift":
+        element = circuit[fault.target]
+        element.params = element.params.with_(
+            ra_product=element.params.ra_product * fault.magnitude)
+        return {}
+    if fault.kind in ("node_short", "node_bridge"):
+        _FAULT_COUNTER += 1
+        other = fault.aux if fault.kind == "node_bridge" else "0"
+        circuit.add(Resistor(f"rfault{_FAULT_COUNTER}", fault.target,
+                             other, _R_SHORT))
+        return {}
+    if fault.kind == "bad_ic":
+        return {fault.target: fault.magnitude}
+    raise ValueError(f"unknown fault kind: {fault.kind}")
+
+
+# ---------------------------------------------------------------------------
+# chaos driver
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ChaosRecord:
+    """Outcome of one injected fault."""
+
+    fault: FaultSpec
+    #: "converged" (no rung fired), "recovered" (a ladder rung fired) or
+    #: "skipped" (ladder exhausted; see ``skip``).
+    outcome: str
+    rung: Optional[str] = None
+    skip: Optional[SkipRecord] = None
+
+    def to_dict(self) -> dict:
+        return {
+            "fault": self.fault.to_dict(),
+            "outcome": self.outcome,
+            "rung": self.rung,
+            "skip": self.skip.to_dict() if self.skip else None,
+        }
+
+
+@dataclass
+class ChaosReport:
+    """All records of one chaos run plus summary accounting."""
+
+    target: str
+    records: List[ChaosRecord] = field(default_factory=list)
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for record in self.records:
+            out[record.outcome] = out.get(record.outcome, 0) + 1
+        return out
+
+    @property
+    def skipped(self) -> List[ChaosRecord]:
+        return [r for r in self.records if r.outcome == "skipped"]
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "chaos_report",
+            "target": self.target,
+            "records": [r.to_dict() for r in self.records],
+        }
+
+    def render(self) -> str:
+        from .forensics import render_failure
+        return render_failure(self.to_dict())
+
+
+def _chaos_testbench(target: str, cond=None, domain=None):
+    """Build a fresh deck for a chaos target (lazy heavy imports)."""
+    from ..characterize.testbench import build_cell_testbench
+
+    if target in ("nv", "6t"):
+        return build_cell_testbench(target, cond, domain)
+    if target == "nvff":
+        from ..characterize.ff_runner import _build_ff_bench
+        from ..devices.mtj import MTJ_TABLE1
+        from ..devices.ptm20 import NFET_20NM_HP, PFET_20NM_HP
+        from ..pg.modes import OperatingConditions
+
+        circuit, _ff = _build_ff_bench(cond or OperatingConditions(),
+                                       NFET_20NM_HP, PFET_20NM_HP,
+                                       MTJ_TABLE1)
+        return circuit
+    raise ValueError(f"unknown chaos target: {target}")
+
+
+def chaos_operating_points(
+    target: str = "nv",
+    n_faults: int = 20,
+    seed: int = 2015,
+    cond=None,
+    domain=None,
+    kinds: Sequence[str] = FAULT_KINDS,
+) -> ChaosReport:
+    """Inject ``n_faults`` faults into fresh decks and solve each one.
+
+    For the cell targets (``"nv"``, ``"6t"``) every faulted deck is
+    solved in the standby mode and — NV only — the H-store mode, the two
+    DC corners the Fig. 3–4 sweeps hammer.  Each fault yields exactly one
+    :class:`ChaosRecord`; analysis failures become skip records, so the
+    loop never aborts early and the report always holds ``n_faults``
+    entries.
+    """
+    from ..analysis import operating_point
+    from ..devices.mtj import MTJState
+    from ..pg.modes import Mode
+
+    rng = np.random.default_rng(seed)
+    report = ChaosReport(target=target)
+
+    for index in range(n_faults):
+        bench = _chaos_testbench(target, cond, domain)
+        is_cell = target in ("nv", "6t")
+        circuit = bench.circuit if is_cell else bench
+        fault = sample_fault(circuit, rng, kinds)
+        ic_override = inject_fault(circuit, fault)
+
+        rung: Optional[str] = None
+        skip: Optional[SkipRecord] = None
+        if is_cell:
+            modes = [Mode.STANDBY] + ([Mode.STORE_H] if target == "nv"
+                                      else [])
+            for mode in modes:
+                bench.apply_mode(mode)
+                if target == "nv" and mode is Mode.STORE_H:
+                    bench.nv_cell.set_mtj_states(
+                        circuit, MTJState.PARALLEL, MTJState.ANTIPARALLEL)
+                ic = bench.initial_conditions(True)
+                ic.update(ic_override)
+                try:
+                    sol = operating_point(circuit, ic=ic)
+                except AnalysisError as err:
+                    skip = SkipRecord.from_error(
+                        err, index=index, label=fault.describe(),
+                        stage=f"chaos:{target}:{mode.name.lower()}",
+                        fault=fault.to_dict())
+                    break
+                rung = getattr(sol, "recovery_rung", None) or rung
+        else:
+            try:
+                sol = operating_point(circuit)
+                rung = getattr(sol, "recovery_rung", None)
+            except AnalysisError as err:
+                skip = SkipRecord.from_error(
+                    err, index=index, label=fault.describe(),
+                    stage=f"chaos:{target}", fault=fault.to_dict())
+
+        if skip is not None:
+            outcome = "skipped"
+        elif rung is not None:
+            outcome = "recovered"
+        else:
+            outcome = "converged"
+        report.records.append(ChaosRecord(fault=fault, outcome=outcome,
+                                          rung=rung, skip=skip))
+    return report
+
+
+def chaos_store_transient(
+    n_faults: int = 5,
+    seed: int = 2015,
+    cond=None,
+    domain=None,
+    kinds: Sequence[str] = FAULT_KINDS,
+) -> ChaosReport:
+    """Transient chaos: a shortened two-step store on faulted NV decks.
+
+    Heavier than :func:`chaos_operating_points` (each fault costs a
+    transient), so the stress suite and the ``--transient`` CLI flag use
+    small fault counts.
+    """
+    from ..analysis import transient
+    from ..analysis.transient import TransientOptions
+    from ..errors import AnalysisError as _AnalysisError
+    from ..pg.modes import Mode, OperatingConditions
+    from ..pg.scheduler import Schedule, ScheduleStep
+
+    cond = cond or OperatingConditions()
+    rng = np.random.default_rng(seed)
+    report = ChaosReport(target="nv:store-transient")
+
+    for index in range(n_faults):
+        tb = _chaos_testbench("nv", cond, domain)
+        fault = sample_fault(tb.circuit, rng, kinds)
+        ic_override = inject_fault(tb.circuit, fault)
+
+        schedule = Schedule(
+            [ScheduleStep(Mode.STANDBY, 0.5e-9),
+             ScheduleStep(Mode.STORE_H, cond.t_store_step / 4),
+             ScheduleStep(Mode.STORE_L, cond.t_store_step / 4)],
+            cond, volatile=False,
+        )
+        tb.apply_waveforms(schedule.line_waveforms())
+        tb.set_mtj_data(False)
+        ic = tb.initial_conditions(True)
+        ic.update(ic_override)
+
+        rung: Optional[str] = None
+        skip: Optional[SkipRecord] = None
+        try:
+            result = transient(tb.circuit, schedule.total_duration, ic=ic,
+                               options=TransientOptions(dt_initial=20e-12))
+            if result.recoveries:
+                rung = result.recoveries[-1]["rung"]
+        except _AnalysisError as err:
+            skip = SkipRecord.from_error(
+                err, index=index, label=fault.describe(),
+                stage="chaos:nv:store-transient", fault=fault.to_dict())
+
+        outcome = ("skipped" if skip is not None
+                   else "recovered" if rung is not None else "converged")
+        report.records.append(ChaosRecord(fault=fault, outcome=outcome,
+                                          rung=rung, skip=skip))
+    return report

@@ -1,0 +1,179 @@
+"""Recovery-ladder tests: pathological decks that fail a plain Newton
+solve but converge through escalation, trace bookkeeping, and the
+transient-local ladder."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import operating_point
+from repro.analysis.dc import OperatingPointOptions
+from repro.analysis.mna import Context
+from repro.analysis.solver import NewtonOptions, newton_solve
+from repro.circuit import Circuit, Resistor, VoltageSource
+from repro.devices import FinFET, NFET_20NM_HP, PFET_20NM_HP
+from repro.errors import ConvergenceError
+from repro.recovery import (
+    LadderResult,
+    RecoveryOptions,
+    recover_dc,
+    recover_transient_step,
+)
+
+
+def _latch(vdd=0.9):
+    c = Circuit("latch")
+    c.add(VoltageSource("vdd", "vdd", "0", dc=vdd))
+    c.add(FinFET("pu1", "q", "qb", "vdd", PFET_20NM_HP))
+    c.add(FinFET("pd1", "q", "qb", "0", NFET_20NM_HP))
+    c.add(FinFET("pu2", "qb", "q", "vdd", PFET_20NM_HP))
+    c.add(FinFET("pd2", "qb", "q", "0", NFET_20NM_HP))
+    return c
+
+
+STARVED = NewtonOptions(max_iterations=3)
+
+
+class TestRecoverDc:
+    def test_clean_solve_reports_no_rung(self):
+        c = Circuit()
+        c.add(VoltageSource("v", "a", "0", dc=1.0))
+        c.add(Resistor("r", "a", "0", 1e3))
+        result = recover_dc(c)
+        assert isinstance(result, LadderResult)
+        assert result.rung is None
+        assert not result.recovered
+        assert [a.rung for a in result.trace] == ["plain"]
+
+    def test_ladder_recovers_deck_plain_newton_cannot(self):
+        """The headline behaviour: a deck the starved plain solve fails
+        converges through the ladder, and the result matches a healthy
+        direct solve."""
+        c = _latch()
+        c.compile()
+        with pytest.raises(ConvergenceError):
+            newton_solve(c, Context(), np.zeros(c.size), STARVED)
+
+        result = recover_dc(c, newton=STARVED)
+        assert result.recovered
+        assert result.rung is not None
+        # The recovered point satisfies the unmodified equations.
+        from repro.analysis.solver import kcl_residual
+        r = kcl_residual(c, Context(), result.x)
+        assert float(np.max(np.abs(r))) < 1e-7
+
+    def test_trace_records_failed_rungs_before_success(self):
+        c = _latch()
+        result = recover_dc(c, newton=STARVED)
+        assert result.trace[0].rung == "plain"
+        assert not result.trace[0].ok
+        assert result.trace[-1].ok
+
+    def test_disabled_ladder_raises_immediately(self):
+        c = _latch()
+        with pytest.raises(ConvergenceError) as info:
+            recover_dc(c, newton=STARVED,
+                       options=RecoveryOptions(enabled=False))
+        assert [a["rung"] for a in info.value.ladder_trace] == ["plain"]
+
+    def test_exhausted_ladder_carries_full_trace(self):
+        c = _latch()
+        options = RecoveryOptions(damping_factors=(0.5,),
+                                  damping_iteration_boost=1,
+                                  gmin_steps=(), pseudo_transient=False,
+                                  source_ramp=False)
+        with pytest.raises(ConvergenceError) as info:
+            recover_dc(c, newton=NewtonOptions(max_iterations=2),
+                       options=options)
+        err = info.value
+        rungs = [a["rung"] for a in err.ladder_trace]
+        assert rungs == ["plain", "damping"]
+        assert "recovery ladder exhausted" in str(err)
+        assert isinstance(err.__cause__, ConvergenceError)
+
+    def test_starved_failure_boosts_damping_budget(self):
+        """A damping-starved plain failure doubles the damping-rung
+        iteration boost — visible in the trace detail."""
+        c = _latch()
+        # max_iterations=2 exits with every step damped (starved).
+        result = recover_dc(c, newton=NewtonOptions(max_iterations=2),
+                            options=RecoveryOptions(
+                                damping_factors=(0.1,),
+                                damping_iteration_boost=4))
+        damping = [a for a in result.trace if a.rung == "damping"]
+        assert damping
+        assert "boost=8x" in damping[0].detail
+
+    def test_source_ramp_disabled_respected(self):
+        c = _latch()
+        options = RecoveryOptions(damping_factors=(), gmin_steps=(),
+                                  pseudo_transient=False, source_ramp=False)
+        with pytest.raises(ConvergenceError) as info:
+            recover_dc(c, newton=NewtonOptions(max_iterations=2),
+                       options=options)
+        assert all(a["rung"] != "source-ramp"
+                   for a in info.value.ladder_trace)
+
+
+class TestOperatingPointIntegration:
+    def test_solution_annotated_clean(self):
+        c = Circuit()
+        c.add(VoltageSource("v", "a", "0", dc=1.0))
+        c.add(Resistor("r", "a", "0", 1e3))
+        sol = operating_point(c)
+        assert sol.recovery_rung is None
+        assert sol.recovery_trace
+
+    def test_solution_annotated_recovered(self):
+        c = _latch()
+        opts = OperatingPointOptions()
+        opts.newton.max_iterations = 3
+        sol = operating_point(c, options=opts)
+        assert sol.recovery_rung is not None
+        assert any(not a["ok"] for a in sol.recovery_trace)
+        assert sol.voltage("vdd") == pytest.approx(0.9, rel=1e-3)
+
+    def test_basin_preserved_through_recovery(self):
+        """An ic-pinned solve going through the ladder must stay in the
+        requested stability basin (source ramping is disabled for the
+        clamp-release re-solve)."""
+        c = _latch()
+        opts = OperatingPointOptions()
+        opts.newton.max_iterations = 3
+        for q_high in (True, False):
+            ic = {"q": 0.9 if q_high else 0.0,
+                  "qb": 0.0 if q_high else 0.9}
+            sol = operating_point(c, ic=ic, options=opts)
+            if q_high:
+                assert sol.voltage("q") > sol.voltage("qb")
+            else:
+                assert sol.voltage("q") < sol.voltage("qb")
+
+
+class TestRecoverTransientStep:
+    def _step_setup(self):
+        c = Circuit()
+        c.add(VoltageSource("v", "a", "0", dc=1.0))
+        c.add(Resistor("r", "a", "b", 1e3))
+        c.add(Resistor("r2", "b", "0", 1e3))
+        c.compile()
+        x_prev = newton_solve(c, Context(), np.zeros(c.size))
+        ctx = Context(mode="tran", time=1e-9, dt=1e-12, method="trap",
+                      x=x_prev)
+        return c, ctx, x_prev
+
+    def test_recovers_from_terrible_guess(self):
+        c, ctx, x_prev = self._step_setup()
+        guess = np.full(c.size, 1e6)   # absurd predictor output
+        result = recover_transient_step(c, ctx, x_prev, guess,
+                                        NewtonOptions(max_iterations=5))
+        assert result is not None
+        assert result.rung in ("damping", "backward-euler", "gmin-step")
+        assert result.x[c.index_of("b")] == pytest.approx(0.5, rel=1e-3)
+
+    def test_disabled_returns_none(self):
+        c, ctx, x_prev = self._step_setup()
+        result = recover_transient_step(
+            c, ctx, x_prev, np.full(c.size, 1e6),
+            NewtonOptions(max_iterations=1),
+            options=RecoveryOptions(enabled=False))
+        assert result is None

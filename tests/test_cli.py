@@ -111,6 +111,66 @@ class TestExtensionCommands:
         assert "FAIL" not in out
 
 
+class TestDiagnoseCommand:
+    def test_no_path_is_usage_error(self, capsys):
+        assert main(["diagnose"]) == 2
+        assert "need a JSON failure dump" in capsys.readouterr().err
+
+    def test_missing_file_is_usage_error(self, capsys):
+        assert main(["diagnose", "/nonexistent/failure.json"]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_demo_renders_forensics(self, capsys):
+        assert main(["diagnose", "--demo"]) == 0
+        out = capsys.readouterr().out
+        assert "KCL residual" in out
+        assert "worst offenders" in out
+        assert "recovery ladder" in out
+
+    def test_renders_dumped_failure(self, tmp_path, capsys):
+        import numpy as np
+
+        from repro.analysis.mna import Context
+        from repro.analysis.solver import NewtonOptions, newton_solve
+        from repro.circuit import Circuit, VoltageSource
+        from repro.devices import FinFET, NFET_20NM_HP, PFET_20NM_HP
+        from repro.errors import ConvergenceError
+        from repro.recovery import dump_failure
+
+        c = Circuit("latch")
+        c.add(VoltageSource("vdd", "vdd", "0", dc=0.9))
+        c.add(FinFET("pu1", "q", "qb", "vdd", PFET_20NM_HP))
+        c.add(FinFET("pd1", "q", "qb", "0", NFET_20NM_HP))
+        c.add(FinFET("pu2", "qb", "q", "vdd", PFET_20NM_HP))
+        c.add(FinFET("pd2", "qb", "q", "0", NFET_20NM_HP))
+        c.compile()
+        with pytest.raises(ConvergenceError) as info:
+            newton_solve(c, Context(), np.zeros(c.size),
+                         NewtonOptions(max_iterations=3))
+        path = dump_failure(info.value, tmp_path / "failure.json")
+        assert main(["diagnose", str(path)]) == 0
+        assert "KCL residual" in capsys.readouterr().out
+
+
+class TestChaosCommand:
+    def test_small_run_exits_zero(self, capsys):
+        assert main(["chaos", "--faults", "3", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "chaos" in out.lower()
+
+    def test_json_report_round_trips_through_diagnose(self, tmp_path,
+                                                      capsys):
+        report = tmp_path / "chaos.json"
+        assert main(["chaos", "--target", "6t", "--faults", "2",
+                     "--json", str(report)]) == 0
+        capsys.readouterr()
+        payload = json.loads(report.read_text())
+        assert payload["kind"] == "chaos_report"
+        assert len(payload["records"]) == 2
+        assert main(["diagnose", str(report)]) == 0
+        assert "chaos" in capsys.readouterr().out.lower()
+
+
 class TestLintCommand:
     BAD_DECK = "bad deck\nv1 a 0 1\nv2 a 0 1\nr1 a 0 1k\n.end\n"
     WARN_DECK = "warn deck\nv1 a 0 1\nr1 a 0 1k\nrd a dangle 1k\n.end\n"
