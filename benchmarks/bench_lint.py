@@ -20,7 +20,12 @@ from repro.characterize.testbench import build_cell_testbench
 from repro.devices.mtj import MTJ_TABLE1
 from repro.devices.ptm20 import NFET_20NM_HP, PFET_20NM_HP
 from repro.pg.modes import OperatingConditions
-from repro.verify import verify_circuit, verify_deck_file
+from repro.verify import (
+    default_source_paths,
+    verify_circuit,
+    verify_deck_file,
+    verify_source,
+)
 from repro.verify.emit import render_text
 
 _REPO = Path(__file__).resolve().parent.parent
@@ -57,3 +62,15 @@ def bench_lint_shipped_artifacts(benchmark, publish):
     offenders = {target: [str(d) for d in report.errors()]
                  for target, report in reports if report.has_errors}
     assert not offenders, f"shipped netlists have lint errors: {offenders}"
+
+
+@pytest.mark.lint
+def bench_lint_source_tree(benchmark, publish):
+    """Time the RV4xx self-lint over the full shipped ``src/repro`` tree."""
+    roots = default_source_paths()
+    assert roots, "shipped source tree not found — package layout moved?"
+    report = benchmark(verify_source, roots)
+    publish("lint_source", render_text(report))
+    assert not report.has_errors, (
+        "shipped source has RV4xx lint errors: "
+        f"{[str(d) for d in report.errors()]}")

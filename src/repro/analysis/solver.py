@@ -126,7 +126,7 @@ def _convergence_failure(message: str, circuit, ctx: Context,
             if residual_vec.size and np.all(np.isfinite(residual_vec)):
                 residual = float(np.max(np.abs(residual_vec)))
             worst = worst_offenders(circuit, residual_vec)
-    except Exception:   # noqa: BLE001 - forensics must never mask the error
+    except Exception:   # lint: skip=RV405 - forensics must never mask the error
         residual_vec = None
     if damped_streak:
         message += (f" ({damped_streak} consecutive damped steps at exit"

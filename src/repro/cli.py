@@ -11,6 +11,7 @@ Usage::
     python -m repro snm [--read] [--wl-underdrive 0.1]
     python -m repro retention
     python -m repro lint examples/decks/*.sp nv 6t [--format sarif]
+    python -m repro lint-source src/repro [--format sarif]
     python -m repro diagnose failure.json   # or --demo
     python -m repro chaos --target nv --faults 20 [--json report.json]
 
@@ -21,6 +22,7 @@ Every subcommand prints the same rows/series the paper reports; see
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -260,11 +262,29 @@ def _lint_alias_circuit(alias: str):
     raise ValueError(f"unknown lint alias: {alias}")
 
 
+def _lint_config(args):
+    """Layered lint policy: pyproject < REPRO_LINT_DISABLE < --disable."""
+    from .verify.config import effective_config
+
+    disable = frozenset(
+        token.strip() for spec in args.disable
+        for token in spec.split(",") if token.strip()
+    )
+    return effective_config(cli_disable=disable)
+
+
+def _list_rules() -> int:
+    from .verify import REGISTRY
+
+    for rule_ in REGISTRY.rules():
+        print(f"{rule_.code}  {rule_.severity.value:7s} "
+              f"[{rule_.scope}] {rule_.name}: {rule_.description}")
+    return 0
+
+
 def _cmd_lint(args) -> int:
     from .verify import (
-        REGISTRY,
         Report,
-        VerifyConfig,
         render_json,
         render_sarif,
         render_text,
@@ -273,21 +293,12 @@ def _cmd_lint(args) -> int:
     )
 
     if args.list_rules:
-        for rule_ in REGISTRY.rules():
-            print(f"{rule_.code}  {rule_.severity.value:7s} "
-                  f"[{rule_.scope}] {rule_.name}: {rule_.description}")
-        return 0
+        return _list_rules()
     if not args.targets:
         print("repro lint: no targets (deck paths or one of "
               + "/".join(LINT_ALIASES) + ")", file=sys.stderr)
         return 2
-    disable = frozenset(
-        token.strip() for spec in args.disable
-        for token in spec.split(",") if token.strip()
-    )
-    # --disable adds to (never replaces) the REPRO_LINT_DISABLE env set.
-    config = VerifyConfig(disable=disable
-                          | VerifyConfig.from_env().disable)
+    config = _lint_config(args)
     report = Report(target=", ".join(args.targets))
     for target in args.targets:
         if target in LINT_ALIASES:
@@ -301,6 +312,31 @@ def _cmd_lint(args) -> int:
                       f"{exc.strerror or exc}", file=sys.stderr)
                 return 2
         report.extend(part)
+    renderer = {"text": render_text, "json": render_json,
+                "sarif": render_sarif}[args.format]
+    print(renderer(report))
+    failed = report.has_errors or (args.strict and report.warnings())
+    return 1 if failed else 0
+
+
+def _cmd_lint_source(args) -> int:
+    from .verify import (
+        default_source_paths,
+        render_json,
+        render_sarif,
+        render_text,
+        verify_source,
+    )
+
+    if args.list_rules:
+        return _list_rules()
+    paths = args.paths or default_source_paths()
+    missing = [p for p in paths if not os.path.exists(p)]
+    if missing:
+        print("repro lint-source: no such path: "
+              + ", ".join(repr(p) for p in missing), file=sys.stderr)
+        return 2
+    report = verify_source(paths, config=_lint_config(args))
     renderer = {"text": render_text, "json": render_json,
                 "sarif": render_sarif}[args.format]
     print(renderer(report))
@@ -489,6 +525,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--list-rules", action="store_true",
                    help="print the rule catalog and exit")
 
+    p = sub.add_parser("lint-source",
+                       help="static-analyse the simulator's own "
+                            "Python source (RV4xx)")
+    p.add_argument("paths", nargs="*", metavar="PATH",
+                   help="Python files or directories "
+                        "(default: the installed repro package)")
+    p.add_argument("--format", choices=("text", "json", "sarif"),
+                   default="text", help="output format (default text)")
+    p.add_argument("--disable", action="append", default=[],
+                   metavar="RULES",
+                   help="comma-separated rule codes/names to skip "
+                        "(repeatable)")
+    p.add_argument("--strict", action="store_true",
+                   help="exit non-zero on warnings too")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the rule catalog and exit")
+
     p = sub.add_parser("diagnose",
                        help="render a solver-failure JSON dump")
     p.add_argument("path", nargs="?", default=None,
@@ -539,6 +592,7 @@ _HANDLERS = {
     "wer": _cmd_wer,
     "all": _cmd_all,
     "lint": _cmd_lint,
+    "lint-source": _cmd_lint_source,
     "diagnose": _cmd_diagnose,
     "chaos": _cmd_chaos,
 }

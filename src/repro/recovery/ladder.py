@@ -304,7 +304,7 @@ def _source_ramp(circuit, time: float, x0: np.ndarray,
             # One retry with elevated gmin at this rung of the ramp.
             x = newton_solve(circuit, fresh_ctx(scale), x,
                              replace(newton, gmin=1e-6), extra_stamps)
-    if opts.source_steps[-1] != 1.0:
+    if abs(opts.source_steps[-1] - 1.0) > 1e-12:
         x = newton_solve(circuit, fresh_ctx(), x, newton, extra_stamps)
     return x
 

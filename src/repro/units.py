@@ -103,8 +103,16 @@ def format_eng(value: float, unit: str = "", digits: int = 2) -> str:
     if value == 0.0:
         return f"{0.0:.{digits}f} {unit}".strip()
     magnitude = abs(value)
-    for scale, prefix in _ENG_PREFIXES:
+    for index, (scale, prefix) in enumerate(_ENG_PREFIXES):
         if magnitude >= scale:
+            # A value just under the next prefix boundary can *round* to
+            # 1000 at the requested precision (999.95e-9 at 2 digits);
+            # roll it over to the next prefix instead of printing
+            # "1000.00 n".  The check uses the rendered string so the
+            # decision always agrees with what would have been printed.
+            if index > 0 and \
+                    float(f"{magnitude / scale:.{digits}f}") >= 1000.0:
+                scale, prefix = _ENG_PREFIXES[index - 1]
             return f"{value / scale:.{digits}f} {prefix}{unit}".strip()
     scale, prefix = _ENG_PREFIXES[-1]
     return f"{value / scale:.{digits}f} {prefix}{unit}".strip()

@@ -10,10 +10,16 @@ rule-registry framework:
   power switches;
 * :mod:`repro.verify.rules_mna` — structural MNA solvability (RV2xx);
 * :mod:`repro.verify.rules_deck` — SPICE-deck text checks (RV3xx);
+* :mod:`repro.verify.rules_source` — Python-source checks over the
+  simulator itself (RV4xx): float equality on physical quantities,
+  NaN/skip hazards over partial sweep results, stamp-contract drift,
+  raw SPICE quantity strings, swallowed solver forensics, mutable
+  default arguments;
 * :mod:`repro.verify.emit` — text / JSON / SARIF output.
 
 Entry points: :func:`verify_circuit`, :func:`verify_deck`,
-:func:`verify_deck_file` produce a :class:`Report`;
+:func:`verify_deck_file`, :func:`verify_source`,
+:func:`verify_source_file` produce a :class:`Report`;
 :func:`assert_clean` is the lint-before-simulate hook used by the cell
 builders and characterization runners (disable globally with
 ``REPRO_LINT=0``, per-rule with ``REPRO_LINT_DISABLE=RV104,...``).
@@ -44,8 +50,22 @@ from . import rules_circuit   # noqa: F401  (registration side effect)
 from . import rules_power     # noqa: F401
 from . import rules_mna       # noqa: F401
 from . import rules_deck      # noqa: F401
+from . import rules_source    # noqa: F401
 from .emit import render_json, render_sarif, render_text
 from .rules_deck import DeckSource
+from .source import (
+    SourceModule,
+    default_source_paths,
+    verify_source,
+    verify_source_file,
+    verify_source_text,
+)
+from .stampcheck import (
+    StampCheckResult,
+    assert_stamps_clean,
+    check_circuit_stamps,
+    check_element_stamp,
+)
 
 __all__ = [
     "REGISTRY",
@@ -57,9 +77,15 @@ __all__ = [
     "RuleRegistry",
     "Severity",
     "SourceLocation",
+    "SourceModule",
+    "StampCheckResult",
     "VerificationError",
     "VerifyConfig",
     "assert_clean",
+    "assert_stamps_clean",
+    "check_circuit_stamps",
+    "check_element_stamp",
+    "default_source_paths",
     "lint_enabled",
     "render_json",
     "render_sarif",
@@ -69,6 +95,9 @@ __all__ = [
     "verify_circuit",
     "verify_deck",
     "verify_deck_file",
+    "verify_source",
+    "verify_source_file",
+    "verify_source_text",
 ]
 
 

@@ -1,0 +1,115 @@
+"""Shared lint policy from ``pyproject.toml`` (``[tool.repro.verify]``).
+
+Deck lint (``repro lint``) and source lint (``repro lint-source``) honor
+one config, so a rule disabled or downgraded for the project is
+disabled everywhere::
+
+    [tool.repro.verify]
+    disable = ["RV104"]
+    suppress = ["RV404:src/repro/legacy/*"]
+
+    [tool.repro.verify.severity]
+    RV406 = "info"
+
+Keys
+----
+``disable``
+    Rule codes or names skipped entirely.
+``only``
+    If non-empty, run only these rules.
+``suppress``
+    ``"CODE:glob"`` patterns; the glob matches the finding's subject
+    *or* its target path (so per-path suppressions work for the
+    multi-file source lint).
+``severity``
+    Table of rule code/name to replacement severity.
+
+Policy layering, weakest first: ``pyproject.toml`` < environment
+(``REPRO_LINT_DISABLE``) < command line (``--disable``).  All layers
+are additive — a later layer can disable more, never re-enable.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
+
+try:
+    import tomllib
+except ModuleNotFoundError:  # pragma: no cover - Python < 3.11
+    tomllib = None  # type: ignore[assignment]
+
+from .core import Severity, VerifyConfig
+
+#: Dotted table the policy lives under in pyproject.toml.
+CONFIG_TABLE = ("tool", "repro", "verify")
+
+
+def find_pyproject(start: Union[str, Path, None] = None) -> Optional[Path]:
+    """Nearest ``pyproject.toml`` at or above ``start`` (default: cwd)."""
+    here = Path(start) if start is not None else Path.cwd()
+    if here.is_file():
+        here = here.parent
+    for candidate in [here, *here.parents]:
+        pyproject = candidate / "pyproject.toml"
+        if pyproject.is_file():
+            return pyproject
+    return None
+
+
+def load_project_config(
+        path: Union[str, Path, None] = None) -> VerifyConfig:
+    """Policy from ``[tool.repro.verify]``; empty config when absent.
+
+    ``path`` may be a ``pyproject.toml`` file or a directory to search
+    upward from.  A missing file, missing table, or missing ``tomllib``
+    all yield the empty (permissive) config — lint must keep working in
+    trees that have no policy.
+    """
+    pyproject: Optional[Path]
+    if path is not None and Path(path).is_file():
+        pyproject = Path(path)
+    else:
+        pyproject = find_pyproject(path)
+    if pyproject is None or tomllib is None:
+        return VerifyConfig()
+    try:
+        data = tomllib.loads(pyproject.read_text())
+    except (OSError, tomllib.TOMLDecodeError):
+        return VerifyConfig()
+    table = data
+    for key in CONFIG_TABLE:
+        table = table.get(key, {})
+        if not isinstance(table, dict):
+            return VerifyConfig()
+    return config_from_table(table)
+
+
+def config_from_table(table: dict) -> VerifyConfig:
+    """Build a :class:`VerifyConfig` from a parsed policy table.
+
+    Unknown keys are ignored (forward compatibility); malformed values
+    raise — a broken policy should fail loudly, not lint permissively.
+    """
+    disable = frozenset(str(t) for t in table.get("disable", ()))
+    only = frozenset(str(t) for t in table.get("only", ()))
+    suppress = tuple(str(t) for t in table.get("suppress", ()))
+    severity = {str(code): Severity.parse(level)
+                for code, level in table.get("severity", {}).items()}
+    return VerifyConfig(disable=disable, only=only,
+                        severity_overrides=severity, suppress=suppress)
+
+
+def effective_config(
+        cli_disable: frozenset = frozenset(),
+        project_path: Union[str, Path, None] = None) -> VerifyConfig:
+    """The layered policy the CLI lint commands run with.
+
+    ``pyproject.toml`` policy, plus ``REPRO_LINT_DISABLE`` from the
+    environment, plus any ``--disable`` tokens from the command line.
+    """
+    config = load_project_config(project_path)
+    config = config.merge(VerifyConfig.from_env())
+    if cli_disable:
+        config = config.merge(VerifyConfig(disable=frozenset(cli_disable)))
+    return config

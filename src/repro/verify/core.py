@@ -21,6 +21,7 @@ RV0xx   generic netlist hygiene (migrated from the seed linter)
 RV1xx   power-gating structure (VVDD islands, store paths...)
 RV2xx   MNA structural solvability
 RV3xx   SPICE-deck / text-level checks
+RV4xx   the simulator's own Python source (AST checks)
 ======  =====================================================
 """
 
@@ -113,8 +114,10 @@ class Rule:
     name:
         Kebab-case slug used in human output and suppression patterns.
     scope:
-        ``"circuit"`` (checks a compiled :class:`repro.circuit.Circuit`)
-        or ``"deck"`` (checks a tokenised SPICE deck source).
+        ``"circuit"`` (checks a compiled :class:`repro.circuit.Circuit`),
+        ``"deck"`` (checks a tokenised SPICE deck source) or
+        ``"source"`` (checks a parsed Python module of the simulator
+        itself).
     severity:
         Default severity of findings from this rule.
     description:
@@ -208,9 +211,11 @@ class VerifyConfig:
     severity_overrides:
         Mapping of rule code/name to a replacement severity.
     suppress:
-        ``"CODE:subject-glob"`` patterns; matching findings are dropped
-        (e.g. ``"RV001:tb.*"`` silences floating-node findings on
-        testbench scaffolding nodes).
+        ``"CODE:glob"`` patterns; matching findings are dropped.  The
+        glob is tried against the finding's subject and against its
+        target (e.g. ``"RV001:tb.*"`` silences floating-node findings
+        on testbench scaffolding nodes; ``"RV404:src/repro/legacy/*"``
+        silences a source rule for one subtree).
     """
 
     disable: frozenset = frozenset()
@@ -246,14 +251,36 @@ class VerifyConfig:
         return finding.severity or rule_.severity
 
     def suppressed(self, diag: Diagnostic) -> bool:
-        """True if a ``CODE:glob`` suppression matches ``diag``."""
+        """True if a ``CODE:glob`` suppression matches ``diag``.
+
+        The glob is matched against the finding's subject and its
+        target, so one syntax covers netlist-node suppressions and
+        per-path source-lint suppressions.
+        """
         for pattern in self.suppress:
             code, _, glob = pattern.partition(":")
             if code.upper() not in (diag.code, diag.name.upper()):
                 continue
-            if not glob or fnmatch.fnmatch(diag.subject, glob):
+            if (not glob or fnmatch.fnmatch(diag.subject, glob)
+                    or (diag.target and fnmatch.fnmatch(diag.target, glob))):
                 return True
         return False
+
+    def merge(self, other: "VerifyConfig") -> "VerifyConfig":
+        """Layer ``other`` on top of this config (additive).
+
+        Disable/only/suppress sets union; ``other``'s severity
+        overrides win on conflict.  Used to stack pyproject policy,
+        environment, and command-line flags.
+        """
+        overrides = dict(self.severity_overrides)
+        overrides.update(other.severity_overrides)
+        return VerifyConfig(
+            disable=frozenset(self.disable) | frozenset(other.disable),
+            only=frozenset(self.only) | frozenset(other.only),
+            severity_overrides=overrides,
+            suppress=tuple(dict.fromkeys(self.suppress + other.suppress)),
+        )
 
 
 @dataclass

@@ -1,0 +1,878 @@
+"""RV4xx rules: ``ast``-based checks over the simulator's own source.
+
+Netlist lint (RV0xx–RV3xx) guards what the simulator is *given*; these
+rules guard what the simulator *is*.  Each rule encodes a failure mode
+this codebase has by construction:
+
+* RV400 — the module does not parse (owns the finding; the other rules
+  skip modules whose AST is unavailable);
+* RV401 — float ``==``/``!=`` against a non-zero float literal.
+  Physical quantities (volts, amps, seconds) are never exactly equal
+  after arithmetic; comparisons to literal ``0.0`` (sentinel / exact
+  default checks) and the ``x != x`` NaN idiom are whitelisted;
+* RV402 — NaN/skip hazards: ``dc_sweep(on_error="skip")`` renders
+  failed points as NaN in every accessor, and ``min``/``max``/
+  ``argmin``/ordering comparisons silently mis-rank NaN.  Reductions
+  over sweep-accessor data in functions that neither use a ``nan*``
+  reduction nor consult the skip accounting are flagged;
+* RV403 — stamp-contract drift: every matrix entry an ``Element``
+  subclass writes in ``stamp()`` must be declared by its
+  ``stamp_pattern()`` — the same contract the RV201 structural-
+  singularity check consumes, cross-checked symbolically on the AST;
+* RV404 — raw SPICE quantity strings (``"10n"``, ``"1.5meg"``) used
+  where floats are expected instead of going through
+  :func:`repro.units.parse_quantity`;
+* RV405 — bare or overbroad ``except`` that swallows
+  ``ConvergenceError``/``TimestepError`` forensics without re-raising;
+* RV406 — mutable default arguments in public APIs.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .core import Finding, Severity, rule
+from .source import SourceModule
+
+# ---------------------------------------------------------------------------
+# shared helpers
+# ---------------------------------------------------------------------------
+
+
+def _scope_index(tree: ast.Module) -> List[Tuple[int, int, str]]:
+    """``(start, end, qualname)`` for every def/class, innermost-resolvable.
+
+    Used to attach findings to the function or class they live in.
+    """
+    spans: List[Tuple[int, int, str]] = []
+
+    def visit(node: ast.AST, prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.ClassDef)):
+                qual = f"{prefix}.{child.name}" if prefix else child.name
+                spans.append((child.lineno,
+                              child.end_lineno or child.lineno, qual))
+                visit(child, qual)
+            else:
+                visit(child, prefix)
+
+    visit(tree, "")
+    return spans
+
+
+def _scope_of(spans: Sequence[Tuple[int, int, str]], lineno: int) -> str:
+    """Qualname of the innermost def/class containing ``lineno``."""
+    best = "module"
+    best_span = None
+    for start, end, qual in spans:
+        if start <= lineno <= end:
+            span = end - start
+            if best_span is None or span <= best_span:
+                best, best_span = qual, span
+    return best
+
+
+def _functions(tree: ast.Module) -> Iterator[Tuple[str, ast.FunctionDef]]:
+    """Every (qualname, function node), classes included in the name."""
+
+    def visit(node: ast.AST, prefix: str) -> Iterator[Tuple[str, ast.AST]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{prefix}.{child.name}" if prefix else child.name
+                yield qual, child
+                yield from visit(child, qual)
+            elif isinstance(child, ast.ClassDef):
+                qual = f"{prefix}.{child.name}" if prefix else child.name
+                yield from visit(child, qual)
+            else:
+                yield from visit(child, prefix)
+
+    yield from visit(tree, "")  # type: ignore[misc]
+
+
+# ---------------------------------------------------------------------------
+# RV400 — syntax
+# ---------------------------------------------------------------------------
+
+
+@rule("RV400", "source-syntax", "source", "error",
+      "The module does not parse as Python",
+      "A module the package ships but cannot import is dead code at "
+      "best and an ImportError landmine at worst; surfacing the parse "
+      "failure as a located diagnostic keeps the rest of the source "
+      "lint honest (every other RV4xx rule skips unparseable modules).")
+def check_source_syntax(module: SourceModule) -> Iterator[Finding]:
+    """Report the ``SyntaxError`` from :func:`ast.parse`, if any."""
+    if module.syntax_error is None:
+        return
+    exc = module.syntax_error
+    lineno = exc.lineno or 1
+    from .core import SourceLocation
+    yield Finding(
+        subject=module.path or "module",
+        message=f"syntax error: {exc.msg}",
+        location=SourceLocation(line=lineno, text=module.line_text(lineno)),
+    )
+
+
+# ---------------------------------------------------------------------------
+# RV401 — float equality on physical quantities
+# ---------------------------------------------------------------------------
+
+
+def _is_nonzero_float_literal(node: ast.AST) -> bool:
+    return (isinstance(node, ast.Constant)
+            and isinstance(node.value, float)
+            and node.value == node.value      # not NaN
+            and node.value != 0.0)
+
+
+@rule("RV401", "float-equality", "source", "warning",
+      "== / != against a non-zero float literal",
+      "Physical quantities (volts, amps, seconds) never compare exactly "
+      "equal after arithmetic: 'v == 0.65' silently misses the solved "
+      "0.6499999 V rail and the branch it guards goes untested.  Use a "
+      "tolerance (math.isclose, abs(a-b) < tol).  Comparisons to "
+      "literal 0.0 (exact-default / sentinel checks) and the 'x != x' "
+      "NaN idiom are whitelisted.")
+def check_float_equality(module: SourceModule) -> Iterator[Finding]:
+    """Flag ``Eq``/``NotEq`` comparisons with non-zero float literals."""
+    if module.tree is None:
+        return
+    spans = _scope_index(module.tree)
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        operands = [node.left] + list(node.comparators)
+        for op, lhs, rhs in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            if ast.dump(lhs) == ast.dump(rhs):
+                continue   # x != x NaN idiom (and the degenerate x == x)
+            literal = next((c for c in (lhs, rhs)
+                            if _is_nonzero_float_literal(c)), None)
+            if literal is None:
+                continue
+            symbol = "==" if isinstance(op, ast.Eq) else "!="
+            yield Finding(
+                subject=_scope_of(spans, node.lineno),
+                message=(f"exact float {symbol} against "
+                         f"{literal.value!r}: physical quantities never "
+                         "compare exactly equal after arithmetic; use a "
+                         "tolerance (math.isclose / abs(a-b) < tol)"),
+                location=module.loc(node),
+            )
+
+
+# ---------------------------------------------------------------------------
+# RV402 — NaN/skip hazards over partial sweep results
+# ---------------------------------------------------------------------------
+
+#: SweepResult accessors that render skipped points as NaN.
+_SWEEP_ACCESSORS = frozenset({"measure", "voltage", "branch_current"})
+
+#: Functions that create partial-result sweeps.
+_SWEEP_MAKERS = frozenset({"dc_sweep"})
+
+#: Any reference to these names/attributes marks the function as
+#: NaN-aware (it guards, or it consults the skip accounting).
+_NAN_GUARDS = frozenset({
+    "isnan", "isfinite", "nanmin", "nanmax", "nanargmin", "nanargmax",
+    "nan_to_num", "nansum", "nanmean", "num_skipped", "skips",
+})
+
+_HAZARD_BUILTINS = frozenset({"min", "max", "sorted"})
+_HAZARD_ATTRS = frozenset({"min", "max", "argmin", "argmax",
+                           "amin", "amax"})
+_ORDERING_OPS = (ast.Lt, ast.LtE, ast.Gt, ast.GtE)
+
+
+def _is_sweep_maker(call: ast.Call) -> bool:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id in _SWEEP_MAKERS
+    if isinstance(func, ast.Attribute):
+        return func.attr in _SWEEP_MAKERS
+    return False
+
+
+def _function_is_nan_aware(func: ast.AST) -> bool:
+    for node in ast.walk(func):
+        if isinstance(node, ast.Name) and node.id in _NAN_GUARDS:
+            return True
+        if isinstance(node, ast.Attribute) and node.attr in _NAN_GUARDS:
+            return True
+    return False
+
+
+class _SweepTaint:
+    """Forward taint over one function body: sweep -> accessor -> arrays."""
+
+    def __init__(self, func: ast.AST):
+        self.sweep_vars: Set[str] = set()
+        self.tainted_names: Set[str] = set()
+        self._seed(func)
+
+    def _seed(self, func: ast.AST) -> None:
+        # Two passes reach the common assignment chains
+        # (sweep = dc_sweep(...); x = sweep.measure(...); y = np.abs(x)).
+        for _ in range(3):
+            changed = False
+            for node in ast.walk(func):
+                if not isinstance(node, ast.Assign):
+                    continue
+                targets = [t.id for t in node.targets
+                           if isinstance(t, ast.Name)]
+                if not targets:
+                    continue
+                if (isinstance(node.value, ast.Call)
+                        and _is_sweep_maker(node.value)):
+                    for name in targets:
+                        if name not in self.sweep_vars:
+                            self.sweep_vars.add(name)
+                            changed = True
+                elif self.expr_tainted(node.value):
+                    for name in targets:
+                        if name not in self.tainted_names:
+                            self.tainted_names.add(name)
+                            changed = True
+            if not changed:
+                break
+
+    def _is_accessor_call(self, node: ast.AST) -> bool:
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _SWEEP_ACCESSORS):
+            return False
+        receiver = node.func.value
+        if isinstance(receiver, ast.Name):
+            return receiver.id in self.sweep_vars
+        if isinstance(receiver, ast.Call):
+            return _is_sweep_maker(receiver)
+        return False
+
+    def expr_tainted(self, expr: ast.AST) -> bool:
+        """True when any subexpression carries sweep-accessor data."""
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Name) and node.id in self.tainted_names:
+                return True
+            if self._is_accessor_call(node):
+                return True
+        return False
+
+
+@rule("RV402", "nan-skip-hazard", "source", "error",
+      "NaN-unsafe reduction/comparison over partial sweep results",
+      "dc_sweep(on_error='skip') renders every failed point as NaN in "
+      "the accessors (.measure/.voltage/.branch_current).  np.min/np.max "
+      "propagate NaN, np.argmin/argmax and ordering comparisons silently "
+      "ignore or mis-rank it — the easiest way to corrupt an E_cyc or "
+      "BET figure without an error message.  Use the nan* reductions or "
+      "consult .skips/.num_skipped first.")
+def check_nan_skip_hazard(module: SourceModule) -> Iterator[Finding]:
+    """Taint sweep accessors; flag unguarded reductions/comparisons."""
+    if module.tree is None:
+        return
+    for qualname, func in _functions(module.tree):
+        taint = _SweepTaint(func)
+        if not taint.sweep_vars:
+            continue
+        if _function_is_nan_aware(func):
+            continue
+        for node in ast.walk(func):
+            hazard: Optional[str] = None
+            if isinstance(node, ast.Call):
+                fn = node.func
+                if (isinstance(fn, ast.Name)
+                        and fn.id in _HAZARD_BUILTINS
+                        and any(taint.expr_tainted(a) for a in node.args)):
+                    hazard = f"{fn.id}()"
+                elif isinstance(fn, ast.Attribute) and \
+                        fn.attr in _HAZARD_ATTRS and (
+                            taint.expr_tainted(fn.value)
+                            or any(taint.expr_tainted(a)
+                                   for a in node.args)):
+                    hazard = f".{fn.attr}()"
+            elif isinstance(node, ast.Compare) and any(
+                    isinstance(op, _ORDERING_OPS) for op in node.ops):
+                sides = [node.left] + list(node.comparators)
+                if any(taint.expr_tainted(s) for s in sides):
+                    hazard = "ordering comparison"
+            if hazard is not None:
+                yield Finding(
+                    subject=qualname,
+                    message=(f"{hazard} over sweep-accessor data without "
+                             "a NaN guard: on_error='skip' points are "
+                             "NaN and will be dropped or mis-ranked "
+                             "silently; use np.nanmin/np.nanmax/"
+                             "np.nanargmin or check .num_skipped/"
+                             "np.isnan first"),
+                    location=module.loc(node),
+                )
+
+
+# ---------------------------------------------------------------------------
+# RV403 — stamp()/stamp_pattern() contract drift
+# ---------------------------------------------------------------------------
+
+#: Symbolic value of an index expression: ("node", i) is
+#: self.node_index[i], ("branch", i) is self.branch_index[i],
+#: ("const", v) a literal.
+_SymVal = Tuple[str, object]
+_SymSet = Set[_SymVal]
+_Env = Dict[str, Optional[_SymSet]]
+
+
+def _render_sym(val: _SymVal) -> str:
+    kind, idx = val
+    if kind == "const":
+        return repr(idx)
+    return f"{kind}_index[{idx}]"
+
+
+def _resolve(expr: ast.AST, env: _Env) -> Optional[_SymSet]:
+    """Symbolic value-set of an index expression, or None if unknown."""
+    if isinstance(expr, ast.Name):
+        return env.get(expr.id)
+    if isinstance(expr, ast.Constant) and isinstance(expr.value, int):
+        return {("const", expr.value)}
+    if (isinstance(expr, ast.UnaryOp) and isinstance(expr.op, ast.USub)
+            and isinstance(expr.operand, ast.Constant)
+            and isinstance(expr.operand.value, int)):
+        return {("const", -expr.operand.value)}
+    return None
+
+
+def _resolve_pair(rexpr: ast.AST, cexpr: ast.AST,
+                  env: _Env) -> Optional[Set[Tuple[_SymVal, _SymVal]]]:
+    rows = _resolve(rexpr, env)
+    cols = _resolve(cexpr, env)
+    if rows is None or cols is None:
+        return None
+    return {(r, c) for r in rows for c in cols}
+
+
+def _seed_unpack(stmt: ast.Assign, env: _Env) -> bool:
+    """Bind ``p, n = self.node_index`` style unpackings into ``env``."""
+    value = stmt.value
+    if not (isinstance(value, ast.Attribute)
+            and value.attr in ("node_index", "branch_index")):
+        return False
+    source = "node" if value.attr == "node_index" else "branch"
+    for target in stmt.targets:
+        if isinstance(target, ast.Tuple) and all(
+                isinstance(e, ast.Name) for e in target.elts):
+            for position, elt in enumerate(target.elts):
+                env[elt.id] = {(source, position)}  # type: ignore[union-attr]
+            return True
+    return False
+
+
+def _conductance_block(
+        args: Sequence[ast.AST],
+        env: _Env) -> Optional[Set[Tuple[_SymVal, _SymVal]]]:
+    """The four entries of ``stamper.conductance(p, n, g)``."""
+    if len(args) < 2:
+        return None
+    p = _resolve(args[0], env)
+    n = _resolve(args[1], env)
+    if p is None or n is None:
+        return None
+    nodes = p | n
+    return {(r, c) for r in nodes for c in nodes}
+
+
+class _StampWrites:
+    """Collect matrix entries written by a ``stamp()`` body."""
+
+    def __init__(self) -> None:
+        self.entries: Set[Tuple[_SymVal, _SymVal]] = set()
+        self.locations: Dict[Tuple[_SymVal, _SymVal], ast.AST] = {}
+        self.unresolved: List[ast.AST] = []
+
+    def _add(self, pairs: Optional[Set[Tuple[_SymVal, _SymVal]]],
+             node: ast.AST) -> None:
+        if pairs is None:
+            self.unresolved.append(node)
+            return
+        for pair in pairs:
+            self.entries.add(pair)
+            self.locations.setdefault(pair, node)
+
+    def walk(self, stmts: Sequence[ast.stmt], env: _Env) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, ast.Assign):
+                if not _seed_unpack(stmt, env):
+                    for target in stmt.targets:
+                        self._maybe_subscript_write(target, env, stmt)
+                        if isinstance(target, ast.Name):
+                            env[target.id] = None   # opaque local
+            elif isinstance(stmt, ast.AugAssign):
+                self._maybe_subscript_write(stmt.target, env, stmt)
+            elif isinstance(stmt, ast.Expr) and isinstance(stmt.value,
+                                                           ast.Call):
+                self._call(stmt.value, env)
+            elif isinstance(stmt, ast.For):
+                self.walk(stmt.body, self._loop_env(stmt, env))
+                self.walk(stmt.orelse, env)
+            elif isinstance(stmt, ast.If):
+                self.walk(stmt.body, env)
+                self.walk(stmt.orelse, env)
+            elif isinstance(stmt, (ast.With, ast.While)):
+                self.walk(stmt.body, env)
+            elif isinstance(stmt, ast.Try):
+                self.walk(stmt.body, env)
+                for handler in stmt.handlers:
+                    self.walk(handler.body, env)
+                self.walk(stmt.finalbody, env)
+
+    def _loop_env(self, stmt: ast.For, env: _Env) -> _Env:
+        """Bind loop targets over a literal tuple/list of alternatives."""
+        inner = dict(env)
+        iterable = stmt.iter
+        target = stmt.target
+        if not isinstance(iterable, (ast.Tuple, ast.List)):
+            self._clear_targets(target, inner)
+            return inner
+        if isinstance(target, ast.Name):
+            union = self._union(iterable.elts, env)
+            inner[target.id] = union
+            return inner
+        if isinstance(target, ast.Tuple) and all(
+                isinstance(t, ast.Name) for t in target.elts):
+            for position, name in enumerate(target.elts):
+                members = []
+                for elt in iterable.elts:
+                    if (isinstance(elt, (ast.Tuple, ast.List))
+                            and position < len(elt.elts)):
+                        members.append(elt.elts[position])
+                inner[name.id] = self._union(members, env)  # type: ignore
+            return inner
+        self._clear_targets(target, inner)
+        return inner
+
+    @staticmethod
+    def _union(exprs: Sequence[ast.AST], env: _Env) -> Optional[_SymSet]:
+        out: _SymSet = set()
+        for expr in exprs:
+            resolved = _resolve(expr, env)
+            if resolved is None:
+                return None
+            out |= resolved
+        return out or None
+
+    @staticmethod
+    def _clear_targets(target: ast.AST, env: _Env) -> None:
+        for node in ast.walk(target):
+            if isinstance(node, ast.Name):
+                env[node.id] = None
+
+    def _call(self, call: ast.Call, env: _Env) -> None:
+        if not isinstance(call.func, ast.Attribute):
+            return
+        method = call.func.attr
+        args = call.args
+        if method == "conductance":
+            self._add(_conductance_block(args, env), call)
+        elif method == "matrix" and len(args) >= 2:
+            self._add(_resolve_pair(args[0], args[1], env), call)
+        elif method == "vccs" and len(args) >= 4:
+            rows = self._union(args[0:2], env)
+            cols = self._union(args[2:4], env)
+            if rows is None or cols is None:
+                self._add(None, call)
+            else:
+                self._add({(r, c) for r in rows for c in cols}, call)
+        # current()/rhs() touch only the RHS vector: no matrix entries.
+
+    def _maybe_subscript_write(self, target: ast.AST, env: _Env,
+                               stmt: ast.stmt) -> None:
+        """``stamper.A[r, c] += ...`` raw matrix writes."""
+        if not (isinstance(target, ast.Subscript)
+                and isinstance(target.value, ast.Attribute)
+                and target.value.attr == "A"):
+            return
+        index = target.slice
+        if isinstance(index, ast.Tuple) and len(index.elts) == 2:
+            self._add(_resolve_pair(index.elts[0], index.elts[1], env),
+                      stmt)
+        else:
+            self._add(None, stmt)
+
+
+def _eval_pattern_expr(
+        expr: ast.AST, env: _Env,
+        listvars: Dict[str, Optional[Set[Tuple[_SymVal, _SymVal]]]],
+) -> Optional[Set[Tuple[_SymVal, _SymVal]]]:
+    """Entries described by a stamp_pattern expression, or None."""
+    if isinstance(expr, ast.Name):
+        return listvars.get(expr.id)
+    if isinstance(expr, ast.Call) and (
+            (isinstance(expr.func, ast.Name)
+             and expr.func.id == "conductance_pattern")
+            or (isinstance(expr.func, ast.Attribute)
+                and expr.func.attr == "conductance_pattern")):
+        return _conductance_block(expr.args, env)
+    if isinstance(expr, (ast.List, ast.Tuple)):
+        out: Set[Tuple[_SymVal, _SymVal]] = set()
+        for elt in expr.elts:
+            if isinstance(elt, (ast.Tuple, ast.List)) and len(elt.elts) == 2:
+                pairs = _resolve_pair(elt.elts[0], elt.elts[1], env)
+                if pairs is None:
+                    return None
+                out |= pairs
+            else:
+                return None
+        return out
+    if isinstance(expr, (ast.ListComp, ast.GeneratorExp)):
+        return _expand_comprehension(expr, env)
+    if isinstance(expr, ast.BinOp) and isinstance(expr.op, ast.Add):
+        left = _eval_pattern_expr(expr.left, env, listvars)
+        right = _eval_pattern_expr(expr.right, env, listvars)
+        if left is None or right is None:
+            return None
+        return left | right
+    return None
+
+
+def _expand_comprehension(
+        comp: "ast.ListComp | ast.GeneratorExp",
+        env: _Env) -> Optional[Set[Tuple[_SymVal, _SymVal]]]:
+    """Expand ``[(r, c) for r in (...) for c in (...)]`` symbolically.
+
+    ``if`` clauses are ignored, which can only over-declare — safe for
+    the "written must be subset of declared" direction of the check.
+    """
+    elt = comp.elt
+    if not (isinstance(elt, (ast.Tuple, ast.List)) and len(elt.elts) == 2):
+        return None
+
+    def expand(generators: Sequence[ast.comprehension],
+               scope: _Env) -> Optional[Set[Tuple[_SymVal, _SymVal]]]:
+        if not generators:
+            return _resolve_pair(elt.elts[0], elt.elts[1], scope)
+        gen = generators[0]
+        if not (isinstance(gen.iter, (ast.Tuple, ast.List))
+                and isinstance(gen.target, ast.Name)):
+            return None
+        out: Set[Tuple[_SymVal, _SymVal]] = set()
+        for member in gen.iter.elts:
+            value = _resolve(member, scope)
+            if value is None:
+                return None
+            inner = dict(scope)
+            inner[gen.target.id] = value
+            sub = expand(generators[1:], inner)
+            if sub is None:
+                return None
+            out |= sub
+        return out
+
+    return expand(comp.generators, env)
+
+
+def _declared_entries(
+        func: ast.FunctionDef) -> Optional[Set[Tuple[_SymVal, _SymVal]]]:
+    """Union of entries over every ``return`` in ``stamp_pattern()``.
+
+    None means the body is beyond this symbolic evaluator — the class
+    is skipped rather than guessed at (no false positives).
+    """
+    env: _Env = {}
+    listvars: Dict[str, Optional[Set[Tuple[_SymVal, _SymVal]]]] = {}
+    declared: Set[Tuple[_SymVal, _SymVal]] = set()
+    ok = True
+
+    def walk(stmts: Sequence[ast.stmt]) -> None:
+        nonlocal ok
+        for stmt in stmts:
+            if not ok:
+                return
+            if isinstance(stmt, ast.Assign):
+                if _seed_unpack(stmt, env):
+                    continue
+                if len(stmt.targets) == 1 and isinstance(stmt.targets[0],
+                                                         ast.Name):
+                    name = stmt.targets[0].id
+                    listvars[name] = _eval_pattern_expr(stmt.value, env,
+                                                        listvars)
+            elif isinstance(stmt, ast.Expr) and isinstance(stmt.value,
+                                                           ast.Call):
+                call = stmt.value
+                if (isinstance(call.func, ast.Attribute)
+                        and isinstance(call.func.value, ast.Name)
+                        and call.func.value.id in listvars):
+                    name = call.func.value.id
+                    current = listvars.get(name)
+                    if call.func.attr == "extend" and len(call.args) == 1:
+                        extra = _eval_pattern_expr(call.args[0], env,
+                                                   listvars)
+                        listvars[name] = (None if current is None
+                                          or extra is None
+                                          else current | extra)
+                    elif call.func.attr == "append" and len(call.args) == 1:
+                        arg = call.args[0]
+                        if (isinstance(arg, (ast.Tuple, ast.List))
+                                and len(arg.elts) == 2):
+                            pairs = _resolve_pair(arg.elts[0], arg.elts[1],
+                                                  env)
+                        else:
+                            pairs = None
+                        listvars[name] = (None if current is None
+                                          or pairs is None
+                                          else current | pairs)
+                    else:
+                        listvars[name] = None
+            elif isinstance(stmt, ast.Return):
+                if stmt.value is None:
+                    ok = False
+                    return
+                entries = _eval_pattern_expr(stmt.value, env, listvars)
+                if entries is None:
+                    ok = False
+                    return
+                declared.update(entries)
+            elif isinstance(stmt, ast.If):
+                walk(stmt.body)
+                walk(stmt.orelse)
+            elif isinstance(stmt, (ast.For, ast.While, ast.With, ast.Try)):
+                ok = False   # beyond the evaluator; skip the class
+                return
+
+    walk(func.body)
+    return declared if ok else None
+
+
+@rule("RV403", "stamp-contract-drift", "source", "error",
+      "stamp() writes a matrix entry stamp_pattern() does not declare",
+      "The RV201 structural-singularity check and the sparse-analysis "
+      "tooling trust stamp_pattern() as the set of entries stamp() may "
+      "touch.  An undeclared write makes RV201 report solvable circuits "
+      "as singular (or miss singular ones) and silently invalidates "
+      "every consumer of the declared sparsity.  The dynamic sanitizer "
+      "(tests/devices/test_stamp_sanitizer.py) enforces the same "
+      "contract numerically.")
+def check_stamp_contract(module: SourceModule) -> Iterator[Finding]:
+    """Cross-check stamp() AST writes against stamp_pattern() entries."""
+    if module.tree is None:
+        return
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        methods = {child.name: child for child in node.body
+                   if isinstance(child, ast.FunctionDef)}
+        stamp = methods.get("stamp")
+        pattern = methods.get("stamp_pattern")
+        if stamp is None or pattern is None:
+            continue
+        declared = _declared_entries(pattern)
+        if declared is None:
+            continue   # beyond the symbolic evaluator: do not guess
+        writes = _StampWrites()
+        writes.walk(stamp.body, {})
+        for entry in sorted(writes.entries - declared):
+            row, col = entry
+            where = writes.locations[entry]
+            yield Finding(
+                subject=node.name,
+                message=(f"stamp() writes matrix entry "
+                         f"({_render_sym(row)}, {_render_sym(col)}) that "
+                         "stamp_pattern() never declares; RV201 and "
+                         "every sparsity consumer will be wrong about "
+                         "this element"),
+                location=module.loc(where),
+            )
+
+
+# ---------------------------------------------------------------------------
+# RV404 — raw SPICE quantity strings where floats are expected
+# ---------------------------------------------------------------------------
+
+_QUANTITY_RE = re.compile(
+    r"^[+-]?(?:\d+\.?\d*|\.\d+)(?:[eE][+-]?\d+)?"
+    r"(?:meg|[tgkmunpfaµ])$",
+    re.IGNORECASE,
+)
+
+#: Calls whose arguments are floats in this codebase (element and
+#: waveform constructors plus the builtin coercion).
+_FLOAT_SINKS = frozenset({
+    "Resistor", "Capacitor", "VoltageSource", "CurrentSource",
+    "FinFET", "MTJ", "VoltageControlledSwitch",
+    "Constant", "Pulse", "PiecewiseLinear", "float",
+})
+
+_ARITH_OPS = (ast.Sub, ast.Div, ast.Pow)
+
+
+def _is_quantity_string(node: ast.AST) -> bool:
+    return (isinstance(node, ast.Constant)
+            and isinstance(node.value, str)
+            and bool(_QUANTITY_RE.match(node.value)))
+
+
+def _call_name(call: ast.Call) -> str:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return ""
+
+
+@rule("RV404", "raw-spice-quantity", "source", "error",
+      "A raw SPICE quantity string is used where a float is expected",
+      "'10n' is a string: passed to an element constructor or used in "
+      "arithmetic it raises at best and, via duck-typing accidents, "
+      "silently computes nonsense at worst.  Route SPICE-style values "
+      "through repro.units.parse_quantity, which is where the "
+      "multiplier table lives.")
+def check_raw_quantity_strings(module: SourceModule) -> Iterator[Finding]:
+    """Flag SPICE quantity strings in float-expecting positions."""
+    if module.tree is None:
+        return
+    spans = _scope_index(module.tree)
+
+    def finding(node: ast.AST, value: str, context: str) -> Finding:
+        return Finding(
+            subject=_scope_of(spans, node.lineno),
+            message=(f"SPICE quantity string {value!r} {context}; "
+                     "convert it with units.parse_quantity(...) instead"),
+            location=module.loc(node),
+        )
+
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Call) and _call_name(node) in _FLOAT_SINKS:
+            name = _call_name(node)
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                if _is_quantity_string(arg):
+                    yield finding(arg, arg.value,  # type: ignore[attr-defined]
+                                  f"passed to {name}(), which expects "
+                                  "floats")
+        elif isinstance(node, ast.BinOp) and isinstance(node.op, _ARITH_OPS):
+            for side in (node.left, node.right):
+                if _is_quantity_string(side):
+                    yield finding(side, side.value,  # type: ignore
+                                  "used in arithmetic")
+        elif isinstance(node, ast.Compare):
+            sides = [node.left] + list(node.comparators)
+            numeric = any(isinstance(s, ast.Constant)
+                          and isinstance(s.value, (int, float))
+                          and not isinstance(s.value, bool)
+                          for s in sides)
+            if not numeric:
+                continue
+            for side in sides:
+                if _is_quantity_string(side):
+                    yield finding(side, side.value,  # type: ignore
+                                  "compared against a number")
+
+
+# ---------------------------------------------------------------------------
+# RV405 — swallowed solver forensics
+# ---------------------------------------------------------------------------
+
+_BROAD_EXCEPTIONS = frozenset({"Exception", "BaseException"})
+
+
+def _broad_exception_name(type_node: Optional[ast.AST]) -> Optional[str]:
+    if type_node is None:
+        return None   # bare except is handled separately
+    candidates: List[ast.AST] = (list(type_node.elts)
+                                 if isinstance(type_node, ast.Tuple)
+                                 else [type_node])
+    for candidate in candidates:
+        if isinstance(candidate, ast.Name) and \
+                candidate.id in _BROAD_EXCEPTIONS:
+            return candidate.id
+        if isinstance(candidate, ast.Attribute) and \
+                candidate.attr in _BROAD_EXCEPTIONS:
+            return candidate.attr
+    return None
+
+
+@rule("RV405", "swallowed-forensics", "source", "warning",
+      "A bare/overbroad except swallows solver forensics",
+      "ConvergenceError and TimestepError carry the recovery-ladder "
+      "forensics (rung traces, residual history) that repro.recovery "
+      "renders for diagnosis.  'except:' or 'except Exception:' without "
+      "a re-raise absorbs them (and KeyboardInterrupt, for the bare "
+      "form) into silence; catch the specific error or re-raise.")
+def check_swallowed_forensics(module: SourceModule) -> Iterator[Finding]:
+    """Flag bare/broad handlers with no ``raise`` in the body."""
+    if module.tree is None:
+        return
+    spans = _scope_index(module.tree)
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Try):
+            continue
+        for handler in node.handlers:
+            reraises = any(isinstance(inner, ast.Raise)
+                           for inner in ast.walk(handler))
+            if handler.type is None:
+                if not reraises:
+                    yield Finding(
+                        subject=_scope_of(spans, handler.lineno),
+                        message=("bare 'except:' swallows everything "
+                                 "including ConvergenceError/"
+                                 "TimestepError forensics and "
+                                 "KeyboardInterrupt; catch the specific "
+                                 "error or re-raise"),
+                        severity=Severity.ERROR,
+                        location=module.loc(handler),
+                    )
+                continue
+            broad = _broad_exception_name(handler.type)
+            if broad is not None and not reraises:
+                yield Finding(
+                    subject=_scope_of(spans, handler.lineno),
+                    message=(f"'except {broad}:' without re-raise "
+                             "swallows ConvergenceError/TimestepError "
+                             "forensics; catch the specific error or "
+                             "re-raise after handling"),
+                    location=module.loc(handler),
+                )
+
+
+# ---------------------------------------------------------------------------
+# RV406 — mutable default arguments in public APIs
+# ---------------------------------------------------------------------------
+
+
+def _is_mutable_default(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("list", "dict", "set") and not node.args
+    return False
+
+
+@rule("RV406", "mutable-default", "source", "warning",
+      "A public function has a mutable default argument",
+      "Default values are evaluated once at def time: a list/dict/set "
+      "default is shared across every call, so one caller's append "
+      "leaks into the next — state that survives between "
+      "characterisation runs is exactly the bug class this simulator "
+      "cannot afford.  Use None and create the container inside.")
+def check_mutable_defaults(module: SourceModule) -> Iterator[Finding]:
+    """Flag ``def f(x=[])``-style defaults on public functions."""
+    if module.tree is None:
+        return
+    for qualname, func in _functions(module.tree):
+        if any(part.startswith("_") for part in qualname.split(".")):
+            continue
+        defaults = list(func.args.defaults) + [
+            d for d in func.args.kw_defaults if d is not None]
+        for default in defaults:
+            if _is_mutable_default(default):
+                yield Finding(
+                    subject=qualname,
+                    message=("mutable default argument "
+                             f"'{ast.unparse(default)}' is shared across "
+                             "calls; default to None and build the "
+                             "container in the body"),
+                    location=module.loc(default),
+                )

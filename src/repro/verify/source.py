@@ -1,0 +1,174 @@
+"""Source-level static analysis: lint the simulator's own Python code.
+
+``repro.verify.source`` turns the rule registry inward: RV4xx rules run
+Python-``ast`` checks over ``src/repro`` itself, catching the contract
+and unit drift that netlist lint cannot see — float equality on
+physical quantities, NaN-unsafe reductions over partial sweep results,
+``stamp()``/``stamp_pattern()`` contract drift, raw SPICE quantity
+strings bypassing :func:`repro.units.parse_quantity`, swallowed solver
+forensics, and mutable default arguments in public APIs.
+
+The target object handed to every ``scope="source"`` rule is a
+:class:`SourceModule`: the module text, its parsed AST and the
+``# lint: skip=RV4xx`` pragma lines.  Entry points mirror the deck
+linter: :func:`verify_source_text` / :func:`verify_source_file` lint
+one module, :func:`verify_source` walks files and directories and
+returns one merged :class:`~repro.verify.core.Report` whose per-file
+diagnostics keep their own ``target`` (so SARIF locations point at the
+right artifact).
+
+Suppressing a finding:
+
+* inline, for one line: ``x = spice_magic()  # lint: skip=RV404`` (use
+  sparingly — the pragma is the audit trail for a deliberate violation);
+* by policy, for a path: a ``"RV404:src/repro/legacy/*"`` entry in the
+  shared ``suppress`` list (see :mod:`repro.verify.config`).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+
+from .core import (
+    Report,
+    SourceLocation,
+    VerifyConfig,
+    run_rules,
+)
+
+#: Inline suppression pragma: ``# lint: skip=RV401`` or
+#: ``# lint: skip=RV401,RV403`` at the end of the offending line.
+_PRAGMA_RE = re.compile(r"#\s*lint:\s*skip=([A-Za-z0-9_,\s]+)")
+
+
+class SourceModule:
+    """One Python module under analysis — the RV4xx rule target.
+
+    Attributes
+    ----------
+    text:
+        Raw module source.
+    path:
+        Display path of the module (report target, SARIF artifact URI).
+    lines:
+        ``text`` split into physical lines (1-based access via
+        :meth:`line_text`).
+    tree:
+        Parsed AST, or ``None`` when the module does not parse —
+        RV400 owns that finding and every other rule skips the module.
+    syntax_error:
+        The ``SyntaxError`` raised by :func:`ast.parse`, if any.
+    pragmas:
+        ``{line number: {rule codes}}`` of inline skip pragmas.
+    """
+
+    def __init__(self, text: str, path: str = ""):
+        self.text = text
+        self.path = path
+        self.lines = text.splitlines()
+        self.syntax_error: Optional[SyntaxError] = None
+        try:
+            self.tree: Optional[ast.Module] = ast.parse(text)
+        except SyntaxError as exc:
+            self.tree = None
+            self.syntax_error = exc
+        self.pragmas = self._scan_pragmas(self.lines)
+
+    @staticmethod
+    def _scan_pragmas(lines: Sequence[str]) -> Dict[int, Set[str]]:
+        out: Dict[int, Set[str]] = {}
+        for lineno, line in enumerate(lines, start=1):
+            match = _PRAGMA_RE.search(line)
+            if match is not None:
+                codes = {tok.strip().upper()
+                         for tok in match.group(1).split(",") if tok.strip()}
+                if codes:
+                    out[lineno] = codes
+        return out
+
+    def line_text(self, lineno: int) -> str:
+        """Physical line ``lineno`` (1-based), or empty when out of range."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def loc(self, node: ast.AST) -> SourceLocation:
+        """Source location of an AST node, with the line's text."""
+        lineno = getattr(node, "lineno", 0) or 0
+        return SourceLocation(line=lineno, text=self.line_text(lineno))
+
+    def suppressed_at(self, code: str, lineno: Optional[int]) -> bool:
+        """True when a ``# lint: skip=`` pragma covers ``code`` there."""
+        if lineno is None:
+            return False
+        return code.upper() in self.pragmas.get(lineno, ())
+
+
+def iter_source_files(paths: Iterable[str]) -> Iterator[Path]:
+    """Expand files and directories into sorted ``*.py`` module paths.
+
+    Directories are walked recursively; duplicate paths (a file listed
+    directly and again via its directory) are yielded once.
+    """
+    seen: Set[Path] = set()
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            candidates: Iterable[Path] = sorted(p.rglob("*.py"))
+        else:
+            candidates = [p]
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield candidate
+
+
+def verify_source_text(text: str, path: str = "",
+                       config: Optional[VerifyConfig] = None) -> Report:
+    """Run every ``scope="source"`` rule over one module's text."""
+    if config is None:
+        config = VerifyConfig.from_env()
+    module = SourceModule(text, path=path)
+    report = run_rules(module, "source", target_name=path or "<source>",
+                       config=config)
+    if module.pragmas:
+        report.diagnostics = [
+            d for d in report.diagnostics
+            if not module.suppressed_at(
+                d.code, d.location.line if d.location else None)
+        ]
+    return report
+
+
+def verify_source_file(path, config: Optional[VerifyConfig] = None) -> Report:
+    """Lint the Python module at ``path`` (see :func:`verify_source_text`)."""
+    p = Path(path)
+    return verify_source_text(p.read_text(), path=str(p), config=config)
+
+
+def verify_source(paths: Iterable[str],
+                  config: Optional[VerifyConfig] = None) -> Report:
+    """Lint every module under ``paths``; one merged report.
+
+    Each diagnostic keeps its own module path as ``target``, so the
+    merged report renders and serialises with correct per-file
+    locations.  The merged report's own ``target`` names the lint run.
+    """
+    if config is None:
+        config = VerifyConfig.from_env()
+    roots = [str(p) for p in paths]
+    files: List[Path] = list(iter_source_files(roots))
+    merged = Report(
+        target=f"{', '.join(roots) or 'source'} ({len(files)} modules)")
+    for path in files:
+        merged.extend(verify_source_file(path, config=config))
+    return merged
+
+
+def default_source_paths() -> List[str]:
+    """The package's own source tree — what ``lint-source`` lints bare."""
+    return [str(Path(__file__).resolve().parent.parent)]

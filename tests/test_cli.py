@@ -237,3 +237,70 @@ class TestLintCommand:
         assert main(["lint", str(deck), "--format", "json"]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["counts"]["warning"] >= 1
+
+
+class TestLintSourceCommand:
+    RV404_MODULE = ("def window():\n"
+                    "    return float(\"10n\")\n")
+    RV401_MODULE = ("def f(v):\n"
+                    "    return v == 0.9\n")
+
+    def test_shipped_package_is_clean(self, capsys):
+        # Default paths: the installed repro package itself.
+        assert main(["lint-source"]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_error_rule_fails_run(self, tmp_path, capsys):
+        mod = tmp_path / "bad.py"
+        mod.write_text(self.RV404_MODULE)
+        assert main(["lint-source", str(mod)]) == 1
+        assert "RV404" in capsys.readouterr().out
+
+    def test_warning_needs_strict_to_fail(self, tmp_path):
+        mod = tmp_path / "warn.py"
+        mod.write_text(self.RV401_MODULE)
+        assert main(["lint-source", str(mod)]) == 0
+        assert main(["lint-source", str(mod), "--strict"]) == 1
+
+    def test_disable_flag(self, tmp_path):
+        mod = tmp_path / "bad.py"
+        mod.write_text(self.RV404_MODULE)
+        assert main(["lint-source", str(mod), "--disable", "RV404"]) == 0
+
+    def test_missing_path_is_usage_error(self, capsys):
+        assert main(["lint-source", "/nonexistent/nope.py"]) == 2
+        assert "no such path" in capsys.readouterr().err
+
+    def test_list_rules_includes_rv4xx(self, capsys):
+        assert main(["lint-source", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("RV400", "RV403", "RV406"):
+            assert code in out
+
+    def test_sarif_output_is_valid_json(self, tmp_path, capsys):
+        mod = tmp_path / "bad.py"
+        mod.write_text(self.RV404_MODULE)
+        assert main(["lint-source", str(mod), "--format", "sarif"]) == 1
+        log = json.loads(capsys.readouterr().out)
+        assert log["version"] == "2.1.0"
+        results = log["runs"][0]["results"]
+        assert any(r["ruleId"] == "RV404" for r in results)
+        uri = results[0]["locations"][0]["physicalLocation"][
+            "artifactLocation"]["uri"]
+        assert uri.endswith("bad.py")
+
+    def test_pyproject_policy_honored(self, tmp_path, monkeypatch):
+        mod = tmp_path / "bad.py"
+        mod.write_text(self.RV404_MODULE)
+        (tmp_path / "pyproject.toml").write_text(
+            "[tool.repro.verify]\ndisable = [\"RV404\"]\n")
+        monkeypatch.chdir(tmp_path)
+        assert main(["lint-source", str(mod)]) == 0
+
+    def test_directory_walk(self, tmp_path, capsys):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "a.py").write_text(self.RV404_MODULE)
+        (tmp_path / "pkg" / "b.py").write_text(self.RV401_MODULE)
+        assert main(["lint-source", str(tmp_path / "pkg")]) == 1
+        out = capsys.readouterr().out
+        assert "RV404" in out and "RV401" in out

@@ -97,6 +97,38 @@ class TestFormatEng:
         mantissa = float(text.split()[0])
         assert 0.99 <= abs(mantissa) < 1000.1
 
+    @pytest.mark.parametrize(
+        "value,digits,expected",
+        [
+            # Values that *round* past the prefix boundary must roll
+            # over to the next prefix, never print "1000.00 n...".
+            (999.999e-9, 2, "1.00 us"),
+            (999.9999e-6, 2, "1.00 ms"),
+            (999.996e3, 2, "1.00 M"),
+            (-999.999e-9, 2, "-1.00 us"),
+            # At higher precision the same value stays below the
+            # boundary and keeps its prefix.
+            (999.999e-9, 4, "999.9990 ns"),
+            # Values that round to exactly 999.95/999.99 stay put.
+            (999.95e-9, 2, "999.95 ns"),
+            (999.4e-9, 2, "999.40 ns"),
+        ],
+    )
+    def test_prefix_boundary_rollover(self, value, digits, expected):
+        assert format_eng(value, "s" if "M" not in expected else "",
+                          digits=digits) == expected
+
+    def test_no_prefix_above_tera(self):
+        # Nothing to roll over into past the largest prefix.
+        assert format_eng(999.9999e12, "W") == "1000.00 TW"
+
+    @given(st.floats(min_value=1e-17, max_value=1e13, allow_nan=False),
+           st.integers(min_value=0, max_value=6))
+    def test_rendered_mantissa_never_reaches_1000(self, value, digits):
+        text = format_eng(value, "X", digits=digits)
+        mantissa = float(text.split()[0])
+        assert abs(mantissa) < 1000.0
+
 
 #: format_eng prefixes that parse_quantity reads back at the same scale.
 #: "M" (mega) is excluded: SPICE spells mega "meg", so a lone "m" parses

@@ -1,0 +1,6 @@
+"""Deliberately-violating modules exercised by test_rules_source.py.
+
+Each ``viol_rv40x.py`` file trips exactly the rule its name says (plus
+nothing else), so the detection tests can assert precise diagnostics.
+They are fixtures, not importable code — never import them.
+"""

@@ -1,0 +1,15 @@
+"""RV401 fixture: exact float equality on a physical quantity."""
+
+
+def rail_is_nominal(v_rail):
+    return v_rail == 0.9
+
+
+def not_at_retention(v_rail):
+    return v_rail != 0.45
+
+
+def allowed_idioms(value, total):
+    nan = value != value        # whitelisted NaN idiom
+    zero = total == 0.0         # whitelisted exact-zero guard
+    return nan or zero

@@ -1,0 +1,28 @@
+"""RV402 fixture: NaN-unsafe reductions over partial sweep results."""
+
+import numpy as np
+
+from repro.analysis.sweep import dc_sweep
+
+
+def worst_store_current(circuit, mtj, options):
+    sweep = dc_sweep(circuit, "vdd", (0.0, 0.9, 0.1),
+                     on_error="skip", options=options)
+    current = np.abs(sweep.measure(mtj.current))
+    return current.max()                      # NaN-unsafe reduction
+
+
+def first_above_threshold(circuit, options):
+    sweep = dc_sweep(circuit, "vdd", (0.0, 0.9, 0.1),
+                     on_error="skip", options=options)
+    vout = sweep.voltage("out")
+    return min(v for v in vout if v > 0.1)    # min() + ordering compare
+
+
+def guarded_is_fine(circuit, mtj, options):
+    sweep = dc_sweep(circuit, "vdd", (0.0, 0.9, 0.1),
+                     on_error="skip", options=options)
+    current = np.abs(sweep.measure(mtj.current))
+    if sweep.num_skipped:
+        current = current[~np.isnan(current)]
+    return current.max()

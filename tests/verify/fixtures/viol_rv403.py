@@ -1,0 +1,41 @@
+"""RV403 fixture: stamp() writes entries stamp_pattern() omits."""
+
+
+class DriftingResistor:
+    """Pattern forgot the off-diagonal conductance entries."""
+
+    def stamp(self, stamper, ctx):
+        p, n = self.node_index
+        stamper.conductance(p, n, self.g)
+
+    def stamp_pattern(self, mode="dc"):
+        p, n = self.node_index
+        return [(p, p), (n, n)]
+
+
+class DriftingSource:
+    """Raw matrix write to a branch row the pattern never declares."""
+
+    def stamp(self, stamper, ctx):
+        p, n = self.node_index
+        (k,) = self.branch_index
+        stamper.matrix(p, k, 1.0)
+        stamper.matrix(k, p, 1.0)
+        stamper.rhs(k, self.level)
+
+    def stamp_pattern(self, mode="dc"):
+        p, n = self.node_index
+        (k,) = self.branch_index
+        return [(p, k)]
+
+
+class ConsistentElement:
+    """Matching contract: no finding expected."""
+
+    def stamp(self, stamper, ctx):
+        p, n = self.node_index
+        stamper.conductance(p, n, self.g)
+
+    def stamp_pattern(self, mode="dc"):
+        p, n = self.node_index
+        return [(p, p), (p, n), (n, p), (n, n)]

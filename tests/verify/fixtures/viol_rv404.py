@@ -1,0 +1,16 @@
+"""RV404 fixture: raw SPICE quantity strings in float positions."""
+
+from repro.circuit import Capacitor, Resistor
+
+
+def build_load(circuit):
+    circuit.add(Resistor("rload", "out", "0", "10k"))
+    circuit.add(Capacitor("cload", "out", "0", "5f"))
+
+
+def store_window_seconds():
+    return float("10n")
+
+
+def longer_than(duration):
+    return duration > 10e-9 and "1.5meg" / 2.0

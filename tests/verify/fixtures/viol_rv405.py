@@ -1,0 +1,23 @@
+"""RV405 fixture: handlers that swallow solver forensics."""
+
+
+def run_quietly(solve, circuit):
+    try:
+        return solve(circuit)
+    except Exception:
+        return None
+
+
+def run_silently(solve, circuit):
+    try:
+        return solve(circuit)
+    except:  # noqa: E722
+        pass
+
+
+def reraising_is_fine(solve, circuit, log):
+    try:
+        return solve(circuit)
+    except Exception as exc:
+        log(exc)
+        raise

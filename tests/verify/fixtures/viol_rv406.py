@@ -1,0 +1,23 @@
+"""RV406 fixture: mutable default arguments on public functions."""
+
+
+def collect_rows(row, rows=[]):
+    rows.append(row)
+    return rows
+
+
+def tag_point(value, labels={}):
+    labels[value] = True
+    return labels
+
+
+def _private_is_exempt(row, rows=[]):
+    rows.append(row)
+    return rows
+
+
+def none_default_is_fine(row, rows=None):
+    if rows is None:
+        rows = []
+    rows.append(row)
+    return rows
