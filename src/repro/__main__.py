@@ -1,7 +1,14 @@
-"""``python -m repro`` entry point."""
+"""``python -m repro`` entry point.
+
+The ``__main__`` guard is load-bearing: ``repro.exec`` spawns worker
+processes with the ``spawn`` start method, and each worker re-imports
+the parent's main module during bootstrap.  Without the guard every
+worker would re-run the CLI (and try to launch its own campaign).
+"""
 
 import sys
 
 from .cli import main
 
-sys.exit(main())
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,6 +6,17 @@ parameter points.  Results are cached as JSON keyed by a hash of every
 input that affects them (cell kind, operating conditions, domain
 geometry, device cards).
 
+Each entry is an integrity envelope — ``{"schema", "sha256",
+"payload"}`` — checksummed over the payload, so a truncated write, a
+bit-flip or a stale-schema file is *detected* rather than silently
+deserialised: the offending file is moved to ``<cache>/corrupt/`` and a
+warning names it, instead of the old silent ``return None``.
+
+The cache also degrades gracefully on unwritable directories (read-only
+mounts, permission drift mid-sweep): the first failure warns once and
+turns caching off for that directory instead of killing a long campaign
+with an ``OSError`` at point 900 of 1000.
+
 Set the ``REPRO_CACHE_DIR`` environment variable to relocate the cache;
 pass ``cache_dir=None`` through the runner to disable caching entirely.
 """
@@ -17,14 +28,24 @@ import hashlib
 import json
 import os
 import tempfile
+import warnings
 from dataclasses import asdict, is_dataclass
 from pathlib import Path
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Set
 
 from .data import CellCharacterization
 
 #: Bump when characterisation semantics change to invalidate old entries.
-CACHE_SCHEMA_VERSION = 4
+#: 5: integrity envelope (schema + payload checksum) around each entry.
+CACHE_SCHEMA_VERSION = 5
+
+#: Subdirectory quarantining entries that failed integrity checks.
+CORRUPT_SUBDIR = "corrupt"
+
+#: Cache directories that already warned about being unwritable; caching
+#: is disabled for them for the rest of the process (warn once, not per
+#: sweep point).
+_UNWRITABLE: Set[str] = set()
 
 
 def default_cache_dir() -> Path:
@@ -56,18 +77,90 @@ def cache_key(**inputs: Any) -> str:
     return hashlib.sha256(blob.encode()).hexdigest()[:24]
 
 
+def _payload_checksum(payload: Dict[str, Any]) -> str:
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode()
+    ).hexdigest()
+
+
+def _quarantine(path: Path, reason: str) -> None:
+    """Move a bad entry to ``<cache>/corrupt/`` and warn about it."""
+    target = path.parent / CORRUPT_SUBDIR / path.name
+    moved = ""
+    try:
+        target.parent.mkdir(parents=True, exist_ok=True)
+        os.replace(path, target)
+        moved = f"; moved to {target}"
+    except OSError:
+        pass    # read-only cache: leave it in place, still warn
+    warnings.warn(
+        f"discarding cache entry {path.name}: {reason}{moved} "
+        "(it will be recomputed)",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
 def load(cache_dir: Optional[Path], key: str) -> Optional[CellCharacterization]:
-    """Fetch a cached characterisation, or None."""
+    """Fetch a cached characterisation, or None.
+
+    Entries failing the integrity check (unparseable JSON, missing or
+    mismatched checksum, stale schema, payload that no longer fits
+    :class:`CellCharacterization`) are quarantined with a warning rather
+    than silently ignored — a corrupt cache should be *visible*.
+    """
     if cache_dir is None:
         return None
     path = Path(cache_dir) / f"{key}.json"
-    if not path.exists():
+    try:
+        text = path.read_text()
+    except FileNotFoundError:
+        return None
+    except OSError as err:
+        warnings.warn(f"cannot read cache entry {path}: {err}",
+                      RuntimeWarning, stacklevel=2)
         return None
     try:
-        return CellCharacterization.from_json(path.read_text())
-    except (json.JSONDecodeError, TypeError, ValueError):
-        # Corrupt or stale entry: ignore, it will be recomputed.
+        envelope = json.loads(text)
+    except json.JSONDecodeError as err:
+        _quarantine(path, f"unparseable JSON ({err})")
         return None
+    if not isinstance(envelope, dict) or "payload" not in envelope:
+        _quarantine(path, "not an integrity envelope (pre-schema-5 entry?)")
+        return None
+    schema = envelope.get("schema")
+    if schema != CACHE_SCHEMA_VERSION:
+        _quarantine(path, f"schema {schema!r} != {CACHE_SCHEMA_VERSION}")
+        return None
+    payload = envelope["payload"]
+    expected = envelope.get("sha256")
+    if not isinstance(payload, dict) or not isinstance(expected, str):
+        _quarantine(path, "malformed envelope fields")
+        return None
+    actual = _payload_checksum(payload)
+    if actual != expected:
+        _quarantine(path, f"checksum mismatch (stored {expected[:12]}..., "
+                          f"computed {actual[:12]}...)")
+        return None
+    try:
+        return CellCharacterization(**payload)
+    except TypeError as err:
+        _quarantine(path, f"payload does not fit CellCharacterization "
+                          f"({err})")
+        return None
+
+
+def _warn_unwritable(directory: Path, err: OSError) -> None:
+    marker = str(directory)
+    if marker in _UNWRITABLE:
+        return
+    _UNWRITABLE.add(marker)
+    warnings.warn(
+        f"cache directory {directory} is not writable ({err}); "
+        "continuing with caching disabled for this directory",
+        RuntimeWarning,
+        stacklevel=3,
+    )
 
 
 def store(cache_dir: Optional[Path], key: str,
@@ -78,18 +171,39 @@ def store(cache_dir: Optional[Path], key: str,
     cache): each writer stages into its own ``mkstemp`` file before the
     atomic rename, so two processes storing the same key can never
     interleave into a corrupt entry.
+
+    An unwritable directory (read-only mount, permission change mid
+    sweep) warns once and degrades to cache-off instead of raising —
+    losing the cache must never lose the run.
     """
     if cache_dir is None:
         return
     directory = Path(cache_dir)
-    directory.mkdir(parents=True, exist_ok=True)
+    if str(directory) in _UNWRITABLE:
+        return
+    payload = json.loads(result.to_json())
+    envelope = json.dumps(
+        {"schema": CACHE_SCHEMA_VERSION,
+         "sha256": _payload_checksum(payload),
+         "payload": payload},
+        indent=2, sort_keys=True,
+    )
     path = directory / f"{key}.json"
-    fd, tmp_name = tempfile.mkstemp(dir=directory, prefix=f"{key}.",
-                                    suffix=".tmp")
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=directory, prefix=f"{key}.",
+                                        suffix=".tmp")
+    except OSError as err:
+        _warn_unwritable(directory, err)
+        return
     try:
         with os.fdopen(fd, "w") as handle:
-            handle.write(result.to_json())
+            handle.write(envelope)
         os.replace(tmp_name, path)
+    except OSError as err:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp_name)
+        _warn_unwritable(directory, err)
     except BaseException:
         with contextlib.suppress(OSError):
             os.unlink(tmp_name)

@@ -85,6 +85,45 @@ def _perturb_testbench(tb, variation: VariationModel,
             element.params = variation.sample_mtj(element.params, rng)
 
 
+def sample_rng(seed: int, index: int) -> np.random.Generator:
+    """Per-sample generator seeded from ``(seed, index)``.
+
+    Seeding each Monte-Carlo sample independently (instead of drawing
+    from one sequential stream) makes the variates a function of the
+    sample index alone — so a serial run, a parallel campaign and a
+    ``--resume`` that re-executes only the missing samples all see
+    identical draws, and their aggregate statistics are bit-identical.
+    """
+    return np.random.default_rng([seed, index])
+
+
+def _store_margin_sample(cond: OperatingConditions, domain: PowerDomain,
+                         variation: VariationModel,
+                         rng: np.random.Generator) -> float:
+    """Worst-case store margin of one sampled cell (min of H/L store)."""
+    tb = build_cell_testbench("nv", cond, domain)
+    _perturb_testbench(tb, variation, rng)
+    cell = tb.nv_cell
+    ic_map = tb.initial_conditions(True)      # Q high
+
+    # H-store: Q-side MTJ still parallel, CTRL grounded.
+    tb.apply_mode(Mode.STORE_H)
+    cell.set_mtj_states(tb.circuit, MTJState.PARALLEL,
+                        MTJState.ANTIPARALLEL)
+    sol = operating_point(tb.circuit, ic=ic_map)
+    mtj_q = cell.mtj_q(tb.circuit)
+    margin_h = abs(mtj_q.current(sol)) / mtj_q.params.critical_current
+
+    # L-store: QB-side MTJ antiparallel, CTRL at the store level.
+    tb.apply_mode(Mode.STORE_L)
+    cell.set_mtj_states(tb.circuit, MTJState.ANTIPARALLEL,
+                        MTJState.ANTIPARALLEL)
+    sol = operating_point(tb.circuit, ic=ic_map)
+    mtj_qb = cell.mtj_qb(tb.circuit)
+    margin_l = abs(mtj_qb.current(sol)) / mtj_qb.params.critical_current
+    return min(margin_h, margin_l)
+
+
 @dataclass
 class StoreYieldResult:
     """Monte-Carlo store-margin distribution.
@@ -119,55 +158,74 @@ class StoreYieldResult:
         return float(np.nanpercentile(self.margins, q))
 
 
+def store_yield_campaign(
+    cond: Optional[OperatingConditions] = None,
+    domain: Optional[PowerDomain] = None,
+    n_samples: int = 200,
+    variation: VariationModel = VariationModel(),
+    seed: int = 2015,
+):
+    """The :class:`~repro.exec.Campaign` behind ``store_yield_analysis``."""
+    from ..exec import Campaign, make_task
+    from ..exec.tasks import store_yield_sample_params
+
+    cond = cond or OperatingConditions()
+    domain = domain or PowerDomain()
+    tasks = [
+        make_task(store_yield_sample_params(i, seed, cond, domain, variation),
+                  label=f"sample {i}")
+        for i in range(n_samples)
+    ]
+    return Campaign(name="store-yield",
+                    fn="repro.exec.tasks:store_yield_sample_task",
+                    tasks=tasks)
+
+
 def store_yield_analysis(
     cond: Optional[OperatingConditions] = None,
     domain: Optional[PowerDomain] = None,
     n_samples: int = 200,
     variation: VariationModel = VariationModel(),
     seed: int = 2015,
+    workers: Optional[int] = None,
+    journal=None,
 ) -> StoreYieldResult:
     """Monte-Carlo the two-step store against sampled device corners.
 
     For each sample, every FinFET and MTJ in the cell testbench receives
     an independent parameter draw; the H-store and L-store operating
     points are solved and the worst of the two current-over-(sampled)-Ic
-    ratios is recorded.
+    ratios is recorded.  Each sample seeds its own generator from
+    ``(seed, index)`` (see :func:`sample_rng`), so the result is
+    independent of execution order.
+
+    With ``workers`` set, the samples run as a fault-tolerant
+    :mod:`repro.exec` campaign (process isolation, retry, optional
+    ``journal`` checkpointing) and produce the same margins array.
     """
     cond = cond or OperatingConditions()
     domain = domain or PowerDomain()
     if n_samples < 1:
         raise CharacterizationError("n_samples must be >= 1")
-    rng = np.random.default_rng(seed)
+
+    if workers is not None:
+        margins, skips = _run_variability_campaign(
+            store_yield_campaign(cond, domain, n_samples, variation, seed),
+            n_samples, "margin", workers, journal)
+        return StoreYieldResult(
+            margins=margins,
+            target_margin=cond.store_margin,
+            n_samples=n_samples,
+            skips=skips,
+        )
 
     margins = []
     skips: List[SkipRecord] = []
     for i in range(n_samples):
-        tb = build_cell_testbench("nv", cond, domain)
-        _perturb_testbench(tb, variation, rng)
-        cell = tb.nv_cell
-        ic_map = tb.initial_conditions(True)      # Q high
-
-        def sample_margin():
-            # H-store: Q-side MTJ still parallel, CTRL grounded.
-            tb.apply_mode(Mode.STORE_H)
-            cell.set_mtj_states(tb.circuit, MTJState.PARALLEL,
-                                MTJState.ANTIPARALLEL)
-            sol = operating_point(tb.circuit, ic=ic_map)
-            mtj_q = cell.mtj_q(tb.circuit)
-            margin_h = abs(mtj_q.current(sol)) / mtj_q.params.critical_current
-
-            # L-store: QB-side MTJ antiparallel, CTRL at the store level.
-            tb.apply_mode(Mode.STORE_L)
-            cell.set_mtj_states(tb.circuit, MTJState.ANTIPARALLEL,
-                                MTJState.ANTIPARALLEL)
-            sol = operating_point(tb.circuit, ic=ic_map)
-            mtj_qb = cell.mtj_qb(tb.circuit)
-            margin_l = abs(mtj_qb.current(sol)) / mtj_qb.params.critical_current
-            return min(margin_h, margin_l)
-
-        value, skip = run_point(sample_margin, index=i,
-                                label=f"sample {i}",
-                                stage="store_yield_analysis")
+        rng = sample_rng(seed, i)
+        value, skip = run_point(
+            lambda: _store_margin_sample(cond, domain, variation, rng),
+            index=i, label=f"sample {i}", stage="store_yield_analysis")
         margins.append(float("nan") if skip else value)
         if skip:
             skips.append(skip)
@@ -178,6 +236,46 @@ def store_yield_analysis(
         n_samples=n_samples,
         skips=skips,
     )
+
+
+def _run_variability_campaign(campaign, n_samples: int, value_key: str,
+                              workers: int, journal):
+    """Run a per-sample campaign and reassemble the values array.
+
+    Completed tasks contribute their ``value_key`` payload entry at
+    their sample index; skipped tasks (deterministic analysis failures)
+    and quarantined tasks (exhausted retries / poison) contribute NaN
+    plus a :class:`~repro.recovery.partial.SkipRecord`, matching the
+    serial path's "an unverified corner is a failing corner" accounting.
+    """
+    from ..exec import COMPLETED, SKIPPED, CampaignOptions, run_campaign
+
+    options = CampaignOptions(workers=workers,
+                              resume=journal is not None)
+    result = run_campaign(campaign, journal=journal, options=options)
+
+    values = np.full(n_samples, float("nan"))
+    skips: List[SkipRecord] = []
+    for task in campaign.tasks:
+        outcome = result.outcome(task.task_id)
+        if outcome is None:
+            continue
+        index = task.params["index"]
+        if outcome.status == COMPLETED:
+            values[index] = outcome.result[value_key]
+        elif outcome.status == SKIPPED and outcome.skip:
+            skip = SkipRecord.from_dict(outcome.skip)
+            skip.index = index
+            skips.append(skip)
+        else:   # quarantined: crashed/hung through the retry budget
+            last = outcome.failures[-1] if outcome.failures else {}
+            skips.append(SkipRecord(
+                index=index, label=task.label, stage=campaign.name,
+                reason=last.get("detail", "quarantined"),
+                error_type=last.get("kind", "quarantined"),
+            ))
+    skips.sort(key=lambda s: s.index)
+    return values, skips
 
 
 @dataclass
@@ -236,6 +334,54 @@ def _mismatched_vtc(cond: OperatingConditions, read_mode: bool,
     return dc_sweep(circuit, "vin", vin).voltage("out")
 
 
+def _snm_sample(cond: OperatingConditions, read_mode: bool,
+                variation: VariationModel, rng: np.random.Generator,
+                points: int, nfet: FinFETParams,
+                pfet: FinFETParams) -> float:
+    """Asymmetric-butterfly SNM of one mismatched sample.
+
+    Raises :class:`~repro.errors.ConvergenceError` when a VTC sweep
+    fails; a monostable corner (butterfly with no second eye) returns
+    0.0 — stability lost, not an analysis failure.
+    """
+    vin = np.linspace(0.0, cond.vdd, points)
+    vtc1 = _mismatched_vtc(cond, read_mode, variation, rng, points,
+                           nfet, pfet)
+    vtc2 = _mismatched_vtc(cond, read_mode, variation, rng, points,
+                           nfet, pfet)
+    try:
+        snm, _ = _butterfly_snm_two(vin, vtc1, vtc2)
+    except CharacterizationError:
+        snm = 0.0   # monostable corner: stability lost
+    return snm
+
+
+def snm_campaign(
+    cond: Optional[OperatingConditions] = None,
+    n_samples: int = 100,
+    variation: VariationModel = VariationModel(),
+    read_mode: bool = True,
+    points: int = 41,
+    seed: int = 2015,
+    nfet: FinFETParams = NFET_20NM_HP,
+    pfet: FinFETParams = PFET_20NM_HP,
+):
+    """The :class:`~repro.exec.Campaign` behind ``read_snm_distribution``."""
+    from ..exec import Campaign, make_task
+    from ..exec.tasks import snm_sample_params
+
+    cond = cond or OperatingConditions()
+    tasks = [
+        make_task(snm_sample_params(i, seed, cond, read_mode, points,
+                                    variation, nfet, pfet),
+                  label=f"sample {i}")
+        for i in range(n_samples)
+    ]
+    return Campaign(name="snm",
+                    fn="repro.exec.tasks:snm_sample_task",
+                    tasks=tasks)
+
+
 def read_snm_distribution(
     cond: Optional[OperatingConditions] = None,
     n_samples: int = 100,
@@ -245,39 +391,46 @@ def read_snm_distribution(
     seed: int = 2015,
     nfet: FinFETParams = NFET_20NM_HP,
     pfet: FinFETParams = PFET_20NM_HP,
+    workers: Optional[int] = None,
+    journal=None,
 ) -> SnmDistribution:
     """Monte-Carlo the (a)symmetric butterfly SNM under mismatch.
 
     Each sample draws *two* independent mismatched half-cells (the two
     cross-coupled inverters differ — that is what mismatch does to a
     real cell) and computes the asymmetric-butterfly SNM: the smaller of
-    the two eye margins.
+    the two eye margins.  Samples are independently seeded (see
+    :func:`sample_rng`), so serial, parallel (``workers``) and resumed
+    runs produce identical distributions.
     """
     cond = cond or OperatingConditions()
     if n_samples < 1:
         raise CharacterizationError("n_samples must be >= 1")
-    rng = np.random.default_rng(seed)
-    vin = np.linspace(0.0, cond.vdd, points)
+
+    if workers is not None:
+        values, skips = _run_variability_campaign(
+            snm_campaign(cond, n_samples, variation, read_mode, points,
+                         seed, nfet, pfet),
+            n_samples, "snm", workers, journal)
+        return SnmDistribution(
+            snm=values,
+            mode="read" if read_mode else "hold",
+            n_samples=n_samples,
+            skips=skips,
+        )
 
     values = []
     skips: List[SkipRecord] = []
     for i in range(n_samples):
+        rng = sample_rng(seed, i)
         try:
-            vtc1 = _mismatched_vtc(cond, read_mode, variation, rng, points,
-                                   nfet, pfet)
-            vtc2 = _mismatched_vtc(cond, read_mode, variation, rng, points,
-                                   nfet, pfet)
+            values.append(_snm_sample(cond, read_mode, variation, rng,
+                                      points, nfet, pfet))
         except ConvergenceError as err:
             skips.append(SkipRecord.from_error(
                 err, index=i, label=f"sample {i}",
                 stage="read_snm_distribution"))
             values.append(float("nan"))
-            continue
-        try:
-            snm, _ = _butterfly_snm_two(vin, vtc1, vtc2)
-        except CharacterizationError:
-            snm = 0.0   # monostable corner: stability lost
-        values.append(snm)
     return SnmDistribution(
         snm=np.asarray(values),
         mode="read" if read_mode else "hold",

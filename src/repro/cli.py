@@ -14,6 +14,11 @@ Usage::
     python -m repro lint-source src/repro [--format sarif]
     python -m repro diagnose failure.json   # or --demo
     python -m repro chaos --target nv --faults 20 [--json report.json]
+    python -m repro chaos --executor --workers 2
+    python -m repro campaign run demo --workers 2 --journal run.jsonl
+    python -m repro campaign resume demo --journal run.jsonl
+    python -m repro campaign status run.jsonl
+    python -m repro fig7b --workers 4 --journal fig7b.jsonl
 
 Every subcommand prints the same rows/series the paper reports; see
 ``benchmarks/`` for the timed versions with archived artifacts.
@@ -94,6 +99,12 @@ def _cmd_fig6(args) -> int:
     return 0
 
 
+def _campaign_kwargs(args) -> dict:
+    """``--workers/--journal`` pass-through for campaign-aware runners."""
+    return {"workers": getattr(args, "workers", None),
+            "journal": getattr(args, "journal", None)}
+
+
 def _cmd_fig7(args, panel: str) -> int:
     from .experiments import (
         ExperimentContext,
@@ -105,9 +116,9 @@ def _cmd_fig7(args, panel: str) -> int:
     ctx = ExperimentContext(cond=_conditions(args))
     runner = {"a": run_fig7a, "b": run_fig7b, "c": run_fig7c}[panel]
     if panel == "b":
-        print(runner(ctx).render())
+        print(runner(ctx, **_campaign_kwargs(args)).render())
     else:
-        print(runner(ctx, _domain(args)).render())
+        print(runner(ctx, _domain(args), **_campaign_kwargs(args)).render())
     return 0
 
 
@@ -115,7 +126,7 @@ def _cmd_fig8(args) -> int:
     from .experiments import ExperimentContext, run_fig8
 
     ctx = ExperimentContext(cond=_conditions(args))
-    print(run_fig8(ctx, _domain(args)).render())
+    print(run_fig8(ctx, _domain(args), **_campaign_kwargs(args)).render())
     return 0
 
 
@@ -123,7 +134,8 @@ def _cmd_fig9(args) -> int:
     from .experiments import ExperimentContext, run_fig9
 
     ctx = ExperimentContext(cond=_conditions(args))
-    print(run_fig9(ctx, panel=args.panel).render())
+    print(run_fig9(ctx, panel=args.panel,
+                   **_campaign_kwargs(args)).render())
     return 0
 
 
@@ -171,7 +183,8 @@ def _cmd_variability(args) -> int:
 
     cond = _conditions(args)
     yield_result = store_yield_analysis(cond, _domain(args),
-                                        n_samples=args.samples)
+                                        n_samples=args.samples,
+                                        **_campaign_kwargs(args))
     print(f"store-yield Monte Carlo ({args.samples} samples):")
     print(f"  switching yield (I > Ic):   "
           f"{yield_result.switching_yield:.1%}")
@@ -184,7 +197,8 @@ def _cmd_variability(args) -> int:
     if yield_result.n_failed:
         print(f"  !! {yield_result.n_failed} sample(s) skipped after "
               "recovery-ladder exhaustion (counted as failing)")
-    snm = read_snm_distribution(cond, n_samples=args.samples)
+    snm = read_snm_distribution(cond, n_samples=args.samples,
+                                **_campaign_kwargs(args))
     print(f"read-SNM Monte Carlo: mean {snm.mean * 1e3:.0f} mV, "
           f"sigma {snm.std * 1e3:.0f} mV, "
           f"bistable yield {snm.stability_yield:.1%}")
@@ -399,10 +413,74 @@ def _diagnose_demo() -> int:
     return 1
 
 
+def _cmd_campaign(args) -> int:
+    from .exec import (
+        CampaignError,
+        CampaignInterrupted,
+        CampaignOptions,
+        available_campaigns,
+        build_campaign,
+        journal_status,
+        render_status,
+        run_campaign,
+    )
+
+    if args.action == "list":
+        for name in available_campaigns():
+            print(name)
+        return 0
+    if args.action == "status":
+        try:
+            status = journal_status(args.journal)
+        except (OSError, CampaignError) as exc:
+            print(f"repro campaign status: cannot read {args.journal!r}: "
+                  f"{exc}", file=sys.stderr)
+            return 2
+        print(render_status(status))
+        return 0
+
+    # run / resume
+    resume = args.action == "resume" or args.resume
+    if resume and not args.journal:
+        print("repro campaign: --resume needs --journal PATH",
+              file=sys.stderr)
+        return 2
+    options = {k: v for k, v in (
+        ("tasks", args.tasks), ("samples", args.samples),
+        ("seed", args.seed), ("scratch", args.scratch),
+    ) if v is not None}
+    try:
+        campaign = build_campaign(args.name, **options)
+    except CampaignError as exc:
+        print(f"repro campaign: {exc}", file=sys.stderr)
+        return 2
+    opts = CampaignOptions(
+        workers=args.workers,
+        task_timeout=args.timeout,
+        max_retries=args.retries,
+        forensics_dir=args.forensics_dir,
+        resume=resume,
+        progress=print,
+    )
+    try:
+        result = run_campaign(campaign, journal=args.journal, options=opts)
+    except CampaignInterrupted as exc:
+        print(exc.result.render())
+        if args.journal:
+            print(f"\ninterrupted — resume with: python -m repro campaign "
+                  f"resume {args.name} --journal {args.journal}",
+                  file=sys.stderr)
+        return 130
+    print(result.render())
+    return 1 if result.quarantined else 0
+
+
 def _cmd_chaos(args) -> int:
     from .recovery import dump_failure
     from .recovery.faults import chaos_operating_points, chaos_store_transient
 
+    if args.executor:
+        return _chaos_executor(args)
     if args.transient:
         report = chaos_store_transient(n_faults=args.faults, seed=args.seed)
     else:
@@ -416,6 +494,24 @@ def _cmd_chaos(args) -> int:
     counts = report.counts()
     unhandled = counts.get("error", 0)
     return 1 if unhandled else 0
+
+
+def _chaos_executor(args) -> int:
+    """``repro chaos --executor``: fault-inject the campaign engine."""
+    import tempfile
+
+    from .recovery import dump_failure
+    from .recovery.faults import chaos_executor, render_exec_chaos
+
+    scratch = args.scratch or tempfile.mkdtemp(prefix="repro-exec-chaos-")
+    report = chaos_executor(scratch, n_healthy=args.faults,
+                            workers=args.workers, seed=args.seed,
+                            progress=print)
+    print(render_exec_chaos(report))
+    if args.json:
+        dump_failure(report, args.json)
+        print(f"\nreport written to {args.json}")
+    return 0 if report["ok"] else 1
 
 
 def _cmd_retention(args) -> int:
@@ -455,6 +551,15 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--word-bits", type=int, default=32,
                            help="word length M in bits (default 32)")
 
+    def campaign_opts(p):
+        p.add_argument("--workers", type=int, default=None,
+                       help="prewarm characterisations through a "
+                            "fault-tolerant parallel campaign with N "
+                            "workers (default: serial)")
+        p.add_argument("--journal", default=None, metavar="PATH",
+                       help="campaign journal (JSONL) for crash-safe "
+                            "checkpoint/resume")
+
     common(sub.add_parser("table1", help="regenerate Table I"),
            domain=False)
     common(sub.add_parser("fig1", help="conceptual power timelines"))
@@ -467,14 +572,18 @@ def build_parser() -> argparse.ArgumentParser:
     common(sub.add_parser("fig5", help="benchmark sequence timelines"),
            domain=False)
     common(sub.add_parser("fig6", help="power traces & static power"))
-    common(sub.add_parser("fig7a", help="E_cyc vs n_RW (t_SL family)"))
-    common(sub.add_parser("fig7b", help="E_cyc vs n_RW (N family)"))
-    common(sub.add_parser("fig7c", help="E_cyc vs n_RW (t_SD family)"))
-    common(sub.add_parser("fig8", help="E_cyc vs t_SD and BET"))
+    for name, help_ in (("fig7a", "E_cyc vs n_RW (t_SL family)"),
+                        ("fig7b", "E_cyc vs n_RW (N family)"),
+                        ("fig7c", "E_cyc vs n_RW (t_SD family)"),
+                        ("fig8", "E_cyc vs t_SD and BET")):
+        p = sub.add_parser(name, help=help_)
+        common(p)
+        campaign_opts(p)
 
     p = sub.add_parser("fig9", help="BET vs domain depth")
     common(p, domain=False)
     p.add_argument("--panel", choices=("a", "b"), default="a")
+    campaign_opts(p)
 
     p = sub.add_parser("characterize", help="characterise one cell")
     common(p)
@@ -499,6 +608,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("variability", help="Monte-Carlo yield analysis")
     common(p)
     p.add_argument("--samples", type=int, default=100)
+    campaign_opts(p)
 
     p = sub.add_parser("ff", help="NV flip-flop characterisation")
     common(p, domain=False)
@@ -561,6 +671,55 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--transient", action="store_true",
                    help="run shortened store transients instead of DC "
                         "operating points (slower; NV only)")
+    p.add_argument("--executor", action="store_true",
+                   help="fault-inject the campaign engine itself "
+                        "(worker crash/hang/slow/flaky faults) instead "
+                        "of the solver")
+    p.add_argument("--workers", type=int, default=2,
+                   help="worker processes for --executor (default 2)")
+    p.add_argument("--scratch", default=None, metavar="DIR",
+                   help="scratch directory for --executor fault markers "
+                        "(default: a fresh temp dir)")
+
+    p = sub.add_parser("campaign",
+                       help="run / inspect fault-tolerant task campaigns")
+    csub = p.add_subparsers(dest="action", required=True)
+    csub.add_parser("list", help="list the named campaigns")
+    pc = csub.add_parser("status",
+                         help="summarise a campaign journal")
+    pc.add_argument("journal", help="journal JSONL path")
+    for action in ("run", "resume"):
+        pc = csub.add_parser(
+            action,
+            help=("execute a named campaign" if action == "run"
+                  else "continue a journalled campaign run"))
+        pc.add_argument("name", help="campaign name (see: campaign list)")
+        pc.add_argument("--workers", type=int, default=2,
+                        help="worker processes (0 = in-process, "
+                             "default 2)")
+        pc.add_argument("--journal", default=None, metavar="PATH",
+                        help="append-only JSONL journal for "
+                             "checkpoint/resume")
+        pc.add_argument("--timeout", type=float, default=None,
+                        help="per-task wall-clock watchdog in seconds")
+        pc.add_argument("--retries", type=int, default=2,
+                        help="retry budget per task (default 2)")
+        pc.add_argument("--forensics-dir", default=None, metavar="DIR",
+                        help="dump per-failure forensics JSON here")
+        pc.add_argument("--tasks", type=int, default=None,
+                        help="task count (demo / chaos campaigns)")
+        pc.add_argument("--samples", type=int, default=None,
+                        help="sample count (store-yield / snm campaigns)")
+        pc.add_argument("--seed", type=int, default=None,
+                        help="Monte-Carlo seed (default 2015)")
+        pc.add_argument("--scratch", default=None, metavar="DIR",
+                        help="scratch directory (chaos campaign)")
+        if action == "run":
+            pc.add_argument("--resume", action="store_true",
+                            help="replay finished tasks from --journal "
+                                 "and run only the rest")
+        else:
+            pc.set_defaults(resume=True)
 
     p = sub.add_parser("wer", help="MTJ write-error-rate model")
     common(p, domain=False)
@@ -595,6 +754,7 @@ _HANDLERS = {
     "lint-source": _cmd_lint_source,
     "diagnose": _cmd_diagnose,
     "chaos": _cmd_chaos,
+    "campaign": _cmd_campaign,
 }
 
 

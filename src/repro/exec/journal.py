@@ -1,0 +1,213 @@
+"""Crash-safe campaign journal: an append-only JSONL checkpoint file.
+
+Every terminal task outcome is appended as one JSON line and flushed +
+fsync'd before the executor moves on, so a ``kill -9`` at any moment
+loses at most the single record being written.  Appends are one
+``write()`` call of one complete line; on POSIX, O_APPEND writes from
+concurrent processes never interleave mid-line for these record sizes.
+
+Replay is tolerant by construction: a torn trailing line (the crash
+artefact) is ignored, and every record carries the campaign
+:attr:`~repro.exec.campaign.Campaign.key` so a journal can only resume
+the exact campaign definition that wrote it.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from .campaign import (
+    COMPLETED,
+    QUARANTINED,
+    SKIPPED,
+    Campaign,
+    CampaignError,
+    TaskOutcome,
+)
+
+
+class Journal:
+    """Append-only JSONL journal for one (or more) campaign runs."""
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+
+    def __repr__(self) -> str:
+        return f"Journal({str(self.path)!r})"
+
+    # -- writing ---------------------------------------------------------
+
+    def append(self, record: Dict[str, Any]) -> None:
+        """Durably append one record (single write + flush + fsync)."""
+        record = dict(record)
+        record.setdefault("ts", time.time())
+        line = json.dumps(record, sort_keys=True) + "\n"
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    # -- reading ---------------------------------------------------------
+
+    def replay(self) -> List[Dict[str, Any]]:
+        """All well-formed records, tolerating a torn final line.
+
+        A torn line *before* the end means the file was corrupted by
+        something other than a crash-mid-append; replay stops there (the
+        suffix cannot be trusted) rather than guessing.
+        """
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return []
+        records: List[Dict[str, Any]] = []
+        for line in io.StringIO(text):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                break
+            if isinstance(record, dict):
+                records.append(record)
+        return records
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    # -- campaign bookkeeping -------------------------------------------
+
+    def begin(self, campaign: Campaign, workers: int,
+              resumed: int = 0) -> None:
+        self.append({
+            "kind": "campaign_begin",
+            "campaign": campaign.name,
+            "key": campaign.key,
+            "fn": campaign.fn,
+            "n_tasks": len(campaign),
+            "workers": workers,
+            "resumed": resumed,
+        })
+
+    def task_end(self, key: str, outcome: TaskOutcome) -> None:
+        record = {"kind": "task_end", "key": key}
+        record.update(outcome.to_dict())
+        self.append(record)
+
+    def interrupted(self, key: str, signame: str, completed: int,
+                    remaining: int) -> None:
+        self.append({
+            "kind": "campaign_interrupted",
+            "key": key,
+            "signal": signame,
+            "completed": completed,
+            "remaining": remaining,
+        })
+
+    def end(self, key: str, counts: Dict[str, int], elapsed: float) -> None:
+        self.append({
+            "kind": "campaign_end",
+            "key": key,
+            "counts": dict(counts),
+            "elapsed": elapsed,
+        })
+
+    def outcomes_for(self, key: str) -> Dict[str, TaskOutcome]:
+        """Terminal outcomes previously journalled for campaign ``key``.
+
+        Later records win (a resumed run may re-execute a task whose
+        earlier record was, e.g., a quarantine after transient crashes).
+        """
+        outcomes: Dict[str, TaskOutcome] = {}
+        for record in self.replay():
+            if record.get("kind") != "task_end":
+                continue
+            if record.get("key") != key:
+                continue
+            try:
+                outcome = TaskOutcome.from_dict(record, replayed=True)
+            except (KeyError, TypeError, ValueError):
+                continue
+            outcomes[outcome.task_id] = outcome
+        return outcomes
+
+
+def journal_status(path: Union[str, Path]) -> Dict[str, Any]:
+    """Summarise a journal file for ``repro campaign status``."""
+    journal = Journal(path)
+    records = journal.replay()
+    if not records:
+        raise CampaignError(f"no journal records at {path}")
+
+    campaigns: Dict[str, Dict[str, Any]] = {}
+    order: List[str] = []
+    for record in records:
+        key = record.get("key")
+        if key is None:
+            continue
+        if key not in campaigns:
+            campaigns[key] = {
+                "key": key,
+                "campaign": None,
+                "n_tasks": None,
+                "runs": 0,
+                "statuses": {},          # task_id -> latest terminal status
+                "interrupted": False,
+                "ended": False,
+            }
+            order.append(key)
+        entry = campaigns[key]
+        kind = record.get("kind")
+        if kind == "campaign_begin":
+            entry["campaign"] = record.get("campaign")
+            entry["n_tasks"] = record.get("n_tasks")
+            entry["runs"] += 1
+            entry["interrupted"] = False
+            entry["ended"] = False
+        elif kind == "task_end":
+            # later records win: a resume may re-execute a task whose
+            # earlier record was a transient quarantine
+            entry["statuses"][record.get("task_id")] = record.get("status")
+        elif kind == "campaign_interrupted":
+            entry["interrupted"] = True
+        elif kind == "campaign_end":
+            entry["ended"] = True
+    for entry in campaigns.values():
+        counts = {COMPLETED: 0, SKIPPED: 0, QUARANTINED: 0}
+        for status in entry.pop("statuses").values():
+            if status in counts:
+                counts[status] += 1
+        entry["counts"] = counts
+        entry["n_terminal"] = sum(counts.values())
+    return {
+        "path": str(path),
+        "campaigns": [campaigns[k] for k in order],
+    }
+
+
+def render_status(status: Dict[str, Any]) -> str:
+    """Human-readable ``repro campaign status`` report."""
+    lines = [f"journal: {status['path']}"]
+    for entry in status["campaigns"]:
+        name = entry["campaign"] or "?"
+        total = entry["n_tasks"]
+        done = entry["counts"][COMPLETED]
+        state = "complete" if entry["ended"] else (
+            "interrupted" if entry["interrupted"] else "in progress/killed")
+        lines.append(
+            f"  {name} [{entry['key']}] — {state}, runs: {entry['runs']}"
+        )
+        lines.append(
+            f"    {done}/{total if total is not None else '?'} completed, "
+            f"{entry['counts'][SKIPPED]} skipped, "
+            f"{entry['counts'][QUARANTINED]} quarantined "
+            f"({entry['n_terminal']} terminal records)"
+        )
+    return "\n".join(lines)

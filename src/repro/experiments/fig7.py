@@ -80,10 +80,20 @@ def run_fig7a(ctx: Optional[ExperimentContext] = None,
               domain: Optional[PowerDomain] = None,
               n_rw_values: Sequence[int] = DEFAULT_N_RW,
               t_sl_values: Sequence[float] = (0.0, 10e-9, 100e-9, 1e-6),
-              ) -> Fig7Result:
-    """Fig. 7(a): t_SD = 0, t_SL varied from 0 to 1 us."""
+              workers: Optional[int] = None,
+              journal=None) -> Fig7Result:
+    """Fig. 7(a): t_SD = 0, t_SL varied from 0 to 1 us.
+
+    With ``workers``, the underlying cell characterisations are
+    prewarmed through a fault-tolerant :mod:`repro.exec` campaign
+    (optionally checkpointed via ``journal``); the figure assembly stays
+    serial, so the numbers are identical either way.
+    """
     ctx = ctx or ExperimentContext()
     domain = domain or PowerDomain()
+    if workers is not None:
+        ctx.prewarm([(domain, None, None)], workers=workers,
+                    journal=journal, name="fig7a")
     sweeps = [
         _sweep(ctx, domain, f"t_SL = {t_sl * 1e9:g} ns, t_SD = 0",
                n_rw_values, t_sl, 0.0)
@@ -96,12 +106,22 @@ def run_fig7b(ctx: Optional[ExperimentContext] = None,
               n_values: Sequence[int] = (32, 64, 128, 256, 512, 1024, 2048),
               word_bits: int = 32,
               n_rw_values: Sequence[int] = DEFAULT_N_RW,
-              t_sl: float = 100e-9) -> Fig7Result:
-    """Fig. 7(b): M = 32, N varied 32..2048 (128 B .. 8 kB domains)."""
+              t_sl: float = 100e-9,
+              workers: Optional[int] = None,
+              journal=None) -> Fig7Result:
+    """Fig. 7(b): M = 32, N varied 32..2048 (128 B .. 8 kB domains).
+
+    The seven domain depths are independent characterisation points —
+    the sweep that benefits most from a parallel ``workers`` campaign.
+    """
     ctx = ctx or ExperimentContext()
+    domains = [PowerDomain(n_wordlines=int(n), word_bits=word_bits)
+               for n in n_values]
+    if workers is not None:
+        ctx.prewarm([(d, None, None) for d in domains], workers=workers,
+                    journal=journal, name="fig7b")
     sweeps = []
-    for n in n_values:
-        domain = PowerDomain(n_wordlines=int(n), word_bits=word_bits)
+    for n, domain in zip(n_values, domains):
         label = (
             f"N = {n} ({domain.size_bytes:.0f} B), "
             f"t_SL = {t_sl * 1e9:g} ns, t_SD = 0"
@@ -114,10 +134,15 @@ def run_fig7c(ctx: Optional[ExperimentContext] = None,
               domain: Optional[PowerDomain] = None,
               n_rw_values: Sequence[int] = DEFAULT_N_RW,
               t_sd_values: Sequence[float] = (10e-6, 100e-6, 1e-3, 10e-3),
-              t_sl: float = 100e-9) -> Fig7Result:
+              t_sl: float = 100e-9,
+              workers: Optional[int] = None,
+              journal=None) -> Fig7Result:
     """Fig. 7(c): t_SD varied from 10 us to 10 ms."""
     ctx = ctx or ExperimentContext()
     domain = domain or PowerDomain()
+    if workers is not None:
+        ctx.prewarm([(domain, None, None)], workers=workers,
+                    journal=journal, name="fig7c")
     sweeps = [
         _sweep(ctx, domain,
                f"t_SD = {t_sd * 1e6:g} us, t_SL = {t_sl * 1e9:g} ns",

@@ -78,10 +78,20 @@ def run_fig8(ctx: Optional[ExperimentContext] = None,
              n_rw_values: Sequence[int] = (10, 100, 1000),
              t_sl: float = 100e-9,
              t_sd_points: int = 61,
-             t_sd_max: float = 100e-3) -> Fig8Result:
-    """Regenerate Fig. 8."""
+             t_sd_max: float = 100e-3,
+             workers: Optional[int] = None,
+             journal=None) -> Fig8Result:
+    """Regenerate Fig. 8.
+
+    ``workers`` prewarms the cell characterisations through a
+    fault-tolerant :mod:`repro.exec` campaign; the assembly is serial
+    either way, so the numbers are identical.
+    """
     ctx = ctx or ExperimentContext()
     domain = domain or PowerDomain()
+    if workers is not None:
+        ctx.prewarm([(domain, None, None)], workers=workers,
+                    journal=journal, name="fig8")
     model = ctx.energy_model(domain)
     t_sd = np.logspace(-6, np.log10(t_sd_max), t_sd_points)
 

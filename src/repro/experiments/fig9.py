@@ -92,12 +92,19 @@ def run_fig9(ctx: Optional[ExperimentContext] = None,
              n_values: Sequence[int] = (32, 64, 128, 256, 512, 1024, 2048),
              n_rw_values: Sequence[int] = (10, 100, 1000),
              word_bits: int = 32,
-             t_sl: float = 100e-9) -> Fig9Result:
+             t_sl: float = 100e-9,
+             workers: Optional[int] = None,
+             journal=None) -> Fig9Result:
     """Regenerate Fig. 9(a) or 9(b).
 
     Panel "a" uses the Table I configuration with and without store-free
     shutdown; panel "b" switches to 1 GHz operation and the relaxed
     Jc = 1e6 A/cm^2 MTJ card (store-free not needed).
+
+    ``workers`` prewarms the per-depth characterisations as a
+    fault-tolerant :mod:`repro.exec` campaign (the store-bias derivation
+    for panel "b" stays serial — it is one sweep, not a grid); figure
+    assembly is serial either way, so the numbers are identical.
     """
     ctx = ctx or ExperimentContext()
     if panel == "a":
@@ -117,6 +124,11 @@ def run_fig9(ctx: Optional[ExperimentContext] = None,
     else:
         raise ValueError(f"unknown Fig. 9 panel: {panel!r}")
 
+    if workers is not None:
+        domains = [PowerDomain(n_wordlines=int(n), word_bits=word_bits)
+                   for n in n_values]
+        ctx.prewarm([(d, cond, mtj) for d in domains], workers=workers,
+                    journal=journal, name=f"fig9{panel}")
     series = [
         _bet_series(ctx, cond, mtj, n_values, n_rw, store_free,
                     word_bits, t_sl)

@@ -387,3 +387,143 @@ def chaos_store_transient(
         report.records.append(ChaosRecord(fault=fault, outcome=outcome,
                                           rung=rung, skip=skip))
     return report
+
+
+# ---------------------------------------------------------------------------
+# executor chaos: faults against the campaign engine itself
+# ---------------------------------------------------------------------------
+
+#: Process-level fault kinds injected into :mod:`repro.exec` workers by
+#: the executor chaos harness (``repro chaos --executor``).  These break
+#: the *execution substrate*, not the circuit: the campaign engine must
+#: classify each one and still deliver an N-in/N-out accounting.
+EXEC_FAULT_KINDS = ("worker_crash", "worker_hang", "slow_task",
+                    "flaky_crash", "task_error", "conv_skip")
+
+#: The terminal state the executor must drive each fault kind to.
+#: ``None`` (healthy) and ``slow_task`` complete; a ``flaky_crash``
+#: completes *after* a retry; deterministic convergence failures are
+#: record-and-skip; hard crashes/hangs exhaust the retry budget and
+#: poison errors quarantine immediately.
+EXEC_FAULT_EXPECTED = {
+    None: "completed",
+    "slow_task": "completed",
+    "flaky_crash": "completed",
+    "conv_skip": "skipped",
+    "worker_crash": "quarantined",
+    "worker_hang": "quarantined",
+    "task_error": "quarantined",
+}
+
+
+def build_executor_chaos_campaign(scratch, n_healthy: int = 4,
+                                  seed: int = 2015,
+                                  kinds: Sequence[str] = EXEC_FAULT_KINDS):
+    """Campaign mixing healthy tasks with one task per executor fault.
+
+    ``scratch`` is a writable directory the ``flaky_crash`` tasks use
+    for their crash-once markers; it also namespaces the campaign key,
+    so each chaos run journals as its own campaign.
+    """
+    from ..exec import Campaign, make_task
+
+    tasks = []
+    index = 0
+    for kind in kinds:
+        params = {"index": index, "fault": kind, "scratch": str(scratch)}
+        if kind == "slow_task":
+            params["delay"] = 0.2
+        tasks.append(make_task(params, label=f"fault:{kind}"))
+        index += 1
+    rng = np.random.default_rng(seed)
+    for _ in range(n_healthy):
+        tasks.append(make_task(
+            {"index": index, "fault": None, "scratch": str(scratch),
+             "work": round(float(rng.uniform(0.0, 0.05)), 4)},
+            label=f"healthy {index}"))
+        index += 1
+    return Campaign(name="exec-chaos", fn="repro.exec.tasks:chaos_task",
+                    tasks=tasks)
+
+
+def chaos_executor(scratch, n_healthy: int = 4, workers: int = 2,
+                   seed: int = 2015, task_timeout: float = 5.0,
+                   max_retries: int = 1, journal=None,
+                   kinds: Sequence[str] = EXEC_FAULT_KINDS,
+                   progress=None) -> dict:
+    """Run the executor chaos campaign and audit the outcomes.
+
+    Every injected fault must land in exactly the terminal state of
+    :data:`EXEC_FAULT_EXPECTED` — N tasks in, N classified outcomes out,
+    no unhandled exception, no lost task.  Returns a JSON-able report
+    (``kind="exec_chaos_report"``) listing each task's expected vs
+    actual state and an overall ``ok`` verdict.
+    """
+    from ..exec import CampaignOptions, run_campaign
+
+    campaign = build_executor_chaos_campaign(scratch, n_healthy, seed,
+                                             kinds)
+    options = CampaignOptions(
+        workers=workers,
+        task_timeout=task_timeout,
+        max_retries=max_retries,
+        backoff_base=0.05,
+        backoff_cap=0.5,
+        resume=journal is not None,
+        progress=progress,
+    )
+    result = run_campaign(campaign, journal=journal, options=options)
+
+    rows = []
+    ok = True
+    for task in campaign.tasks:
+        fault = task.params.get("fault")
+        expected = EXEC_FAULT_EXPECTED.get(fault, "completed")
+        outcome = result.outcome(task.task_id)
+        actual = outcome.status if outcome is not None else "missing"
+        row_ok = actual == expected
+        if fault == "flaky_crash" and row_ok:
+            row_ok = outcome.attempts >= 2   # must have actually retried
+        rows.append({
+            "label": task.label,
+            "fault": fault,
+            "expected": expected,
+            "actual": actual,
+            "attempts": outcome.attempts if outcome else 0,
+            "ok": row_ok,
+        })
+        ok = ok and row_ok
+    n_in = len(campaign.tasks)
+    n_out = len(result.outcomes)
+    return {
+        "kind": "exec_chaos_report",
+        "n_in": n_in,
+        "n_out": n_out,
+        "counts": result.counts(),
+        "retries": result.retries,
+        "ok": ok and n_in == n_out,
+        "rows": rows,
+    }
+
+
+def render_exec_chaos(report: dict) -> str:
+    """Human-readable executor chaos summary."""
+    lines = [
+        f"executor chaos: {report['n_in']} tasks in, "
+        f"{report['n_out']} outcomes out — "
+        + ("PASS" if report["ok"] else "FAIL")
+    ]
+    counts = report["counts"]
+    lines.append(
+        f"  {counts.get('completed', 0)} completed, "
+        f"{counts.get('skipped', 0)} skipped, "
+        f"{counts.get('quarantined', 0)} quarantined, "
+        f"{report['retries']} retried attempt(s)"
+    )
+    for row in report["rows"]:
+        mark = "ok " if row["ok"] else "BAD"
+        lines.append(
+            f"  [{mark}] {row['label']}: expected {row['expected']}, "
+            f"got {row['actual']} ({row['attempts']} attempt(s))"
+        )
+    return "\n".join(lines)

@@ -62,18 +62,88 @@ class TestLoadStore:
         cache.store(None, "abc", _record())  # no-op
         assert cache.load(None, "abc") is None
 
-    def test_corrupt_entry_ignored(self, tmp_path):
+    def test_corrupt_entry_quarantined_with_warning(self, tmp_path):
         (tmp_path / "bad.json").write_text("{not json")
-        assert cache.load(tmp_path, "bad") is None
+        with pytest.warns(RuntimeWarning, match="bad.json"):
+            assert cache.load(tmp_path, "bad") is None
+        assert not (tmp_path / "bad.json").exists()
+        assert (tmp_path / cache.CORRUPT_SUBDIR / "bad.json").exists()
 
-    def test_stale_schema_entry_ignored(self, tmp_path):
+    def test_stale_schema_entry_quarantined(self, tmp_path):
         (tmp_path / "stale.json").write_text('{"unexpected": 1}')
-        assert cache.load(tmp_path, "stale") is None
+        with pytest.warns(RuntimeWarning, match="stale.json"):
+            assert cache.load(tmp_path, "stale") is None
+        assert (tmp_path / cache.CORRUPT_SUBDIR / "stale.json").exists()
+
+    def test_old_schema_envelope_quarantined(self, tmp_path):
+        """A well-formed envelope from an older schema is invalidated."""
+        cache.store(tmp_path, "old", _record())
+        text = (tmp_path / "old.json").read_text()
+        (tmp_path / "old.json").write_text(
+            text.replace(f'"schema": {cache.CACHE_SCHEMA_VERSION}',
+                         '"schema": 4'))
+        with pytest.warns(RuntimeWarning, match="schema"):
+            assert cache.load(tmp_path, "old") is None
+
+    def test_checksum_mismatch_quarantined(self, tmp_path):
+        """A flipped payload value no longer matches the checksum."""
+        import json
+
+        cache.store(tmp_path, "flip", _record())
+        envelope = json.loads((tmp_path / "flip.json").read_text())
+        envelope["payload"]["e_read"] = 123.0
+        (tmp_path / "flip.json").write_text(json.dumps(envelope))
+        with pytest.warns(RuntimeWarning, match="checksum mismatch"):
+            assert cache.load(tmp_path, "flip") is None
+        assert (tmp_path / cache.CORRUPT_SUBDIR / "flip.json").exists()
+
+    def test_quarantine_does_not_hide_good_entries(self, tmp_path):
+        record = _record()
+        cache.store(tmp_path, "good", record)
+        (tmp_path / "bad.json").write_text("{not json")
+        with pytest.warns(RuntimeWarning):
+            cache.load(tmp_path, "bad")
+        assert cache.load(tmp_path, "good") == record
 
     def test_creates_directory(self, tmp_path):
         target = tmp_path / "nested" / "dir"
         cache.store(target, "abc", _record())
         assert (target / "abc.json").exists()
+
+
+class TestUnwritableDir:
+    @pytest.fixture(autouse=True)
+    def _fresh_warn_state(self, monkeypatch):
+        monkeypatch.setattr(cache, "_UNWRITABLE", set())
+
+    def test_store_degrades_to_cache_off(self, tmp_path, monkeypatch):
+        """An unwritable directory warns once, then goes quiet."""
+        def refuse(*args, **kwargs):
+            raise OSError(30, "Read-only file system")
+
+        monkeypatch.setattr(cache.tempfile, "mkstemp", refuse)
+        with pytest.warns(RuntimeWarning, match="not writable"):
+            cache.store(tmp_path, "ro1", _record())
+        # second store: silently skipped, no second warning
+        import warnings as _warnings
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            cache.store(tmp_path, "ro2", _record())
+        assert cache.load(tmp_path, "ro1") is None
+
+    def test_failed_rename_degrades(self, tmp_path, monkeypatch):
+        real_replace = cache.os.replace
+
+        def refuse(src, dst):
+            if str(dst).endswith("ro.json"):
+                raise OSError(30, "Read-only file system")
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(cache.os, "replace", refuse)
+        with pytest.warns(RuntimeWarning, match="not writable"):
+            cache.store(tmp_path, "ro", _record())
+        # the staged temp file must not leak
+        assert [p for p in tmp_path.iterdir() if p.suffix == ".tmp"] == []
 
 
 class TestDefaultDir:

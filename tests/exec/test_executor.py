@@ -1,0 +1,183 @@
+"""Executor semantics: classification, retry policy, resume, pooling."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.exec import (
+    COMPLETED,
+    QUARANTINED,
+    SKIPPED,
+    Campaign,
+    CampaignError,
+    CampaignOptions,
+    Journal,
+    TaskOutcome,
+    make_task,
+    retry_delay,
+    run_campaign,
+)
+
+DEMO_FN = "repro.exec.tasks:demo_task"
+CHAOS_FN = "repro.exec.tasks:chaos_task"
+
+
+def demo_campaign(n=4, name="demo"):
+    return Campaign(
+        name=name, fn=DEMO_FN,
+        tasks=[make_task({"x": float(i)}, label=f"square {i}")
+               for i in range(n)],
+    )
+
+
+def chaos_campaign(scratch, kinds, name="inline-chaos"):
+    tasks = [
+        make_task({"index": i, "fault": kind, "scratch": str(scratch)},
+                  label=f"fault:{kind}" if kind else f"healthy {i}")
+        for i, kind in enumerate(kinds)
+    ]
+    return Campaign(name=name, fn=CHAOS_FN, tasks=tasks)
+
+
+class TestOptions:
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ReproError, match="workers"):
+            CampaignOptions(workers=-1)
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ReproError, match="max_retries"):
+            CampaignOptions(max_retries=-1)
+
+
+class TestRetryDelay:
+    def test_deterministic_per_task_and_attempt(self):
+        opts = CampaignOptions()
+        assert retry_delay(opts, "tid", 1) == retry_delay(opts, "tid", 1)
+        assert retry_delay(opts, "tid", 1) != retry_delay(opts, "other", 1)
+
+    def test_jitter_bounded(self):
+        opts = CampaignOptions(backoff_base=0.25, backoff_cap=5.0)
+        delay = retry_delay(opts, "tid", 1)
+        assert 0.125 <= delay < 0.375    # base * [0.5, 1.5)
+
+    def test_backoff_grows_and_caps(self):
+        opts = CampaignOptions(backoff_base=0.25, backoff_cap=5.0)
+        assert retry_delay(opts, "tid", 20) <= opts.backoff_cap
+
+
+class TestInline:
+    OPTS = dict(workers=0)
+
+    def test_completes_all(self):
+        result = run_campaign(demo_campaign(),
+                              options=CampaignOptions(**self.OPTS))
+        assert result.counts() == {COMPLETED: 4, SKIPPED: 0, QUARANTINED: 0}
+        assert sorted(o.result["y"] for o in result.completed) == \
+            [0.0, 1.0, 4.0, 9.0]
+        assert not result.interrupted
+
+    def test_analysis_error_recorded_and_skipped(self, tmp_path):
+        """A deterministic solver failure is skipped, never retried."""
+        campaign = chaos_campaign(tmp_path, ["conv_skip", None])
+        result = run_campaign(campaign,
+                              options=CampaignOptions(**self.OPTS))
+        (skipped,) = result.skipped
+        assert skipped.attempts == 1
+        assert skipped.skip["error_type"] == "ConvergenceError"
+        assert len(result.completed) == 1
+
+    def test_poison_task_quarantined_immediately(self, tmp_path):
+        campaign = chaos_campaign(tmp_path, ["task_error", None])
+        result = run_campaign(campaign,
+                              options=CampaignOptions(**self.OPTS))
+        (poisoned,) = result.quarantined
+        assert poisoned.attempts == 1
+        assert poisoned.failures[-1]["kind"] == "poison"
+        assert "RuntimeError" in poisoned.failures[-1]["detail"]
+        assert len(result.completed) == 1
+
+    def test_bad_fn_reference_fails_fast(self):
+        campaign = Campaign(name="bad", fn="repro.exec.tasks:no_such_fn",
+                            tasks=[make_task({"x": 1.0})])
+        with pytest.raises(CampaignError, match="callable"):
+            run_campaign(campaign, options=CampaignOptions(**self.OPTS))
+
+    def test_forensics_dumped_on_quarantine(self, tmp_path):
+        campaign = chaos_campaign(tmp_path, ["task_error"])
+        forensics = tmp_path / "forensics"
+        run_campaign(campaign, options=CampaignOptions(
+            workers=0, forensics_dir=forensics))
+        (dump,) = forensics.glob("*.json")
+        payload = json.loads(dump.read_text())
+        assert payload["kind"] == "task_failure"
+        assert payload["status"] == QUARANTINED
+
+
+class TestResume:
+    def test_second_run_replays_everything(self, tmp_path):
+        journal = tmp_path / "j.jsonl"
+        campaign = demo_campaign()
+        first = run_campaign(campaign, journal=journal,
+                             options=CampaignOptions(workers=0))
+        second = run_campaign(campaign, journal=journal,
+                              options=CampaignOptions(workers=0,
+                                                      resume=True))
+        assert second.n_replayed == 4
+        assert second.results() == first.results()
+
+    def test_resume_executes_only_missing_tasks(self, tmp_path):
+        campaign = demo_campaign()
+        journal = Journal(tmp_path / "j.jsonl")
+        done = campaign.tasks[0]
+        journal.task_end(campaign.key, TaskOutcome(
+            task_id=done.task_id, status=COMPLETED,
+            result={"x": 0.0, "y": 0.0}))
+        result = run_campaign(campaign, journal=journal,
+                              options=CampaignOptions(workers=0,
+                                                      resume=True))
+        assert result.n_replayed == 1
+        assert result.counts()[COMPLETED] == 4
+        executed = [o for o in result.completed if not o.replayed]
+        assert len(executed) == 3
+
+    def test_resume_ignores_other_campaign_keys(self, tmp_path):
+        campaign = demo_campaign()
+        journal = Journal(tmp_path / "j.jsonl")
+        journal.task_end("some-other-campaign-key", TaskOutcome(
+            task_id=campaign.tasks[0].task_id, status=COMPLETED,
+            result={"x": 99.0, "y": 99.0}))
+        result = run_campaign(campaign, journal=journal,
+                              options=CampaignOptions(workers=0,
+                                                      resume=True))
+        assert result.n_replayed == 0
+        assert result.results()[campaign.tasks[0].task_id]["y"] == 0.0
+
+    def test_without_resume_flag_journal_is_write_only(self, tmp_path):
+        journal = tmp_path / "j.jsonl"
+        campaign = demo_campaign(n=2)
+        run_campaign(campaign, journal=journal,
+                     options=CampaignOptions(workers=0))
+        again = run_campaign(campaign, journal=journal,
+                             options=CampaignOptions(workers=0))
+        assert again.n_replayed == 0
+
+
+class TestPooled:
+    """Spawn-worker pool; kept small because each worker pays an import."""
+
+    def test_parallel_matches_inline(self):
+        campaign = demo_campaign(n=6, name="pooled-demo")
+        inline = run_campaign(campaign, options=CampaignOptions(workers=0))
+        pooled = run_campaign(campaign, options=CampaignOptions(workers=2))
+        assert pooled.results() == inline.results()
+        assert pooled.counts()[COMPLETED] == 6
+
+    def test_flaky_crash_retried_to_completion(self, tmp_path):
+        """A worker crash consumes a retry, not the campaign."""
+        campaign = chaos_campaign(tmp_path, ["flaky_crash"], name="flaky")
+        result = run_campaign(campaign, options=CampaignOptions(
+            workers=1, max_retries=2, backoff_base=0.05, backoff_cap=0.2))
+        (outcome,) = result.completed
+        assert outcome.attempts == 2
+        assert outcome.failures[0]["kind"] == "crash"

@@ -1,0 +1,121 @@
+"""Interrupt semantics: SIGINT drains, journal survives, resume finishes.
+
+The acceptance test for the campaign engine: a run killed mid-flight
+must leave a valid journal, exit non-zero, and a ``--resume`` must
+execute only the remaining points while producing the same aggregate
+results as an uninterrupted run.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.exec import Campaign, CampaignOptions, make_task, run_campaign
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+N_TASKS = 8
+WORK = 0.3
+
+#: The ``__main__`` guard is load-bearing: spawn workers re-import the
+#: parent's main module, and an unguarded driver would recurse.
+DRIVER = f"""\
+import sys
+
+from repro.exec import (Campaign, CampaignInterrupted, CampaignOptions,
+                        make_task, run_campaign)
+
+if __name__ == "__main__":
+    tasks = [make_task({{"x": float(i), "work": {WORK}}}, label=f"t{{i}}")
+             for i in range({N_TASKS})]
+    campaign = Campaign(name="sigint-demo",
+                        fn="repro.exec.tasks:demo_task", tasks=tasks)
+    try:
+        run_campaign(campaign, journal=sys.argv[1],
+                     options=CampaignOptions(workers=1, resume=True,
+                                             drain_grace=10.0))
+    except CampaignInterrupted as exc:
+        print(exc.result.summary())
+        sys.exit(130)
+    sys.exit(0)
+"""
+
+
+def _campaign():
+    tasks = [make_task({"x": float(i), "work": WORK}, label=f"t{i}")
+             for i in range(N_TASKS)]
+    return Campaign(name="sigint-demo", fn="repro.exec.tasks:demo_task",
+                    tasks=tasks)
+
+
+def _task_end_count(path: Path) -> int:
+    if not path.exists():
+        return 0
+    count = 0
+    for line in path.read_text().splitlines():
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        count += record.get("kind") == "task_end"
+    return count
+
+
+def test_sigint_flushes_journal_and_resume_completes(tmp_path):
+    journal = tmp_path / "campaign.jsonl"
+    driver = tmp_path / "driver.py"
+    driver.write_text(DRIVER)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+
+    proc = subprocess.Popen(
+        [sys.executable, str(driver), str(journal)],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        # let at least two tasks reach the journal, then interrupt
+        deadline = time.time() + 120.0
+        while time.time() < deadline and _task_end_count(journal) < 2:
+            if proc.poll() is not None:
+                break
+            time.sleep(0.05)
+        assert proc.poll() is None, (
+            f"driver finished before it could be interrupted:\n"
+            f"{proc.communicate()[0]}")
+        proc.send_signal(signal.SIGINT)
+        out, _ = proc.communicate(timeout=120)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()
+
+    # non-zero exit, and the drain summary reached stdout
+    assert proc.returncode == 130, out
+    assert "INTERRUPTED" in out
+
+    # the journal is valid JSONL with an interrupt record and a strict
+    # subset of the task outcomes
+    records = [json.loads(line)
+               for line in journal.read_text().splitlines()]
+    kinds = [r["kind"] for r in records]
+    assert "campaign_begin" in kinds
+    assert "campaign_interrupted" in kinds
+    n_done = _task_end_count(journal)
+    assert 2 <= n_done < N_TASKS
+
+    # resume completes only the remaining points...
+    resumed = run_campaign(_campaign(), journal=journal,
+                           options=CampaignOptions(workers=0, resume=True))
+    assert resumed.n_replayed == n_done
+    executed = [o for o in resumed.completed if not o.replayed]
+    assert len(executed) == N_TASKS - n_done
+
+    # ...and the aggregate results are identical to an uninterrupted run
+    reference = run_campaign(_campaign(),
+                             options=CampaignOptions(workers=0))
+    assert resumed.results() == reference.results()

@@ -1,0 +1,145 @@
+"""Journal semantics: durability, torn-line tolerance, keyed replay."""
+
+import json
+
+import pytest
+
+from repro.exec import (
+    COMPLETED,
+    QUARANTINED,
+    Campaign,
+    CampaignError,
+    Journal,
+    TaskOutcome,
+    journal_status,
+    make_task,
+    render_status,
+)
+
+DEMO_FN = "repro.exec.tasks:demo_task"
+
+
+def _campaign(n=2, name="demo"):
+    return Campaign(name=name, fn=DEMO_FN,
+                    tasks=[make_task({"x": float(i)}) for i in range(n)])
+
+
+def _outcome(task_id, status=COMPLETED, **kwargs):
+    return TaskOutcome(task_id=task_id, status=status, **kwargs)
+
+
+class TestAppendReplay:
+    def test_round_trip_adds_timestamp(self, tmp_path):
+        journal = Journal(tmp_path / "j.jsonl")
+        journal.append({"kind": "x", "value": 1})
+        records = journal.replay()
+        assert len(records) == 1
+        assert records[0]["value"] == 1
+        assert "ts" in records[0]
+
+    def test_missing_file_replays_empty(self, tmp_path):
+        journal = Journal(tmp_path / "nope.jsonl")
+        assert journal.replay() == []
+        assert not journal.exists()
+
+    def test_torn_trailing_line_tolerated(self, tmp_path):
+        """The crash artefact: a half-written last record is dropped."""
+        path = tmp_path / "j.jsonl"
+        journal = Journal(path)
+        journal.append({"kind": "a"})
+        journal.append({"kind": "b"})
+        with open(path, "a") as handle:
+            handle.write('{"kind": "tor')   # kill -9 mid-append
+        assert [r["kind"] for r in journal.replay()] == ["a", "b"]
+
+    def test_torn_middle_line_stops_replay(self, tmp_path):
+        """Corruption *before* the end is not a crash signature; the
+        suffix cannot be trusted and is not replayed."""
+        path = tmp_path / "j.jsonl"
+        path.write_text('{"kind": "a"}\n{"kind": "tor\n{"kind": "c"}\n')
+        assert [r["kind"] for r in Journal(path).replay()] == ["a"]
+
+
+class TestOutcomesFor:
+    def test_filters_by_campaign_key(self, tmp_path):
+        journal = Journal(tmp_path / "j.jsonl")
+        journal.task_end("key-a", _outcome("t1"))
+        journal.task_end("key-b", _outcome("t2"))
+        outcomes = journal.outcomes_for("key-a")
+        assert set(outcomes) == {"t1"}
+        assert outcomes["t1"].replayed is True
+
+    def test_later_records_win(self, tmp_path):
+        journal = Journal(tmp_path / "j.jsonl")
+        journal.task_end("k", _outcome("t1", status=QUARANTINED))
+        journal.task_end("k", _outcome("t1", status=COMPLETED,
+                                       result={"y": 4.0}))
+        outcomes = journal.outcomes_for("k")
+        assert outcomes["t1"].status == COMPLETED
+        assert outcomes["t1"].result == {"y": 4.0}
+
+    def test_ignores_non_task_records(self, tmp_path):
+        journal = Journal(tmp_path / "j.jsonl")
+        campaign = _campaign()
+        journal.begin(campaign, workers=2)
+        journal.task_end(campaign.key, _outcome("t1"))
+        journal.end(campaign.key, {COMPLETED: 1}, elapsed=0.1)
+        assert set(journal.outcomes_for(campaign.key)) == {"t1"}
+
+
+class TestJournalStatus:
+    def test_empty_journal_raises(self, tmp_path):
+        with pytest.raises(CampaignError, match="no journal records"):
+            journal_status(tmp_path / "missing.jsonl")
+
+    def test_status_summarises_runs(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = Journal(path)
+        campaign = _campaign(n=3, name="sweep")
+        journal.begin(campaign, workers=2)
+        journal.task_end(campaign.key,
+                         _outcome(campaign.tasks[0].task_id))
+        journal.interrupted(campaign.key, "SIGINT", completed=1,
+                            remaining=2)
+        journal.begin(campaign, workers=2, resumed=1)
+        for task in campaign.tasks[1:]:
+            journal.task_end(campaign.key, _outcome(task.task_id))
+        journal.end(campaign.key, {COMPLETED: 3}, elapsed=0.5)
+
+        status = journal_status(path)
+        (entry,) = status["campaigns"]
+        assert entry["campaign"] == "sweep"
+        assert entry["runs"] == 2
+        assert entry["ended"] is True
+        assert entry["counts"][COMPLETED] == 3
+
+        text = render_status(status)
+        assert "sweep" in text
+        assert "complete" in text
+        assert "3/3 completed" in text
+
+    def test_interrupted_run_is_visible(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = Journal(path)
+        campaign = _campaign(n=2)
+        journal.begin(campaign, workers=1)
+        journal.task_end(campaign.key,
+                         _outcome(campaign.tasks[0].task_id))
+        journal.interrupted(campaign.key, "SIGTERM", completed=1,
+                            remaining=1)
+        (entry,) = journal_status(path)["campaigns"]
+        assert entry["interrupted"] is True
+        assert entry["ended"] is False
+        assert "interrupted" in render_status(journal_status(path))
+
+
+class TestDurability:
+    def test_each_record_is_one_line(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = Journal(path)
+        journal.append({"kind": "a", "blob": list(range(50))})
+        journal.append({"kind": "b"})
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            json.loads(line)

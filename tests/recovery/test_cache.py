@@ -55,8 +55,8 @@ class TestStore:
         b.e_read = 2e-15
         cache.store(tmp_path, "k4", a)
         cache.store(tmp_path, "k4", b)
-        payload = json.loads((tmp_path / "k4.json").read_text())
-        assert payload["e_read"] == pytest.approx(2e-15)
+        envelope = json.loads((tmp_path / "k4.json").read_text())
+        assert envelope["payload"]["e_read"] == pytest.approx(2e-15)
 
     def test_disabled_cache_is_noop(self, tmp_path):
         cache.store(None, "k5", _result())
