@@ -6,11 +6,19 @@ times the :mod:`repro.verify` analyser over everything the repo ships
 asserts the whole set is free of error-severity findings, archiving
 the combined report under ``benchmarks/results/``.  A rule or cell
 change that breaks the shipped netlists fails here by name.
+
+``bench_lint_source_tree`` additionally measures the incremental
+whole-program engine: one cold run (empty cache — parse, summarise,
+fixpoint, all bands) against warm reruns (cache hits — no parsing),
+writing the cold/warm split to ``BENCH_lint.json`` at the repo root
+and asserting the warm path earns its complexity (>= 5x).
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
+from time import perf_counter
 
 import pytest
 
@@ -65,12 +73,69 @@ def bench_lint_shipped_artifacts(benchmark, publish):
 
 
 @pytest.mark.lint
-def bench_lint_source_tree(benchmark, publish):
-    """Time the RV4xx self-lint over the full shipped ``src/repro`` tree."""
+def bench_lint_source_tree(benchmark, publish, tmp_path):
+    """Cold vs warm whole-program self-lint over ``src/repro``.
+
+    The warm path must reproduce the cold report bit-for-bit while
+    parsing nothing; ``BENCH_lint.json`` records both timings so the
+    cache's speedup is a tracked artefact, not an anecdote.
+    """
+    from repro.exec.registry import task_function_refs
+    from repro.verify.source import iter_source_files
+
     roots = default_source_paths()
     assert roots, "shipped source tree not found — package layout moved?"
-    report = benchmark(verify_source, roots)
-    publish("lint_source", render_text(report))
-    assert not report.has_errors, (
-        "shipped source has RV4xx lint errors: "
-        f"{[str(d) for d in report.errors()]}")
+    refs = tuple(task_function_refs())
+    cache = tmp_path / "lint-cache"
+
+    t0 = perf_counter()
+    cold_report = verify_source(roots, cache_dir=cache,
+                                extra_task_refs=refs)
+    cold_s = perf_counter() - t0
+
+    def warm():
+        return verify_source(roots, cache_dir=cache, extra_task_refs=refs)
+
+    warm_times = []
+    for _ in range(3):
+        t0 = perf_counter()
+        warm_report = warm()
+        warm_times.append(perf_counter() - t0)
+    warm_s = min(warm_times)
+    benchmark(warm)
+
+    def key(d):
+        return (d.code, d.target, d.location.line if d.location else 0,
+                d.message)
+
+    assert sorted(map(key, warm_report)) == sorted(map(key, cold_report)), \
+        "warm lint run diverged from the cold run"
+    noisy = cold_report.errors() + cold_report.warnings()
+    assert not noisy, ("shipped source has lint errors/warnings: "
+                       f"{[str(d) for d in noisy]}")
+
+    by_band = {}
+    for diag in cold_report:
+        band = f"RV{diag.code[2]}xx"
+        by_band[band] = by_band.get(band, 0) + 1
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    payload = {
+        "schema": 1,
+        "modules": sum(1 for _ in iter_source_files(roots)),
+        "cold_s": round(cold_s, 4),
+        "warm_s": round(warm_s, 4),
+        "speedup": round(speedup, 1),
+        "diagnostics": {
+            "total": len(cold_report),
+            "by_band": dict(sorted(by_band.items())),
+        },
+    }
+    (_REPO / "BENCH_lint.json").write_text(
+        json.dumps(payload, indent=2) + "\n")
+    publish("lint_source",
+            f"cold {cold_s:.3f} s / warm {warm_s:.3f} s "
+            f"({speedup:.1f}x)\n\n" + render_text(cold_report))
+    assert speedup >= 5.0, (
+        f"warm lint is only {speedup:.1f}x faster than cold "
+        f"({warm_s:.3f} s vs {cold_s:.3f} s) — the incremental cache "
+        "is not pulling its weight")

@@ -154,7 +154,10 @@ def _warn_unwritable(directory: Path, err: OSError) -> None:
     marker = str(directory)
     if marker in _UNWRITABLE:
         return
-    _UNWRITABLE.add(marker)
+    # Deliberate module-state write on a task-reachable path: the
+    # warn-once set only gates *warning noise*, never results — a task
+    # rerun without it produces identical payloads, just louder.
+    _UNWRITABLE.add(marker)  # lint: skip=RV601
     warnings.warn(
         f"cache directory {directory} is not writable ({err}); "
         "continuing with caching disabled for this directory",

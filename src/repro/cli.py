@@ -296,6 +296,37 @@ def _list_rules() -> int:
     return 0
 
 
+def _apply_lint_baseline(args, report):
+    """Baseline handling shared by ``lint`` and ``lint-source``.
+
+    Returns ``(report, exit code | None)``: ``--update-baseline``
+    records the current findings and short-circuits; ``--baseline``
+    filters known findings out (reporting how many were suppressed and
+    how many baseline entries are stale).
+    """
+    from .verify import apply_baseline, load_baseline, write_baseline
+
+    if getattr(args, "update_baseline", None):
+        count = write_baseline(args.update_baseline, report)
+        print(f"recorded {count} finding(s) into {args.update_baseline}")
+        return report, 0
+    if getattr(args, "baseline", None):
+        try:
+            fingerprints = load_baseline(args.baseline)
+        except ValueError as exc:
+            print(f"repro lint: {exc}", file=sys.stderr)
+            return report, 2
+        report, suppressed, stale = apply_baseline(report, fingerprints)
+        if suppressed:
+            print(f"baseline: suppressed {suppressed} known finding(s)",
+                  file=sys.stderr)
+        if stale:
+            print(f"baseline: {stale} entr(y/ies) matched nothing — "
+                  "fixed findings, prune them with --update-baseline",
+                  file=sys.stderr)
+    return report, None
+
+
 def _cmd_lint(args) -> int:
     from .verify import (
         Report,
@@ -326,6 +357,9 @@ def _cmd_lint(args) -> int:
                       f"{exc.strerror or exc}", file=sys.stderr)
                 return 2
         report.extend(part)
+    report, short_circuit = _apply_lint_baseline(args, report)
+    if short_circuit is not None:
+        return short_circuit
     renderer = {"text": render_text, "json": render_json,
                 "sarif": render_sarif}[args.format]
     print(renderer(report))
@@ -341,6 +375,7 @@ def _cmd_lint_source(args) -> int:
         render_text,
         verify_source,
     )
+    from .verify.cache import default_lint_cache_dir
 
     if args.list_rules:
         return _list_rules()
@@ -350,7 +385,18 @@ def _cmd_lint_source(args) -> int:
         print("repro lint-source: no such path: "
               + ", ".join(repr(p) for p in missing), file=sys.stderr)
         return 2
-    report = verify_source(paths, config=_lint_config(args))
+    try:
+        from .exec.registry import task_function_refs
+        task_refs = task_function_refs()
+    except ImportError:         # lint must not die on exec-side drift
+        task_refs = []
+    cache_dir = None if args.no_cache else default_lint_cache_dir()
+    report = verify_source(paths, config=_lint_config(args),
+                           cache_dir=cache_dir, jobs=args.jobs,
+                           extra_task_refs=task_refs)
+    report, short_circuit = _apply_lint_baseline(args, report)
+    if short_circuit is not None:
+        return short_circuit
     renderer = {"text": render_text, "json": render_json,
                 "sarif": render_sarif}[args.format]
     print(renderer(report))
@@ -634,10 +680,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="exit non-zero on warnings too")
     p.add_argument("--list-rules", action="store_true",
                    help="print the rule catalog and exit")
+    p.add_argument("--baseline", metavar="FILE",
+                   help="suppress findings recorded in this baseline "
+                        "file; only new findings remain")
+    p.add_argument("--update-baseline", metavar="FILE",
+                   help="record the current findings as the baseline "
+                        "and exit 0")
 
     p = sub.add_parser("lint-source",
                        help="static-analyse the simulator's own "
-                            "Python source (RV4xx)")
+                            "Python source (RV4xx-RV7xx)")
     p.add_argument("paths", nargs="*", metavar="PATH",
                    help="Python files or directories "
                         "(default: the installed repro package)")
@@ -651,6 +703,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="exit non-zero on warnings too")
     p.add_argument("--list-rules", action="store_true",
                    help="print the rule catalog and exit")
+    p.add_argument("--baseline", metavar="FILE",
+                   help="suppress findings recorded in this baseline "
+                        "file; only new findings remain")
+    p.add_argument("--update-baseline", metavar="FILE",
+                   help="record the current findings as the baseline "
+                        "and exit 0")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the incremental result cache")
+    p.add_argument("--jobs", type=int, default=None, metavar="N",
+                   help="parser worker threads (default: CPU count)")
 
     p = sub.add_parser("diagnose",
                        help="render a solver-failure JSON dump")

@@ -207,7 +207,10 @@ def chaos_task(params: Dict[str, Any]) -> Dict[str, Any]:
     elif fault == "flaky_crash":
         marker = Path(params["scratch"]) / f"flaky-{index}.attempted"
         if not marker.exists():
-            marker.touch()
+            # The marker write IS the injected fault: crash-once-then
+            # succeed needs cross-attempt state, and the scratch dir is
+            # owned by the chaos harness.  Real tasks must not do this.
+            marker.touch()  # lint: skip=RV603
             os._exit(13)
     elif fault == "task_error":
         raise RuntimeError(f"injected poison in task {index}")

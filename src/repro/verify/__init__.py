@@ -15,6 +15,20 @@ rule-registry framework:
   NaN/skip hazards over partial sweep results, stamp-contract drift,
   raw SPICE quantity strings, swallowed solver forensics, mutable
   default arguments;
+* :mod:`repro.verify.callgraph` / :mod:`repro.verify.dataflow` — the
+  interprocedural substrate: project symbol table, call graph, forward
+  dimension dataflow, incremental fact digests;
+* :mod:`repro.verify.rules_units` — RV5xx physical-units dataflow
+  (dimension mixing, unit-API mismatches, format_eng string misuse)
+  across module boundaries;
+* :mod:`repro.verify.rules_purity` — RV6xx campaign-task purity
+  (transitive state mutation, nondeterminism, stray filesystem writes,
+  JSON-unsafe signatures);
+* :mod:`repro.verify.rules_perf` — RV7xx hot-path inventory (per
+  element stamping loops, dense allocations in loops, invariant
+  reassembly) feeding the vectorization worklist;
+* :mod:`repro.verify.baseline` — record-and-suppress of pre-existing
+  findings so new bands gate only new regressions;
 * :mod:`repro.verify.emit` — text / JSON / SARIF output.
 
 Entry points: :func:`verify_circuit`, :func:`verify_deck`,
@@ -51,6 +65,21 @@ from . import rules_power     # noqa: F401
 from . import rules_mna       # noqa: F401
 from . import rules_deck      # noqa: F401
 from . import rules_source    # noqa: F401
+from . import rules_units     # noqa: F401
+from . import rules_purity    # noqa: F401
+from . import rules_perf      # noqa: F401
+from .baseline import (
+    apply_baseline,
+    baseline_fingerprint,
+    load_baseline,
+    write_baseline,
+)
+from .callgraph import (
+    ProjectModule,
+    SourceProject,
+    module_name_for,
+    summarize_module,
+)
 from .emit import render_json, render_sarif, render_text
 from .rules_deck import DeckSource
 from .source import (
@@ -72,32 +101,40 @@ __all__ = [
     "DeckSource",
     "Diagnostic",
     "Finding",
+    "ProjectModule",
     "Report",
     "Rule",
     "RuleRegistry",
     "Severity",
     "SourceLocation",
     "SourceModule",
+    "SourceProject",
     "StampCheckResult",
     "VerificationError",
     "VerifyConfig",
+    "apply_baseline",
     "assert_clean",
+    "baseline_fingerprint",
     "assert_stamps_clean",
     "check_circuit_stamps",
     "check_element_stamp",
     "default_source_paths",
     "lint_enabled",
+    "load_baseline",
+    "module_name_for",
     "render_json",
     "render_sarif",
     "render_text",
     "rule",
     "run_rules",
+    "summarize_module",
     "verify_circuit",
     "verify_deck",
     "verify_deck_file",
     "verify_source",
     "verify_source_file",
     "verify_source_text",
+    "write_baseline",
 ]
 
 

@@ -22,7 +22,15 @@ RV1xx   power-gating structure (VVDD islands, store paths...)
 RV2xx   MNA structural solvability
 RV3xx   SPICE-deck / text-level checks
 RV4xx   the simulator's own Python source (AST checks)
+RV5xx   interprocedural physical-units dataflow
+RV6xx   campaign task purity (call-graph transitive)
+RV7xx   hot-path performance inventory
 ======  =====================================================
+
+RV0xx-RV4xx rules see one artifact at a time.  The RV5xx+ bands run at
+``scope="project"``: their target is a
+:class:`repro.verify.callgraph.ProjectModule` — one module *plus* the
+whole-program symbol table, call graph and interprocedural facts.
 """
 
 from __future__ import annotations
@@ -115,9 +123,11 @@ class Rule:
         Kebab-case slug used in human output and suppression patterns.
     scope:
         ``"circuit"`` (checks a compiled :class:`repro.circuit.Circuit`),
-        ``"deck"`` (checks a tokenised SPICE deck source) or
+        ``"deck"`` (checks a tokenised SPICE deck source),
         ``"source"`` (checks a parsed Python module of the simulator
-        itself).
+        itself) or ``"project"`` (checks one module against the
+        assembled whole-program call graph and facts — see
+        :mod:`repro.verify.callgraph`).
     severity:
         Default severity of findings from this rule.
     description:
@@ -265,6 +275,25 @@ class VerifyConfig:
                     or (diag.target and fnmatch.fnmatch(diag.target, glob))):
                 return True
         return False
+
+    def digest(self) -> str:
+        """Stable content hash of the policy, for lint-cache keying.
+
+        Two configs with the same digest produce the same diagnostics
+        for the same input, so cached results keyed on it are safe to
+        reuse across runs (and are invalidated the moment a disable
+        list, severity override or suppression changes).
+        """
+        import hashlib
+        import json
+        blob = json.dumps({
+            "disable": sorted(self.disable),
+            "only": sorted(self.only),
+            "severity": {k: v.value for k, v
+                         in sorted(self.severity_overrides.items())},
+            "suppress": list(self.suppress),
+        }, sort_keys=True)
+        return hashlib.sha256(blob.encode()).hexdigest()[:16]
 
     def merge(self, other: "VerifyConfig") -> "VerifyConfig":
         """Layer ``other`` on top of this config (additive).

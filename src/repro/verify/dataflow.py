@@ -1,0 +1,508 @@
+"""Forward dataflow over ``ast`` for the interprocedural rule bands.
+
+This module is the analysis substrate under the RV5xx units band (and
+the summary extraction that feeds every project-scope rule): a small
+forward abstract interpreter over one function body, where the abstract
+value of an expression is a **dimension expression** — a serialisable
+tree whose leaves are physical dimensions (seeded from
+:mod:`repro.units`), function parameters, and calls into other project
+functions.
+
+Two consumers drive the same walker:
+
+* **summary extraction** (:mod:`repro.verify.callgraph`) runs it with no
+  hooks and keeps the dimension expressions of every ``return``
+  statement.  Those trees are JSON-serialisable, so they live in the
+  incremental lint cache and the warm path never needs the AST;
+* **checking** (:mod:`repro.verify.rules_units`) runs it with hooks that
+  evaluate operand trees against the project's return-dimension facts
+  and yield findings on dimension-mixing arithmetic.
+
+The dimension lattice is deliberately optimistic about unknowns: a
+numeric literal or an unseeded variable multiplies through as
+"dimensionless scalar" (``n * e_store`` stays an energy), and findings
+fire only when *both* sides of an addition/comparison carry known,
+different, non-dimensionless dimensions.  Optimism keeps the band
+useful on real energy-accounting code — the pessimistic reading turns
+every product into "unknown" and the band finds nothing.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..units import (
+    DIMENSIONLESS,
+    DIM_CAPACITANCE,
+    DIM_CHARGE,
+    DIM_CURRENT,
+    DIM_ENERGY,
+    DIM_FREQUENCY,
+    DIM_POWER,
+    DIM_RESISTANCE,
+    DIM_TIME,
+    DIM_VOLTAGE,
+    dimension_name,
+)
+
+Dim = Tuple[int, int, int, int]
+
+# ---------------------------------------------------------------------------
+# dimension expressions (serialisable)
+# ---------------------------------------------------------------------------
+#
+# A DimExpr is a plain-JSON tree:
+#   {"k": "dim", "d": [m, l, t, i]}      a known dimension
+#   {"k": "param", "n": "t_sl"}          the named parameter's dimension
+#   {"k": "call", "id": "mod:qual"}      a project function's return dim
+#   {"k": "bin", "op": "mul"|"div"|"add", "l": ..., "r": ...}
+#   {"k": "pow", "b": ..., "e": 2}       integer power
+#   {"k": "engstr"}                      a format_eng string
+#   {"k": "unknown"}                     no information
+
+UNKNOWN: Dict[str, object] = {"k": "unknown"}
+ENG_STR: Dict[str, object] = {"k": "engstr"}
+
+#: Evaluated abstract value: a Dim tuple, the string "engstr", or None
+#: (unknown).
+AbsVal = Optional[object]
+
+
+def dim_expr(dim: Dim) -> Dict[str, object]:
+    """Leaf node for a known dimension."""
+    return {"k": "dim", "d": list(dim)}
+
+
+def param_expr(name: str) -> Dict[str, object]:
+    """Leaf node for a function parameter's (call-site-independent) dim."""
+    return {"k": "param", "n": name}
+
+
+def call_expr(function_id: str) -> Dict[str, object]:
+    """Leaf node for a project function's return dimension."""
+    return {"k": "call", "id": function_id}
+
+
+def bin_expr(op: str, left: Dict[str, object],
+             right: Dict[str, object]) -> Dict[str, object]:
+    """Binary arithmetic node (``mul``/``div``/``add``)."""
+    return {"k": "bin", "op": op, "l": left, "r": right}
+
+
+def pow_expr(base: Dict[str, object], exponent: int) -> Dict[str, object]:
+    """Integer power node."""
+    return {"k": "pow", "b": base, "e": exponent}
+
+
+def _combine(op: str, left: AbsVal, right: AbsVal) -> AbsVal:
+    """Dimension algebra for one binary operation.
+
+    ``None`` (unknown) and literals behave as dimensionless scalars
+    under ``mul``/``div`` — the optimistic choice documented above.
+    """
+    if left == "engstr" or right == "engstr":
+        return "engstr"
+    if op == "mul":
+        if left is None and right is None:
+            return None
+        a = left if left is not None else DIMENSIONLESS
+        b = right if right is not None else DIMENSIONLESS
+        return tuple(x + y for x, y in zip(a, b))
+    if op == "div":
+        if left is None and right is None:
+            return None
+        a = left if left is not None else DIMENSIONLESS
+        b = right if right is not None else DIMENSIONLESS
+        return tuple(x - y for x, y in zip(a, b))
+    # add/sub/mod and joins: agreement propagates, disagreement is the
+    # checker's business (it sees both operands before combining).
+    if left is not None and right is not None and tuple(left) == tuple(right):
+        return tuple(left)
+    if left is not None and right is None:
+        return tuple(left)
+    if right is not None and left is None:
+        return tuple(right)
+    return None
+
+
+def eval_dim(expr: Optional[Dict[str, object]],
+             param_dims: Optional[Dict[str, Dim]] = None,
+             return_facts: Optional[Dict[str, Optional[Dim]]] = None,
+             _depth: int = 0) -> AbsVal:
+    """Evaluate a DimExpr to a Dim tuple, ``"engstr"`` or ``None``.
+
+    ``param_dims`` maps parameter names to seeded dimensions;
+    ``return_facts`` maps project function ids to their (fixpoint)
+    return dimensions.  Missing entries evaluate to unknown.
+    """
+    if expr is None or _depth > 32:
+        return None
+    kind = expr.get("k")
+    if kind == "dim":
+        return tuple(expr["d"])  # type: ignore[arg-type]
+    if kind == "engstr":
+        return "engstr"
+    if kind == "unknown":
+        return None
+    if kind == "param":
+        if param_dims is None:
+            return None
+        return param_dims.get(str(expr.get("n")))
+    if kind == "call":
+        if return_facts is None:
+            return None
+        return return_facts.get(str(expr.get("id")))
+    if kind == "pow":
+        base = eval_dim(expr.get("b"), param_dims, return_facts, _depth + 1)
+        if base is None or base == "engstr":
+            return None
+        exponent = expr.get("e")
+        if not isinstance(exponent, int):
+            return None
+        return tuple(x * exponent for x in base)  # type: ignore[union-attr]
+    if kind == "bin":
+        left = eval_dim(expr.get("l"), param_dims, return_facts, _depth + 1)
+        right = eval_dim(expr.get("r"), param_dims, return_facts, _depth + 1)
+        return _combine(str(expr.get("op")), left, right)
+    return None
+
+
+def render_dim(value: AbsVal) -> str:
+    """Readable rendering of an evaluated abstract value."""
+    if value == "engstr":
+        return "format_eng string"
+    if value is None:
+        return "unknown"
+    return dimension_name(tuple(value))  # type: ignore[arg-type]
+
+
+# ---------------------------------------------------------------------------
+# parameter / attribute seeding
+# ---------------------------------------------------------------------------
+
+#: Name fragments that mark a variable as a pure number even when a
+#: dimension prefix/suffix also matches (``t_ratio`` is not a time).
+_NONDIM_WORDS = (
+    "ratio", "factor", "count", "index", "frac", "scale", "name",
+    "label", "mode", "kind", "id", "flag", "bits", "steps", "iters",
+)
+
+#: (prefixes, suffixes, exact names) seeding each dimension.  Prefixes
+#: are deliberately few — single-letter prefixes collide with MNA node
+#: indices (``p``, ``n``) and loop variables.
+_NAME_SEEDS: Tuple[Tuple[Tuple[str, ...], Tuple[str, ...],
+                         Tuple[str, ...], Dim], ...] = (
+    (("e_",), ("_energy",), ("energy",), DIM_ENERGY),
+    (("t_",), ("_time", "_duration", "_window"), ("bet", "dt", "tau"),
+     DIM_TIME),
+    ((), ("_power",), ("power",), DIM_POWER),
+    ((), ("_current",), ("ic", "i_c"), DIM_CURRENT),
+    ((), ("_voltage",), ("vdd", "vss", "drv"), DIM_VOLTAGE),
+    ((), ("_frequency",), ("frequency", "freq"), DIM_FREQUENCY),
+    ((), ("_capacitance",), (), DIM_CAPACITANCE),
+    ((), ("_resistance",), (), DIM_RESISTANCE),
+    ((), ("_charge",), (), DIM_CHARGE),
+)
+
+#: String annotations accepted on parameters: ``def f(e: "J")``.
+_ANNOTATION_DIMS = {
+    "s": DIM_TIME, "Hz": DIM_FREQUENCY, "J": DIM_ENERGY, "W": DIM_POWER,
+    "A": DIM_CURRENT, "V": DIM_VOLTAGE, "F": DIM_CAPACITANCE,
+    "Ohm": DIM_RESISTANCE, "C": DIM_CHARGE,
+}
+
+
+def seed_for_name(name: str) -> Optional[Dim]:
+    """Dimension implied by a variable/attribute/parameter name.
+
+    The conventions mirror this repo's naming (``e_store``, ``t_sl``,
+    ``saving_power``, ``leakage_current``); names carrying a
+    counting/ratio word are never seeded.
+    """
+    lowered = name.lower()
+    if any(word in lowered for word in _NONDIM_WORDS):
+        return None
+    for prefixes, suffixes, exacts, dim in _NAME_SEEDS:
+        if lowered in exacts:
+            return dim
+        if any(lowered.startswith(p) and len(lowered) > len(p)
+               for p in prefixes):
+            return dim
+        if any(lowered.endswith(s) for s in suffixes):
+            return dim
+    return None
+
+
+def seed_for_annotation(annotation: Optional[str]) -> Optional[Dim]:
+    """Dimension from a string parameter annotation (``x: "J"``)."""
+    if annotation is None:
+        return None
+    return _ANNOTATION_DIMS.get(annotation)
+
+
+# ---------------------------------------------------------------------------
+# the forward walker
+# ---------------------------------------------------------------------------
+
+#: Pass-through callables: the result has its argument's dimension.
+_PASSTHROUGH = frozenset({
+    "abs", "fabs", "float", "copysign", "nan_to_num", "nanmin", "nanmax",
+    "nansum", "nanmean", "mean", "minimum", "maximum",
+})
+
+
+class DimFlow:
+    """Forward dimension propagation over one function body.
+
+    Parameters
+    ----------
+    resolve_name:
+        Callback mapping a dotted name (``"units.NS"`` as written in the
+        module, already alias-resolved by the caller) to a DimExpr leaf,
+        or ``None`` when the name means nothing to the units analysis.
+        This is where :mod:`repro.verify.callgraph` injects project
+        symbols (``call_expr``) and :mod:`repro.units` constants
+        (``dim_expr``).
+    on_binop / on_compare / on_call:
+        Optional checking hooks, called with the AST node and the
+        operand DimExprs.  Summary extraction passes none.
+    """
+
+    def __init__(self, resolve_name: Callable[[str],
+                                              Optional[Dict[str, object]]],
+                 on_binop=None, on_compare=None, on_call=None):
+        self.resolve_name = resolve_name
+        self.on_binop = on_binop
+        self.on_compare = on_compare
+        self.on_call = on_call
+        self.env: Dict[str, Dict[str, object]] = {}
+        self.returns: List[Dict[str, object]] = []
+
+    # -- entry point ------------------------------------------------------
+    def run(self, func: ast.FunctionDef) -> List[Dict[str, object]]:
+        """Walk ``func``'s body; returns the return-value DimExprs."""
+        for arg in (list(func.args.posonlyargs) + list(func.args.args)
+                    + list(func.args.kwonlyargs)):
+            if arg.arg in ("self", "cls"):
+                continue
+            self.env[arg.arg] = param_expr(arg.arg)
+        self._walk(func.body)
+        return self.returns
+
+    # -- statements -------------------------------------------------------
+    def _walk(self, stmts) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue            # nested scopes are summarised separately
+            elif isinstance(stmt, ast.Assign):
+                value = self.expr(stmt.value)
+                for target in stmt.targets:
+                    self._bind(target, value)
+            elif isinstance(stmt, ast.AnnAssign):
+                if stmt.value is not None:
+                    self._bind(stmt.target, self.expr(stmt.value))
+            elif isinstance(stmt, ast.AugAssign):
+                current = (self.env.get(stmt.target.id, UNKNOWN)
+                           if isinstance(stmt.target, ast.Name) else UNKNOWN)
+                op = _BINOPS.get(type(stmt.op))
+                value = self.expr(stmt.value)
+                if op in ("add", "sub") and self.on_binop is not None:
+                    self.on_binop(stmt, current, value)
+                if isinstance(stmt.target, ast.Name):
+                    combined = (bin_expr(_EVAL_OP.get(op, "add"),
+                                         current, value)
+                                if op else UNKNOWN)
+                    self.env[stmt.target.id] = combined
+            elif isinstance(stmt, ast.Return):
+                if stmt.value is not None:
+                    self.returns.append(self.expr(stmt.value))
+            elif isinstance(stmt, ast.Expr):
+                self.expr(stmt.value)
+            elif isinstance(stmt, ast.If):
+                self._branch(stmt.body, stmt.orelse, [stmt.test])
+            elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                self._clear_bindings(stmt.target)
+                self.expr(stmt.iter)
+                self._branch(stmt.body, stmt.orelse, [])
+            elif isinstance(stmt, ast.While):
+                self._branch(stmt.body, stmt.orelse, [stmt.test])
+            elif isinstance(stmt, ast.With):
+                for item in stmt.items:
+                    self.expr(item.context_expr)
+                self._walk(stmt.body)
+            elif isinstance(stmt, ast.Try):
+                self._walk(stmt.body)
+                for handler in stmt.handlers:
+                    self._walk(handler.body)
+                self._walk(stmt.orelse)
+                self._walk(stmt.finalbody)
+            elif isinstance(stmt, (ast.Raise, ast.Assert)):
+                for child in ast.iter_child_nodes(stmt):
+                    if isinstance(child, ast.expr):
+                        self.expr(child)
+
+    def _branch(self, body, orelse, tests) -> None:
+        """Walk both arms of a branch and join the environments."""
+        for test in tests:
+            self.expr(test)
+        before = dict(self.env)
+        self._walk(body)
+        after_body = self.env
+        self.env = dict(before)
+        self._walk(orelse)
+        joined: Dict[str, Dict[str, object]] = {}
+        for name in set(after_body) | set(self.env):
+            a = after_body.get(name)
+            b = self.env.get(name)
+            if a is not None and b is not None and a == b:
+                joined[name] = a
+            elif a is not None and b is None and name not in before:
+                joined[name] = a
+            elif b is not None and a is None and name not in before:
+                joined[name] = b
+            else:
+                joined[name] = UNKNOWN if a != b else (a or UNKNOWN)
+        self.env = joined
+
+    def _bind(self, target: ast.AST, value: Dict[str, object]) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = value
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._clear_bindings(elt)
+
+    def _clear_bindings(self, target: ast.AST) -> None:
+        for node in ast.walk(target):
+            if isinstance(node, ast.Name):
+                self.env[node.id] = UNKNOWN
+
+    # -- expressions ------------------------------------------------------
+    def expr(self, node: ast.AST) -> Dict[str, object]:
+        """DimExpr of one expression (walking children for hook firing)."""
+        if isinstance(node, ast.Name):
+            if node.id in self.env:
+                return self.env[node.id]
+            return self.resolve_name(node.id) or UNKNOWN
+        if isinstance(node, ast.Constant):
+            return UNKNOWN          # literals are polymorphic scalars
+        if isinstance(node, ast.Attribute):
+            return self._attribute(node)
+        if isinstance(node, ast.BinOp):
+            return self._binop(node)
+        if isinstance(node, ast.UnaryOp):
+            return self.expr(node.operand)
+        if isinstance(node, ast.Compare):
+            operands = [self.expr(node.left)] + [
+                self.expr(comparator) for comparator in node.comparators]
+            if self.on_compare is not None:
+                self.on_compare(node, operands)
+            return UNKNOWN
+        if isinstance(node, ast.Call):
+            return self._call(node)
+        if isinstance(node, ast.IfExp):
+            self.expr(node.test)
+            left = self.expr(node.body)
+            right = self.expr(node.orelse)
+            return left if left == right else UNKNOWN
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            for elt in node.elts:
+                self.expr(elt)
+            return UNKNOWN
+        if isinstance(node, ast.Dict):
+            for value in node.values:
+                self.expr(value)
+            return UNKNOWN
+        if isinstance(node, ast.Subscript):
+            self.expr(node.value)
+            return UNKNOWN
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            return UNKNOWN
+        if isinstance(node, ast.JoinedStr):
+            for value in node.values:
+                if isinstance(value, ast.FormattedValue):
+                    self.expr(value.value)
+            return UNKNOWN
+        if isinstance(node, ast.BoolOp):
+            for value in node.values:
+                self.expr(value)
+            return UNKNOWN
+        return UNKNOWN
+
+    def _attribute(self, node: ast.Attribute) -> Dict[str, object]:
+        dotted = _dotted_name(node)
+        if dotted is not None:
+            resolved = self.resolve_name(dotted)
+            if resolved is not None:
+                return resolved
+        self.expr(node.value)       # keep walking for hooks
+        seed = seed_for_name(node.attr)
+        if seed is not None:
+            return dim_expr(seed)
+        return UNKNOWN
+
+    def _binop(self, node: ast.BinOp) -> Dict[str, object]:
+        op = _BINOPS.get(type(node.op))
+        left = self.expr(node.left)
+        right = self.expr(node.right)
+        if op is None:
+            return UNKNOWN
+        if op in ("add", "sub") and self.on_binop is not None:
+            self.on_binop(node, left, right)
+        if op == "pow":
+            if (isinstance(node.right, ast.Constant)
+                    and isinstance(node.right.value, int)):
+                return pow_expr(left, node.right.value)
+            return UNKNOWN
+        return bin_expr(_EVAL_OP[op], left, right)
+
+    def _call(self, node: ast.Call) -> Dict[str, object]:
+        args = [self.expr(arg) for arg in node.args]
+        for keyword in node.keywords:
+            self.expr(keyword.value)
+        name = _call_target(node)
+        if self.on_call is not None:
+            self.on_call(node, name, args)
+        if name is None:
+            return UNKNOWN
+        tail = name.rsplit(".", 1)[-1]
+        if tail == "format_eng":
+            return ENG_STR
+        if tail in _PASSTHROUGH and args:
+            return args[0]
+        resolved = self.resolve_name(name)
+        if resolved is not None:
+            return resolved
+        return UNKNOWN
+
+
+_BINOPS = {
+    ast.Add: "add", ast.Sub: "sub", ast.Mult: "mul", ast.Div: "div",
+    ast.FloorDiv: "div", ast.Mod: "add", ast.Pow: "pow",
+}
+
+#: Operation used when *evaluating* the stored tree ("sub"/"mod" reuse
+#: the agreement semantics of "add").
+_EVAL_OP = {"add": "add", "sub": "add", "mul": "mul", "div": "div"}
+
+
+def _dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for nested attribute chains rooted at a Name."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _call_target(node: ast.Call) -> Optional[str]:
+    """Dotted name of a call's callee, or None for computed callees."""
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    if isinstance(node.func, ast.Attribute):
+        return _dotted_name(node.func)
+    return None

@@ -1,0 +1,222 @@
+"""RV7xx: hot-path performance inventory (project scope).
+
+ROADMAP item 1 replaces the per-element Python stamping loops with a
+vectorized batched solver.  This band *inventories* the work: every
+Python-level loop that stamps into MNA ndarrays, every dense ndarray
+allocation executed per Newton iteration or sweep point (lexically
+inside a loop, or — via the call graph — inside a function that some
+caller invokes from a loop), and every reassembly of topology-invariant
+structure inside a loop.  Findings are informational by design: they
+are a worklist, not defects, and ``python -m repro lint-source
+--format json`` is the machine-readable form the refactor consumes.
+
+======  =========================  =================================
+code    name                       finding
+======  =========================  =================================
+RV701   per-element-stamp-loop     a Python loop stamping elements or
+                                   filling A/b entry-by-entry
+RV702   dense-alloc-in-loop        a dense ndarray allocation inside a
+                                   loop, or in a function called from
+                                   a loop elsewhere in the project
+RV703   invariant-reassembly       topology-invariant structure
+                                   (compile/stamp_pattern/row_labels)
+                                   rebuilt inside a loop
+======  =========================  =================================
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+from . import callgraph, dataflow
+from .core import Finding, rule
+
+#: Stamper-object primitives (see ``analysis/stamps.py``): a call to one
+#: of these on a receiver whose name mentions "stamp", inside a loop,
+#: is per-element matrix filling.
+_STAMP_PRIMS = frozenset({"conductance", "current", "vccs", "matrix",
+                          "rhs"})
+
+#: Dense-array constructors (numpy dotted tails).
+_DENSE_ALLOCS = frozenset({
+    "zeros", "ones", "empty", "full", "eye", "identity", "arange",
+    "linspace", "zeros_like", "ones_like", "empty_like", "full_like",
+    "diag", "vander", "meshgrid",
+})
+
+#: Topology-invariant assembly: same result every iteration for a fixed
+#: circuit, so a loop re-calling them is wasted work.
+_INVARIANT_TAILS = frozenset({"compile", "stamp_pattern", "row_labels"})
+
+_LOOPS = (ast.For, ast.AsyncFor, ast.While)
+
+
+def _body_nodes(func: ast.FunctionDef) -> Iterator[
+        Tuple[ast.AST, Optional[ast.AST]]]:
+    """(node, innermost enclosing loop) for the function's own body.
+
+    Nested function/class definitions are skipped — they are analysed
+    as their own functions.
+    """
+    def visit(node: ast.AST, loop: Optional[ast.AST]):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.ClassDef)):
+                continue
+            yield child, loop
+            child_loop = child if isinstance(child, _LOOPS) else loop
+            yield from visit(child, child_loop)
+
+    yield from visit(func, None)
+
+
+def _is_matrix_fill(node: ast.AugAssign) -> bool:
+    """``A[i, j] += g`` / ``b[k] -= i`` style per-entry system fill."""
+    target = node.target
+    if not isinstance(target, ast.Subscript):
+        return False
+    base = target.value
+    name = None
+    if isinstance(base, ast.Name):
+        name = base.id
+    elif isinstance(base, ast.Attribute):
+        name = base.attr
+    return name in ("A", "b", "G", "rhs", "jacobian")
+
+
+class _PerfScan:
+    """One pass over a module's functions collecting RV7xx findings."""
+
+    def __init__(self, pm: "callgraph.ProjectModule"):
+        self.pm = pm
+        self.findings: List[Tuple[str, Finding]] = []
+        self._seen: Set[Tuple[str, int]] = set()
+
+    def run(self) -> List[Tuple[str, Finding]]:
+        tree = self.pm.module.tree
+        if tree is None:
+            return []
+        imports = callgraph._import_map(tree, self.pm.name)
+        top = callgraph._module_level_names(tree)
+        for qual, class_ctx, func in callgraph._collect_functions(tree):
+            resolver = callgraph._Resolver(self.pm.name, imports, top)
+            self._scan_function(qual, class_ctx, func, resolver)
+        return self.findings
+
+    def _emit(self, code: str, subject: str, node: ast.AST,
+              message: str) -> None:
+        line = getattr(node, "lineno", 0)
+        if (code, line) in self._seen:
+            return
+        self._seen.add((code, line))
+        self.findings.append((code, Finding(
+            subject=subject, message=message,
+            location=self.pm.module.loc(node))))
+
+    def _scan_function(self, qual: str, class_ctx: str,
+                       func: ast.FunctionDef,
+                       resolver: "callgraph._Resolver") -> None:
+        fid = f"{self.pm.name}:{qual}"
+        stamp_loops: Set[ast.AST] = set()
+        loop_reason: dict = {}
+
+        for node, loop in _body_nodes(func):
+            if isinstance(node, ast.Call):
+                dotted = dataflow._call_target(node)
+                self._scan_call(fid, node, dotted, loop, resolver,
+                                class_ctx, stamp_loops, loop_reason)
+            elif isinstance(node, ast.AugAssign) and loop is not None \
+                    and _is_matrix_fill(node):
+                stamp_loops.add(loop)
+                loop_reason.setdefault(
+                    loop, "fills the system matrix entry-by-entry")
+
+        for loop in sorted(stamp_loops, key=lambda n: n.lineno):
+            self._emit(
+                "RV701", fid, loop,
+                f"per-element Python stamping loop ({loop_reason[loop]}); "
+                "vectorization worklist for the batched solver")
+
+    def _scan_call(self, fid, node, dotted, loop, resolver, class_ctx,
+                   stamp_loops, loop_reason) -> None:
+        if dotted is None:
+            return
+        tail = dotted.rsplit(".", 1)[-1]
+        receiver = dotted.rsplit(".", 1)[0] if "." in dotted else ""
+
+        if loop is not None:
+            if tail == "stamp":
+                stamp_loops.add(loop)
+                loop_reason.setdefault(
+                    loop, "calls element .stamp() per element")
+            elif tail in _STAMP_PRIMS and "stamp" in receiver.lower():
+                stamp_loops.add(loop)
+                loop_reason.setdefault(
+                    loop, f"drives stamper primitive .{tail}() per entry")
+            if tail in _INVARIANT_TAILS:
+                self._emit(
+                    "RV703", fid, node,
+                    f"topology-invariant call .{tail}() inside a loop; "
+                    "hoist it — the result is identical every iteration")
+
+        if tail in _DENSE_ALLOCS:
+            resolved = resolver.resolve(dotted, class_ctx) or ""
+            if not (resolved.startswith("numpy.")
+                    or resolved.startswith("scipy.")):
+                return
+            if loop is not None:
+                self._emit(
+                    "RV702", fid, node,
+                    f"dense allocation {tail}() inside a loop; "
+                    "preallocate outside and fill in place")
+            else:
+                caller = self.pm.project.loop_called.get(fid)
+                if caller is not None:
+                    self._emit(
+                        "RV702", fid, node,
+                        f"dense allocation {tail}() in a function called "
+                        f"from a loop ({caller[0]} line {caller[1]}); "
+                        "allocates once per iteration across the call")
+
+
+def _perf_findings(pm, code: str) -> Iterator[Finding]:
+    cached = getattr(pm, "_rv7_findings", None)
+    if cached is None:
+        cached = _PerfScan(pm).run()
+        pm._rv7_findings = cached
+    for found_code, finding in cached:
+        if found_code == code:
+            yield finding
+
+
+@rule("RV701", "per-element-stamp-loop", "project", "info",
+      "a Python loop stamps elements or fills the MNA system "
+      "entry-by-entry",
+      rationale="each transient step re-runs these loops; they are the "
+                "inventory ROADMAP item 1's vectorized batched solver "
+                "must eliminate.")
+def check_stamp_loops(pm) -> Iterator[Finding]:
+    """RV701: per-element stamping loops (the vectorization worklist)."""
+    yield from _perf_findings(pm, "RV701")
+
+
+@rule("RV702", "dense-alloc-in-loop", "project", "info",
+      "a dense ndarray is allocated inside a loop (directly or via a "
+      "loop-called function)",
+      rationale="Newton iterations and sweep points dominate runtime; "
+                "per-iteration allocation churns the allocator and "
+                "defeats cache reuse.")
+def check_dense_alloc(pm) -> Iterator[Finding]:
+    """RV702: dense ndarray allocations executed per loop iteration."""
+    yield from _perf_findings(pm, "RV702")
+
+
+@rule("RV703", "invariant-reassembly", "project", "info",
+      "topology-invariant structure is rebuilt inside a loop",
+      rationale="compile()/stamp_pattern()/row_labels() depend only on "
+                "the circuit; rebuilding them per iteration is pure "
+                "overhead.")
+def check_invariant_reassembly(pm) -> Iterator[Finding]:
+    """RV703: topology-invariant structure rebuilt inside loops."""
+    yield from _perf_findings(pm, "RV703")

@@ -1,0 +1,200 @@
+"""RV5xx: physical-units dataflow checks (project scope).
+
+The paper's headline quantities — store/restore energy ``E_cyc``,
+break-even time, leakage per architecture — are only comparable if
+every joule and second flows through the code with a consistent
+dimension.  This band runs the forward dataflow of
+:mod:`repro.verify.dataflow` over every function with *checking hooks*
+attached, evaluating operand dimension-expressions against the
+project-wide return-dimension facts fixpointed by
+:class:`repro.verify.callgraph.SourceProject` — so a function in
+``experiments`` adding a power returned by a helper in ``pg`` to an
+energy is flagged even though neither module alone shows the mix.
+
+======  ==================  =========================================
+code    name                finding
+======  ==================  =========================================
+RV501   dimension-mix       add/sub/compare of two known, different,
+                            non-dimensionless quantities (energy+power,
+                            time+frequency, ...)
+RV502   unit-api-mismatch   ``format_eng(x, "J")`` where the dataflow
+                            proves ``x`` is not an energy
+RV503   engstr-arithmetic   arithmetic on / comparison of a
+                            ``format_eng`` *string* against a raw
+                            quantity — formatting is presentation, not
+                            a unit conversion
+======  ==================  =========================================
+
+The lattice is optimistic (see :mod:`repro.verify.dataflow`): findings
+fire only when both sides are *known*, so unannotated code stays quiet
+rather than noisy.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..units import dimension_name, dimension_of
+from . import callgraph, dataflow
+from .core import Finding, rule
+
+
+def _unit_literal(node: ast.Call) -> Optional[Tuple[str, ast.AST]]:
+    """The literal unit argument of a ``format_eng`` call, if any."""
+    for keyword in node.keywords:
+        if keyword.arg == "unit" and isinstance(keyword.value, ast.Constant):
+            if isinstance(keyword.value.value, str):
+                return keyword.value.value, keyword.value
+    if len(node.args) >= 2 and isinstance(node.args[1], ast.Constant) \
+            and isinstance(node.args[1].value, str):
+        return node.args[1].value, node.args[1]
+    return None
+
+
+class _UnitsChecker:
+    """One DimFlow pass per function, hooks collecting findings."""
+
+    def __init__(self, pm: "callgraph.ProjectModule"):
+        self.pm = pm
+        self.findings: List[Tuple[str, Finding]] = []
+        self._seen: Set[Tuple[str, int, str]] = set()
+        self.facts = pm.project.units_facts_for_eval()
+
+    def run(self) -> List[Tuple[str, Finding]]:
+        tree = self.pm.module.tree
+        if tree is None:
+            return []
+        imports = callgraph._import_map(tree, self.pm.name)
+        top = callgraph._module_level_names(tree)
+        for qual, class_ctx, func in callgraph._collect_functions(tree):
+            resolver = callgraph._Resolver(self.pm.name, imports, top)
+            self._check_function(qual, class_ctx, func, resolver)
+        return self.findings
+
+    def _check_function(self, qual: str, class_ctx: str,
+                        func: ast.FunctionDef,
+                        resolver: "callgraph._Resolver") -> None:
+        annotations = callgraph._param_annotations(func)
+        param_dims: Dict[str, Tuple[int, ...]] = {}
+        for arg in (list(func.args.posonlyargs) + list(func.args.args)
+                    + list(func.args.kwonlyargs)):
+            if arg.arg in ("self", "cls"):
+                continue
+            dim = (dataflow.seed_for_annotation(annotations.get(arg.arg))
+                   or dataflow.seed_for_name(arg.arg))
+            if dim is not None:
+                param_dims[arg.arg] = dim
+        subject = f"{self.pm.name}:{qual}"
+
+        def ev(expr):
+            return dataflow.eval_dim(expr, param_dims, self.facts)
+
+        def emit(code: str, node: ast.AST, message: str) -> None:
+            key = (code, getattr(node, "lineno", 0), message)
+            if key in self._seen:
+                return
+            self._seen.add(key)
+            self.findings.append((code, Finding(
+                subject=subject, message=message,
+                location=self.pm.module.loc(node))))
+
+        def on_binop(node, left_expr, right_expr) -> None:
+            left, right = ev(left_expr), ev(right_expr)
+            if left == "engstr" or right == "engstr":
+                other = right if left == "engstr" else left
+                emit("RV503", node,
+                     "arithmetic on a format_eng string"
+                     + (f" (other operand has dimension "
+                        f"{dataflow.render_dim(other)})"
+                        if isinstance(other, tuple) else "")
+                     + "; format the final quantity instead")
+                return
+            if (isinstance(left, tuple) and isinstance(right, tuple)
+                    and left != right
+                    and any(left) and any(right)):
+                emit("RV501", node,
+                     f"adding/subtracting {dimension_name(left)} and "
+                     f"{dimension_name(right)} values; quantities of "
+                     "different dimension cannot be summed")
+
+        def on_compare(node, operands) -> None:
+            values = [ev(op) for op in operands]
+            known = [v for v in values if isinstance(v, tuple)]
+            if "engstr" in values and known:
+                emit("RV503", node,
+                     f"comparing a format_eng string against a raw "
+                     f"{dimension_name(known[0])} value; compare the "
+                     "floats, format for display only")
+                return
+            dims = {v for v in known if any(v)}
+            if len(dims) > 1:
+                names = " vs ".join(sorted(dimension_name(d) for d in dims))
+                emit("RV501", node,
+                     f"comparing quantities of different dimension "
+                     f"({names})")
+
+        def on_call(node, name, args) -> None:
+            if name is None or name.rsplit(".", 1)[-1] != "format_eng":
+                return
+            unit = _unit_literal(node)
+            if unit is None or not node.args:
+                return
+            expected = dimension_of(unit[0])
+            if expected is None:
+                return
+            actual = ev(args[0]) if args else None
+            if isinstance(actual, tuple) and any(actual) \
+                    and tuple(actual) != tuple(expected):
+                emit("RV502", node,
+                     f"format_eng(..., {unit[0]!r}) formats a "
+                     f"{dimension_name(expected)} unit, but the value is "
+                     f"{dataflow.render_dim(actual)}")
+
+        flow = dataflow.DimFlow(
+            callgraph._units_resolver(resolver, class_ctx),
+            on_binop=on_binop, on_compare=on_compare, on_call=on_call)
+        flow.run(func)
+
+
+def _units_findings(pm: "callgraph.ProjectModule",
+                    code: str) -> Iterator[Finding]:
+    cached = getattr(pm, "_rv5_findings", None)
+    if cached is None:
+        cached = _UnitsChecker(pm).run()
+        pm._rv5_findings = cached
+    for found_code, finding in cached:
+        if found_code == code:
+            yield finding
+
+
+@rule("RV501", "dimension-mix", "project", "warning",
+      "addition or comparison of quantities with different physical "
+      "dimensions",
+      rationale="E_cyc and break-even comparisons are meaningless if an "
+                "energy is summed with a power or a time compared to a "
+                "frequency; the dataflow follows quantities across calls "
+                "so the mix is caught at the offending expression.")
+def check_dimension_mix(pm) -> Iterator[Finding]:
+    """RV501: dimension-mixing arithmetic/comparison findings."""
+    yield from _units_findings(pm, "RV501")
+
+
+@rule("RV502", "unit-api-mismatch", "project", "warning",
+      "format_eng called with a unit symbol that contradicts the value's "
+      "inferred dimension",
+      rationale="a power table rendered with 'J' labels mis-reports the "
+                "paper's headline numbers even when the floats are right.")
+def check_unit_api_mismatch(pm) -> Iterator[Finding]:
+    """RV502: format_eng unit-symbol mismatch findings."""
+    yield from _units_findings(pm, "RV502")
+
+
+@rule("RV503", "engstr-arithmetic", "project", "error",
+      "arithmetic on, or comparison against, a format_eng string",
+      rationale="'23.40 pJ' is presentation, not a quantity; mixing it "
+                "back into arithmetic silently string-concatenates or "
+                "compares lexically.")
+def check_engstr_arithmetic(pm) -> Iterator[Finding]:
+    """RV503: arithmetic/comparison on format_eng strings."""
+    yield from _units_findings(pm, "RV503")

@@ -1,0 +1,31 @@
+"""Dimension-mixing arithmetic the RV501 units dataflow flags."""
+
+
+def total_energy_bad(e_store, leak_power):
+    return e_store + leak_power            # energy + power -> RV501
+
+
+def compare_bad(t_pulse, switching_frequency):
+    return t_pulse < switching_frequency   # time vs frequency -> RV501
+
+
+def helper_power(vdd, leakage_current):
+    return vdd * leakage_current           # V * A -> power fact
+
+
+def cross_call_bad(e_cyc):
+    # The mix is only visible through helper_power's fixpointed
+    # return dimension: energy + power -> RV501.
+    return e_cyc + helper_power(0.9, 1e-6)
+
+
+def ratio_is_fine(e_store, e_restore):
+    return e_store / e_restore + 1.0       # dimensionless; quiet
+
+
+def same_dimension_is_fine(e_store, e_restore):
+    return 2.0 * e_store + e_restore       # both energies; quiet
+
+
+def unknown_stays_quiet(e_store, mystery):
+    return e_store + mystery               # optimistic lattice; quiet

@@ -1,0 +1,20 @@
+"""format_eng unit symbols contradicting the value's dimension (RV502)."""
+
+from repro.units import format_eng
+
+
+def render_power_bad(e_store):
+    return format_eng(e_store, "W")        # energy rendered as W -> RV502
+
+
+def render_energy_ok(e_store):
+    return format_eng(e_store, "J")        # matching unit; quiet
+
+
+def render_derived_ok(leak_power, t_sl):
+    # W * s = J: the dataflow proves the product is an energy.
+    return format_eng(leak_power * t_sl, "J")
+
+
+def render_unknown_ok(value):
+    return format_eng(value, "J")          # unknown dimension; quiet

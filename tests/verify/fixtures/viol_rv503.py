@@ -1,0 +1,17 @@
+"""Arithmetic on / comparison against format_eng strings (RV503)."""
+
+from repro.units import format_eng
+
+
+def engstr_arithmetic_bad(e_store, e_restore):
+    pretty = format_eng(e_store, "J")
+    return pretty + e_restore              # concat, not a sum -> RV503
+
+
+def engstr_compare_bad(e_store, e_limit):
+    pretty = format_eng(e_store, "J")
+    return pretty < e_limit                # lexical compare -> RV503
+
+
+def format_for_display_ok(e_store):
+    return format_eng(e_store, "J")        # presentation only; quiet

@@ -1,0 +1,38 @@
+"""Hot-path patterns the RV7xx perf inventory reports (701/702/703)."""
+
+import numpy as np
+
+
+def stamp_all(A, elements, x):
+    for el in elements:                    # RV701: .stamp() per element
+        el.stamp(A, x)
+    return A
+
+
+def fill_entries(A, entries):
+    for i, j, g in entries:                # RV701: entry-by-entry fill
+        A[i, j] += g
+    return A
+
+
+def alloc_per_step(n, steps):
+    out = []
+    for _ in range(steps):
+        out.append(np.zeros(n))            # RV702: dense alloc in loop
+    return out
+
+
+def reassemble_per_point(circuit, points):
+    rows = []
+    for _ in range(points):
+        rows.append(circuit.compile())     # RV703: invariant reassembly
+    return rows
+
+
+def hoisted_is_fine(circuit, n, points):
+    pattern = circuit.compile()            # hoisted; quiet
+    buffer = np.zeros(n)                   # allocated once; quiet
+    total = 0.0
+    for _ in range(points):
+        total += float(buffer.sum())
+    return pattern, total

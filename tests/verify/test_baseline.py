@@ -1,0 +1,180 @@
+"""Baseline workflow: record today's findings, suppress them on later
+runs, fail only on new ones.  Fingerprints are line-number-free so
+unrelated edits never resurrect a baselined finding."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.cli import main
+from repro.verify import (
+    apply_baseline,
+    baseline_fingerprint,
+    load_baseline,
+    verify_source_text,
+    write_baseline,
+)
+from repro.verify.baseline import BASELINE_SCHEMA
+from repro.verify.core import Diagnostic, Severity, SourceLocation
+
+VIOLATIONS = ("def f(v):\n"
+              "    return v == 0.9\n"
+              "\n"
+              "\n"
+              "def g(row, rows=[]):\n"
+              "    rows.append(row)\n"
+              "    return rows\n")
+
+
+def make_diag(code="RV401", line=2, message="float equality",
+              subject="f", target="mod.py"):
+    return Diagnostic(code=code, name="x", severity=Severity.WARNING,
+                      message=message, subject=subject, target=target,
+                      location=SourceLocation(line=line, text="..."))
+
+
+# -- fingerprints ------------------------------------------------------------
+
+
+def test_fingerprint_ignores_line_numbers():
+    assert baseline_fingerprint(make_diag(line=2)) == \
+        baseline_fingerprint(make_diag(line=40))
+
+
+def test_fingerprint_distinguishes_content():
+    base = baseline_fingerprint(make_diag())
+    assert baseline_fingerprint(make_diag(code="RV406")) != base
+    assert baseline_fingerprint(make_diag(subject="g")) != base
+    assert baseline_fingerprint(make_diag(message="other")) != base
+    assert baseline_fingerprint(make_diag(target="else.py")) != base
+
+
+# -- write / load / apply ----------------------------------------------------
+
+
+def test_round_trip_suppresses_everything(tmp_path):
+    report = verify_source_text(VIOLATIONS, path="mod.py")
+    assert len(report) == 2
+    path = tmp_path / "lint-baseline.json"
+    write_baseline(path, report)
+
+    fingerprints = load_baseline(path)
+    assert len(fingerprints) == 2
+    filtered, suppressed, stale = apply_baseline(report, fingerprints)
+    assert list(filtered) == []
+    assert suppressed == 2
+    assert stale == 0
+
+
+def test_new_findings_pass_through(tmp_path):
+    old = verify_source_text("def f(v):\n    return v == 0.9\n",
+                             path="mod.py")
+    path = tmp_path / "baseline.json"
+    write_baseline(path, old)
+    new = verify_source_text(VIOLATIONS, path="mod.py")
+    filtered, suppressed, stale = apply_baseline(new,
+                                                 load_baseline(path))
+    assert [d.code for d in filtered] == ["RV406"]
+    assert suppressed == 1
+    assert stale == 0
+
+
+def test_stale_entries_are_counted(tmp_path):
+    report = verify_source_text(VIOLATIONS, path="mod.py")
+    path = tmp_path / "baseline.json"
+    write_baseline(path, report)
+    clean = verify_source_text("def f():\n    return 1\n", path="mod.py")
+    filtered, suppressed, stale = apply_baseline(clean,
+                                                 load_baseline(path))
+    assert list(filtered) == []
+    assert suppressed == 0
+    assert stale == 2
+
+
+def test_baseline_file_is_human_auditable(tmp_path):
+    report = verify_source_text(VIOLATIONS, path="mod.py")
+    path = tmp_path / "baseline.json"
+    write_baseline(path, report)
+    payload = json.loads(path.read_text())
+    assert payload["schema"] == BASELINE_SCHEMA
+    entries = payload["entries"]
+    assert len(entries) == 2
+    for entry in entries.values():
+        assert entry["code"].startswith("RV")
+        assert entry["target"] == "mod.py"
+        assert entry["message"]
+
+
+def test_info_findings_are_never_recorded(tmp_path):
+    """The RV7xx inventory is a worklist, not a gate: baselining it
+    would suppress the machine-readable output for no gain."""
+    from repro.verify import Report
+
+    report = Report(target="t", diagnostics=[
+        make_diag(code="RV401"),
+        Diagnostic(code="RV701", name="x", severity=Severity.INFO,
+                   message="inventory", subject="f", target="mod.py"),
+    ])
+    path = tmp_path / "baseline.json"
+    assert write_baseline(path, report) == 1
+    entries = json.loads(path.read_text())["entries"]
+    assert [e["code"] for e in entries.values()] == ["RV401"]
+
+
+def test_corrupt_baseline_raises(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text("{ nope")
+    with pytest.raises(ValueError):
+        load_baseline(path)
+    path.write_text(json.dumps({"schema": 999, "entries": {}}))
+    with pytest.raises(ValueError):
+        load_baseline(path)
+
+
+# -- CLI wiring --------------------------------------------------------------
+
+
+class TestCliBaseline:
+    def _module(self, tmp_path):
+        mod = tmp_path / "mod.py"
+        mod.write_text("def f():\n    return float(\"10n\")\n")
+        return mod
+
+    def test_update_then_suppress(self, tmp_path, capsys):
+        mod = self._module(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert main(["lint-source", str(mod)]) == 1    # RV404 fails
+        assert main(["lint-source", str(mod),
+                     "--update-baseline", str(baseline)]) == 0
+        assert baseline.exists()
+        capsys.readouterr()
+        assert main(["lint-source", str(mod),
+                     "--baseline", str(baseline)]) == 0
+        assert "suppressed" in capsys.readouterr().err
+
+    def test_new_finding_still_fails(self, tmp_path):
+        mod = self._module(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert main(["lint-source", str(mod),
+                     "--update-baseline", str(baseline)]) == 0
+        mod.write_text(mod.read_text()
+                       + "\n\ndef g():\n    return float(\"5f\")\n")
+        assert main(["lint-source", str(mod),
+                     "--baseline", str(baseline)]) == 1
+
+    def test_missing_baseline_is_usage_error(self, tmp_path, capsys):
+        mod = self._module(tmp_path)
+        assert main(["lint-source", str(mod),
+                     "--baseline", str(tmp_path / "nope.json")]) == 2
+
+    def test_deck_lint_baseline(self, tmp_path, capsys):
+        deck = tmp_path / "bad.sp"
+        deck.write_text("t\nv1 a 0 1\nv2 a 0 1\n.end\n")
+        baseline = tmp_path / "deck-baseline.json"
+        assert main(["lint", str(deck)]) == 1          # RV005 fails
+        assert main(["lint", str(deck),
+                     "--update-baseline", str(baseline)]) == 0
+        capsys.readouterr()
+        assert main(["lint", str(deck),
+                     "--baseline", str(baseline)]) == 0

@@ -1,0 +1,288 @@
+"""RV6xx campaign purity: task roots from "module:function" refs and
+the registry, checks walking the call graph transitively."""
+
+import textwrap
+
+import pytest
+
+from repro.verify import verify_source
+from repro.verify.rules_purity import FS_EXEMPT_SUFFIXES
+
+
+def write_tree(tmp_path, files):
+    for rel, text in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(text))
+    return tmp_path
+
+
+def lint_tree(tmp_path, **kwargs):
+    return verify_source([str(tmp_path / "pkg")], **kwargs)
+
+
+def by_code(report, code):
+    return [d for d in report if d.code == code]
+
+
+#: A driver module whose string literal makes my_task a campaign root.
+DRIVER = 'TASK_FN = "pkg.tasks:my_task"\n'
+
+
+# -- RV600: unresolved refs --------------------------------------------------
+
+
+def test_rv600_dangling_ref(tmp_path):
+    write_tree(tmp_path, {
+        "pkg/__init__.py": "",
+        "pkg/tasks.py": "def my_task(params):\n    return params\n",
+        "pkg/driver.py": 'TASK_FN = "pkg.tasks:no_such_task"\n',
+    })
+    report = lint_tree(tmp_path)
+    findings = by_code(report, "RV600")
+    assert len(findings) == 1
+    assert findings[0].target.endswith("driver.py")
+    assert "pkg.tasks:no_such_task" in findings[0].message
+    assert findings[0].severity.value == "error"
+
+
+def test_refs_to_external_modules_are_ignored(tmp_path):
+    write_tree(tmp_path, {
+        "pkg/__init__.py": "",
+        "pkg/driver.py": 'TASK_FN = "some.other.package:task"\n',
+    })
+    assert by_code(lint_tree(tmp_path), "RV600") == []
+
+
+# -- RV601: state mutation ---------------------------------------------------
+
+
+def test_rv601_transitive_state_mutation(tmp_path):
+    write_tree(tmp_path, {
+        "pkg/__init__.py": "",
+        "pkg/driver.py": DRIVER,
+        "pkg/tasks.py": '''\
+            from pkg.helpers import tally
+
+
+            def my_task(params):
+                return tally(params)
+            ''',
+        "pkg/helpers.py": '''\
+            SEEN = {}
+            COUNT = 0
+
+
+            def tally(params):
+                global COUNT
+                COUNT += 1
+                SEEN[COUNT] = params
+                return dict(SEEN)
+            ''',
+    })
+    report = lint_tree(tmp_path)
+    findings = by_code(report, "RV601")
+    # global COUNT write + SEEN mutation, both in the helper module,
+    # both attributed to the task entry two calls up.
+    assert len(findings) >= 2
+    assert all(f.target.endswith("helpers.py") for f in findings)
+    assert all("my_task" in f.message for f in findings)
+    assert any("COUNT" in f.message for f in findings)
+
+
+def test_rv601_unreachable_mutation_is_quiet(tmp_path):
+    write_tree(tmp_path, {
+        "pkg/__init__.py": "",
+        "pkg/driver.py": DRIVER,
+        "pkg/tasks.py": "def my_task(params):\n    return params\n",
+        "pkg/helpers.py": '''\
+            CACHE = {}
+
+
+            def warm(key, value):
+                CACHE[key] = value
+            ''',
+    })
+    assert by_code(lint_tree(tmp_path), "RV601") == []
+
+
+# -- RV602: nondeterminism ---------------------------------------------------
+
+
+def test_rv602_random_and_clock(tmp_path):
+    write_tree(tmp_path, {
+        "pkg/__init__.py": "",
+        "pkg/driver.py": DRIVER,
+        "pkg/tasks.py": '''\
+            import random
+            import time
+
+
+            def my_task(params):
+                return helper(params)
+
+
+            def helper(params):
+                jitter = random.random()
+                stamp = time.time()
+                return {"jitter": jitter, "stamp": stamp}
+            ''',
+    })
+    report = lint_tree(tmp_path)
+    findings = by_code(report, "RV602")
+    assert len(findings) == 2
+    messages = " / ".join(f.message for f in findings)
+    assert "random.random" in messages
+    assert "time.time" in messages
+    # The call chain names the task entry the impurity leaks into.
+    assert all("my_task -> helper" in f.message for f in findings)
+
+
+def test_rv602_seeded_rng_is_fine(tmp_path):
+    write_tree(tmp_path, {
+        "pkg/__init__.py": "",
+        "pkg/driver.py": DRIVER,
+        "pkg/tasks.py": '''\
+            import numpy as np
+
+
+            def my_task(params):
+                rng = np.random.default_rng([params["seed"],
+                                             params["index"]])
+                return {"draw": float(rng.standard_normal())}
+            ''',
+    })
+    assert by_code(lint_tree(tmp_path), "RV602") == []
+
+
+# -- RV603: filesystem writes ------------------------------------------------
+
+
+def test_rv603_fs_write(tmp_path):
+    write_tree(tmp_path, {
+        "pkg/__init__.py": "",
+        "pkg/driver.py": DRIVER,
+        "pkg/tasks.py": '''\
+            from pathlib import Path
+
+
+            def my_task(params):
+                Path("side-effect.txt").write_text(str(params))
+                return params
+            ''',
+    })
+    findings = by_code(lint_tree(tmp_path), "RV603")
+    assert len(findings) == 1
+    assert "write_text" in findings[0].message
+    assert "task entry point" in findings[0].message
+
+
+def test_rv603_journal_and_cache_modules_exempt(tmp_path):
+    assert "exec.journal" in FS_EXEMPT_SUFFIXES
+    write_tree(tmp_path, {
+        "pkg/__init__.py": "",
+        "pkg/driver.py": DRIVER,
+        "pkg/tasks.py": '''\
+            from pkg.exec.journal import append
+
+
+            def my_task(params):
+                append(params)
+                return params
+            ''',
+        "pkg/exec/__init__.py": "",
+        "pkg/exec/journal.py": '''\
+            from pathlib import Path
+
+
+            def append(record):
+                with open("journal.ndjson", "a") as fh:
+                    fh.write(str(record))
+            ''',
+    })
+    assert by_code(lint_tree(tmp_path), "RV603") == []
+
+
+# -- RV604: task signatures --------------------------------------------------
+
+
+def test_rv604_signature_contract(tmp_path):
+    write_tree(tmp_path, {
+        "pkg/__init__.py": "",
+        "pkg/driver.py": '''\
+            TWO = "pkg.tasks:needs_two"
+            VAR = "pkg.tasks:takes_star"
+            BAD = "pkg.tasks:exotic_default"
+            ''',
+        "pkg/tasks.py": '''\
+            def needs_two(params, extra):
+                return params, extra
+
+
+            def takes_star(params, **kwargs):
+                return params, kwargs
+
+
+            def exotic_default(params, tol=object()):
+                return params, tol
+            ''',
+    })
+    findings = by_code(lint_tree(tmp_path), "RV604")
+    by_subject = {}
+    for f in findings:
+        by_subject.setdefault(f.subject.split(":")[1], []).append(f)
+    assert set(by_subject) == {"needs_two", "takes_star",
+                               "exotic_default"}
+    assert "2 required positional" in by_subject["needs_two"][0].message
+    assert "**kwargs" in by_subject["takes_star"][0].message
+    assert "not JSON-safe" in by_subject["exotic_default"][0].message
+    assert all(f.severity.value == "warning" for f in findings)
+
+
+def test_rv604_clean_signature_is_quiet(tmp_path):
+    write_tree(tmp_path, {
+        "pkg/__init__.py": "",
+        "pkg/driver.py": DRIVER,
+        "pkg/tasks.py": '''\
+            def my_task(params):
+                return {"x": params.get("x", 0.0)}
+            ''',
+    })
+    assert by_code(lint_tree(tmp_path), "RV604") == []
+
+
+# -- root seeding and suppression -------------------------------------------
+
+
+def test_extra_task_refs_seed_roots(tmp_path):
+    """Registry-declared tasks are roots with no string literal."""
+    write_tree(tmp_path, {
+        "pkg/__init__.py": "",
+        "pkg/tasks.py": '''\
+            import time
+
+
+            def my_task(params):
+                return {"t": time.time()}
+            ''',
+    })
+    quiet = lint_tree(tmp_path)
+    assert by_code(quiet, "RV602") == []
+    seeded = lint_tree(tmp_path,
+                       extra_task_refs=["pkg.tasks:my_task"])
+    assert len(by_code(seeded, "RV602")) == 1
+
+
+def test_rv6xx_inline_pragma(tmp_path):
+    write_tree(tmp_path, {
+        "pkg/__init__.py": "",
+        "pkg/driver.py": DRIVER,
+        "pkg/tasks.py": '''\
+            import time
+
+
+            def my_task(params):
+                return {"t": time.time()}  # lint: skip=RV602
+            ''',
+    })
+    assert by_code(lint_tree(tmp_path), "RV602") == []

@@ -152,6 +152,14 @@ def test_verify_source_merges_directory(tmp_path):
 
 
 def test_shipped_source_tree_is_clean():
-    """`repro lint-source` exits 0 on the shipped package."""
+    """`repro lint-source` exits 0 on the shipped package.
+
+    Clean means no errors and no warnings.  Info-severity findings are
+    allowed: the RV7xx band deliberately emits an informational
+    inventory of vectorization targets (pinned by
+    ``test_rules_perf.test_rv701_inventory_matches_hand_audit``), and
+    ``--strict`` CI gates only errors/warnings.
+    """
     report = verify_source(default_source_paths())
-    assert list(report) == [], "\n".join(str(d) for d in report)
+    noisy = report.errors() + report.warnings()
+    assert noisy == [], "\n".join(str(d) for d in noisy)
