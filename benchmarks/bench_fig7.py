@@ -1,17 +1,71 @@
-"""Fig. 7 — E_cyc vs n_RW for the three architectures."""
+"""Fig. 7 — E_cyc vs n_RW for the three architectures.
+
+Besides the rendered tables under ``benchmarks/results/``, each bench
+contributes its sweep data to ``BENCH_fig7.json`` at the repo root — a
+machine-readable record of the paper's central figure, merged across
+whichever of the three benches ran.
+"""
+
+import json
+from pathlib import Path
 
 import numpy as np
+import pytest
 
 from repro.cells import PowerDomain
 from repro.experiments import run_fig7a, run_fig7b, run_fig7c
 
+_REPO = Path(__file__).resolve().parent.parent
 
-def bench_fig7a(benchmark, ctx, publish):
+
+def _sweep_payload(result):
+    return [
+        {
+            "label": sweep.label,
+            "n_rw": [int(n) for n in sweep.n_rw],
+            "e_cyc_j": {arch: [float(v) for v in values]
+                        for arch, values in sorted(sweep.e_cyc.items())},
+        }
+        for sweep in result.sweeps
+    ]
+
+
+@pytest.fixture(scope="module")
+def fig7_json(request):
+    """Collects per-figure sweeps; merged into BENCH_fig7.json at exit.
+
+    Merging with any existing file keeps a partial run (``-k fig7b``)
+    from discarding the other figures' previously recorded sweeps.
+    """
+    sections = {}
+
+    def _write():
+        if not sections:
+            return
+        path = _REPO / "BENCH_fig7.json"
+        existing = {}
+        if path.exists():
+            try:
+                existing = json.loads(path.read_text())
+            except ValueError:
+                existing = {}
+        merged = {k: v for k, v in existing.items() if k != "schema"}
+        merged.update(sections)
+        payload = {"schema": 1}
+        payload.update(sorted(merged.items()))
+        path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    request.addfinalizer(_write)
+    return sections
+
+
+def bench_fig7a(benchmark, ctx, publish, fig7_json):
     result = benchmark.pedantic(
         run_fig7a, kwargs={"ctx": ctx, "domain": PowerDomain(512, 32)},
         rounds=1, iterations=1,
     )
     publish("fig7a", result.render())
+    fig7_json["fig7a"] = _sweep_payload(result)
     for sweep in result.sweeps:
         ratio = sweep.e_cyc["nvpg"] / sweep.e_cyc["osr"]
         assert ratio[-1] < 1.1          # NVPG -> OSR asymptotically
@@ -19,11 +73,12 @@ def bench_fig7a(benchmark, ctx, publish):
         assert sweep.e_cyc["nof"][-1] > 2 * sweep.e_cyc["osr"][-1]
 
 
-def bench_fig7b(benchmark, ctx, publish):
+def bench_fig7b(benchmark, ctx, publish, fig7_json):
     result = benchmark.pedantic(
         run_fig7b, kwargs={"ctx": ctx}, rounds=1, iterations=1,
     )
     publish("fig7b", result.render())
+    fig7_json["fig7b"] = _sweep_payload(result)
     # Large-N penalty at n_RW = 1 (paper: NVPG > NOF for N >= 256),
     # recovered by n_RW ~ 10.
     big = result.sweeps[-1]             # N = 2048
@@ -32,12 +87,13 @@ def bench_fig7b(benchmark, ctx, publish):
     assert big.e_cyc["nvpg"][idx10] < big.e_cyc["nof"][idx10] * 1.2
 
 
-def bench_fig7c(benchmark, ctx, publish):
+def bench_fig7c(benchmark, ctx, publish, fig7_json):
     result = benchmark.pedantic(
         run_fig7c, kwargs={"ctx": ctx, "domain": PowerDomain(512, 32)},
         rounds=1, iterations=1,
     )
     publish("fig7c", result.render())
+    fig7_json["fig7c"] = _sweep_payload(result)
     # For t_SD >= several 10 us NVPG beats OSR across the n_RW range.
     long_sweep = result.sweeps[-1]      # t_SD = 10 ms
     assert np.all(long_sweep.e_cyc["nvpg"] < long_sweep.e_cyc["osr"])

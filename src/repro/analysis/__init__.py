@@ -8,7 +8,10 @@ The public entry points are:
 
 All analyses build a dense modified-nodal-analysis (MNA) system
 (:mod:`repro.analysis.mna`) and solve the nonlinear equations with the
-damped Newton-Raphson iteration in :mod:`repro.analysis.solver`.
+damped Newton-Raphson iteration in :mod:`repro.analysis.solver`.  Every
+accepted solve is certified by the numerical-trust layer
+(:mod:`repro.analysis.trust`): results carry ``residual_norm`` /
+``cond_estimate`` / ``refined`` annotations.
 """
 
 from .ac import ACResult, ac_analysis
@@ -16,6 +19,7 @@ from .dc import operating_point, OperatingPointOptions
 from .sweep import dc_sweep, SweepResult
 from .transient import transient, TransientOptions
 from .results import Solution, TransientResult
+from .trust import Certificate, TrustAccumulator, TrustOptions
 
 __all__ = [
     "ac_analysis",
@@ -28,4 +32,7 @@ __all__ = [
     "TransientOptions",
     "Solution",
     "TransientResult",
+    "Certificate",
+    "TrustAccumulator",
+    "TrustOptions",
 ]

@@ -86,7 +86,16 @@ def operating_point(
 
     clamps = _resolve_clamps(circuit, ic)
     if clamps:
-        clamped = recover_dc(circuit, time, guess, opts.newton,
+        # With release_clamps the clamped pre-solve is scaffolding — its
+        # certificate is superseded by the released solve's — so skip
+        # the condition estimate there (the residual check keeps the
+        # conditioning defenses armed either way).
+        scaffold = opts.newton
+        if release_clamps and scaffold.trust.condest:
+            scaffold = replace(opts.newton,
+                               trust=replace(opts.newton.trust,
+                                             condest=False))
+        clamped = recover_dc(circuit, time, guess, scaffold,
                              extra_stamps=_make_clamp_stamper(clamps),
                              options=recovery)
         if not release_clamps:
@@ -110,7 +119,9 @@ def _annotate(sol: Solution, *ladders: LadderResult) -> Solution:
     rungs = [lad.rung for lad in ladders if lad.rung is not None]
     sol.recovery_rung = rungs[-1] if rungs else None
     sol.recovery_trace = [a.to_dict() for lad in ladders for a in lad.trace]
-    return sol
+    # The last ladder performed the final (authoritative) solve; its
+    # certificate is the solution's numerical-trust annotation.
+    return sol.annotate_certificate(ladders[-1].cert if ladders else None)
 
 
 def _resolve_clamps(circuit, ic: Optional[Dict[str, float]]):

@@ -95,9 +95,14 @@ class Context:
     source_scale:
         Multiplier applied by independent sources to their level; used by
         the source-stepping homotopy in :mod:`repro.analysis.dc`.
+    cert:
+        :class:`~repro.analysis.trust.Certificate` of the last *accepted*
+        Newton solve performed with this context, or ``None``.  Written
+        by ``newton_solve``; read by the analyses to annotate results.
     """
 
-    __slots__ = ("mode", "time", "dt", "method", "x", "source_scale")
+    __slots__ = ("mode", "time", "dt", "method", "x", "source_scale",
+                 "cert")
 
     def __init__(self, mode: str = "dc", time: float = 0.0, dt: float = 0.0,
                  method: str = "trap", x: Optional[np.ndarray] = None,
@@ -108,6 +113,7 @@ class Context:
         self.method = method
         self.x = x if x is not None else np.zeros(0)
         self.source_scale = source_scale
+        self.cert = None
 
     def v(self, index: int) -> float:
         """Voltage of node ``index`` (0.0 for ground)."""

@@ -22,12 +22,33 @@ class Solution:
 
     Provides node-voltage lookup by name or index; element helper methods
     (``current``, ``delivered_power``...) accept a ``Solution``.
+
+    Every solution carries a numerical-trust annotation (see
+    :mod:`repro.analysis.trust`): ``residual_norm`` is the KCL residual
+    ``‖A·x − b‖∞`` of the final solve, ``cond_estimate`` the 1-norm
+    condition estimate of its matrix, and ``refined`` whether the
+    conditioning defenses (equilibration / iterative refinement) fired.
+    NaN fields mean the producing path did not certify.
     """
 
     def __init__(self, circuit, x: np.ndarray, time: float = 0.0):
         self.circuit = circuit
         self.x = np.asarray(x, dtype=float)
         self.time = time
+        self.residual_norm = float("nan")
+        self.cond_estimate = float("nan")
+        self.refined = False
+        #: Full :class:`~repro.analysis.trust.Certificate`, or ``None``.
+        self.cert = None
+
+    def annotate_certificate(self, cert) -> "Solution":
+        """Attach a solve :class:`~repro.analysis.trust.Certificate`."""
+        if cert is not None:
+            self.cert = cert
+            self.residual_norm = float(cert.residual_norm)
+            self.cond_estimate = float(cert.cond_estimate)
+            self.refined = bool(cert.defended())
+        return self
 
     def v(self, index: int) -> float:
         """Voltage of node ``index`` (0.0 for ground)."""
@@ -68,6 +89,13 @@ class TransientResult:
         List of ``{"time", "rung", "trace"}`` dicts, one per timepoint the
         integrator salvaged through the recovery ladder instead of cutting
         the step (empty for a clean run).
+    residual_norm / cond_estimate / refined:
+        Numerical-trust aggregate over every *accepted* step solve (see
+        :mod:`repro.analysis.trust`): worst KCL residual ``‖A·x − b‖∞``,
+        worst 1-norm condition estimate, and the number of steps whose
+        solve needed the conditioning defenses.  NaN/0 when the run was
+        not certified.  Per-step detail lives in ``stats``
+        (``certified_steps``, ``defended_steps``).
     """
 
     def __init__(self, circuit, time: np.ndarray, states: np.ndarray,
@@ -82,6 +110,10 @@ class TransientResult:
         self.events = events or []
         self.stats = stats or {}
         self.recoveries = recoveries or []
+        self.residual_norm = float("nan")
+        self.cond_estimate = float("nan")
+        #: Number of accepted steps whose solve needed defenses.
+        self.refined = 0
 
     # -- accessors --------------------------------------------------------
     def __len__(self) -> int:

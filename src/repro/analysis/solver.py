@@ -20,13 +20,21 @@ to balance rather than just a voltage-delta norm.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
-from ..errors import ConvergenceError
+from ..errors import ConvergenceError, StampError
 from .mna import Context, Stamper
+from .trust import (
+    TrustOptions,
+    certify,
+    describe_offenders,
+    equilibrated_solve,
+    locate_nonfinite_stamps,
+    onenorm_condest,
+)
 
 #: Extra per-node conductance to ground, always present (siemens).
 GMIN_FLOOR = 1e-12
@@ -50,6 +58,8 @@ class NewtonOptions:
     damping: float = 0.4
     #: Extra conductance from each node to ground (homotopy knob).
     gmin: float = GMIN_FLOOR
+    #: Certification / conditioning-defense policy (see analysis.trust).
+    trust: TrustOptions = field(default_factory=TrustOptions)
 
 
 def row_labels(circuit) -> List[str]:
@@ -118,6 +128,7 @@ def _convergence_failure(message: str, circuit, ctx: Context,
     """Build a fully-forensic ConvergenceError at the final iterate."""
     residual_vec: Optional[np.ndarray] = None
     residual = float("nan")
+    cond_estimate = float("nan")
     worst: List[Tuple[str, float]] = []
     try:
         if np.all(np.isfinite(x)):
@@ -126,6 +137,8 @@ def _convergence_failure(message: str, circuit, ctx: Context,
             if residual_vec.size and np.all(np.isfinite(residual_vec)):
                 residual = float(np.max(np.abs(residual_vec)))
             worst = worst_offenders(circuit, residual_vec)
+            if np.all(np.isfinite(stamper.A)):
+                cond_estimate = onenorm_condest(stamper.A)
     except Exception:   # lint: skip=RV405 - forensics must never mask the error
         residual_vec = None
     if damped_streak:
@@ -142,6 +155,36 @@ def _convergence_failure(message: str, circuit, ctx: Context,
         mode=ctx.mode,
         damped_streak=damped_streak,
         x=list(x) if np.all(np.isfinite(x)) else None,
+        cond_estimate=cond_estimate,
+    )
+
+
+def _reject_nonfinite_stamp(circuit, ctx: Context, x: np.ndarray,
+                            gmin: float, extra_stamps, iteration: int,
+                            stamper: Stamper, damped_streak: int) -> None:
+    """Fail-fast stamp guard: never hand NaN/Inf to ``np.linalg.solve``.
+
+    A non-finite entry on the *first* DC stamp (at the caller's own
+    initial point) means the deck itself is broken — NaN device
+    parameters, an Inf source level — and no recovery rung can fix
+    that: raise a :class:`~repro.errors.StampError` naming the
+    offending element(s) and equation row(s).  At a later iterate it is
+    (over)flow of a diverging Newton walk, and in transient mode even an
+    iteration-0 failure can be time-local (a device going bad past some
+    breakpoint), so those stay :class:`~repro.errors.ConvergenceError`
+    and the recovery ladder / timestep control own the retreat.
+    """
+    offenders = locate_nonfinite_stamps(circuit, ctx, gmin, extra_stamps)
+    summary = describe_offenders(offenders)
+    if iteration == 0 and ctx.mode == "dc":
+        raise StampError(
+            f"non-finite MNA stamp rejected before solve: {summary}",
+            offenders=offenders, mode=ctx.mode, time=ctx.time,
+        )
+    raise _convergence_failure(
+        f"non-finite MNA stamp at iteration {iteration} ({summary})",
+        circuit, ctx, stamper, x, gmin, extra_stamps,
+        iterations=iteration, damped_streak=damped_streak,
     )
 
 
@@ -186,21 +229,43 @@ def newton_solve(
         raise ConvergenceError(
             f"initial guess has wrong size {x.shape}, expected ({size},)"
         )
+    if not np.all(np.isfinite(x)):
+        raise ConvergenceError("non-finite initial guess")
 
     gmin = max(opts.gmin, GMIN_FLOOR)
+    trust = opts.trust
     #: Consecutive damped steps; an undamped step resets it.
     damped_streak = 0
+    #: Iterations that needed the equilibrated fallback solve.
+    defended_iterations = 0
 
     for iteration in range(opts.max_iterations):
         _restamp(circuit, ctx, stamper, x, gmin, extra_stamps)
+        if not (np.isfinite(stamper.A).all() and np.isfinite(stamper.b).all()):
+            _reject_nonfinite_stamp(circuit, ctx, x, gmin, extra_stamps,
+                                    iteration, stamper, damped_streak)
         try:
-            x_new = np.linalg.solve(stamper.A, stamper.b)
+            if trust.always_equilibrate:
+                x_new = equilibrated_solve(stamper.A, stamper.b)
+            else:
+                x_new = np.linalg.solve(stamper.A, stamper.b)
         except np.linalg.LinAlgError:
-            raise _convergence_failure(
-                f"singular MNA matrix at iteration {iteration}",
-                circuit, ctx, stamper, x, gmin, extra_stamps,
-                iterations=iteration, damped_streak=damped_streak,
-            ) from None
+            x_new = None
+            if trust.defenses and not trust.always_equilibrate:
+                # Conditioning defense: LU refused the raw system — retry
+                # through exact power-of-two row/column equilibration
+                # before declaring the matrix singular.
+                try:
+                    x_new = equilibrated_solve(stamper.A, stamper.b)
+                    defended_iterations += 1
+                except np.linalg.LinAlgError:
+                    x_new = None
+            if x_new is None:
+                raise _convergence_failure(
+                    f"singular MNA matrix at iteration {iteration}",
+                    circuit, ctx, stamper, x, gmin, extra_stamps,
+                    iterations=iteration, damped_streak=damped_streak,
+                ) from None
         if not np.all(np.isfinite(x_new)):
             raise _convergence_failure(
                 f"non-finite solution at iteration {iteration}",
@@ -226,6 +291,13 @@ def newton_solve(
         if v_err <= opts.vntol + opts.reltol * v_scale and i_err <= max(
             opts.abstol, opts.reltol * (np.max(np.abs(x[num_nodes:])) if size > num_nodes else 0.0)
         ):
+            # Certify the accepted solve against the final assembled
+            # system; past-threshold residual/rcond triggers the
+            # equilibration + iterative-refinement defenses (trust.py).
+            x, cert = certify(stamper.A, stamper.b, x, trust)
+            if trust.always_equilibrate or defended_iterations:
+                cert.equilibrated = True
+            ctx.cert = cert
             ctx.x = x
             return x
 

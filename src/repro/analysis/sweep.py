@@ -65,6 +65,15 @@ class SweepResult:
         """Branch current of a voltage source across the sweep."""
         return self.measure(lambda s: s.branch_current(source))
 
+    def residual_norms(self) -> np.ndarray:
+        """Per-point solve certification ``‖A·x − b‖∞`` (amps; NaN at
+        skipped points — see :mod:`repro.analysis.trust`)."""
+        return self.measure(lambda s: s.residual_norm)
+
+    def cond_estimates(self) -> np.ndarray:
+        """Per-point 1-norm condition estimates (NaN at skipped points)."""
+        return self.measure(lambda s: s.cond_estimate)
+
     @property
     def num_skipped(self) -> int:
         return len(self.skips)

@@ -32,6 +32,7 @@ from .dc import OperatingPointOptions, operating_point
 from .mna import Context
 from .results import Solution, TransientResult
 from .solver import NewtonOptions, newton_solve
+from .trust import TrustAccumulator
 
 #: Number of recent step sizes kept for TimestepError forensics.
 _DT_HISTORY = 16
@@ -113,6 +114,10 @@ def transient(
     recoveries: List[Dict] = []
     dt_history: deque = deque(maxlen=_DT_HISTORY)
     newton_iters_total = 0
+    # Numerical-trust aggregate over the t=0 solve and every accepted
+    # step (worst residual/condition, defended-solve count).
+    trust_acc = TrustAccumulator()
+    trust_acc.note(op)
 
     t = t_start
     x = op.x.copy()
@@ -151,8 +156,10 @@ def transient(
         dt_history.append(dt)
 
         recovered_rung = None
+        step_cert = None
         try:
             x_new = newton_solve(circuit, ctx, guess, opts.newton)
+            step_cert = ctx.cert
         except ConvergenceError as err:
             # Local recovery ladder at this fixed timepoint before the
             # (much more expensive) step-size cut.
@@ -170,6 +177,7 @@ def transient(
                 continue
             x_new = salvage.x
             recovered_rung = salvage.rung
+            step_cert = salvage.cert
             recoveries.append({
                 "time": t + dt,
                 "rung": salvage.rung,
@@ -201,6 +209,8 @@ def transient(
             next_dt = dt * 1.5
 
         # Accept: commit element state, record, advance.
+        if step_cert is not None:
+            trust_acc.note(step_cert)
         ctx.x = x_new
         step_events = []
         for element in circuit.elements():
@@ -232,8 +242,10 @@ def transient(
         "accepted_steps": float(accepted),
         "rejected_steps": float(rejected),
         "ladder_recoveries": float(len(recoveries)),
+        "certified_steps": float(trust_acc.solves),
+        "defended_steps": float(trust_acc.defended_solves),
     }
-    return TransientResult(
+    result = TransientResult(
         circuit,
         np.array(times),
         np.vstack(states),
@@ -241,6 +253,11 @@ def transient(
         stats=stats,
         recoveries=recoveries,
     )
+    if trust_acc.solves:
+        result.residual_norm = trust_acc.residual_norm_max
+        result.cond_estimate = trust_acc.cond_estimate_max
+        result.refined = trust_acc.defended_solves
+    return result
 
 
 def _collect_breakpoints(circuit, t0: float, t1: float) -> List[float]:

@@ -37,7 +37,9 @@ from .data import CellCharacterization
 
 #: Bump when characterisation semantics change to invalidate old entries.
 #: 5: integrity envelope (schema + payload checksum) around each entry.
-CACHE_SCHEMA_VERSION = 5
+#: 6: numerical-trust extras (worst residual / condition estimate /
+#:    defended-solve count) recorded with every characterisation.
+CACHE_SCHEMA_VERSION = 6
 
 #: Subdirectory quarantining entries that failed integrity checks.
 CORRUPT_SUBDIR = "corrupt"

@@ -28,6 +28,7 @@ from ..errors import CharacterizationError
 from ..analysis import operating_point, transient
 from ..analysis.results import TransientResult
 from ..analysis.transient import TransientOptions
+from ..analysis.trust import TrustAccumulator
 from ..cells import PowerDomain
 from ..devices.finfet import FinFETParams
 from ..devices.mtj import MTJ, MTJParams, MTJState, MTJ_TABLE1
@@ -96,12 +97,16 @@ def characterize_cell(
     if lint:
         from ..verify import assert_clean
         assert_clean(fresh_tb().circuit, target=f"cell:{kind}")
-    _extract_static_powers(fresh_tb(), result)
-    _extract_read(fresh_tb(), result)
-    _extract_write(fresh_tb(), result)
+    # Worst-case numerical-trust aggregate over every solve of the
+    # extraction; travels with the cached result (see analysis.trust).
+    trust = TrustAccumulator()
+    _extract_static_powers(fresh_tb(), result, trust)
+    _extract_read(fresh_tb(), result, trust)
+    _extract_write(fresh_tb(), result, trust)
     if kind == "nv":
-        _extract_store(fresh_tb(), result)
-        _extract_restore(fresh_tb(), result)
+        _extract_store(fresh_tb(), result, trust)
+        _extract_restore(fresh_tb(), result, trust)
+    result.extras.update(trust.as_extras())
     if validate:
         result.validate()
     cache.store(cache_dir, key, result)
@@ -114,7 +119,8 @@ def characterize_cell(
 
 def _static_power_of_mode(tb: CellTestbench, mode: Mode,
                           data: bool = True,
-                          pg_override: Optional[float] = None) -> float:
+                          pg_override: Optional[float] = None,
+                          trust: Optional[TrustAccumulator] = None) -> float:
     tb.apply_mode(mode)
     if pg_override is not None:
         tb.circuit["vpg"].set_level(pg_override)
@@ -125,19 +131,22 @@ def _static_power_of_mode(tb: CellTestbench, mode: Mode,
         ic = tb.core.initial_conditions(data, rail)
         ic["vvdd"] = rail
     sol = operating_point(tb.circuit, ic=ic)
+    if trust is not None:
+        trust.note(sol)
     power = sum(
         tb.circuit[name].delivered_power(sol) for name in SUPPLY_SOURCES
     )
     return max(power, 0.0)
 
 
-def _extract_static_powers(tb: CellTestbench, out: CellCharacterization) -> None:
-    out.p_normal = _static_power_of_mode(tb, Mode.STANDBY)
-    out.p_sleep = _static_power_of_mode(tb, Mode.SLEEP)
+def _extract_static_powers(tb: CellTestbench, out: CellCharacterization,
+                           trust: Optional[TrustAccumulator] = None) -> None:
+    out.p_normal = _static_power_of_mode(tb, Mode.STANDBY, trust=trust)
+    out.p_sleep = _static_power_of_mode(tb, Mode.SLEEP, trust=trust)
     if tb.kind == "nv":
-        out.p_shutdown = _static_power_of_mode(tb, Mode.SHUTDOWN)
+        out.p_shutdown = _static_power_of_mode(tb, Mode.SHUTDOWN, trust=trust)
         out.p_shutdown_nominal = _static_power_of_mode(
-            tb, Mode.SHUTDOWN, pg_override=tb.cond.vdd
+            tb, Mode.SHUTDOWN, pg_override=tb.cond.vdd, trust=trust
         )
     else:
         # The volatile cell cannot shut down without losing data; its
@@ -152,7 +161,8 @@ def _extract_static_powers(tb: CellTestbench, out: CellCharacterization) -> None
 
 def _run_schedule(tb: CellTestbench, schedule: Schedule, data: bool,
                   mtj_data: Optional[bool] = None,
-                  collapsed: bool = False) -> TransientResult:
+                  collapsed: bool = False,
+                  trust: Optional[TrustAccumulator] = None) -> TransientResult:
     tb.apply_waveforms(schedule.line_waveforms())
     if tb.kind == "nv" and mtj_data is not None:
         tb.set_mtj_data(mtj_data)
@@ -164,8 +174,11 @@ def _run_schedule(tb: CellTestbench, schedule: Schedule, data: bool,
         dt_initial=min(20e-12, tb.cond.t_cycle / 200.0),
         dt_max=schedule.total_duration / 40.0,
     )
-    return transient(tb.circuit, schedule.total_duration, ic=ic,
-                     options=options)
+    result = transient(tb.circuit, schedule.total_duration, ic=ic,
+                       options=options)
+    if trust is not None:
+        trust.note(result)
+    return result
 
 
 def _window_energy(result: TransientResult, window: PhaseWindow,
@@ -178,7 +191,8 @@ def _window_energy(result: TransientResult, window: PhaseWindow,
 # read / write
 # ---------------------------------------------------------------------------
 
-def _extract_read(tb: CellTestbench, out: CellCharacterization) -> None:
+def _extract_read(tb: CellTestbench, out: CellCharacterization,
+                  trust: Optional[TrustAccumulator] = None) -> None:
     cond = tb.cond
     t_cyc = cond.t_cycle
     schedule = Schedule(
@@ -192,7 +206,8 @@ def _extract_read(tb: CellTestbench, out: CellCharacterization) -> None:
         cond,
         volatile=tb.kind == "6t",
     )
-    result = _run_schedule(tb, schedule, data=True, mtj_data=False)
+    result = _run_schedule(tb, schedule, data=True, mtj_data=False,
+                           trust=trust)
     window = schedule.windows_of(Mode.READ)[1]
     out.e_read = _window_energy(result, window)
     out.read_delay = _read_delay(result, tb, window)
@@ -215,7 +230,8 @@ def _read_delay(result: TransientResult, tb: CellTestbench,
     return float(times[above[0]] - t_wl)
 
 
-def _extract_write(tb: CellTestbench, out: CellCharacterization) -> None:
+def _extract_write(tb: CellTestbench, out: CellCharacterization,
+                   trust: Optional[TrustAccumulator] = None) -> None:
     cond = tb.cond
     t_cyc = cond.t_cycle
     schedule = Schedule(
@@ -229,7 +245,8 @@ def _extract_write(tb: CellTestbench, out: CellCharacterization) -> None:
         cond,
         volatile=tb.kind == "6t",
     )
-    result = _run_schedule(tb, schedule, data=True, mtj_data=False)
+    result = _run_schedule(tb, schedule, data=True, mtj_data=False,
+                           trust=trust)
     window = schedule.windows_of(Mode.WRITE)[1]  # writes True
     out.e_write = _window_energy(result, window)
 
@@ -264,7 +281,8 @@ def _mtj_peak_current(result: TransientResult, mtj: MTJ,
     return max(currents)
 
 
-def _extract_store(tb: CellTestbench, out: CellCharacterization) -> None:
+def _extract_store(tb: CellTestbench, out: CellCharacterization,
+                   trust: Optional[TrustAccumulator] = None) -> None:
     cond = tb.cond
     schedule = Schedule(
         [
@@ -277,7 +295,8 @@ def _extract_store(tb: CellTestbench, out: CellCharacterization) -> None:
         volatile=False,
     )
     # Data = True; the MTJs start holding the complement so both must flip.
-    result = _run_schedule(tb, schedule, data=True, mtj_data=False)
+    result = _run_schedule(tb, schedule, data=True, mtj_data=False,
+                           trust=trust)
     cell = tb.nv_cell
 
     win_h, win_l = (schedule.windows_of(Mode.STORE_H)[0],
@@ -306,7 +325,8 @@ def _extract_store(tb: CellTestbench, out: CellCharacterization) -> None:
                                             MTJState.ANTIPARALLEL)
 
 
-def _extract_restore(tb: CellTestbench, out: CellCharacterization) -> None:
+def _extract_restore(tb: CellTestbench, out: CellCharacterization,
+                     trust: Optional[TrustAccumulator] = None) -> None:
     cond = tb.cond
     schedule = Schedule(
         [
@@ -318,7 +338,7 @@ def _extract_restore(tb: CellTestbench, out: CellCharacterization) -> None:
         volatile=False,
     )
     result = _run_schedule(tb, schedule, data=True, mtj_data=True,
-                           collapsed=True)
+                           collapsed=True, trust=trust)
     window = schedule.windows_of(Mode.RESTORE)[0]
     out.e_restore = _window_energy(result, window)
     out.t_restore = cond.t_restore

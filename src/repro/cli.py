@@ -12,6 +12,8 @@ Usage::
     python -m repro retention
     python -m repro lint examples/decks/*.sp nv 6t [--format sarif]
     python -m repro lint-source src/repro [--format sarif]
+    python -m repro equiv run --strict      # solver-equivalence gate
+    python -m repro equiv update            # refreeze the golden corpus
     python -m repro diagnose failure.json   # or --demo
     python -m repro chaos --target nv --faults 20 [--json report.json]
     python -m repro chaos --executor --workers 2
@@ -27,8 +29,10 @@ Every subcommand prints the same rows/series the paper reports; see
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from .cells import PowerDomain
@@ -404,6 +408,43 @@ def _cmd_lint_source(args) -> int:
     return 1 if failed else 0
 
 
+def _cmd_equiv(args) -> int:
+    # Imported lazily: equiv pulls in the characterisation benches.
+    from .verify import equiv
+
+    try:
+        if args.action == "update":
+            written = equiv.update_corpus(args.case or None,
+                                          _corpus_dir(args))
+            for path in written:
+                print(f"wrote {path}")
+            return 0
+        report = equiv.run_suite(args.case or None, _corpus_dir(args),
+                                 checks=not args.no_checks)
+    except equiv.EquivError as exc:
+        print(f"repro equiv: {exc}", file=sys.stderr)
+        return 2
+    print(report.render(verbose=args.action == "diff"))
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(report.to_dict(), indent=2) + "\n",
+            encoding="utf-8")
+        print(f"report written to {args.json}")
+    if report.ok:
+        return 0
+    # Without --strict, harness-level errors (e.g. a corpus entry not
+    # yet generated) only warn; measured drift always fails the gate.
+    drift = any(r.failures for r in report.cases if r.error is None)
+    bad_checks = any(not c.ok for c in report.checks)
+    if args.strict or drift or bad_checks:
+        return 1
+    return 0
+
+
+def _corpus_dir(args):
+    return Path(args.corpus) if args.corpus else None
+
+
 def _cmd_diagnose(args) -> int:
     from .recovery import load_failure, render_failure
 
@@ -714,6 +755,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, default=None, metavar="N",
                    help="parser worker threads (default: CPU count)")
 
+    p = sub.add_parser("equiv",
+                       help="solver-equivalence gate: golden corpus + "
+                            "metamorphic invariants")
+    p.add_argument("action", choices=("run", "update", "diff"),
+                   help="run = compare against the corpus; update = "
+                        "refreeze the golden files; diff = run, "
+                        "printing every quantity")
+    p.add_argument("--case", action="append", default=[], metavar="NAME",
+                   help="restrict to one corpus case (repeatable)")
+    p.add_argument("--corpus", default=None, metavar="DIR",
+                   help="corpus directory (default: the committed "
+                        "src/repro/verify/equiv_corpus)")
+    p.add_argument("--strict", action="store_true",
+                   help="also fail on missing/corrupt corpus entries")
+    p.add_argument("--no-checks", action="store_true",
+                   help="skip the metamorphic invariant checks")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="also dump the machine-readable report")
+
     p = sub.add_parser("diagnose",
                        help="render a solver-failure JSON dump")
     p.add_argument("path", nargs="?", default=None,
@@ -814,6 +874,7 @@ _HANDLERS = {
     "all": _cmd_all,
     "lint": _cmd_lint,
     "lint-source": _cmd_lint_source,
+    "equiv": _cmd_equiv,
     "diagnose": _cmd_diagnose,
     "chaos": _cmd_chaos,
     "campaign": _cmd_campaign,

@@ -24,6 +24,43 @@ class AnalysisError(ReproError):
     """An analysis was configured incorrectly."""
 
 
+class StampError(AnalysisError):
+    """A device stamped non-finite (NaN/Inf) entries into the MNA system.
+
+    Raised by the solver's fail-fast stamp guard *before*
+    ``np.linalg.solve`` can propagate the garbage or die with an opaque
+    ``LinAlgError`` — a broken deck (NaN device parameter, Inf source
+    level) is a deck problem, not a convergence problem, so no recovery
+    rung is attempted.
+
+    Attributes
+    ----------
+    offenders:
+        ``{"element", "rows", ...}`` dicts naming each element whose
+        isolated stamp contained non-finite entries and the affected
+        equation rows (MNA row labels).
+    mode / time:
+        Analysis mode and simulation time of the rejected solve.
+    """
+
+    def __init__(self, message: str, *, offenders=(), mode: str = "dc",
+                 time: float = 0.0):
+        super().__init__(message)
+        self.offenders = list(offenders)
+        self.mode = mode
+        self.time = time
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable forensics payload (see ``repro diagnose``)."""
+        return {
+            "kind": "stamp_failure",
+            "message": str(self),
+            "mode": self.mode,
+            "time": self.time,
+            "offenders": list(self.offenders),
+        }
+
+
 class ConvergenceError(AnalysisError):
     """The Newton-Raphson solver failed to converge.
 
@@ -55,6 +92,11 @@ class ConvergenceError(AnalysisError):
         equal to ``iterations`` means the solve was damping-starved: it
         never took an undamped step, so it was never even eligible for
         the convergence test.
+    cond_estimate:
+        Hager 1-norm condition estimate of the final assembled MNA
+        matrix, or NaN when it could not be computed.  Lets forensics
+        distinguish "diverged on a healthy system" from "the system
+        itself is numerically hopeless".
     x:
         Final iterate (list of floats), or ``None``.
     ladder_trace:
@@ -66,7 +108,7 @@ class ConvergenceError(AnalysisError):
                  residual: float = float("nan"), *,
                  residual_vector=None, worst_nodes=(), time: float = 0.0,
                  mode: str = "dc", damped_streak: int = 0, x=None,
-                 ladder_trace=None):
+                 ladder_trace=None, cond_estimate: float = float("nan")):
         super().__init__(message)
         self.iterations = iterations
         self.residual = residual
@@ -77,6 +119,7 @@ class ConvergenceError(AnalysisError):
         self.damped_streak = damped_streak
         self.x = x
         self.ladder_trace = list(ladder_trace) if ladder_trace else []
+        self.cond_estimate = cond_estimate
 
     def to_dict(self) -> dict:
         """JSON-serialisable forensics payload (see ``repro diagnose``)."""
@@ -88,6 +131,7 @@ class ConvergenceError(AnalysisError):
             "iterations": self.iterations,
             "damped_streak": self.damped_streak,
             "residual": self.residual,
+            "cond_estimate": self.cond_estimate,
             "worst_nodes": [[name, float(r)] for name, r in self.worst_nodes],
             "residual_vector": (None if self.residual_vector is None
                                 else [float(v) for v in self.residual_vector]),

@@ -278,6 +278,46 @@ class CampaignResult:
         """``task_id -> result payload`` for the completed tasks."""
         return {o.task_id: o.result for o in self.completed}
 
+    def trust_summary(self) -> Dict[str, float]:
+        """Worst-case numerical-trust aggregate over completed results.
+
+        Scans each completed task's result payload for the ``trust_*``
+        extras the characterisation runner records (worst KCL residual,
+        worst condition estimate, defended/certified solve counts — see
+        :mod:`repro.analysis.trust`) and folds them into one campaign
+        -level summary.  Returns ``{}`` when no completed result carries
+        trust data, so untrusting task functions cost nothing.
+        """
+        residual_max = 0.0
+        cond_max = 0.0
+        defended = 0.0
+        certified = 0.0
+        found = 0
+        for outcome in self.completed:
+            payload = outcome.result
+            if not isinstance(payload, dict):
+                continue
+            extras = payload.get("extras")
+            source = extras if isinstance(extras, dict) else payload
+            if "trust_certified_solves" not in source:
+                continue
+            found += 1
+            residual_max = max(residual_max, float(
+                source.get("trust_residual_norm_max", 0.0)))
+            cond_max = max(cond_max, float(
+                source.get("trust_cond_estimate_max", 0.0)))
+            defended += float(source.get("trust_defended_solves", 0.0))
+            certified += float(source.get("trust_certified_solves", 0.0))
+        if not found:
+            return {}
+        return {
+            "trust_residual_norm_max": residual_max,
+            "trust_cond_estimate_max": cond_max,
+            "trust_defended_solves": defended,
+            "trust_certified_solves": certified,
+            "trust_tasks": float(found),
+        }
+
     def outcome(self, task_id: str) -> Optional[TaskOutcome]:
         return self.outcomes.get(task_id)
 

@@ -354,15 +354,15 @@ def run_campaign(campaign: Campaign,
         elapsed = time.time() - started
 
     interrupted = run.interrupt_level > 0 and run.pending()
+    result = run.result(bool(interrupted), elapsed)
     if journal is not None:
         if interrupted:
             journal.interrupted(run.key, run.interrupt_signal,
                                 completed=len(run.outcomes),
                                 remaining=len(run.pending()))
         else:
-            journal.end(run.key, _count(run), elapsed)
-
-    result = run.result(bool(interrupted), elapsed)
+            journal.end(run.key, _count(run), elapsed,
+                        trust=result.trust_summary())
     if interrupted:
         raise CampaignInterrupted(
             f"campaign {campaign.name!r} interrupted by "

@@ -111,13 +111,19 @@ class Journal:
             "remaining": remaining,
         })
 
-    def end(self, key: str, counts: Dict[str, int], elapsed: float) -> None:
-        self.append({
+    def end(self, key: str, counts: Dict[str, int], elapsed: float,
+            trust: Optional[Dict[str, float]] = None) -> None:
+        record = {
             "kind": "campaign_end",
             "key": key,
             "counts": dict(counts),
             "elapsed": elapsed,
-        })
+        }
+        if trust:
+            # Campaign-level numerical-trust summary (worst residual /
+            # condition estimate over every completed solve).
+            record["trust"] = dict(trust)
+        self.append(record)
 
     def outcomes_for(self, key: str) -> Dict[str, TaskOutcome]:
         """Terminal outcomes previously journalled for campaign ``key``.

@@ -15,15 +15,16 @@ import json
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Union
 
-from ..errors import ConvergenceError, TimestepError
+from ..errors import ConvergenceError, StampError, TimestepError
 from ..units import format_eng
 
-PayloadLike = Union[ConvergenceError, TimestepError, Dict[str, Any]]
+PayloadLike = Union[ConvergenceError, StampError, TimestepError,
+                    Dict[str, Any]]
 
 
 def failure_payload(obj: PayloadLike) -> Dict[str, Any]:
     """Normalise an error or an already-dumped dict to a payload dict."""
-    if isinstance(obj, (ConvergenceError, TimestepError)):
+    if isinstance(obj, (ConvergenceError, StampError, TimestepError)):
         return obj.to_dict()
     if isinstance(obj, dict):
         return obj
@@ -73,6 +74,11 @@ def _render_convergence(payload: Dict[str, Any]) -> List[str]:
     residual = payload.get("residual")
     if residual is not None and residual == residual:   # not NaN
         lines.append(f"  KCL residual:   {format_eng(residual, 'A')} (inf-norm)")
+    cond = payload.get("cond_estimate")
+    if cond is not None and cond == cond:   # not NaN
+        lines.append(f"  cond estimate:  {cond:.3g} (1-norm"
+                     + ("; numerically hopeless system)" if cond > 1e15
+                        else ")"))
     worst = payload.get("worst_nodes") or []
     if worst:
         lines.append("  worst offenders:")
@@ -98,6 +104,24 @@ def _render_timestep(payload: Dict[str, Any]) -> List[str]:
     if cause:
         lines.append("  final Newton failure:")
         lines.extend("  " + line for line in _render_convergence(cause))
+    return lines
+
+
+def _render_stamp(payload: Dict[str, Any]) -> List[str]:
+    lines = [f"stamp failure: {payload.get('message', '')}"]
+    mode = payload.get("mode", "dc")
+    time = payload.get("time", 0.0)
+    lines.append(f"  analysis:       {mode}"
+                 + (f" @ t = {format_eng(time, 's')}" if mode == "tran" else ""))
+    offenders = payload.get("offenders") or []
+    if offenders:
+        lines.append("  offending elements:")
+        for entry in offenders:
+            rows = entry.get("rows") or []
+            where = f" @ rows [{', '.join(map(str, rows))}]" if rows else ""
+            err = entry.get("error")
+            suffix = f" ({err})" if err else ""
+            lines.append(f"    {entry.get('element')}{where}{suffix}")
     return lines
 
 
@@ -151,6 +175,8 @@ def render_failure(obj: PayloadLike) -> str:
         return "\n".join(_render_convergence(payload))
     if kind == "timestep_failure":
         return "\n".join(_render_timestep(payload))
+    if kind == "stamp_failure":
+        return "\n".join(_render_stamp(payload))
     if kind == "skip_records":
         return "\n".join(_render_skip_records(payload))
     if kind == "chaos_report":

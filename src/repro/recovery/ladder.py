@@ -5,6 +5,12 @@ sequence of increasingly heavy-handed strategies ("rungs") until one
 converges, recording every attempt:
 
 1. **plain** — the solve exactly as requested.
+1.5. **equilibrate** — the same solve with every linear system routed
+   through exact power-of-two row/column equilibration
+   (:mod:`repro.analysis.trust`).  The cheapest rung by far: same Newton
+   walk, better-conditioned LU.  Floating virtual-VDD rails routinely
+   spread the matrix over ~15 decades; equilibration alone often
+   rescues those without touching the circuit.
 2. **damping** — much tighter damping with a proportionally larger
    iteration budget.  If the original failure was *damping-starved*
    (every iteration damped, so convergence was never even testable —
@@ -68,6 +74,9 @@ class RecoveryOptions:
 
     #: Master switch; disabled means plain solves raise immediately.
     enabled: bool = True
+    #: Allow the equilibrate rung (rung 1.5 — forced row/column
+    #: equilibration of every linear solve, see repro.analysis.trust).
+    equilibrate: bool = True
     #: Damping levels tried by the tighter-damping rung (volts/iteration).
     damping_factors: Tuple[float, ...] = (0.1, 0.03)
     #: Iteration-budget multiplier for the damping rung (smaller steps
@@ -96,12 +105,15 @@ class LadderResult:
     """Outcome of a recovered solve.
 
     ``rung`` is ``None`` when the plain solve succeeded (no recovery was
-    needed); otherwise it names the rung that converged.
+    needed); otherwise it names the rung that converged.  ``cert`` is
+    the :class:`~repro.analysis.trust.Certificate` of the final accepted
+    solve (``None`` when unavailable).
     """
 
     x: np.ndarray
     trace: List[RungAttempt] = field(default_factory=list)
     rung: Optional[str] = None
+    cert: Optional[object] = None
 
     @property
     def recovered(self) -> bool:
@@ -153,6 +165,7 @@ class _Ladder:
             damped_streak=err.damped_streak,
             x=err.x,
             ladder_trace=trace_dicts,
+            cond_estimate=getattr(err, "cond_estimate", float("nan")),
         )
         wrapped.__cause__ = err
         return wrapped
@@ -183,17 +196,41 @@ def recover_dc(
         x0 = np.zeros(circuit.size)
     x0 = np.asarray(x0, dtype=float)
     ladder = _Ladder()
+    last_ctx: List[Optional[Context]] = [None]
 
     def fresh_ctx(scale: float = 1.0) -> Context:
-        return Context(mode="dc", time=time, source_scale=scale)
+        ctx = Context(mode="dc", time=time, source_scale=scale)
+        last_ctx[0] = ctx
+        return ctx
+
+    def done(x: np.ndarray, rung: Optional[str]) -> LadderResult:
+        cert = last_ctx[0].cert if last_ctx[0] is not None else None
+        return LadderResult(x, ladder.trace, rung, cert=cert)
 
     # Rung 1: the solve exactly as requested.
     x = ladder.attempt("plain", lambda: newton_solve(
         circuit, fresh_ctx(), x0, newton, extra_stamps))
     if x is not None:
-        return LadderResult(x, ladder.trace, None)
+        return done(x, None)
     if not opts.enabled:
         raise ladder.exhausted("recovery disabled")
+
+    # Rung 1.5: same solve, every linear system equilibrated.  Costs one
+    # extra Newton walk at most and rescues the purely *numerical*
+    # failures (15-decade conductance spread) before any heavier rung
+    # modifies the problem.
+    if opts.equilibrate:
+        x = ladder.attempt(
+            "equilibrate",
+            lambda: newton_solve(
+                circuit, fresh_ctx(), x0,
+                replace(newton,
+                        trust=replace(newton.trust, always_equilibrate=True)),
+                extra_stamps),
+            detail="forced row/column equilibration",
+        )
+        if x is not None:
+            return done(x, "equilibrate")
 
     # Rung 2: tighter damping.  React to damping starvation with a larger
     # iteration budget — tiny steps need room to accumulate.
@@ -210,7 +247,7 @@ def recover_dc(
             detail=f"damping={factor:g}, boost={boost}x",
         )
         if x is not None:
-            return LadderResult(x, ladder.trace, "damping")
+            return done(x, "damping")
 
     # Rung 3: gmin stepping — relax with large shunts, tighten gradually.
     def gmin_chain() -> np.ndarray:
@@ -226,18 +263,18 @@ def recover_dc(
         x = ladder.attempt("gmin-step", gmin_chain,
                            detail=f"{len(opts.gmin_steps)} stages")
         if x is not None:
-            return LadderResult(x, ladder.trace, "gmin-step")
+            return done(x, "gmin-step")
 
     # Rung 4: pseudo-transient continuation.
     if opts.pseudo_transient and opts.ptran_dt:
         x = ladder.attempt(
             "pseudo-transient",
             lambda: _pseudo_transient(circuit, time, x0, newton,
-                                      extra_stamps, opts),
+                                      extra_stamps, opts, fresh_ctx),
             detail=f"dt ramp to {opts.ptran_dt[-1]:g}s",
         )
         if x is not None:
-            return LadderResult(x, ladder.trace, "pseudo-transient")
+            return done(x, "pseudo-transient")
 
     # Rung 5: source ramping.
     if opts.source_ramp and opts.source_steps:
@@ -248,7 +285,7 @@ def recover_dc(
             detail=f"{len(opts.source_steps)} steps",
         )
         if x is not None:
-            return LadderResult(x, ladder.trace, "source-ramp")
+            return done(x, "source-ramp")
 
     raise ladder.exhausted(
         f"recovery ladder exhausted ({len(ladder.trace)} attempts)")
@@ -256,7 +293,7 @@ def recover_dc(
 
 def _pseudo_transient(circuit, time: float, x0: np.ndarray,
                       newton: NewtonOptions, extra_stamps: ExtraStamps,
-                      opts: RecoveryOptions) -> np.ndarray:
+                      opts: RecoveryOptions, fresh_ctx) -> np.ndarray:
     """Pseudo-transient continuation toward the DC point.
 
     Backward-Euler companion stamps of an artificial capacitance C from
@@ -282,11 +319,9 @@ def _pseudo_transient(circuit, time: float, x0: np.ndarray,
             if extra_stamps is not None:
                 extra_stamps(stamper, ctx)
 
-        x = newton_solve(circuit, Context(mode="dc", time=time), x,
-                         newton, stamps)
+        x = newton_solve(circuit, fresh_ctx(), x, newton, stamps)
     # Final polish of the unmodified system from the continuation point.
-    return newton_solve(circuit, Context(mode="dc", time=time), x,
-                        newton, extra_stamps)
+    return newton_solve(circuit, fresh_ctx(), x, newton, extra_stamps)
 
 
 def _source_ramp(circuit, time: float, x0: np.ndarray,
@@ -335,10 +370,30 @@ def recover_transient_step(
     if not opts.enabled:
         return None
     ladder = _Ladder()
+    last_ctx: List[Optional[Context]] = [None]
 
     def step_ctx(method: str) -> Context:
-        return Context(mode="tran", time=ctx.time, dt=ctx.dt, method=method,
-                       x=x_prev)
+        fresh = Context(mode="tran", time=ctx.time, dt=ctx.dt, method=method,
+                        x=x_prev)
+        last_ctx[0] = fresh
+        return fresh
+
+    def done(x: np.ndarray, rung: str) -> LadderResult:
+        cert = last_ctx[0].cert if last_ctx[0] is not None else None
+        return LadderResult(x, ladder.trace, rung, cert=cert)
+
+    if opts.equilibrate:
+        x = ladder.attempt(
+            "equilibrate",
+            lambda: newton_solve(
+                circuit, step_ctx(ctx.method), guess,
+                replace(newton,
+                        trust=replace(newton.trust,
+                                      always_equilibrate=True))),
+            detail="forced row/column equilibration",
+        )
+        if x is not None:
+            return done(x, "equilibrate")
 
     for factor in opts.damping_factors:
         x = ladder.attempt(
@@ -349,13 +404,13 @@ def recover_transient_step(
             detail=f"damping={factor:g}",
         )
         if x is not None:
-            return LadderResult(x, ladder.trace, "damping")
+            return done(x, "damping")
 
     if opts.be_fallback and ctx.method != "be":
         x = ladder.attempt("backward-euler", lambda: newton_solve(
             circuit, step_ctx("be"), guess, newton))
         if x is not None:
-            return LadderResult(x, ladder.trace, "backward-euler")
+            return done(x, "backward-euler")
 
     if opts.gmin_steps:
         def gmin_chain() -> np.ndarray:
@@ -369,6 +424,6 @@ def recover_transient_step(
 
         x = ladder.attempt("gmin-step", gmin_chain)
         if x is not None:
-            return LadderResult(x, ladder.trace, "gmin-step")
+            return done(x, "gmin-step")
 
     return None

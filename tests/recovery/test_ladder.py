@@ -86,9 +86,21 @@ class TestRecoverDc:
                        options=options)
         err = info.value
         rungs = [a["rung"] for a in err.ladder_trace]
-        assert rungs == ["plain", "damping"]
+        assert rungs == ["plain", "equilibrate", "damping"]
         assert "recovery ladder exhausted" in str(err)
         assert isinstance(err.__cause__, ConvergenceError)
+
+    def test_equilibrate_rung_can_be_disabled(self):
+        c = _latch()
+        options = RecoveryOptions(equilibrate=False, damping_factors=(0.5,),
+                                  damping_iteration_boost=1,
+                                  gmin_steps=(), pseudo_transient=False,
+                                  source_ramp=False)
+        with pytest.raises(ConvergenceError) as info:
+            recover_dc(c, newton=NewtonOptions(max_iterations=2),
+                       options=options)
+        rungs = [a["rung"] for a in info.value.ladder_trace]
+        assert rungs == ["plain", "damping"]
 
     def test_starved_failure_boosts_damping_budget(self):
         """A damping-starved plain failure doubles the damping-rung
