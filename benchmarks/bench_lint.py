@@ -83,6 +83,8 @@ def bench_lint_source_tree(benchmark, publish, tmp_path):
     from repro.exec.registry import task_function_refs
     from repro.verify.source import iter_source_files
 
+    from repro.verify.config import effective_config
+
     roots = default_source_paths()
     assert roots, "shipped source tree not found — package layout moved?"
     refs = tuple(task_function_refs())
@@ -92,6 +94,17 @@ def bench_lint_source_tree(benchmark, publish, tmp_path):
     cold_report = verify_source(roots, cache_dir=cache,
                                 extra_task_refs=refs)
     cold_s = perf_counter() - t0
+
+    # Marginal cost of the RV8xx array-semantics band: a second cold
+    # run with the band disabled (its own cache — the policy hash
+    # differs anyway), so the shape-lattice work is a tracked number.
+    no_rv8 = effective_config(cli_disable=frozenset(
+        {"RV800", "RV801", "RV802", "RV803", "RV804"}))
+    t0 = perf_counter()
+    verify_source(roots, config=no_rv8,
+                  cache_dir=tmp_path / "lint-cache-no-rv8",
+                  extra_task_refs=refs)
+    cold_no_rv8_s = perf_counter() - t0
 
     def warm():
         return verify_source(roots, cache_dir=cache, extra_task_refs=refs)
@@ -120,11 +133,18 @@ def bench_lint_source_tree(benchmark, publish, tmp_path):
         by_band[band] = by_band.get(band, 0) + 1
     speedup = cold_s / warm_s if warm_s > 0 else float("inf")
     payload = {
-        "schema": 1,
+        "schema": 2,
         "modules": sum(1 for _ in iter_source_files(roots)),
         "cold_s": round(cold_s, 4),
         "warm_s": round(warm_s, 4),
         "speedup": round(speedup, 1),
+        "rv8xx_band": {
+            "cold_s_without": round(cold_no_rv8_s, 4),
+            "cold_marginal_s": round(max(0.0, cold_s - cold_no_rv8_s),
+                                     4),
+            "findings": sum(1 for d in cold_report
+                            if d.code.startswith("RV8")),
+        },
         "diagnostics": {
             "total": len(cold_report),
             "by_band": dict(sorted(by_band.items())),

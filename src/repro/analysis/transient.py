@@ -129,6 +129,7 @@ def transient(
     accepted = 0
     rejected = 0
 
+    circuit_elements = list(circuit.elements())
     while t < t_stop - 1e-18 * max(1.0, abs(t_stop)):
         if accepted >= opts.max_steps:
             raise TimestepError(
@@ -213,7 +214,7 @@ def transient(
             trust_acc.note(step_cert)
         ctx.x = x_new
         step_events = []
-        for element in circuit.elements():
+        for element in circuit_elements:
             event = element.commit(ctx)
             if event:
                 step_events.append((t + dt, element.name, event))

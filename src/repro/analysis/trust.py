@@ -184,6 +184,7 @@ def onenorm_condest(A: np.ndarray) -> float:
             factors = lu_factor(A, check_finite=False)
             x = np.full(n, 1.0 / n)
             estimate = 0.0
+            x_buf = np.zeros(n)
             for _ in range(_CONDEST_MAX_ITER):
                 y = lu_solve(factors, x, check_finite=False)
                 if not np.all(np.isfinite(y)):
@@ -201,7 +202,8 @@ def onenorm_condest(A: np.ndarray) -> float:
                     estimate = max(estimate, new_estimate)
                     break
                 estimate = new_estimate
-                x = np.zeros(n)
+                x = x_buf
+                x.fill(0.0)
                 x[j] = 1.0
         return norm_a * estimate
     except (np.linalg.LinAlgError, ValueError):

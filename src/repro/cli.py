@@ -306,14 +306,29 @@ def _apply_lint_baseline(args, report):
     Returns ``(report, exit code | None)``: ``--update-baseline``
     records the current findings and short-circuits; ``--baseline``
     filters known findings out (reporting how many were suppressed and
-    how many baseline entries are stale).
+    how many baseline entries are stale); ``--prune`` first deletes
+    stale entries from the baseline file in place (it never adds any,
+    so regressions stay visible — unlike re-recording).
     """
-    from .verify import apply_baseline, load_baseline, write_baseline
+    from .verify import (apply_baseline, load_baseline, prune_baseline,
+                         write_baseline)
 
     if getattr(args, "update_baseline", None):
         count = write_baseline(args.update_baseline, report)
         print(f"recorded {count} finding(s) into {args.update_baseline}")
         return report, 0
+    if getattr(args, "prune", False):
+        if not getattr(args, "baseline", None):
+            print("repro lint: --prune requires --baseline FILE",
+                  file=sys.stderr)
+            return report, 2
+        try:
+            removed = prune_baseline(args.baseline, report)
+        except ValueError as exc:
+            print(f"repro lint: {exc}", file=sys.stderr)
+            return report, 2
+        print(f"baseline: pruned {removed} stale entr(y/ies) from "
+              f"{args.baseline}", file=sys.stderr)
     if getattr(args, "baseline", None):
         try:
             fingerprints = load_baseline(args.baseline)
@@ -406,6 +421,101 @@ def _cmd_lint_source(args) -> int:
     print(renderer(report))
     failed = report.has_errors or (args.strict and report.warnings())
     return 1 if failed else 0
+
+
+#: Rewrites to these subtrees can shift solver numerics; ``repro fix
+#: --apply`` refuses to keep them unless the equivalence gate passes.
+_EQUIV_RELEVANT = ("src/repro/analysis", "src/repro/devices",
+                   "src/repro/circuit", "src/repro/recovery")
+
+
+def _cmd_fix(args) -> int:
+    from .verify import default_source_paths, verify_source
+    from .verify import fix as fixmod
+    from .verify.cache import default_lint_cache_dir
+
+    if args.check and args.apply:
+        print("repro fix: --check and --apply are mutually exclusive",
+              file=sys.stderr)
+        return 2
+    paths = args.paths or default_source_paths()
+    missing = [p for p in paths if not os.path.exists(p)]
+    if missing:
+        print("repro fix: no such path: "
+              + ", ".join(repr(p) for p in missing), file=sys.stderr)
+        return 2
+    rules = None
+    if args.rules:
+        rules = {token.strip() for spec in args.rules
+                 for token in spec.split(",") if token.strip()}
+        unknown = rules - set(fixmod.FIXABLE_RULES)
+        if unknown:
+            print("repro fix: no codemod for "
+                  + ", ".join(sorted(unknown)) + " (have: "
+                  + ", ".join(fixmod.FIXABLE_RULES) + ")",
+                  file=sys.stderr)
+            return 2
+    cache_dir = None if args.no_cache else default_lint_cache_dir()
+    report = verify_source(paths, config=_lint_config(args),
+                           cache_dir=cache_dir, jobs=args.jobs)
+    report, short_circuit = _apply_lint_baseline(args, report)
+    if short_circuit is not None:
+        return short_circuit
+
+    plans = fixmod.plan_fixes(report, rules)
+    for plan in plans:
+        print(plan.render())
+    fixable = [p for p in plans if p.fixable]
+    if not fixable:
+        print("nothing mechanically fixable")
+        return 0
+    texts = fixmod.rewritten_texts(plans)
+
+    if not args.apply:
+        for path, (before, after) in texts.items():
+            print(fixmod.unified_diff(path, before, after), end="")
+        print(f"\n{len(fixable)} finding(s) mechanically fixable in "
+              f"{len(texts)} file(s); re-run with --apply to rewrite")
+        return 1
+
+    for path, (_before, after) in texts.items():
+        Path(path).write_text(after, encoding="utf-8")
+        print(f"rewrote {path}")
+    touchy = [p for p in texts
+              if any(sub in p.replace("\\", "/")
+                     for sub in _EQUIV_RELEVANT)]
+    if touchy and not args.no_equiv:
+        print("equivalence gate: solver-relevant module(s) rewritten "
+              "(" + ", ".join(touchy) + "); running repro equiv run")
+        # Fresh interpreter, not in-process: this process imported the
+        # solver modules *before* the rewrite, so an in-process gate
+        # would certify the stale code.  The timeout guards against a
+        # rewrite that makes a solve spin instead of drift (a clean run
+        # takes ~1 s).
+        import subprocess
+        try:
+            gate = subprocess.run(
+                [sys.executable, "-m", "repro", "equiv", "run",
+                 "--strict"],
+                capture_output=True, text=True, timeout=300,
+                env=os.environ.copy())
+            sys.stdout.write(gate.stdout)
+            sys.stderr.write(gate.stderr)
+            gate_ok = gate.returncode == 0
+        except subprocess.TimeoutExpired:
+            print("repro fix: equiv gate timed out after 300 s — "
+                  "treating the rewrite as non-equivalent",
+                  file=sys.stderr)
+            gate_ok = False
+        if not gate_ok:
+            for path, (before, _after) in texts.items():
+                Path(path).write_text(before, encoding="utf-8")
+            print("equivalence gate FAILED — all rewrites reverted",
+                  file=sys.stderr)
+            return 2
+        print("equivalence gate passed")
+    print(f"applied {len(fixable)} fix(es) across {len(texts)} file(s)")
+    return 0
 
 
 def _cmd_equiv(args) -> int:
@@ -727,6 +837,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--update-baseline", metavar="FILE",
                    help="record the current findings as the baseline "
                         "and exit 0")
+    p.add_argument("--prune", action="store_true",
+                   help="with --baseline: delete stale entries from "
+                        "the file in place (never adds entries)")
 
     p = sub.add_parser("lint-source",
                        help="static-analyse the simulator's own "
@@ -750,6 +863,40 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--update-baseline", metavar="FILE",
                    help="record the current findings as the baseline "
                         "and exit 0")
+    p.add_argument("--prune", action="store_true",
+                   help="with --baseline: delete stale entries from "
+                        "the file in place (never adds entries)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the incremental result cache")
+    p.add_argument("--jobs", type=int, default=None, metavar="N",
+                   help="parser worker threads (default: CPU count)")
+
+    p = sub.add_parser("fix",
+                       help="apply mechanical codemods for RV702/"
+                            "RV703/RV803 lint findings")
+    p.add_argument("paths", nargs="*", metavar="PATH",
+                   help="Python files or directories "
+                        "(default: the installed repro package)")
+    p.add_argument("--check", action="store_true",
+                   help="plan + diff only, exit 1 if anything is "
+                        "fixable (the default mode, spelled out)")
+    p.add_argument("--apply", action="store_true",
+                   help="rewrite the files (default: print plans and "
+                        "diffs only, exit 1 if anything is fixable)")
+    p.add_argument("--rules", action="append", default=[],
+                   metavar="RULES",
+                   help="comma-separated rule codes to fix "
+                        "(default: all of RV702,RV703,RV803)")
+    p.add_argument("--disable", action="append", default=[],
+                   metavar="RULES",
+                   help="comma-separated rule codes/names to skip "
+                        "during the lint pass (repeatable)")
+    p.add_argument("--baseline", metavar="FILE",
+                   help="ignore findings recorded in this baseline "
+                        "file; only new findings are fixed")
+    p.add_argument("--no-equiv", action="store_true",
+                   help="skip the solver-equivalence gate after "
+                        "--apply (not recommended)")
     p.add_argument("--no-cache", action="store_true",
                    help="disable the incremental result cache")
     p.add_argument("--jobs", type=int, default=None, metavar="N",
@@ -874,6 +1021,7 @@ _HANDLERS = {
     "all": _cmd_all,
     "lint": _cmd_lint,
     "lint-source": _cmd_lint_source,
+    "fix": _cmd_fix,
     "equiv": _cmd_equiv,
     "diagnose": _cmd_diagnose,
     "chaos": _cmd_chaos,

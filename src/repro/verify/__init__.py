@@ -27,6 +27,12 @@ rule-registry framework:
 * :mod:`repro.verify.rules_perf` — RV7xx hot-path inventory (per
   element stamping loops, dense allocations in loops, invariant
   reassembly) feeding the vectorization worklist;
+* :mod:`repro.verify.arrayflow` / :mod:`repro.verify.rules_array` —
+  RV8xx array semantics: a symbolic shape/dtype lattice catching
+  provable broadcast mismatches, dtype demotion, unintended copies,
+  in-place aliasing hazards and batch-axis drift across calls;
+* :mod:`repro.verify.fix` — finding-driven codemods (``repro fix``)
+  that mechanically apply the RV702/RV703/RV803 rewrites;
 * :mod:`repro.verify.baseline` — record-and-suppress of pre-existing
   findings so new bands gate only new regressions;
 * :mod:`repro.verify.emit` — text / JSON / SARIF output.
@@ -68,10 +74,12 @@ from . import rules_source    # noqa: F401
 from . import rules_units     # noqa: F401
 from . import rules_purity    # noqa: F401
 from . import rules_perf      # noqa: F401
+from . import rules_array     # noqa: F401
 from .baseline import (
     apply_baseline,
     baseline_fingerprint,
     load_baseline,
+    prune_baseline,
     write_baseline,
 )
 from .callgraph import (
@@ -122,6 +130,7 @@ __all__ = [
     "lint_enabled",
     "load_baseline",
     "module_name_for",
+    "prune_baseline",
     "render_json",
     "render_sarif",
     "render_text",

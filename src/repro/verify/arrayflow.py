@@ -1,0 +1,1177 @@
+"""Symbolic array shape/dtype dataflow for the RV8xx band.
+
+This is the second abstract interpreter built on the walker idiom of
+:mod:`repro.verify.dataflow` — where that module propagates *physical
+dimensions*, this one propagates **array semantics**: a serialisable
+shape expression whose leaves are numpy constructors (``np.zeros``,
+``np.arange``), function parameters (seeded from ``"(n,n)"``-style
+string annotations), and calls into other project functions (resolved
+against the project's fixpoint return-shape facts).
+
+The abstract value of an expression is a ShapeExpr — a plain-JSON tree
+— and evaluation (:func:`eval_shape`) lowers a tree to an
+:class:`AShape`: a dim tuple (ints, symbolic names, or ``None`` for an
+unknown extent), a dtype from a small promotion lattice, and a
+``unique`` flag tracking whether an integer array provably has no
+repeated values (``arange`` yes, ``np.array([0, 1, 0])`` no) — the
+fact RV803's aliasing check runs on.
+
+Like the units lattice, this one is **optimistic**: unknowns stay
+unknown instead of poisoning everything, and the RV8xx rules only fire
+on *provable* facts (both ranks known, both extents concrete, dtype
+transitions explicit).  Control-flow joins keep per-dim agreement and
+widen disagreeing extents to unknown; loop bodies are walked twice —
+a muted pass to discover what the back edge changes, a widened pass
+that fires hooks — so a data-dependent shape (``x = np.stack([x, y])``
+in a loop) widens to ⊤ rather than producing a false RV800.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Callable, Dict, List, Optional, Tuple
+
+# ---------------------------------------------------------------------------
+# shape expressions (serialisable)
+# ---------------------------------------------------------------------------
+#
+# A ShapeExpr is a plain-JSON tree:
+#   {"k": "top"}                          no information
+#   {"k": "num"}                          a python/numpy scalar
+#   {"k": "arr", "dims": [...], "dtype": dt, "u": bool}
+#                                         a concrete array; dims entries
+#                                         are int, symbolic str, or None
+#   {"k": "param", "n": "A"}              a parameter's shape
+#   {"k": "call", "id": "mod.fn"}         a project function's return
+#   {"k": "bcast", "op": o, "l": e, "r": e}   elementwise combine
+#   {"k": "mat", "l": e, "r": e}          matmul / np.dot
+#   {"k": "cmp", "l": e, "r": e}          comparison (bool mask)
+#   {"k": "idx", "b": e, "spec": [...]}   subscript (see _index_spec)
+#   {"k": "t", "b": e}                    transpose
+#   {"k": "red", "b": e, "ax": i|None, "f": bool}  reduction (f: to float)
+#   {"k": "reshape", "b": e, "dims": [...]}
+#   {"k": "stack", "b": e, "n": i|None}   new leading axis
+#   {"k": "cat", "b": e, "ax": i}         concatenate along an axis
+#   {"k": "cast", "b": e, "dtype": dt}    astype
+#   {"k": "join", "l": e, "r": e}         control-flow merge
+
+TOP: Dict[str, object] = {"k": "top"}
+NUM: Dict[str, object] = {"k": "num"}
+
+#: Promotion lattice rank for the dtypes the band reasons about.
+DTYPE_RANK = {
+    "bool": 0,
+    "int8": 1, "uint8": 1, "int16": 2, "uint16": 2,
+    "int32": 3, "uint32": 3, "int64": 4, "uint64": 4, "int": 4,
+    "float16": 5, "float32": 6,
+    "float64": 7, "float": 7, "double": 7,
+    "complex64": 8, "complex128": 9, "complex": 9,
+}
+
+#: Canonical spelling by rank (for messages).
+_CANON = {0: "bool", 1: "int8", 2: "int16", 3: "int32", 4: "int64",
+          5: "float16", 6: "float32", 7: "float64", 8: "complex64",
+          9: "complex128"}
+
+_INT_RANKS = frozenset({1, 2, 3, 4})
+_SHAPE_ANN_RE = re.compile(r"^\(\s*(.*?)\s*,?\s*\)$")
+
+#: Max join-tree depth before a control-flow merge collapses to ⊤ —
+#: the loop-widening backstop.
+_JOIN_CAP = 4
+
+
+class AShape:
+    """Evaluated abstract array value.
+
+    ``dims`` is a tuple whose entries are ``int`` (known extent),
+    ``str`` (symbolic extent — equal only to itself), or ``None``
+    (unknown extent); ``dims is None`` means the rank itself is
+    unknown.  ``dims == ()`` with ``scalar`` set is a python/0-d
+    scalar.  ``unique`` marks an integer array with provably distinct
+    values (safe on the left of a fancy ``+=``).
+    """
+
+    __slots__ = ("dims", "dtype", "unique", "scalar")
+
+    def __init__(self, dims: Optional[Tuple] = None,
+                 dtype: Optional[str] = None, unique: bool = False,
+                 scalar: bool = False):
+        self.dims = tuple(dims) if dims is not None else None
+        self.dtype = dtype
+        self.unique = unique
+        self.scalar = scalar
+
+    @property
+    def rank(self) -> Optional[int]:
+        return None if self.dims is None else len(self.dims)
+
+    def to_json(self) -> Dict[str, object]:
+        return {"dims": list(self.dims) if self.dims is not None else None,
+                "dtype": self.dtype, "u": self.unique, "s": self.scalar}
+
+    @classmethod
+    def from_json(cls, data) -> Optional["AShape"]:
+        if not isinstance(data, dict):
+            return None
+        dims = data.get("dims")
+        return cls(dims=tuple(dims) if dims is not None else None,
+                   dtype=data.get("dtype"), unique=bool(data.get("u")),
+                   scalar=bool(data.get("s")))
+
+    def render(self) -> str:
+        if self.scalar:
+            return f"scalar[{self.dtype or '?'}]"
+        if self.dims is None:
+            body = "?"
+        else:
+            body = ", ".join("?" if d is None else str(d)
+                             for d in self.dims)
+        return f"({body})" + (f"[{self.dtype}]" if self.dtype else "")
+
+    def __repr__(self) -> str:          # pragma: no cover - debugging aid
+        return f"AShape{self.render()}"
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, AShape) and self.dims == other.dims
+                and self.dtype == other.dtype
+                and self.unique == other.unique
+                and self.scalar == other.scalar)
+
+    def __hash__(self) -> int:
+        return hash((self.dims, self.dtype, self.unique, self.scalar))
+
+
+SCALAR = AShape(dims=(), scalar=True)
+
+
+def arr_expr(dims, dtype: Optional[str] = None,
+             unique: bool = False) -> Dict[str, object]:
+    """Leaf node for a literally-constructed array."""
+    return {"k": "arr", "dims": list(dims), "dtype": dtype,
+            "u": unique}
+
+
+def param_expr(name: str) -> Dict[str, object]:
+    """Leaf node for a dimension tied to a function parameter."""
+    return {"k": "param", "n": name}
+
+
+def call_expr(function_id: str) -> Dict[str, object]:
+    """Leaf node for the (as yet unresolved) shape a callee returns."""
+    return {"k": "call", "id": function_id}
+
+
+def join_expr(left, right) -> Dict[str, object]:
+    """Optimistic merge of two shape expressions (control-flow join).
+
+    Identical expressions stay exact; nested joins deeper than
+    ``_JOIN_CAP`` widen to ``TOP`` so fixpoints terminate.
+    """
+    if left == right:
+        return left
+    if _join_depth(left) >= _JOIN_CAP or _join_depth(right) >= _JOIN_CAP:
+        return TOP
+    return {"k": "join", "l": left, "r": right}
+
+
+def _join_depth(expr) -> int:
+    if isinstance(expr, dict) and expr.get("k") == "join":
+        return 1 + max(_join_depth(expr.get("l")),
+                       _join_depth(expr.get("r")))
+    return 0
+
+
+def parse_shape_annotation(text: Optional[str]) -> Optional[List]:
+    """``"(n, n)"`` -> ``["n", "n"]``; ``"(b, 4, 4)"`` -> ``["b", 4, 4]``.
+
+    Returns None for annotations that are not shape declarations (the
+    RV5xx units annotations like ``"J"`` pass through untouched).
+    """
+    if not text:
+        return None
+    match = _SHAPE_ANN_RE.match(text.strip())
+    if match is None:
+        return None
+    inner = match.group(1)
+    if not inner:
+        return []
+    dims: List = []
+    for piece in inner.split(","):
+        piece = piece.strip()
+        if not piece:
+            continue
+        if re.fullmatch(r"\d+", piece):
+            dims.append(int(piece))
+        elif re.fullmatch(r"[A-Za-z_][A-Za-z0-9_]*", piece):
+            dims.append(piece)
+        else:
+            dims.append(None)
+    return dims
+
+
+# ---------------------------------------------------------------------------
+# dtype algebra
+# ---------------------------------------------------------------------------
+
+
+def dtype_rank(dtype: Optional[str]) -> Optional[int]:
+    """Position of ``dtype`` on the promotion ladder (None = unknown)."""
+    if dtype is None:
+        return None
+    return DTYPE_RANK.get(dtype)
+
+
+def promote(a: Optional[str], b: Optional[str]) -> Optional[str]:
+    """Numpy-style result dtype of combining two *array* dtypes."""
+    ra, rb = dtype_rank(a), dtype_rank(b)
+    if ra is None or rb is None:
+        return None
+    return _CANON[max(ra, rb)]
+
+
+def is_demotion(store: Optional[str], value: Optional[str]) -> bool:
+    """True when storing ``value`` into ``store`` provably drops
+    precision (float64 into float32, complex into float, ...)."""
+    rs, rv = dtype_rank(store), dtype_rank(value)
+    if rs is None or rv is None:
+        return False
+    return rv > rs and rs >= 5      # demotion among float/complex kinds
+
+
+# ---------------------------------------------------------------------------
+# evaluation
+# ---------------------------------------------------------------------------
+
+
+def broadcast_dims(a: Optional[Tuple],
+                   b: Optional[Tuple]) -> Optional[Tuple]:
+    """Broadcast two dim tuples; None on unknown rank or on conflict
+    (the *checker* decides conflicts via :func:`broadcast_conflict` —
+    evaluation just goes quiet)."""
+    if a is None or b is None:
+        return None
+    if broadcast_conflict(a, b) is not None:
+        return None
+    out: List = []
+    for da, db in _aligned(a, b):
+        if da == 1:
+            out.append(db)
+        elif db == 1 or da == db:
+            out.append(da)
+        elif da is None or db is None or isinstance(da, str) \
+                or isinstance(db, str):
+            out.append(None)
+        else:
+            return None
+    return tuple(out)
+
+
+def broadcast_conflict(a: Tuple, b: Tuple) -> Optional[Tuple]:
+    """The provably incompatible ``(dim_a, dim_b)`` pair, or None.
+
+    Conservative by construction: only two *known, concrete* extents
+    that differ with neither equal to 1 — or two distinct symbolic
+    extents of which one is a known non-1 int — count as provable.
+    """
+    for da, db in _aligned(a, b):
+        if isinstance(da, int) and isinstance(db, int) \
+                and da != db and da != 1 and db != 1:
+            return (da, db)
+    return None
+
+
+def _aligned(a: Tuple, b: Tuple):
+    """Right-aligned dim pairs, shorter side padded with 1."""
+    la, lb = len(a), len(b)
+    n = max(la, lb)
+    for i in range(n):
+        da = a[la - n + i] if la - n + i >= 0 else 1
+        db = b[lb - n + i] if lb - n + i >= 0 else 1
+        yield da, db
+
+
+def matmul_dims(a: AShape, b: AShape) -> Optional[AShape]:
+    """Result shape of ``a @ b`` (numpy semantics), or None."""
+    if a.dims is None or b.dims is None:
+        return None
+    da, db = a.dims, b.dims
+    dtype = promote(a.dtype, b.dtype)
+    if len(da) == 0 or len(db) == 0:
+        return None                 # scalar @ is a TypeError anyway
+    if len(da) == 1 and len(db) == 1:
+        return AShape(dims=(), dtype=dtype, scalar=True)
+    if len(da) == 1:
+        return AShape(dims=db[:-2] + (db[-1],), dtype=dtype)
+    if len(db) == 1:
+        return AShape(dims=da[:-1], dtype=dtype)
+    batch = broadcast_dims(da[:-2], db[:-2])
+    if batch is None:
+        batch = (None,) * (max(len(da), len(db)) - 2)
+    return AShape(dims=tuple(batch) + (da[-2], db[-1]), dtype=dtype)
+
+
+def matmul_inner_conflict(a: AShape, b: AShape) -> Optional[Tuple]:
+    """Provably mismatched inner dims of ``a @ b``, or None."""
+    if a.dims is None or b.dims is None or not a.dims or not b.dims:
+        return None
+    inner_a = a.dims[-1]
+    inner_b = b.dims[-2] if len(b.dims) >= 2 else b.dims[-1]
+    if isinstance(inner_a, int) and isinstance(inner_b, int) \
+            and inner_a != inner_b:
+        return (inner_a, inner_b)
+    return None
+
+
+def _join_vals(a: Optional[AShape],
+               b: Optional[AShape]) -> Optional[AShape]:
+    """Value-level join: per-dim agreement kept, disagreement widened."""
+    if a is None or b is None:
+        return None
+    if a == b:
+        return a
+    if a.scalar != b.scalar:
+        return None
+    if a.dims is None or b.dims is None or len(a.dims) != len(b.dims):
+        return None                 # rank disagreement: widen to ⊤
+    dims = tuple(da if da == db else None
+                 for da, db in zip(a.dims, b.dims))
+    dtype = a.dtype if a.dtype == b.dtype else None
+    return AShape(dims=dims, dtype=dtype,
+                  unique=a.unique and b.unique, scalar=a.scalar)
+
+
+def eval_shape(expr, param_shapes: Optional[Dict[str, AShape]] = None,
+               return_facts: Optional[Dict[str, Optional[AShape]]] = None,
+               _depth: int = 0) -> Optional[AShape]:
+    """Evaluate a ShapeExpr to an :class:`AShape`, or None (unknown)."""
+    if not isinstance(expr, dict) or _depth > 40:
+        return None
+    kind = expr.get("k")
+    if kind == "top":
+        return None
+    if kind == "num":
+        return SCALAR
+    if kind == "arr":
+        dims = tuple(d if isinstance(d, (int, str)) else None
+                     for d in expr.get("dims", ()))
+        return AShape(dims=dims, dtype=expr.get("dtype"),
+                      unique=bool(expr.get("u")))
+    if kind == "param":
+        if param_shapes is None:
+            return None
+        return param_shapes.get(str(expr.get("n")))
+    if kind == "call":
+        if return_facts is None:
+            return None
+        return return_facts.get(str(expr.get("id")))
+    sub = (lambda e: eval_shape(e, param_shapes, return_facts, _depth + 1))
+    if kind == "join":
+        return _join_vals(sub(expr.get("l")), sub(expr.get("r")))
+    if kind == "cast":
+        base = sub(expr.get("b"))
+        dtype = expr.get("dtype")
+        if base is None:
+            return AShape(dims=None, dtype=dtype)
+        return AShape(dims=base.dims, dtype=dtype, unique=base.unique,
+                      scalar=base.scalar)
+    if kind == "t":
+        base = sub(expr.get("b"))
+        if base is None or base.dims is None:
+            return None
+        return AShape(dims=tuple(reversed(base.dims)), dtype=base.dtype)
+    if kind == "reshape":
+        base = sub(expr.get("b"))
+        dims = tuple(d if isinstance(d, (int, str)) else None
+                     for d in expr.get("dims", ()))
+        return AShape(dims=dims,
+                      dtype=base.dtype if base is not None else None)
+    if kind == "stack":
+        base = sub(expr.get("b"))
+        count = expr.get("n") if isinstance(expr.get("n"), int) else None
+        if base is None or base.dims is None:
+            return AShape(dims=None,
+                          dtype=base.dtype if base else None)
+        return AShape(dims=(count,) + base.dims, dtype=base.dtype)
+    if kind == "cat":
+        base = sub(expr.get("b"))
+        axis = expr.get("ax")
+        if base is None or base.dims is None:
+            return None
+        dims = list(base.dims)
+        if isinstance(axis, int) and -len(dims) <= axis < len(dims):
+            dims[axis] = None
+        else:
+            return AShape(dims=None, dtype=base.dtype)
+        return AShape(dims=tuple(dims), dtype=base.dtype)
+    if kind == "red":
+        base = sub(expr.get("b"))
+        axis = expr.get("ax")
+        to_float = bool(expr.get("f"))
+        if base is None:
+            return None
+        dtype = "float64" if to_float and dtype_rank(base.dtype) not in (
+            6, 8) else (base.dtype if not to_float else base.dtype)
+        if axis is None:
+            return AShape(dims=(), dtype=dtype, scalar=True)
+        if base.dims is None:
+            return AShape(dims=None, dtype=dtype)
+        dims = list(base.dims)
+        if -len(dims) <= axis < len(dims):
+            del dims[axis]
+            return AShape(dims=tuple(dims), dtype=dtype)
+        return AShape(dims=None, dtype=dtype)
+    if kind == "cmp":
+        left, right = sub(expr.get("l")), sub(expr.get("r"))
+        if left is None and right is None:
+            return None
+        dims_l = left.dims if left is not None else ()
+        dims_r = right.dims if right is not None else ()
+        dims = broadcast_dims(dims_l, dims_r)
+        # A bool mask indexes each position at most once: unique.
+        return AShape(dims=dims, dtype="bool", unique=True,
+                      scalar=(dims == () and (left is None
+                                              or left.scalar)
+                              and (right is None or right.scalar)))
+    if kind == "mat":
+        left, right = sub(expr.get("l")), sub(expr.get("r"))
+        if left is None or right is None:
+            return None
+        return matmul_dims(left, right)
+    if kind == "bcast":
+        left, right = sub(expr.get("l")), sub(expr.get("r"))
+        op = expr.get("op")
+        if left is None and right is None:
+            return None
+        if left is None or right is None:
+            known = left if left is not None else right
+            if known.scalar:
+                return None
+            return AShape(dims=known.dims, dtype=None)
+        if left.scalar and right.scalar:
+            return SCALAR
+        # scalars combine "weakly": the array side's dtype wins
+        if left.scalar:
+            dims, dtype = right.dims, right.dtype
+        elif right.scalar:
+            dims, dtype = left.dims, left.dtype
+        else:
+            dims = broadcast_dims(left.dims, right.dims)
+            dtype = promote(left.dtype, right.dtype)
+        if op == "div" and dtype is not None \
+                and dtype_rank(dtype) is not None \
+                and dtype_rank(dtype) < 5:
+            dtype = "float64"       # true division promotes ints
+        return AShape(dims=dims, dtype=dtype)
+    if kind == "idx":
+        return _eval_index(expr, param_shapes, return_facts, _depth)
+    return None
+
+
+def _eval_index(expr, param_shapes, return_facts,
+                _depth: int) -> Optional[AShape]:
+    base = eval_shape(expr.get("b"), param_shapes, return_facts,
+                      _depth + 1)
+    if base is None:
+        return None
+    spec = expr.get("spec", [])
+    if base.dims is None:
+        return AShape(dims=None, dtype=base.dtype)
+    dims = list(base.dims)
+    out: List = []
+    cursor = 0
+    fancy_seen = 0
+    for item in spec:
+        tag = item[0] if isinstance(item, (list, tuple)) else item
+        if tag == "n":              # np.newaxis
+            out.append(1)
+            continue
+        if cursor >= len(dims):
+            return None             # over-indexing: go quiet
+        if tag == "i":              # scalar index: dim consumed
+            cursor += 1
+        elif tag == "S":            # full slice: dim preserved
+            out.append(dims[cursor])
+            cursor += 1
+        elif tag == "s":            # partial slice: extent unknown
+            out.append(None)
+            cursor += 1
+        elif tag == "f":            # fancy index
+            fancy_seen += 1
+            if fancy_seen > 1:
+                return AShape(dims=None, dtype=base.dtype)
+            sub = eval_shape(item[1] if len(item) > 1 else None,
+                             param_shapes, return_facts, _depth + 1)
+            if sub is None or sub.dims is None:
+                out.append(None)
+                cursor += 1
+            elif sub.dtype == "bool":
+                consumed = len(sub.dims)
+                out.append(None)    # mask selects a data-dependent count
+                cursor += consumed
+            else:
+                out.extend(sub.dims)
+                cursor += 1
+        else:
+            return None
+    out.extend(dims[cursor:])
+    return AShape(dims=tuple(out), dtype=base.dtype)
+
+
+# ---------------------------------------------------------------------------
+# the forward walker
+# ---------------------------------------------------------------------------
+
+#: numpy constructors the walker seeds shapes from.
+_CTOR_FILL = frozenset({"zeros", "ones", "empty", "full"})
+_CTOR_LIKE = frozenset({"zeros_like", "ones_like", "empty_like",
+                        "full_like"})
+_CTOR_EYE = frozenset({"eye", "identity"})
+_REDUCERS = frozenset({"sum", "prod", "min", "max", "amin", "amax",
+                       "nansum", "nanmin", "nanmax"})
+_FLOAT_REDUCERS = frozenset({"mean", "std", "var", "median", "nanmean"})
+_ELEMENTWISE = frozenset({
+    "abs", "absolute", "exp", "log", "log10", "sqrt", "sin", "cos",
+    "tan", "tanh", "clip", "maximum", "minimum", "where",
+    "nan_to_num", "sign", "real", "imag", "conj", "negative",
+})
+_PASS_FIRST = frozenset({"ascontiguousarray", "asfortranarray", "copy",
+                         "atleast_1d", "sort", "flipud", "fliplr",
+                         "ravel"} | _ELEMENTWISE)
+
+_DTYPE_TAILS = frozenset(DTYPE_RANK)
+
+
+class ShapeFlow:
+    """Forward shape/dtype propagation over one function body.
+
+    Parameters
+    ----------
+    numpy_of:
+        Callback mapping a *dotted name as written* to the numpy/scipy
+        function tail when it resolves into numpy-land (``"np.zeros"``
+        -> ``"zeros"``), else None.
+    resolve_call:
+        Callback mapping a dotted name to a ShapeExpr leaf for project
+        functions (:func:`call_expr`), else None.
+    param_shapes:
+        Parameter name -> :class:`AShape` seeds (from annotations);
+        used both to seed the environment and by the checking hooks.
+    on_binop / on_call / on_augassign / on_store / on_subscript:
+        Optional checking hooks (None when extracting summaries).
+        ``loop_depth`` on the walker tells hooks whether the current
+        node sits inside a loop; during the muted discovery pass of a
+        loop body ``muted`` is True and hooks must not be called
+        (the walker enforces this).
+    """
+
+    def __init__(self, numpy_of: Callable[[str], Optional[str]],
+                 resolve_call: Callable[[str], Optional[Dict[str, object]]],
+                 param_shapes: Optional[Dict[str, AShape]] = None,
+                 on_binop=None, on_call=None, on_augassign=None,
+                 on_store=None):
+        self.numpy_of = numpy_of
+        self.resolve_call = resolve_call
+        self.param_shapes = dict(param_shapes or {})
+        self.on_binop = on_binop
+        self.on_call = on_call
+        self.on_augassign = on_augassign
+        self.on_store = on_store
+        self.env: Dict[str, Dict[str, object]] = {}
+        self.returns: List[Dict[str, object]] = []
+        self.loop_depth = 0
+        self.muted = False
+
+    # -- entry point ------------------------------------------------------
+    def run(self, func: ast.FunctionDef) -> List[Dict[str, object]]:
+        for arg in (list(func.args.posonlyargs) + list(func.args.args)
+                    + list(func.args.kwonlyargs)):
+            if arg.arg in ("self", "cls"):
+                continue
+            self.env[arg.arg] = param_expr(arg.arg)
+        self._walk(func.body)
+        return self.returns
+
+    # -- statements -------------------------------------------------------
+    def _walk(self, stmts) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue
+            elif isinstance(stmt, ast.Assign):
+                value = self.expr(stmt.value)
+                for target in stmt.targets:
+                    self._store(stmt, target, value)
+            elif isinstance(stmt, ast.AnnAssign):
+                if stmt.value is not None:
+                    self._store(stmt, stmt.target, self.expr(stmt.value))
+            elif isinstance(stmt, ast.AugAssign):
+                self._augassign(stmt)
+            elif isinstance(stmt, ast.Return):
+                if stmt.value is not None:
+                    self.returns.append(self.expr(stmt.value))
+            elif isinstance(stmt, ast.Expr):
+                self.expr(stmt.value)
+            elif isinstance(stmt, ast.If):
+                self._branch(stmt.body, stmt.orelse, [stmt.test])
+            elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                self.expr(stmt.iter)
+                self._clear(stmt.target)
+                self._loop([stmt], stmt.orelse)
+            elif isinstance(stmt, ast.While):
+                self._loop([stmt], stmt.orelse, test=stmt.test)
+            elif isinstance(stmt, ast.With):
+                for item in stmt.items:
+                    self.expr(item.context_expr)
+                    if item.optional_vars is not None:
+                        self._clear(item.optional_vars)
+                self._walk(stmt.body)
+            elif isinstance(stmt, ast.Try):
+                self._walk(stmt.body)
+                for handler in stmt.handlers:
+                    self._walk(handler.body)
+                self._walk(stmt.orelse)
+                self._walk(stmt.finalbody)
+            elif isinstance(stmt, (ast.Raise, ast.Assert)):
+                for child in ast.iter_child_nodes(stmt):
+                    if isinstance(child, ast.expr):
+                        self.expr(child)
+
+    def _loop(self, loop_stmts, orelse, test=None) -> None:
+        """Two-pass loop handling with widening.
+
+        Pass 1 walks the body muted from the pre-loop environment to
+        discover what the back edge changes; every changed binding is
+        widened via a join (per-dim agreement survives, disagreement
+        evaluates to unknown, deep join chains collapse to ⊤).  Pass 2
+        re-walks the body from the widened environment with hooks
+        live, so checks see loop-stable shapes only.
+        """
+        loop = loop_stmts[0]
+        body = loop.body
+        pre = dict(self.env)
+        was_muted, self.muted = self.muted, True
+        self.loop_depth += 1
+        try:
+            if test is not None:
+                self.expr(test)
+            self._walk(body)
+        finally:
+            self.muted = was_muted
+            self.loop_depth -= 1
+        post = self.env
+        widened: Dict[str, Dict[str, object]] = {}
+        for name in set(pre) | set(post):
+            a = pre.get(name, TOP)
+            b = post.get(name, TOP)
+            widened[name] = join_expr(a, b)
+        self.env = widened
+        self.loop_depth += 1
+        try:
+            if test is not None:
+                self.expr(test)
+            if isinstance(loop, (ast.For, ast.AsyncFor)):
+                self._clear(loop.target)
+            self._walk(body)
+        finally:
+            self.loop_depth -= 1
+        # the loop may run zero times: join the exit env with the entry
+        exit_env = self.env
+        merged: Dict[str, Dict[str, object]] = {}
+        for name in set(pre) | set(exit_env):
+            merged[name] = join_expr(pre.get(name, TOP),
+                                     exit_env.get(name, TOP))
+        self.env = merged
+        self._walk(orelse)
+
+    def _branch(self, body, orelse, tests) -> None:
+        for test in tests:
+            self.expr(test)
+        before = dict(self.env)
+        self._walk(body)
+        after_body = self.env
+        self.env = dict(before)
+        self._walk(orelse)
+        joined: Dict[str, Dict[str, object]] = {}
+        for name in set(after_body) | set(self.env):
+            a = after_body.get(name)
+            b = self.env.get(name)
+            if a is not None and b is not None:
+                joined[name] = join_expr(a, b)
+            elif a is not None and name not in before:
+                joined[name] = a
+            elif b is not None and name not in before:
+                joined[name] = b
+            else:
+                joined[name] = (a or b) or TOP
+        self.env = joined
+
+    def _store(self, stmt, target, value) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = value
+        elif isinstance(target, ast.Subscript):
+            base = self.expr(target.value)
+            index = self._index_exprs(target.slice)
+            self.expr(target.slice)
+            if self.on_store is not None and not self.muted:
+                self.on_store(stmt, target, base, index, value)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._clear(elt)
+
+    def _augassign(self, stmt: ast.AugAssign) -> None:
+        value = self.expr(stmt.value)
+        target = stmt.target
+        if isinstance(target, ast.Name):
+            current = self.env.get(target.id, TOP)
+            if self.on_augassign is not None and not self.muted:
+                self.on_augassign(stmt, current, None, value)
+            op = _BIN_TAGS.get(type(stmt.op))
+            if op == "mat":
+                self.env[target.id] = {"k": "mat", "l": current,
+                                       "r": value}
+            elif op is not None:
+                self.env[target.id] = {"k": "bcast", "op": op,
+                                       "l": current, "r": value}
+            else:
+                self.env[target.id] = TOP
+        elif isinstance(target, ast.Subscript):
+            base = self.expr(target.value)
+            index = self._index_exprs(target.slice)
+            self.expr(target.slice)
+            if self.on_augassign is not None and not self.muted:
+                self.on_augassign(stmt, base, index, value)
+
+    def _clear(self, target: ast.AST) -> None:
+        for node in ast.walk(target):
+            if isinstance(node, ast.Name):
+                self.env[node.id] = TOP
+
+    # -- expressions ------------------------------------------------------
+    def eval(self, expr_tree) -> Optional[AShape]:
+        """Evaluate a ShapeExpr under this walker's parameter seeds."""
+        return eval_shape(expr_tree, self.param_shapes,
+                          self._return_facts)
+
+    #: Injected by the checking rule (dotted name -> AShape); summary
+    #: extraction leaves it empty.
+    _return_facts: Optional[Dict[str, Optional[AShape]]] = None
+
+    def expr(self, node: ast.AST) -> Dict[str, object]:
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id, TOP)
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, (int, float, complex, bool)):
+                return NUM
+            return TOP
+        if isinstance(node, ast.Attribute):
+            return self._attribute(node)
+        if isinstance(node, ast.BinOp):
+            return self._binop(node)
+        if isinstance(node, ast.UnaryOp):
+            return self.expr(node.operand)
+        if isinstance(node, ast.Compare):
+            left = self.expr(node.left)
+            rights = [self.expr(c) for c in node.comparators]
+            return {"k": "cmp", "l": left, "r": rights[0]}
+        if isinstance(node, ast.Call):
+            return self._call(node)
+        if isinstance(node, ast.IfExp):
+            self.expr(node.test)
+            return join_expr(self.expr(node.body), self.expr(node.orelse))
+        if isinstance(node, ast.Subscript):
+            base = self.expr(node.value)
+            spec = self._index_spec(node.slice)
+            if spec is None:
+                self._walk_children(node.slice)
+                return TOP
+            return {"k": "idx", "b": base, "spec": spec}
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            for elt in node.elts:
+                self.expr(elt)
+            return TOP
+        if isinstance(node, ast.Dict):
+            for value in node.values:
+                self.expr(value)
+            return TOP
+        if isinstance(node, ast.BoolOp):
+            for value in node.values:
+                self.expr(value)
+            return TOP
+        if isinstance(node, ast.JoinedStr):
+            for value in node.values:
+                if isinstance(value, ast.FormattedValue):
+                    self.expr(value.value)
+            return TOP
+        if isinstance(node, ast.Starred):
+            return self.expr(node.value)
+        return TOP
+
+    def _walk_children(self, node) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self.expr(child)
+
+    def _attribute(self, node: ast.Attribute) -> Dict[str, object]:
+        if node.attr == "T":
+            return {"k": "t", "b": self.expr(node.value)}
+        if node.attr in ("shape", "ndim", "size", "dtype", "real",
+                         "imag"):
+            base = self.expr(node.value)
+            if node.attr in ("real", "imag"):
+                return base
+            return NUM if node.attr in ("ndim", "size") else TOP
+        self.expr(node.value)
+        return TOP
+
+    def _binop(self, node: ast.BinOp) -> Dict[str, object]:
+        left = self.expr(node.left)
+        right = self.expr(node.right)
+        tag = _BIN_TAGS.get(type(node.op))
+        if tag is None:
+            return TOP
+        if self.on_binop is not None and not self.muted:
+            self.on_binop(node, tag, left, right)
+        if tag == "mat":
+            return {"k": "mat", "l": left, "r": right}
+        return {"k": "bcast", "op": tag, "l": left, "r": right}
+
+    # -- indexing ---------------------------------------------------------
+    def _index_spec(self, slice_node) -> Optional[List]:
+        items = (list(slice_node.elts)
+                 if isinstance(slice_node, ast.Tuple) else [slice_node])
+        spec: List = []
+        for item in items:
+            if isinstance(item, ast.Slice):
+                full = (item.lower is None and item.upper is None
+                        and item.step is None)
+                for sub in (item.lower, item.upper, item.step):
+                    if sub is not None:
+                        self.expr(sub)
+                spec.append(["S"] if full else ["s"])
+            elif isinstance(item, ast.Constant):
+                if item.value is None:
+                    spec.append(["n"])
+                elif item.value is Ellipsis:
+                    return None
+                else:
+                    spec.append(["i"])
+            elif isinstance(item, (ast.List, ast.Tuple)) \
+                    and all(isinstance(e, ast.Constant)
+                            and isinstance(e.value, int)
+                            for e in item.elts):
+                values = [e.value for e in item.elts]
+                spec.append(["f", arr_expr(
+                    [len(values)], "int64",
+                    unique=len(set(values)) == len(values))])
+            else:
+                sub = self.expr(item)
+                value = self.eval(sub)
+                if value is not None and not value.scalar \
+                        and value.dims is not None and value.dims != ():
+                    spec.append(["f", sub])
+                else:
+                    spec.append(["i"])
+        return spec
+
+    def _index_exprs(self, slice_node) -> List:
+        spec = self._index_spec(slice_node)
+        return spec if spec is not None else []
+
+    # -- calls ------------------------------------------------------------
+    def _call(self, node: ast.Call) -> Dict[str, object]:
+        from .dataflow import _call_target
+        arg_exprs = [self.expr(a) for a in node.args]
+        kw_exprs = {kw.arg: self.expr(kw.value) for kw in node.keywords}
+        dotted = _call_target(node)
+        if self.on_call is not None and not self.muted:
+            self.on_call(node, dotted, arg_exprs)
+        if dotted is None:
+            return TOP
+        tail = dotted.rsplit(".", 1)[-1]
+        np_tail = self.numpy_of(dotted)
+        if np_tail is not None:
+            return self._numpy_call(node, np_tail, arg_exprs, kw_exprs)
+        # array methods on a computed receiver: a.reshape(...), a.sum()
+        if isinstance(node.func, ast.Attribute):
+            recv = self.expr(node.func.value)
+            method = self._method_call(node, tail, recv, arg_exprs,
+                                       kw_exprs)
+            if method is not None:
+                return method
+        if tail == "len":
+            return TOP
+        if dotted == "float" or dotted == "int" or dotted == "abs":
+            return arg_exprs[0] if arg_exprs else NUM
+        resolved = self.resolve_call(dotted)
+        if resolved is not None:
+            return resolved
+        return TOP
+
+    def _dtype_of(self, node: ast.Call,
+                  kw_exprs) -> Optional[str]:
+        for kw in node.keywords:
+            if kw.arg == "dtype":
+                return _dtype_token(kw.value)
+        return None
+
+    def _shape_dims(self, arg: ast.AST) -> Optional[List]:
+        """Dims list from a shape argument (int, Name, or tuple)."""
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, int):
+            return [arg.value]
+        if isinstance(arg, ast.Name):
+            return [arg.id]
+        if isinstance(arg, (ast.Tuple, ast.List)):
+            dims: List = []
+            for elt in arg.elts:
+                if isinstance(elt, ast.Constant) \
+                        and isinstance(elt.value, int):
+                    dims.append(elt.value)
+                elif isinstance(elt, ast.Name):
+                    dims.append(elt.id)
+                elif isinstance(elt, ast.UnaryOp) \
+                        and isinstance(elt.op, ast.USub) \
+                        and isinstance(elt.operand, ast.Constant):
+                    dims.append(None)
+                else:
+                    dims.append(_symbolic_dim(elt))
+            return dims
+        if isinstance(arg, ast.Attribute):
+            return [_symbolic_dim(arg)]
+        return None
+
+    def _numpy_call(self, node, tail, arg_exprs, kw_exprs):
+        dtype = self._dtype_of(node, kw_exprs)
+        args = node.args
+        if tail in _CTOR_FILL:
+            dims = self._shape_dims(args[0]) if args else None
+            if dims is None:
+                dims_val: List = [None]
+            else:
+                dims_val = dims
+            if dtype is None and tail != "full":
+                dtype = "float64"
+            if dtype is None and tail == "full" and len(args) >= 2:
+                dtype = _literal_dtype(args[1])
+            return arr_expr(dims_val, dtype)
+        if tail in _CTOR_LIKE:
+            base = arg_exprs[0] if arg_exprs else TOP
+            if dtype is not None:
+                return {"k": "cast", "b": base, "dtype": dtype}
+            return base if base.get("k") != "num" else TOP
+        if tail in _CTOR_EYE:
+            n = self._shape_dims(args[0]) if args else None
+            first = n[0] if n else None
+            second = first
+            if tail == "eye" and len(args) >= 2:
+                m = self._shape_dims(args[1])
+                second = m[0] if m else None
+            return arr_expr([first, second], dtype or "float64")
+        if tail == "arange":
+            if dtype is None:
+                consts = [a.value for a in args
+                          if isinstance(a, ast.Constant)]
+                if consts and len(consts) == len(args):
+                    dtype = ("float64" if any(isinstance(c, float)
+                                              for c in consts)
+                             else "int64")
+            return arr_expr([None], dtype, unique=True)
+        if tail == "linspace":
+            count: object = None
+            if len(args) >= 3 and isinstance(args[2], ast.Constant) \
+                    and isinstance(args[2].value, int):
+                count = args[2].value
+            return arr_expr([count], dtype or "float64")
+        if tail in ("array", "asarray"):
+            if args and isinstance(args[0], (ast.List, ast.Tuple)):
+                lit = _literal_array(args[0], dtype)
+                if lit is not None:
+                    return lit
+            base = arg_exprs[0] if arg_exprs else TOP
+            if dtype is not None:
+                return {"k": "cast", "b": base, "dtype": dtype}
+            return base
+        if tail == "reshape":
+            # np.reshape(a, shape)
+            base = arg_exprs[0] if arg_exprs else TOP
+            dims = self._shape_dims(args[1]) if len(args) >= 2 else None
+            return {"k": "reshape", "b": base,
+                    "dims": dims if dims is not None else [None]}
+        if tail in ("stack", "vstack", "hstack", "concatenate",
+                    "column_stack", "dstack"):
+            elems = (args[0].elts
+                     if args and isinstance(args[0], (ast.List, ast.Tuple))
+                     else None)
+            first = (self.expr(elems[0]) if elems else
+                     (arg_exprs[0] if arg_exprs else TOP))
+            if elems is not None:
+                for extra in elems[1:]:
+                    self.expr(extra)
+            if tail == "stack":
+                return {"k": "stack", "b": first,
+                        "n": len(elems) if elems is not None else None}
+            axis = 0 if tail in ("vstack", "concatenate") else -1
+            for kw in node.keywords:
+                if kw.arg == "axis" and isinstance(kw.value, ast.Constant)\
+                        and isinstance(kw.value.value, int):
+                    axis = kw.value.value
+            return {"k": "cat", "b": first, "ax": axis}
+        if tail in ("dot", "matmul"):
+            if len(arg_exprs) >= 2:
+                return {"k": "mat", "l": arg_exprs[0],
+                        "r": arg_exprs[1]}
+            return TOP
+        if tail == "solve":             # np.linalg.solve(A, b)
+            if len(arg_exprs) >= 2:
+                return {"k": "bcast", "op": "div", "l": arg_exprs[1],
+                        "r": {"k": "num"}}
+            return TOP
+        if tail == "transpose":
+            return {"k": "t", "b": arg_exprs[0]} if arg_exprs else TOP
+        if tail == "astype":
+            return TOP
+        if tail in _REDUCERS or tail in _FLOAT_REDUCERS:
+            axis = _axis_of(node)
+            base = arg_exprs[0] if arg_exprs else TOP
+            return {"k": "red", "b": base, "ax": axis,
+                    "f": tail in _FLOAT_REDUCERS}
+        if tail in _PASS_FIRST:
+            if tail == "where" and len(arg_exprs) == 3:
+                return {"k": "bcast", "op": "add", "l": arg_exprs[1],
+                        "r": arg_exprs[2]}
+            return arg_exprs[0] if arg_exprs else TOP
+        if tail in _DTYPE_TAILS:        # np.float32(x) style cast
+            base = arg_exprs[0] if arg_exprs else NUM
+            return {"k": "cast", "b": base, "dtype": tail}
+        if tail == "unique":
+            return arr_expr([None], None, unique=True)
+        return TOP
+
+    def _method_call(self, node, tail, recv, arg_exprs, kw_exprs):
+        """Array-method semantics for ``a.reshape(...)`` etc; None when
+        the method means nothing to the shape analysis."""
+        if tail == "reshape":
+            dims: List = []
+            if len(node.args) == 1:
+                got = self._shape_dims(node.args[0])
+                dims = got if got is not None else [None]
+            else:
+                for arg in node.args:
+                    got = self._shape_dims(arg)
+                    dims.append(got[0] if got else None)
+            dims = [None if d == -1 else d for d in dims]
+            return {"k": "reshape", "b": recv, "dims": dims}
+        if tail == "astype":
+            dtype = None
+            if node.args:
+                dtype = _dtype_token(node.args[0])
+            if dtype is None:
+                dtype = self._dtype_of(node, kw_exprs)
+            return {"k": "cast", "b": recv, "dtype": dtype}
+        if tail == "transpose":
+            return {"k": "t", "b": recv}
+        if tail == "copy":
+            # explicit copies drop index provenance (they are *meant*
+            # to be copies — RV802 must stay quiet)
+            value = self.eval(recv)
+            if value is not None and value.dims is not None:
+                return arr_expr(list(value.dims), value.dtype,
+                                unique=value.unique)
+            return TOP
+        if tail in _REDUCERS or tail in _FLOAT_REDUCERS:
+            return {"k": "red", "b": recv, "ax": _axis_of(node),
+                    "f": tail in _FLOAT_REDUCERS}
+        if tail in ("ravel", "flatten"):
+            return {"k": "reshape", "b": recv, "dims": [None]}
+        if tail == "dot":
+            if arg_exprs:
+                return {"k": "mat", "l": recv, "r": arg_exprs[0]}
+            return TOP
+        if tail == "item":
+            return NUM
+        return None
+
+
+_BIN_TAGS = {
+    ast.Add: "add", ast.Sub: "add", ast.Mult: "mul", ast.Div: "div",
+    ast.FloorDiv: "div", ast.Mod: "add", ast.Pow: "mul",
+    ast.MatMult: "mat", ast.BitAnd: "add", ast.BitOr: "add",
+    ast.BitXor: "add",
+}
+
+
+def _axis_of(node: ast.Call) -> Optional[int]:
+    for kw in node.keywords:
+        if kw.arg == "axis" and isinstance(kw.value, ast.Constant) \
+                and isinstance(kw.value.value, int):
+            return kw.value.value
+    return None
+
+
+def _symbolic_dim(node: ast.AST) -> Optional[str]:
+    """Stable symbolic name for a dim expression (``a.size`` etc)."""
+    try:
+        text = ast.unparse(node)
+    except (ValueError, RecursionError):   # pragma: no cover
+        return None
+    if len(text) <= 24 and re.fullmatch(r"[A-Za-z0-9_.()\[\] +*-]+",
+                                        text):
+        return text
+    return None
+
+
+def _dtype_token(node: ast.AST) -> Optional[str]:
+    """The dtype named by an AST expression, normalised to the lattice."""
+    name: Optional[str] = None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        name = node.value
+    elif isinstance(node, ast.Attribute):
+        name = node.attr
+    elif isinstance(node, ast.Name):
+        name = node.id
+    if name is None:
+        return None
+    rank = DTYPE_RANK.get(name)
+    return _CANON[rank] if rank is not None else None
+
+
+def _literal_dtype(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Constant):
+        if isinstance(node.value, bool):
+            return "bool"
+        if isinstance(node.value, int):
+            return "int64"
+        if isinstance(node.value, float):
+            return "float64"
+        if isinstance(node.value, complex):
+            return "complex128"
+    return None
+
+
+def _literal_array(node, dtype: Optional[str]):
+    """ShapeExpr of ``np.array([...])`` list literals (1-D / 2-D)."""
+    elts = node.elts
+    if all(isinstance(e, ast.Constant)
+           and isinstance(e.value, (int, float, bool)) for e in elts):
+        values = [e.value for e in elts]
+        if dtype is None:
+            if any(isinstance(v, float) for v in values):
+                dtype = "float64"
+            elif all(isinstance(v, bool) for v in values):
+                dtype = "bool"
+            else:
+                dtype = "int64"
+        unique = (dtype in ("int64", "bool") or dtype is None) \
+            and len(set(values)) == len(values) \
+            and all(isinstance(v, (int, bool)) for v in values)
+        return arr_expr([len(values)], dtype, unique=unique)
+    if elts and all(isinstance(e, (ast.List, ast.Tuple)) for e in elts):
+        widths = {len(e.elts) for e in elts}
+        width = widths.pop() if len(widths) == 1 else None
+        inner_float = any(
+            isinstance(c, ast.Constant) and isinstance(c.value, float)
+            for e in elts for c in e.elts)
+        return arr_expr([len(elts), width],
+                        dtype or ("float64" if inner_float else None))
+    return None

@@ -92,6 +92,48 @@ def load_baseline(path: "str | Path") -> Set[str]:
     return set(data["entries"])
 
 
+def prune_baseline(path: "str | Path", report: Report) -> int:
+    """Delete stale fingerprints from the baseline at ``path``.
+
+    A fingerprint is stale when it matches nothing in ``report`` — the
+    violation was fixed but its entry lingers.  Unlike
+    :func:`write_baseline` this never *adds* entries, so a regression
+    introduced since the baseline was recorded stays visible (pruning
+    is safe to run blindly; re-recording is not).  Returns the number
+    of entries removed.
+
+    Raises
+    ------
+    ValueError
+        On unreadable/mismatched baseline files (same contract as
+        :func:`load_baseline`).
+    """
+    try:
+        data = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as err:
+        raise ValueError(f"cannot read baseline {path}: {err}") from err
+    if not isinstance(data, dict) \
+            or data.get("schema") != BASELINE_SCHEMA \
+            or not isinstance(data.get("entries"), dict):
+        raise ValueError(
+            f"baseline {path} has schema {data.get('schema')!r}, "
+            f"expected {BASELINE_SCHEMA}; regenerate with "
+            "--update-baseline")
+    live = {baseline_fingerprint(diag) for diag in report.diagnostics}
+    entries = data["entries"]
+    stale = [fp for fp in entries if fp not in live]
+    for fp in stale:
+        del entries[fp]
+    payload = {
+        "schema": BASELINE_SCHEMA,
+        "count": len(entries),
+        "entries": {k: entries[k] for k in sorted(entries)},
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True)
+                          + "\n")
+    return len(stale)
+
+
 def apply_baseline(report: Report,
                    fingerprints: Iterable[str]) -> Tuple[Report, int, int]:
     """Drop baselined findings from ``report``.

@@ -39,7 +39,8 @@ from pathlib import Path
 from typing import Any, Dict, Optional, Set
 
 #: Bump when summary or diagnostic serialisation changes shape.
-CACHE_SCHEMA_VERSION = 1
+#: v2: summary schema 2 (shape returns, nonloop allocs) + RV8xx band.
+CACHE_SCHEMA_VERSION = 2
 
 CORRUPT_SUBDIR = "corrupt"
 

@@ -31,13 +31,86 @@ from typing import (TYPE_CHECKING, Dict, Iterable, List, Optional, Set,
                     Tuple)
 
 from ..units import CONSTANT_DIMENSIONS
-from . import dataflow
+from . import arrayflow, dataflow
 
 if TYPE_CHECKING:  # a runtime import would be circular: source.py
     from .source import SourceModule  # builds projects out of this module
 
 #: Summary format version; bump to invalidate every cached summary.
-SUMMARY_SCHEMA = 1
+#: v2: per-function ``shape_returns`` (array-shape exprs for the RV8xx
+#: band) and ``nonloop_allocs`` (dense allocations outside any loop,
+#: consumed by the caller-side RV702 attribution).
+SUMMARY_SCHEMA = 2
+
+#: Dense-array constructors (numpy/scipy dotted tails); shared by the
+#: RV7xx band, the summary extractor and the fix engine.
+DENSE_ALLOC_TAILS = frozenset({
+    "zeros", "ones", "empty", "full", "eye", "identity", "arange",
+    "linspace", "zeros_like", "ones_like", "empty_like", "full_like",
+    "diag", "vander", "meshgrid",
+})
+
+_LOOP_NODES = (ast.For, ast.AsyncFor, ast.While)
+
+
+def body_nodes(func: ast.FunctionDef):
+    """Yield ``(node, enclosing_loops)`` over a function's own body.
+
+    ``enclosing_loops`` is the tuple of loop statements whose *bodies*
+    lexically contain the node — which is a per-iteration notion, not a
+    purely lexical one: a ``for`` statement's iterable and target
+    evaluate once per loop *entry*, so they belong to the enclosing
+    context, while a ``while`` condition re-evaluates every iteration
+    and belongs to its own loop.  Nested function/class definitions
+    are skipped (they are analysed as their own functions).
+    """
+    def visit(node: ast.AST, loops: tuple):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.ClassDef)):
+                continue
+            if isinstance(child, (ast.For, ast.AsyncFor)):
+                yield child, loops
+                for once in (child.target, child.iter):
+                    yield once, loops
+                    yield from visit(once, loops)
+                inner = loops + (child,)
+                for stmt in child.body + child.orelse:
+                    if isinstance(stmt, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef,
+                                         ast.ClassDef)):
+                        continue
+                    yield stmt, inner
+                    yield from visit(stmt, inner)
+            elif isinstance(child, ast.While):
+                yield child, loops
+                inner = loops + (child,)
+                yield child.test, inner
+                yield from visit(child.test, inner)
+                for stmt in child.body + child.orelse:
+                    if isinstance(stmt, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef,
+                                         ast.ClassDef)):
+                        continue
+                    yield stmt, inner
+                    yield from visit(stmt, inner)
+            else:
+                yield child, loops
+                yield from visit(child, loops)
+
+    yield from visit(func, ())
+
+
+def loop_target_names(loops) -> Set[str]:
+    """Names bound by the targets of the given enclosing loops."""
+    names: Set[str] = set()
+    for loop in loops:
+        target = getattr(loop, "target", None)
+        if target is not None:
+            for sub in ast.walk(target):
+                if isinstance(sub, ast.Name):
+                    names.add(sub.id)
+    return names
 
 #: ``"module:function"`` task references (the campaign contract).
 TASK_REF_RE = re.compile(
@@ -483,17 +556,78 @@ def summarize_module(module: SourceModule, modname: str) -> Dict[str, object]:
             _units_resolver(resolver, class_ctx))
         returns = flow.run(func)
 
+        annotations = _param_annotations(func)
+        shape_flow = arrayflow.ShapeFlow(
+            *_shape_callbacks(resolver, class_ctx),
+            param_shapes=_annotation_shapes(annotations))
+        shape_returns = shape_flow.run(func)
+
         atoms = _AtomCollector(func, resolver, class_ctx)
         functions[qual] = {
             "line": func.lineno,
             "calls": calls,
             "returns": returns[:8],      # cap pathological bodies
+            "shape_returns": shape_returns[:6],
+            "nonloop_allocs": _nonloop_allocs(func, resolver, class_ctx),
             "atoms": [[k, w, ln] for k, w, ln in atoms.atoms],
             "signature": _signature_info(func),
-            "annotations": _param_annotations(func),
+            "annotations": annotations,
         }
     summary["functions"] = functions
     return summary
+
+
+def _shape_callbacks(resolver: _Resolver, class_ctx: str):
+    """(numpy_of, resolve_call) hooks binding a ShapeFlow to a module."""
+
+    def numpy_of(dotted: str) -> Optional[str]:
+        full = resolver.resolve(dotted, class_ctx)
+        if full and (full.startswith("numpy.")
+                     or full.startswith("scipy.")):
+            return full.rsplit(".", 1)[-1]
+        return None
+
+    def resolve_call(dotted: str):
+        full = resolver.resolve(dotted, class_ctx)
+        if full is None:
+            return None
+        return arrayflow.call_expr(full)
+
+    return numpy_of, resolve_call
+
+
+def _annotation_shapes(annotations: Dict[str, str]):
+    """Parameter shape seeds from ``"(n, n)"``-style annotations."""
+    out: Dict[str, arrayflow.AShape] = {}
+    for name, text in annotations.items():
+        dims = arrayflow.parse_shape_annotation(text)
+        if dims is not None:
+            out[name] = arrayflow.AShape(dims=tuple(dims))
+    return out
+
+
+def _nonloop_allocs(func: ast.FunctionDef, resolver: _Resolver,
+                    class_ctx: str) -> List[List[object]]:
+    """Dense numpy/scipy allocations outside any loop: ``[[tail, line]]``.
+
+    These are harmless where they sit — but a *caller* invoking this
+    function from a loop turns each into a per-iteration allocation,
+    which is what the caller-side RV702 attribution reports.
+    """
+    out: List[List[object]] = []
+    for node, loops in body_nodes(func):
+        if loops or not isinstance(node, ast.Call):
+            continue
+        dotted = dataflow._call_target(node)
+        if dotted is None:
+            continue
+        tail = dotted.rsplit(".", 1)[-1]
+        if tail not in DENSE_ALLOC_TAILS:
+            continue
+        resolved = resolver.resolve(dotted, class_ctx) or ""
+        if resolved.startswith("numpy.") or resolved.startswith("scipy."):
+            out.append([tail, node.lineno])
+    return out[:16]
 
 
 def _units_resolver(resolver: _Resolver, class_ctx: str):
@@ -543,6 +677,8 @@ class SourceProject:
         self._build_edges()
         self.units_returns: Dict[str, Optional[Tuple[int, ...]]] = {}
         self._units_fixpoint()
+        self.shape_returns: Dict[str, Optional[arrayflow.AShape]] = {}
+        self._shapes_fixpoint()
         self.task_roots: Dict[str, List[Tuple[str, str, int]]] = {}
         self.unresolved_refs: Dict[str, List[Tuple[str, int]]] = {}
         self._collect_roots(extra_task_refs)
@@ -666,6 +802,43 @@ class SourceProject:
         """Return-dim facts keyed by *dotted* name (DimExpr call leaves)."""
         return dict(self._dotted_units)
 
+    # -- shape facts ------------------------------------------------------
+    def param_shapes(self, fid: str) -> Dict[str, arrayflow.AShape]:
+        """Shape seeds from a function's ``"(n, n)"`` annotations."""
+        info = self.functions.get(fid, {})
+        return _annotation_shapes(info.get("annotations", {}) or {})
+
+    def _shapes_fixpoint(self) -> None:
+        facts: Dict[str, Optional[arrayflow.AShape]] = {
+            fid: None for fid in self.functions}
+        dotted_facts: Dict[str, Optional[arrayflow.AShape]] = {}
+        for _ in range(8):
+            changed = False
+            for fid, info in self.functions.items():
+                returns = info.get("shape_returns", ())
+                if not returns:
+                    continue
+                params = self.param_shapes(fid)
+                values = set()
+                for expr in returns:        # type: ignore[union-attr]
+                    values.add(arrayflow.eval_shape(expr, params,
+                                                    dotted_facts))
+                values.discard(None)
+                new = values.pop() if len(values) == 1 else None
+                if new != facts[fid]:
+                    facts[fid] = new
+                    changed = True
+            dotted_facts = self._dotted_facts(facts)
+            if not changed:
+                break
+        self.shape_returns = facts
+        self._dotted_shapes = dotted_facts
+
+    def shape_facts_for_eval(self) -> Dict[str,
+                                           Optional[arrayflow.AShape]]:
+        """Return-shape facts keyed by *dotted* name (call leaves)."""
+        return dict(self._dotted_shapes)
+
     # -- purity facts -----------------------------------------------------
     def _collect_roots(self, extra_task_refs: Iterable[str]) -> None:
         refs: Dict[str, List[Tuple[str, str, int]]] = {}
@@ -719,9 +892,10 @@ class SourceProject:
         """Everything a module's project findings depend on, hashable.
 
         A module needs re-linting exactly when this slice changes: the
-        return dimensions of what it calls (units), the task-roots
-        reaching its functions and their chains (purity), and the
-        called-from-a-loop context of its functions (perf).
+        return dimensions and shapes of what it calls (units, RV8xx),
+        the callees' declared parameter shapes and out-of-loop
+        allocations (RV804, caller-side RV702), and the task-roots
+        reaching its functions with their chains (purity).
         """
         summary = self.modules.get(modname, {})
         function_ids = [f"{modname}:{qual}"
@@ -730,9 +904,23 @@ class SourceProject:
         for fid in function_ids:
             callees.update(self.internal_callees(fid))
         units = {}
+        shapes = {}
+        callee_sigs = {}
+        callee_allocs = {}
         for callee in sorted(callees):
             dim = self.units_returns.get(callee)
             units[callee] = list(dim) if dim else None
+            shape = self.shape_returns.get(callee)
+            shapes[callee] = shape.to_json() if shape is not None else None
+            info = self.functions.get(callee, {})
+            callee_sigs[callee] = {
+                "params": list(info.get("signature", {})
+                               .get("params", ())),    # type: ignore[union-attr]
+                "ann": dict(info.get("annotations", {}) or {}),
+            }
+            allocs = info.get("nonloop_allocs") or []
+            if allocs:
+                callee_allocs[callee] = [list(a) for a in allocs]
         purity = {}
         for fid in function_ids:
             if fid in self.reach:
@@ -741,14 +929,14 @@ class SourceProject:
         roots_here = {fid: sorted(r[0] for r in refs)
                       for fid, refs in self.task_roots.items()
                       if self.module_of(fid) == modname}
-        perf = {fid: list(self.loop_called[fid])
-                for fid in function_ids if fid in self.loop_called}
         return {
             "units": units,
+            "shapes": shapes,
+            "callee_sigs": callee_sigs,
+            "callee_allocs": callee_allocs,
             "purity": purity,
             "roots": roots_here,
             "unresolved": self.unresolved_refs.get(modname, []),
-            "perf": perf,
         }
 
     def fact_digest(self, modname: str) -> str:

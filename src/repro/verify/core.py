@@ -25,6 +25,8 @@ RV4xx   the simulator's own Python source (AST checks)
 RV5xx   interprocedural physical-units dataflow
 RV6xx   campaign task purity (call-graph transitive)
 RV7xx   hot-path performance inventory
+RV8xx   array shape/dtype semantics (broadcast, demotion,
+        copies, aliasing, batch-axis drift)
 ======  =====================================================
 
 RV0xx-RV4xx rules see one artifact at a time.  The RV5xx+ bands run at

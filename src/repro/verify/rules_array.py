@@ -1,0 +1,345 @@
+"""RV8xx: array shape/dtype semantics (project scope).
+
+The vectorized batched solver (ROADMAP item 1) replaces scalar Python
+loops with heavily-broadcast numpy code — and introduces the bug class
+this band exists to catch *statically*: silent broadcasting across a
+batch axis, float64→float32 demotion inside accumulations, writes that
+land in fancy-indexing copies, and aliased in-place stamps.  The band
+runs the :mod:`repro.verify.arrayflow` shape/dtype lattice over every
+function, seeded from numpy constructors, ``"(n, n)"``-style parameter
+annotations, and the project's fixpoint return-shape facts — so a
+shape minted in ``repro.analysis.mna`` is checked at its call sites in
+``repro.analysis.transient``.
+
+======  ==========================  ==================================
+code    name                        finding
+======  ==========================  ==================================
+RV800   broadcast-mismatch          provably incompatible extents in an
+                                    elementwise op or matmul inner dims
+RV801   dtype-demotion              accumulating/storing float64 (or
+                                    complex) into a float32 array
+RV802   unintended-copy             non-contiguous ``@`` operand,
+                                    writes into fancy-index copies,
+                                    ``np.dot`` inside hot loops
+RV803   inplace-alias-hazard        ``A[ix] += v`` where ``ix`` is an
+                                    integer array not provably unique
+RV804   batch-axis-drift            passing a rank-(r+1) array to a
+                                    function declaring rank r
+======  ==========================  ==================================
+
+Every rule here fires on *provable* facts only — both ranks known,
+both extents concrete, dtype transitions explicit — and the loop
+widening in the walker guarantees data-dependent shapes degrade to
+unknown instead of false positives.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set, Tuple
+
+from . import arrayflow, callgraph
+from .arrayflow import AShape, dtype_rank
+from .core import Finding, rule
+
+#: Integer dtype ranks (see :data:`arrayflow.DTYPE_RANK`).
+_INT_RANKS = frozenset({1, 2, 3, 4})
+
+#: AugAssign ops where repeated fancy indices silently collapse.
+_ALIAS_OPS = {ast.Add: "np.add.at", ast.Sub: "np.subtract.at",
+              ast.Mult: "np.multiply.at"}
+
+
+def _has_fancy(expr) -> bool:
+    """True when a ShapeExpr is a fancy-index result (a numpy *copy*)."""
+    if not isinstance(expr, dict) or expr.get("k") != "idx":
+        return False
+    return any((item[0] if isinstance(item, (list, tuple)) else item)
+               == "f" for item in expr.get("spec", ()))
+
+
+def _is_transposed(expr) -> bool:
+    return isinstance(expr, dict) and expr.get("k") == "t"
+
+
+def _fancy_index_items(spec) -> List:
+    return [item for item in spec
+            if isinstance(item, (list, tuple)) and item
+            and item[0] == "f"]
+
+
+class _ArrayScan:
+    """One pass over a module's functions collecting RV8xx findings."""
+
+    def __init__(self, pm: "callgraph.ProjectModule"):
+        self.pm = pm
+        self.findings: List[Tuple[str, Finding]] = []
+        self._seen: Set[Tuple[str, int]] = set()
+
+    def run(self) -> List[Tuple[str, Finding]]:
+        tree = self.pm.module.tree
+        if tree is None:
+            return []
+        imports = callgraph._import_map(tree, self.pm.name)
+        top = callgraph._module_level_names(tree)
+        shape_facts = self.pm.project.shape_facts_for_eval()
+        for qual, class_ctx, func in callgraph._collect_functions(tree):
+            resolver = callgraph._Resolver(self.pm.name, imports, top)
+            self._scan_function(qual, class_ctx, func, resolver,
+                                shape_facts)
+        return self.findings
+
+    def _emit(self, code: str, subject: str, node: ast.AST,
+              message: str) -> None:
+        line = getattr(node, "lineno", 0)
+        if (code, line) in self._seen:
+            return
+        self._seen.add((code, line))
+        self.findings.append((code, Finding(
+            subject=subject, message=message,
+            location=self.pm.module.loc(node))))
+
+    # -- one function -----------------------------------------------------
+    def _scan_function(self, qual: str, class_ctx: str,
+                       func: ast.FunctionDef,
+                       resolver: "callgraph._Resolver",
+                       shape_facts) -> None:
+        fid = f"{self.pm.name}:{qual}"
+        numpy_of, resolve_call = callgraph._shape_callbacks(resolver,
+                                                            class_ctx)
+        params = callgraph._annotation_shapes(
+            callgraph._param_annotations(func))
+
+        flow = arrayflow.ShapeFlow(
+            numpy_of, resolve_call, param_shapes=params,
+            on_binop=lambda *a: self._on_binop(fid, flow, *a),
+            on_call=lambda *a: self._on_call(fid, flow, resolver,
+                                             class_ctx, *a),
+            on_augassign=lambda *a: self._on_augassign(fid, flow, *a),
+            on_store=lambda *a: self._on_store(fid, flow, *a),
+        )
+        flow._return_facts = shape_facts
+        flow.run(func)
+
+    # -- hooks ------------------------------------------------------------
+    def _on_binop(self, fid, flow, node, tag, left, right) -> None:
+        lval, rval = flow.eval(left), flow.eval(right)
+        if tag == "mat":
+            self._check_matmul(fid, node, left, right, lval, rval)
+            return
+        if lval is None or rval is None or lval.scalar or rval.scalar:
+            return
+        if lval.dims is None or rval.dims is None:
+            return
+        conflict = arrayflow.broadcast_conflict(lval.dims, rval.dims)
+        if conflict is not None:
+            self._emit(
+                "RV800", fid, node,
+                f"provable broadcast mismatch: {lval.render()} vs "
+                f"{rval.render()} — extents {conflict[0]} and "
+                f"{conflict[1]} are incompatible")
+
+    def _check_matmul(self, fid, node, left, right, lval, rval) -> None:
+        if lval is not None and rval is not None:
+            conflict = arrayflow.matmul_inner_conflict(lval, rval)
+            if conflict is not None:
+                self._emit(
+                    "RV800", fid, node,
+                    f"matmul inner dimensions provably mismatch: "
+                    f"{lval.render()} @ {rval.render()} "
+                    f"({conflict[0]} vs {conflict[1]})")
+                return
+        if _is_transposed(left) or _is_transposed(right):
+            self._emit(
+                "RV802", fid, node,
+                "matmul on a transposed view; BLAS copies the "
+                "non-contiguous operand on every call — store the "
+                "transposed layout instead")
+
+    def _on_call(self, fid, flow, resolver, class_ctx, node, dotted,
+                 arg_exprs) -> None:
+        if dotted is None:
+            return
+        np_tail = flow.numpy_of(dotted)
+        if np_tail in ("dot", "matmul") and len(arg_exprs) >= 2:
+            lval = flow.eval(arg_exprs[0])
+            rval = flow.eval(arg_exprs[1])
+            if lval is not None and rval is not None:
+                conflict = arrayflow.matmul_inner_conflict(lval, rval)
+                if conflict is not None:
+                    self._emit(
+                        "RV800", fid, node,
+                        f"matmul inner dimensions provably mismatch: "
+                        f"{lval.render()} vs {rval.render()} "
+                        f"({conflict[0]} vs {conflict[1]})")
+            if np_tail == "dot" and flow.loop_depth > 0:
+                self._emit(
+                    "RV802", fid, node,
+                    "np.dot() inside a hot loop; prefer @ on "
+                    "preallocated contiguous operands (dot falls back "
+                    "to copies on non-contiguous inputs)")
+            return
+        self._check_batch_drift(fid, flow, resolver, class_ctx, node,
+                                dotted, arg_exprs)
+
+    def _check_batch_drift(self, fid, flow, resolver, class_ctx, node,
+                           dotted, arg_exprs) -> None:
+        """RV804: rank of an argument vs the callee's declared rank."""
+        full = resolver.resolve(dotted, class_ctx)
+        if full is None:
+            return
+        target = self.pm.project.resolve_dotted(full)
+        if target is None:
+            return
+        declared = self.pm.project.param_shapes(target)
+        if not declared:
+            return
+        params = self.pm.project.functions.get(target, {}) \
+            .get("signature", {}).get("params", ())
+        for position, name in enumerate(params):
+            decl = declared.get(name)
+            if decl is None or decl.rank is None:
+                continue
+            if position >= len(node.args):
+                break
+            value = flow.eval(arg_exprs[position])
+            if value is None or value.scalar or value.rank is None:
+                continue
+            if value.rank != decl.rank:
+                drift = ("batch axis added"
+                         if value.rank == decl.rank + 1
+                         else "rank drift")
+                self._emit(
+                    "RV804", fid, node,
+                    f"{target} declares parameter {name!r} as "
+                    f"{decl.render()} (rank {decl.rank}) but is called "
+                    f"with rank-{value.rank} {value.render()} — "
+                    f"{drift}; broadcast silently or batch the callee "
+                    "explicitly")
+
+    def _on_augassign(self, fid, flow, node, base, index,
+                      value) -> None:
+        vval = flow.eval(value)
+        bval = flow.eval(base)
+        if index is None:
+            # x op= v on a plain name
+            if _has_fancy(base):
+                self._emit(
+                    "RV802", fid, node,
+                    "in-place update of a fancy-indexing result; fancy "
+                    "indexing returns a copy, so the source array is "
+                    "not updated (use np.add.at or index once)")
+            self._check_demotion(fid, node, bval, vval,
+                                 what="accumulation target")
+            return
+        # A[ix] op= v
+        self._check_demotion(fid, node, bval, vval,
+                             what="indexed store target")
+        alias_fix = _ALIAS_OPS.get(type(node.op))
+        if alias_fix is None:
+            return
+        for item in _fancy_index_items(index):
+            sub = flow.eval(item[1] if len(item) > 1 else None)
+            if sub is None or sub.dims is None or sub.scalar:
+                continue
+            if sub.unique:
+                continue
+            if dtype_rank(sub.dtype) not in _INT_RANKS:
+                continue
+            self._emit(
+                "RV803", fid, node,
+                "in-place aliasing hazard: the integer index array is "
+                "not provably duplicate-free, and repeated indices "
+                f"apply only once under buffered +=; use {alias_fix}"
+                "(array, index, value)")
+            return
+
+    def _on_store(self, fid, flow, node, target, base, index,
+                  value) -> None:
+        if _has_fancy(base):
+            self._emit(
+                "RV802", fid, node,
+                "assignment into a fancy-indexing result; fancy "
+                "indexing returns a copy, so this write does not reach "
+                "the original array")
+        self._check_demotion(fid, node, flow.eval(base),
+                             flow.eval(value), what="store target")
+
+    def _check_demotion(self, fid, node, store: Optional[AShape],
+                        value: Optional[AShape], what: str) -> None:
+        if store is None or value is None or store.scalar:
+            return
+        if value.scalar:
+            return                  # python scalars combine weakly
+        if arrayflow.is_demotion(store.dtype, value.dtype):
+            self._emit(
+                "RV801", fid, node,
+                f"silent dtype demotion: {what} is {store.dtype} but "
+                f"the value is {value.dtype}; the extra precision is "
+                "dropped on every accumulation — allocate the "
+                f"accumulator as {value.dtype} or cast explicitly")
+
+
+def _array_findings(pm, code: str):
+    cached = getattr(pm, "_rv8_findings", None)
+    if cached is None:
+        cached = _ArrayScan(pm).run()
+        pm._rv8_findings = cached
+    for found_code, finding in cached:
+        if found_code == code:
+            yield finding
+
+
+@rule("RV800", "broadcast-mismatch", "project", "warning",
+      "two arrays with provably incompatible extents are combined "
+      "elementwise or via matmul",
+      rationale="a broadcast mismatch the lattice can prove is a "
+                "guaranteed runtime ValueError — or worse, a silent "
+                "wrong-shape result once a batch axis lands.")
+def check_broadcast(pm):
+    """RV800: provable broadcast/matmul shape mismatches."""
+    yield from _array_findings(pm, "RV800")
+
+
+@rule("RV801", "dtype-demotion", "project", "warning",
+      "a float64/complex value is accumulated or stored into a "
+      "lower-precision array",
+      rationale="MNA conditioning analysis assumes float64; a float32 "
+                "accumulator silently halves the mantissa on every "
+                "Newton update.")
+def check_dtype_demotion(pm):
+    """RV801: silent precision loss in accumulation paths."""
+    yield from _array_findings(pm, "RV801")
+
+
+@rule("RV802", "unintended-copy", "project", "info",
+      "a pattern that makes numpy copy (transposed matmul operand, "
+      "write into a fancy-index result, np.dot in a loop)",
+      rationale="hidden copies dominate the profile once the batched "
+                "solver lands; writes into fancy-index copies are "
+                "additionally lost updates.")
+def check_unintended_copy(pm):
+    """RV802: unintended-copy patterns on hot paths."""
+    yield from _array_findings(pm, "RV802")
+
+
+@rule("RV803", "inplace-alias-hazard", "project", "warning",
+      "fancy-indexed += with an index array not provably "
+      "duplicate-free",
+      rationale="buffered += applies each repeated index once; "
+                "np.add.at accumulates — stamping a netlist with "
+                "shared nodes hits exactly this.")
+def check_inplace_alias(pm):
+    """RV803: ``A[ix] +=`` aliasing hazards vs ``np.add.at``."""
+    yield from _array_findings(pm, "RV803")
+
+
+@rule("RV804", "batch-axis-drift", "project", "warning",
+      "an argument's rank provably disagrees with the callee's "
+      "declared parameter shape",
+      rationale="the batched solver adds a leading batch axis; "
+                "passing (b, n, n) into a function written for (n, n) "
+                "broadcasts silently and answers the wrong question.")
+def check_batch_drift(pm):
+    """RV804: declared-vs-actual rank drift across calls."""
+    yield from _array_findings(pm, "RV804")

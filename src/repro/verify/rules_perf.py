@@ -4,11 +4,12 @@ ROADMAP item 1 replaces the per-element Python stamping loops with a
 vectorized batched solver.  This band *inventories* the work: every
 Python-level loop that stamps into MNA ndarrays, every dense ndarray
 allocation executed per Newton iteration or sweep point (lexically
-inside a loop, or — via the call graph — inside a function that some
-caller invokes from a loop), and every reassembly of topology-invariant
-structure inside a loop.  Findings are informational by design: they
-are a worklist, not defects, and ``python -m repro lint-source
---format json`` is the machine-readable form the refactor consumes.
+inside a loop, or — via the call graph — behind a call some loop makes
+into an allocating function), and every reassembly of topology-
+invariant structure inside a loop.  Findings are informational by
+design: they are a worklist, not defects, and ``python -m repro
+lint-source --format json`` is the machine-readable form the refactor
+(and the ``repro fix`` codemod engine) consumes.
 
 ======  =========================  =================================
 code    name                       finding
@@ -16,20 +17,32 @@ code    name                       finding
 RV701   per-element-stamp-loop     a Python loop stamping elements or
                                    filling A/b entry-by-entry
 RV702   dense-alloc-in-loop        a dense ndarray allocation inside a
-                                   loop, or in a function called from
-                                   a loop elsewhere in the project
+                                   loop — reported at the allocation,
+                                   or (for allocations hidden in a
+                                   callee) at the calling loop with
+                                   the callee named in the message
 RV703   invariant-reassembly       topology-invariant structure
-                                   (compile/stamp_pattern/row_labels)
-                                   rebuilt inside a loop
+                                   (compile/stamp_pattern/row_labels/
+                                   elements) rebuilt inside a loop
 ======  =========================  =================================
+
+Loop attribution is per-iteration, not lexical: a ``for`` statement's
+iterable evaluates once per loop *entry*, so ``for e in c.elements()``
+only counts as in-loop work when an *outer* loop re-executes it; a
+``while`` condition re-evaluates every iteration and counts as its
+own loop's work.  RV703 additionally skips calls whose receiver is
+bound by an enclosing loop target (``for e in ...: e.stamp_pattern()``
+varies per iteration — nothing to hoist).
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Iterator, List, Optional, Set, Tuple
+from typing import Iterator, List, Set, Tuple
 
 from . import callgraph, dataflow
+from .callgraph import DENSE_ALLOC_TAILS as _DENSE_ALLOCS
+from .callgraph import body_nodes, loop_target_names
 from .core import Finding, rule
 
 #: Stamper-object primitives (see ``analysis/stamps.py``): a call to one
@@ -38,37 +51,10 @@ from .core import Finding, rule
 _STAMP_PRIMS = frozenset({"conductance", "current", "vccs", "matrix",
                           "rhs"})
 
-#: Dense-array constructors (numpy dotted tails).
-_DENSE_ALLOCS = frozenset({
-    "zeros", "ones", "empty", "full", "eye", "identity", "arange",
-    "linspace", "zeros_like", "ones_like", "empty_like", "full_like",
-    "diag", "vander", "meshgrid",
-})
-
 #: Topology-invariant assembly: same result every iteration for a fixed
 #: circuit, so a loop re-calling them is wasted work.
-_INVARIANT_TAILS = frozenset({"compile", "stamp_pattern", "row_labels"})
-
-_LOOPS = (ast.For, ast.AsyncFor, ast.While)
-
-
-def _body_nodes(func: ast.FunctionDef) -> Iterator[
-        Tuple[ast.AST, Optional[ast.AST]]]:
-    """(node, innermost enclosing loop) for the function's own body.
-
-    Nested function/class definitions are skipped — they are analysed
-    as their own functions.
-    """
-    def visit(node: ast.AST, loop: Optional[ast.AST]):
-        for child in ast.iter_child_nodes(node):
-            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
-                                  ast.ClassDef)):
-                continue
-            yield child, loop
-            child_loop = child if isinstance(child, _LOOPS) else loop
-            yield from visit(child, child_loop)
-
-    yield from visit(func, None)
+_INVARIANT_TAILS = frozenset({"compile", "stamp_pattern", "row_labels",
+                              "elements"})
 
 
 def _is_matrix_fill(node: ast.AugAssign) -> bool:
@@ -83,6 +69,14 @@ def _is_matrix_fill(node: ast.AugAssign) -> bool:
     elif isinstance(base, ast.Attribute):
         name = base.attr
     return name in ("A", "b", "G", "rhs", "jacobian")
+
+
+def _receiver_names(node: ast.Call) -> Set[str]:
+    """Root names the call's receiver expression reads."""
+    if not isinstance(node.func, ast.Attribute):
+        return set()
+    return {sub.id for sub in ast.walk(node.func.value)
+            if isinstance(sub, ast.Name)}
 
 
 class _PerfScan:
@@ -121,10 +115,11 @@ class _PerfScan:
         stamp_loops: Set[ast.AST] = set()
         loop_reason: dict = {}
 
-        for node, loop in _body_nodes(func):
+        for node, loops in body_nodes(func):
+            loop = loops[-1] if loops else None
             if isinstance(node, ast.Call):
                 dotted = dataflow._call_target(node)
-                self._scan_call(fid, node, dotted, loop, resolver,
+                self._scan_call(fid, node, dotted, loop, loops, resolver,
                                 class_ctx, stamp_loops, loop_reason)
             elif isinstance(node, ast.AugAssign) and loop is not None \
                     and _is_matrix_fill(node):
@@ -138,8 +133,8 @@ class _PerfScan:
                 f"per-element Python stamping loop ({loop_reason[loop]}); "
                 "vectorization worklist for the batched solver")
 
-    def _scan_call(self, fid, node, dotted, loop, resolver, class_ctx,
-                   stamp_loops, loop_reason) -> None:
+    def _scan_call(self, fid, node, dotted, loop, loops, resolver,
+                   class_ctx, stamp_loops, loop_reason) -> None:
         if dotted is None:
             return
         tail = dotted.rsplit(".", 1)[-1]
@@ -154,11 +149,15 @@ class _PerfScan:
                 stamp_loops.add(loop)
                 loop_reason.setdefault(
                     loop, f"drives stamper primitive .{tail}() per entry")
-            if tail in _INVARIANT_TAILS:
+            if tail in _INVARIANT_TAILS \
+                    and not (_receiver_names(node)
+                             & loop_target_names(loops)):
                 self._emit(
                     "RV703", fid, node,
                     f"topology-invariant call .{tail}() inside a loop; "
                     "hoist it — the result is identical every iteration")
+            self._scan_loop_called_alloc(fid, node, dotted, loop,
+                                         resolver, class_ctx)
 
         if tail in _DENSE_ALLOCS:
             resolved = resolver.resolve(dotted, class_ctx) or ""
@@ -170,14 +169,30 @@ class _PerfScan:
                     "RV702", fid, node,
                     f"dense allocation {tail}() inside a loop; "
                     "preallocate outside and fill in place")
-            else:
-                caller = self.pm.project.loop_called.get(fid)
-                if caller is not None:
-                    self._emit(
-                        "RV702", fid, node,
-                        f"dense allocation {tail}() in a function called "
-                        f"from a loop ({caller[0]} line {caller[1]}); "
-                        "allocates once per iteration across the call")
+
+    def _scan_loop_called_alloc(self, fid, node, dotted, loop,
+                                resolver, class_ctx) -> None:
+        """Caller-side RV702: this loop calls a function whose body
+        allocates dense arrays (outside its own loops) — so the loop
+        pays one allocation per iteration.  Reported at the calling
+        loop, like RV701, with the callee in the message."""
+        resolved = resolver.resolve(dotted, class_ctx)
+        if resolved is None:
+            return
+        target = self.pm.project.resolve_dotted(resolved)
+        if target is None:
+            return
+        allocs = self.pm.project.functions.get(target, {}) \
+            .get("nonloop_allocs") or []
+        if not allocs:
+            return
+        described = ", ".join(f"{tail}() at line {line}"
+                              for tail, line in list(allocs)[:3])
+        self._emit(
+            "RV702", fid, loop,
+            f"loop calls {target} per iteration, which allocates "
+            f"{described} in its body; hoist the allocation or pass a "
+            "buffer in")
 
 
 def _perf_findings(pm, code: str) -> Iterator[Finding]:
@@ -202,8 +217,8 @@ def check_stamp_loops(pm) -> Iterator[Finding]:
 
 
 @rule("RV702", "dense-alloc-in-loop", "project", "info",
-      "a dense ndarray is allocated inside a loop (directly or via a "
-      "loop-called function)",
+      "a dense ndarray is allocated inside a loop (directly, or in a "
+      "callee some loop invokes per iteration)",
       rationale="Newton iterations and sweep points dominate runtime; "
                 "per-iteration allocation churns the allocator and "
                 "defeats cache reuse.")
@@ -214,9 +229,9 @@ def check_dense_alloc(pm) -> Iterator[Finding]:
 
 @rule("RV703", "invariant-reassembly", "project", "info",
       "topology-invariant structure is rebuilt inside a loop",
-      rationale="compile()/stamp_pattern()/row_labels() depend only on "
-                "the circuit; rebuilding them per iteration is pure "
-                "overhead.")
+      rationale="compile()/stamp_pattern()/row_labels()/elements() "
+                "depend only on the circuit; rebuilding them per "
+                "iteration is pure overhead.")
 def check_invariant_reassembly(pm) -> Iterator[Finding]:
     """RV703: topology-invariant structure rebuilt inside loops."""
     yield from _perf_findings(pm, "RV703")

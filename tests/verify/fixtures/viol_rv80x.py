@@ -1,0 +1,63 @@
+"""Array-semantics patterns the RV8xx band reports (800-804)."""
+
+import numpy as np
+
+
+def broadcast_mismatch():
+    a = np.zeros((3, 4))
+    b = np.ones((3, 5))
+    return a + b                       # RV800: 4 vs 5
+
+
+def matmul_mismatch():
+    a = np.zeros((3, 4))
+    b = np.zeros((5, 2))
+    return a @ b                       # RV800: inner 4 vs 5
+
+
+def demote_store():
+    acc = np.zeros(8, dtype=np.float32)
+    acc += np.ones(8)                  # RV801: f64 into f32 accumulator
+    return acc
+
+
+def dot_in_loop(a, b, steps):
+    total = 0.0
+    for _ in range(steps):
+        total += np.dot(a, b)          # RV802: np.dot in a hot loop
+    return total
+
+
+def lost_fancy_write(A):
+    pick = np.array([0, 0, 1])
+    rows = A[pick]                     # fancy indexing: a copy
+    rows += 1.0                        # RV802: A is never updated
+    return A
+
+
+def alias_hazard(state):
+    ix = np.array([0, 0, 2])
+    state[ix] += np.ones(3)            # RV803: repeated index collapses
+    return state
+
+
+def solve_cell(A: "(n, n)"):
+    return A
+
+
+def batch_drift():
+    batch = np.zeros((4, 3, 3))
+    return solve_cell(batch)           # RV804: rank 3 into rank-2 decl
+
+
+def widened_if_is_quiet(flag):
+    x = np.zeros((3, 4))
+    if flag:
+        x = np.zeros((3, 5))           # join widens dim 1 to unknown
+    return x + np.ones((3, 4))         # quiet: not provable
+
+
+def unique_index_is_quiet(state):
+    ix = np.arange(3)
+    state[ix] += np.ones(3)            # arange is duplicate-free: quiet
+    return state

@@ -178,3 +178,83 @@ class TestCliBaseline:
         capsys.readouterr()
         assert main(["lint", str(deck),
                      "--baseline", str(baseline)]) == 0
+
+
+# -- prune -------------------------------------------------------------------
+
+
+def test_prune_removes_only_stale_entries(tmp_path):
+    from repro.verify import prune_baseline
+
+    report = verify_source_text(VIOLATIONS, path="mod.py")
+    path = tmp_path / "baseline.json"
+    write_baseline(path, report)
+    assert len(load_baseline(path)) == 2
+    # One violation fixed: its entry is stale and gets pruned.
+    fixed = VIOLATIONS.replace("rows=[]", "rows=()")
+    removed = prune_baseline(path, verify_source_text(fixed,
+                                                      path="mod.py"))
+    assert removed == 1
+    remaining = load_baseline(path)
+    assert remaining == {baseline_fingerprint(d)
+                         for d in verify_source_text(fixed,
+                                                     path="mod.py")}
+    payload = json.loads(path.read_text())
+    assert payload["count"] == 1
+
+
+def test_prune_never_adds_entries(tmp_path):
+    from repro.verify import prune_baseline
+
+    report = verify_source_text(VIOLATIONS, path="mod.py")
+    path = tmp_path / "baseline.json"
+    write_baseline(path, report)
+    regressed = VIOLATIONS + ("\n\ndef h(x):\n"
+                              "    return x == 1.8\n")
+    removed = prune_baseline(path, verify_source_text(regressed,
+                                                      path="mod.py"))
+    assert removed == 0
+    # The regression is NOT swallowed into the baseline.
+    assert len(load_baseline(path)) == 2
+
+
+def test_prune_rejects_corrupt_baseline(tmp_path):
+    from repro.verify import prune_baseline
+
+    path = tmp_path / "baseline.json"
+    path.write_text("{\"schema\": 99, \"entries\": {}}")
+    with pytest.raises(ValueError, match="schema"):
+        prune_baseline(path, verify_source_text(VIOLATIONS,
+                                                path="mod.py"))
+
+
+class TestPruneCli:
+    def _module(self, tmp_path):
+        mod = tmp_path / "mod.py"
+        mod.write_text("def f():\n    return float(\"10n\")\n"
+                       "\n\ndef g():\n    return float(\"5f\")\n")
+        return mod
+
+    def test_prune_round_trip(self, tmp_path, capsys):
+        mod = self._module(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert main(["lint-source", "--no-cache", str(mod),
+                     "--update-baseline", str(baseline)]) == 0
+        # Fix one of the two findings; its entry goes stale.
+        mod.write_text("def f():\n    return float(\"10n\")\n")
+        capsys.readouterr()
+        assert main(["lint-source", "--no-cache", str(mod),
+                     "--baseline", str(baseline), "--prune"]) == 0
+        err = capsys.readouterr().err
+        assert "pruned 1 stale" in err
+        assert json.loads(baseline.read_text())["count"] == 1
+        # Round trip: the pruned file still suppresses, with no stale
+        # warning left.
+        assert main(["lint-source", "--no-cache", str(mod),
+                     "--baseline", str(baseline)]) == 0
+        assert "matched nothing" not in capsys.readouterr().err
+
+    def test_prune_requires_baseline(self, tmp_path, capsys):
+        mod = self._module(tmp_path)
+        assert main(["lint-source", "--no-cache", str(mod), "--prune"]) == 2
+        assert "--prune requires --baseline" in capsys.readouterr().err

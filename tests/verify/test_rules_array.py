@@ -1,0 +1,238 @@
+"""RV8xx array shape/dtype band: per-rule fixtures, the shape-lattice
+join/widening semantics at branch merges and loop back-edges, and the
+arrayflow primitives the rules stand on."""
+
+import textwrap
+from pathlib import Path
+
+from repro.verify import arrayflow, verify_source, verify_source_file, \
+    verify_source_text
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def rv8(report):
+    return [d for d in report if d.code.startswith("RV8")]
+
+
+def codes(report):
+    return sorted(d.code for d in rv8(report))
+
+
+def by_function(report):
+    out = {}
+    for d in rv8(report):
+        out.setdefault(d.subject.split(":")[1], []).append(d)
+    return out
+
+
+# -- fixture detection -------------------------------------------------------
+
+
+def test_rv8xx_fixture_findings():
+    report = verify_source_file(FIXTURES / "viol_rv80x.py")
+    assert codes(report) == ["RV800", "RV800", "RV801", "RV802",
+                             "RV802", "RV803", "RV804"]
+    fns = by_function(report)
+    assert "extents 4 and 5" in fns["broadcast_mismatch"][0].message
+    assert "inner dimensions" in fns["matmul_mismatch"][0].message
+    assert "float32" in fns["demote_store"][0].message
+    assert "np.dot() inside a hot loop" in fns["dot_in_loop"][0].message
+    assert "returns a copy" in fns["lost_fancy_write"][0].message
+    assert "np.add.at" in fns["alias_hazard"][0].message
+    assert "rank 2" in fns["batch_drift"][0].message
+    assert "widened_if_is_quiet" not in fns
+    assert "unique_index_is_quiet" not in fns
+
+
+def test_rv8xx_severities():
+    report = verify_source_file(FIXTURES / "viol_rv80x.py")
+    severities = {d.code: d.severity.value for d in rv8(report)}
+    assert severities == {"RV800": "warning", "RV801": "warning",
+                          "RV802": "info", "RV803": "warning",
+                          "RV804": "warning"}
+
+
+def test_rv804_crosses_module_boundary(tmp_path):
+    """The declared shape lives in one module, the call in another."""
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("")
+    (pkg / "cell.py").write_text(textwrap.dedent('''\
+        def solve_cell(A: "(n, n)"):
+            return A
+        '''))
+    (pkg / "driver.py").write_text(textwrap.dedent('''\
+        import numpy as np
+
+        from pkg.cell import solve_cell
+
+
+        def run():
+            batch = np.zeros((8, 3, 3))
+            return solve_cell(batch)
+        '''))
+    report = verify_source([str(pkg)])
+    hits = [d for d in report if d.code == "RV804"]
+    assert len(hits) == 1
+    assert hits[0].target.endswith("driver.py")
+    assert "pkg.cell:solve_cell" in hits[0].message
+    assert "batch axis added" in hits[0].message
+
+
+# -- lattice joins and widening (branch merges, loop back-edges) -------------
+
+
+def lint(text):
+    return verify_source_text(textwrap.dedent(text), path="joins.py")
+
+
+def test_branch_join_keeps_agreeing_dims():
+    report = lint('''\
+        import numpy as np
+
+
+        def agreeing_join(flag):
+            if flag:
+                x = np.zeros((2, 3))
+            else:
+                x = np.ones((2, 3))
+            return x + np.zeros((2, 4))
+        ''')
+    assert codes(report) == ["RV800"]
+
+
+def test_branch_join_widens_disagreeing_dims():
+    report = lint('''\
+        import numpy as np
+
+
+        def widened(flag):
+            x = np.zeros((3, 4))
+            if flag:
+                x = np.zeros((3, 5))
+            return x + np.ones((3, 4))
+        ''')
+    assert codes(report) == []
+
+
+def test_loop_backedge_widens_growing_shape():
+    """Data-dependent growth must degrade to unknown, never fire."""
+    report = lint('''\
+        import numpy as np
+
+
+        def grow(chunks, steps):
+            x = np.zeros(3)
+            for _ in range(steps):
+                x = np.concatenate([x, np.zeros(3)])
+            return x + np.zeros(4)
+        ''')
+    assert codes(report) == []
+
+
+def test_loop_exit_joins_zero_iteration_path():
+    """After the loop, x may hold either the pre-loop or in-loop shape."""
+    report = lint('''\
+        import numpy as np
+
+
+        def zero_iteration(steps):
+            x = np.zeros(3)
+            for _ in range(steps):
+                x = np.zeros(4)
+            return x + np.zeros(3)
+        ''')
+    assert codes(report) == []
+
+
+def test_loop_stable_shape_stays_provable():
+    """Widening only kills facts that actually change on the back edge."""
+    report = lint('''\
+        import numpy as np
+
+
+        def stable(steps):
+            x = np.zeros((2, 3))
+            for _ in range(steps):
+                x = np.zeros((2, 3))
+            return x + np.zeros((2, 4))
+        ''')
+    assert codes(report) == ["RV800"]
+
+
+def test_deep_join_chain_widens_to_top():
+    """Past the join cap the lattice collapses to ⊤ — quiet, not wrong."""
+    report = lint('''\
+        import numpy as np
+
+
+        def data_dependent(k):
+            x = np.zeros(3)
+            if k > 0:
+                x = np.zeros(4)
+            if k > 1:
+                x = np.zeros(5)
+            if k > 2:
+                x = np.zeros(6)
+            if k > 3:
+                x = np.zeros(7)
+            return x + np.zeros(9)
+        ''')
+    assert codes(report) == []
+
+
+def test_weak_scalar_never_demotes():
+    report = lint('''\
+        import numpy as np
+
+
+        def scale(n):
+            acc = np.zeros(n, dtype=np.float32)
+            acc += 1.0
+            acc *= 2
+            return acc
+        ''')
+    assert codes(report) == []
+
+
+# -- arrayflow primitives ----------------------------------------------------
+
+
+def test_join_expr_cap_collapses_to_top():
+    expr = arrayflow.arr_expr([3], "float64")
+    for extent in (4, 5, 6, 7, 8):
+        expr = arrayflow.join_expr(
+            expr, arrayflow.arr_expr([extent], "float64"))
+    assert expr == arrayflow.TOP
+
+
+def test_join_expr_identical_is_identity():
+    expr = arrayflow.arr_expr([2, 3], "float64")
+    assert arrayflow.join_expr(expr, expr) is expr
+
+
+def test_join_eval_keeps_agreement_per_dim():
+    joined = arrayflow.join_expr(arrayflow.arr_expr([2, 3], "float64"),
+                                 arrayflow.arr_expr([2, 5], "float64"))
+    value = arrayflow.eval_shape(joined)
+    assert value.dims == (2, None)
+
+
+def test_broadcast_conflict_respects_ones():
+    assert arrayflow.broadcast_conflict([3, 4], [3, 5]) == (4, 5)
+    assert arrayflow.broadcast_conflict([3, 1], [3, 5]) is None
+    assert arrayflow.broadcast_conflict([4], [3, 4]) is None
+
+
+def test_is_demotion_only_on_precision_loss():
+    assert arrayflow.is_demotion("float32", "float64")
+    assert not arrayflow.is_demotion("float64", "float32")
+    assert not arrayflow.is_demotion("int32", "int64")
+
+
+def test_parse_shape_annotation_ignores_unit_strings():
+    assert arrayflow.parse_shape_annotation("(n, n)") == ["n", "n"]
+    assert arrayflow.parse_shape_annotation("(b, n, n)") == \
+        ["b", "n", "n"]
+    assert arrayflow.parse_shape_annotation("J") is None

@@ -71,9 +71,14 @@ def test_rv702_flags_loop_called_function(tmp_path):
     report = verify_source([str(pkg)])
     hits = [d for d in report if d.code == "RV702"]
     assert len(hits) == 1
-    assert hits[0].target.endswith("alloc.py")
-    assert "called from a loop" in hits[0].message
-    assert "pkg.sweep:run" in hits[0].message
+    # Attributed to the *calling loop* (like RV701), naming the callee:
+    # that is where the per-iteration cost is paid and where the fix
+    # (hoist or thread a buffer) lands.
+    assert hits[0].target.endswith("sweep.py")
+    assert hits[0].subject == "pkg.sweep:run"
+    assert "loop calls pkg.alloc:fresh_state per iteration" \
+        in hits[0].message
+    assert "zeros() at line 5" in hits[0].message
 
 
 def test_rv702_stays_quiet_without_looping_caller(tmp_path):
