@@ -17,6 +17,7 @@ from time import perf_counter
 
 import numpy as np
 
+from repro.exec.atomicio import atomic_write_text
 from repro.analysis import operating_point, transient
 from repro.analysis.dc import OperatingPointOptions
 from repro.analysis.solver import NewtonOptions
@@ -147,8 +148,8 @@ def bench_trust_certification_overhead(benchmark, publish):
             "defended_steps": int(result.stats["defended_steps"]),
         },
     }
-    (_REPO / "BENCH_engine.json").write_text(
-        json.dumps(payload, indent=2) + "\n")
+    atomic_write_text(_REPO / "BENCH_engine.json",
+                      json.dumps(payload, indent=2) + "\n")
     publish("trust_overhead", json.dumps(payload, indent=2))
 
     assert pct(tran_cert, tran_plain) < 25.0, (

@@ -12,6 +12,7 @@ from pathlib import Path
 import numpy as np
 import pytest
 
+from repro.exec.atomicio import atomic_write_text
 from repro.cells import PowerDomain
 from repro.experiments import run_fig7a, run_fig7b, run_fig7c
 
@@ -53,7 +54,8 @@ def fig7_json(request):
         merged.update(sections)
         payload = {"schema": 1}
         payload.update(sorted(merged.items()))
-        path.write_text(json.dumps(payload, indent=2) + "\n")
+        atomic_write_text(path,
+                          json.dumps(payload, indent=2) + "\n")
 
     request.addfinalizer(_write)
     return sections

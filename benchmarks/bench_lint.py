@@ -23,6 +23,7 @@ from time import perf_counter
 import pytest
 
 from repro.cells import build_cell_array
+from repro.exec.atomicio import atomic_write_text
 from repro.characterize.ff_runner import _build_ff_bench
 from repro.characterize.testbench import build_cell_testbench
 from repro.devices.mtj import MTJ_TABLE1
@@ -106,6 +107,22 @@ def bench_lint_source_tree(benchmark, publish, tmp_path):
                   extra_task_refs=refs)
     cold_no_rv8_s = perf_counter() - t0
 
+    # Same split for the RV9xx concurrency/crash-safety band (effect
+    # signatures are still collected — they live in the summaries —
+    # so this prices the rule evaluation, not the collection).
+    no_rv9 = effective_config(cli_disable=frozenset(
+        {"RV900", "RV901", "RV902", "RV903", "RV904", "RV905"}))
+    t0 = perf_counter()
+    verify_source(roots, config=no_rv9,
+                  cache_dir=tmp_path / "lint-cache-no-rv9",
+                  extra_task_refs=refs)
+    cold_no_rv9_s = perf_counter() - t0
+    t0 = perf_counter()
+    verify_source(roots, config=no_rv9,
+                  cache_dir=tmp_path / "lint-cache-no-rv9",
+                  extra_task_refs=refs)
+    warm_no_rv9_s = perf_counter() - t0
+
     def warm():
         return verify_source(roots, cache_dir=cache, extra_task_refs=refs)
 
@@ -133,7 +150,7 @@ def bench_lint_source_tree(benchmark, publish, tmp_path):
         by_band[band] = by_band.get(band, 0) + 1
     speedup = cold_s / warm_s if warm_s > 0 else float("inf")
     payload = {
-        "schema": 2,
+        "schema": 3,
         "modules": sum(1 for _ in iter_source_files(roots)),
         "cold_s": round(cold_s, 4),
         "warm_s": round(warm_s, 4),
@@ -145,13 +162,23 @@ def bench_lint_source_tree(benchmark, publish, tmp_path):
             "findings": sum(1 for d in cold_report
                             if d.code.startswith("RV8")),
         },
+        "rv9xx_band": {
+            "cold_s_without": round(cold_no_rv9_s, 4),
+            "cold_marginal_s": round(max(0.0, cold_s - cold_no_rv9_s),
+                                     4),
+            "warm_s_without": round(warm_no_rv9_s, 4),
+            "warm_marginal_s": round(max(0.0, warm_s - warm_no_rv9_s),
+                                     4),
+            "findings": sum(1 for d in cold_report
+                            if d.code.startswith("RV9")),
+        },
         "diagnostics": {
             "total": len(cold_report),
             "by_band": dict(sorted(by_band.items())),
         },
     }
-    (_REPO / "BENCH_lint.json").write_text(
-        json.dumps(payload, indent=2) + "\n")
+    atomic_write_text(_REPO / "BENCH_lint.json",
+                      json.dumps(payload, indent=2) + "\n")
     publish("lint_source",
             f"cold {cold_s:.3f} s / warm {warm_s:.3f} s "
             f"({speedup:.1f}x)\n\n" + render_text(cold_report))

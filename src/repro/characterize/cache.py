@@ -23,16 +23,15 @@ pass ``cache_dir=None`` through the runner to disable caching entirely.
 
 from __future__ import annotations
 
-import contextlib
 import hashlib
 import json
 import os
-import tempfile
 import warnings
 from dataclasses import asdict, is_dataclass
 from pathlib import Path
 from typing import Any, Dict, Optional, Set
 
+from ..exec.atomicio import atomic_write_text
 from .data import CellCharacterization
 
 #: Bump when characterisation semantics change to invalidate old entries.
@@ -196,20 +195,6 @@ def store(cache_dir: Optional[Path], key: str,
     path = directory / f"{key}.json"
     try:
         directory.mkdir(parents=True, exist_ok=True)
-        fd, tmp_name = tempfile.mkstemp(dir=directory, prefix=f"{key}.",
-                                        suffix=".tmp")
+        atomic_write_text(path, envelope)
     except OSError as err:
         _warn_unwritable(directory, err)
-        return
-    try:
-        with os.fdopen(fd, "w") as handle:
-            handle.write(envelope)
-        os.replace(tmp_name, path)
-    except OSError as err:
-        with contextlib.suppress(OSError):
-            os.unlink(tmp_name)
-        _warn_unwritable(directory, err)
-    except BaseException:
-        with contextlib.suppress(OSError):
-            os.unlink(tmp_name)
-        raise

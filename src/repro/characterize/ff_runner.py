@@ -18,6 +18,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from ..errors import CharacterizationError
+from ..exec.atomicio import atomic_write_text
 from ..analysis import operating_point, transient
 from ..analysis.transient import TransientOptions
 from ..circuit import (
@@ -166,7 +167,7 @@ def characterize_nvff(
     if cache_dir is not None:
         directory = Path(cache_dir)
         directory.mkdir(parents=True, exist_ok=True)
-        (directory / f"{key}.json").write_text(result.to_json())
+        atomic_write_text(directory / f"{key}.json", result.to_json())
     return result
 
 

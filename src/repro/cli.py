@@ -17,6 +17,7 @@ Usage::
     python -m repro diagnose failure.json   # or --demo
     python -m repro chaos --target nv --faults 20 [--json report.json]
     python -m repro chaos --executor --workers 2
+    python -m repro chaos --crashpoints     # crash-safety validation
     python -m repro campaign run demo --workers 2 --journal run.jsonl
     python -m repro campaign resume demo --journal run.jsonl
     python -m repro campaign status run.jsonl
@@ -678,6 +679,8 @@ def _cmd_chaos(args) -> int:
 
     if args.executor:
         return _chaos_executor(args)
+    if args.crashpoints:
+        return _chaos_crashpoints(args)
     if args.transient:
         report = chaos_store_transient(n_faults=args.faults, seed=args.seed)
     else:
@@ -691,6 +694,19 @@ def _cmd_chaos(args) -> int:
     counts = report.counts()
     unhandled = counts.get("error", 0)
     return 1 if unhandled else 0
+
+
+def _chaos_crashpoints(args) -> int:
+    """``repro chaos --crashpoints``: kill writers at effect boundaries."""
+    from .recovery import dump_failure
+    from .verify.crashcheck import render_crashpoints, run_crashpoints
+
+    report = run_crashpoints(args.scratch, progress=print)
+    print(render_crashpoints(report))
+    if args.json:
+        dump_failure(report, args.json)
+        print(f"\nreport written to {args.json}")
+    return 0 if report["ok"] else 1
 
 
 def _chaos_executor(args) -> int:
@@ -873,7 +889,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("fix",
                        help="apply mechanical codemods for RV702/"
-                            "RV703/RV803 lint findings")
+                            "RV703/RV803/RV900 lint findings")
     p.add_argument("paths", nargs="*", metavar="PATH",
                    help="Python files or directories "
                         "(default: the installed repro package)")
@@ -886,7 +902,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rules", action="append", default=[],
                    metavar="RULES",
                    help="comma-separated rule codes to fix "
-                        "(default: all of RV702,RV703,RV803)")
+                        "(default: all of RV702,RV703,RV803,RV900)")
     p.add_argument("--disable", action="append", default=[],
                    metavar="RULES",
                    help="comma-separated rule codes/names to skip "
@@ -944,6 +960,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fault-inject the campaign engine itself "
                         "(worker crash/hang/slow/flaky faults) instead "
                         "of the solver")
+    p.add_argument("--crashpoints", action="store_true",
+                   help="kill child writers at each atomic-write "
+                        "protocol boundary and assert reader-side "
+                        "recovery (RV900/RV901 cross-validation)")
     p.add_argument("--workers", type=int, default=2,
                    help="worker processes for --executor (default 2)")
     p.add_argument("--scratch", default=None, metavar="DIR",

@@ -433,14 +433,12 @@ def _run_pooled(run: _CampaignRun) -> None:
     old_handlers: Dict[int, Any] = {}
 
     def _on_signal(signum, frame):
+        # Flag-setting only: this runs between bytecodes inside
+        # whatever the main thread was doing, where buffered IO (even
+        # the progress print) can raise "reentrant call".  The main
+        # loop announces the drain at the flag transition.
         run.interrupt_level += 1
         run.interrupt_signal = signal.Signals(signum).name
-        if run.interrupt_level == 1:
-            run._progress(
-                f"{run.interrupt_signal}: draining — in-flight tasks get "
-                f"{options.drain_grace:g}s, journal will be flushed "
-                "(signal again to stop now)"
-            )
 
     in_main_thread = threading.current_thread() is threading.main_thread()
     if in_main_thread:
@@ -463,6 +461,11 @@ def _run_pooled(run: _CampaignRun) -> None:
             draining = run.interrupt_level > 0
             if draining and drain_deadline is None:
                 drain_deadline = now + options.drain_grace
+                run._progress(
+                    f"{run.interrupt_signal}: draining — in-flight "
+                    f"tasks get {options.drain_grace:g}s, journal will "
+                    "be flushed (signal again to stop now)"
+                )
             hard_stop = run.interrupt_level >= 2 or (
                 drain_deadline is not None and now >= drain_deadline)
 

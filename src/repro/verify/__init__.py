@@ -31,8 +31,15 @@ rule-registry framework:
   RV8xx array semantics: a symbolic shape/dtype lattice catching
   provable broadcast mismatches, dtype demotion, unintended copies,
   in-place aliasing hazards and batch-axis drift across calls;
+* :mod:`repro.verify.effects` / :mod:`repro.verify.rules_effects` —
+  RV9xx concurrency & crash safety: per-function effect signatures
+  (writes/renames/fsyncs with path provenance, queue and process
+  ordering, spawn-visible global reads) enforcing the atomic-write,
+  journal-append and signal-handler protocols, cross-validated
+  dynamically by :mod:`repro.verify.crashcheck`
+  (``repro chaos --crashpoints``);
 * :mod:`repro.verify.fix` — finding-driven codemods (``repro fix``)
-  that mechanically apply the RV702/RV703/RV803 rewrites;
+  that mechanically apply the RV702/RV703/RV803/RV900 rewrites;
 * :mod:`repro.verify.baseline` — record-and-suppress of pre-existing
   findings so new bands gate only new regressions;
 * :mod:`repro.verify.emit` — text / JSON / SARIF output.
@@ -75,6 +82,7 @@ from . import rules_units     # noqa: F401
 from . import rules_purity    # noqa: F401
 from . import rules_perf      # noqa: F401
 from . import rules_array     # noqa: F401
+from . import rules_effects   # noqa: F401
 from .baseline import (
     apply_baseline,
     baseline_fingerprint,

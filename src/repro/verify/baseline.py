@@ -25,6 +25,7 @@ import json
 from pathlib import Path
 from typing import Iterable, Set, Tuple
 
+from ..exec.atomicio import atomic_write_text
 from .core import Diagnostic, Report, Severity
 
 #: Bump when the fingerprint recipe changes (stale baselines must fail
@@ -63,8 +64,8 @@ def write_baseline(path: "str | Path", report: Report) -> int:
         "count": len(entries),
         "entries": {k: entries[k] for k in sorted(entries)},
     }
-    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True)
-                          + "\n")
+    atomic_write_text(Path(path),
+                      json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return len(entries)
 
 
@@ -129,8 +130,8 @@ def prune_baseline(path: "str | Path", report: Report) -> int:
         "count": len(entries),
         "entries": {k: entries[k] for k in sorted(entries)},
     }
-    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True)
-                          + "\n")
+    atomic_write_text(Path(path),
+                      json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return len(stale)
 
 

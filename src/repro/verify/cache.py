@@ -29,18 +29,19 @@ so a truncated write or bit-flip is detected, never deserialised.
 
 from __future__ import annotations
 
-import contextlib
 import hashlib
 import json
 import os
-import tempfile
 import warnings
 from pathlib import Path
 from typing import Any, Dict, Optional, Set
 
+from ..exec.atomicio import atomic_write_text
+
 #: Bump when summary or diagnostic serialisation changes shape.
 #: v2: summary schema 2 (shape returns, nonloop allocs) + RV8xx band.
-CACHE_SCHEMA_VERSION = 2
+#: v3: summary schema 3 (effect signatures, global reads) + RV9xx band.
+CACHE_SCHEMA_VERSION = 3
 
 CORRUPT_SUBDIR = "corrupt"
 
@@ -159,20 +160,6 @@ def store(cache_dir: Optional[Path], key: str,
     path = directory / f"{key}.json"
     try:
         directory.mkdir(parents=True, exist_ok=True)
-        fd, tmp_name = tempfile.mkstemp(dir=directory, prefix=f"{key}.",
-                                        suffix=".tmp")
+        atomic_write_text(path, envelope)
     except OSError as err:
         _warn_unwritable(directory, err)
-        return
-    try:
-        with os.fdopen(fd, "w") as handle:
-            handle.write(envelope)
-        os.replace(tmp_name, path)
-    except OSError as err:
-        with contextlib.suppress(OSError):
-            os.unlink(tmp_name)
-        _warn_unwritable(directory, err)
-    except BaseException:
-        with contextlib.suppress(OSError):
-            os.unlink(tmp_name)
-        raise

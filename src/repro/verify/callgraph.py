@@ -32,6 +32,7 @@ from typing import (TYPE_CHECKING, Dict, Iterable, List, Optional, Set,
 
 from ..units import CONSTANT_DIMENSIONS
 from . import arrayflow, dataflow
+from . import effects as effects_mod
 
 if TYPE_CHECKING:  # a runtime import would be circular: source.py
     from .source import SourceModule  # builds projects out of this module
@@ -40,7 +41,10 @@ if TYPE_CHECKING:  # a runtime import would be circular: source.py
 #: v2: per-function ``shape_returns`` (array-shape exprs for the RV8xx
 #: band) and ``nonloop_allocs`` (dense allocations outside any loop,
 #: consumed by the caller-side RV702 attribution).
-SUMMARY_SCHEMA = 2
+#: v3: per-function ``effects`` (filesystem/queue/process effect
+#: signatures) and ``global_reads`` (module data read under spawn) for
+#: the RV9xx band.
+SUMMARY_SCHEMA = 3
 
 #: Dense-array constructors (numpy/scipy dotted tails); shared by the
 #: RV7xx band, the summary extractor and the fix engine.
@@ -541,6 +545,8 @@ def summarize_module(module: SourceModule, modname: str) -> Dict[str, object]:
     summary["imports"] = imports
     summary["task_refs"] = [[ref, line] for ref, line
                             in _task_refs(module)]
+    mod_token = effects_mod.module_token(modname)
+    data_names = effects_mod.module_data_names(module.tree)
 
     functions: Dict[str, Dict[str, object]] = {}
     for qual, class_ctx, func in _collect_functions(module.tree):
@@ -563,6 +569,9 @@ def summarize_module(module: SourceModule, modname: str) -> Dict[str, object]:
         shape_returns = shape_flow.run(func)
 
         atoms = _AtomCollector(func, resolver, class_ctx)
+        eff = effects_mod.EffectCollector(
+            func, resolver, class_ctx, mod_token, data_names,
+            atoms.locals | atoms.globals_declared)
         functions[qual] = {
             "line": func.lineno,
             "calls": calls,
@@ -570,6 +579,8 @@ def summarize_module(module: SourceModule, modname: str) -> Dict[str, object]:
             "shape_returns": shape_returns[:6],
             "nonloop_allocs": _nonloop_allocs(func, resolver, class_ctx),
             "atoms": [[k, w, ln] for k, w, ln in atoms.atoms],
+            "effects": eff.atoms,
+            "global_reads": eff.global_reads,
             "signature": _signature_info(func),
             "annotations": annotations,
         }
@@ -907,6 +918,7 @@ class SourceProject:
         shapes = {}
         callee_sigs = {}
         callee_allocs = {}
+        effects = {}
         for callee in sorted(callees):
             dim = self.units_returns.get(callee)
             units[callee] = list(dim) if dim else None
@@ -921,6 +933,9 @@ class SourceProject:
             allocs = info.get("nonloop_allocs") or []
             if allocs:
                 callee_allocs[callee] = [list(a) for a in allocs]
+            callee_effects = info.get("effects") or []
+            if callee_effects:
+                effects[callee] = [list(a) for a in callee_effects]
         purity = {}
         for fid in function_ids:
             if fid in self.reach:
@@ -934,6 +949,7 @@ class SourceProject:
             "shapes": shapes,
             "callee_sigs": callee_sigs,
             "callee_allocs": callee_allocs,
+            "callee_effects": effects,
             "purity": purity,
             "roots": roots_here,
             "unresolved": self.unresolved_refs.get(modname, []),

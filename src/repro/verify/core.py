@@ -27,6 +27,9 @@ RV6xx   campaign task purity (call-graph transitive)
 RV7xx   hot-path performance inventory
 RV8xx   array shape/dtype semantics (broadcast, demotion,
         copies, aliasing, batch-axis drift)
+RV9xx   concurrency & crash safety of durable stores
+        (atomic-write protocol, fsync ordering, spawn
+        visibility, queue/join order, signal handlers)
 ======  =====================================================
 
 RV0xx-RV4xx rules see one artifact at a time.  The RV5xx+ bands run at

@@ -44,6 +44,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..errors import ReproError
+from ..exec.atomicio import atomic_write_text
 
 #: Corpus file format version; bump on incompatible layout changes.
 CORPUS_SCHEMA = 1
@@ -680,7 +681,8 @@ def update_corpus(case_names: Optional[Sequence[str]] = None,
     for case in select_cases(case_names):
         payload = golden_payload(case, case.runner())
         path = corpus / f"{case.name}.json"
-        path.write_text(json.dumps(payload, indent=2, sort_keys=True)
-                        + "\n", encoding="utf-8")
+        atomic_write_text(path,
+                          json.dumps(payload, indent=2, sort_keys=True)
+                          + "\n")
         written.append(path)
     return written

@@ -19,6 +19,12 @@ can prove safe, and rewrites them:
 * **RV803** (repeated-index in-place update): ``base[ix] += v`` with a
   potentially duplicated integer index becomes
   ``np.add.at(base, ix, v)`` (NumPy's documented unbuffered form).
+* **RV900** (non-atomic durable write): a bare statement-level
+  ``path.write_text(text)`` against a durable store becomes
+  ``atomic_write_text(path, text)`` — the shared
+  ``repro.exec.atomicio`` stage-fsync-rename helper — with the import
+  inserted once per module.  ``open(..., "w")`` forms are inventoried
+  but skipped: rewriting a with-block is not a span-local edit.
 
 Everything else is *skipped with a reason* — the planner never guesses.
 Edits are computed on original-file coordinates and applied
@@ -47,7 +53,7 @@ from . import callgraph, dataflow
 from .core import Diagnostic, Report
 
 #: Rule codes this engine knows how to rewrite.
-FIXABLE_RULES = ("RV702", "RV703", "RV803")
+FIXABLE_RULES = ("RV702", "RV703", "RV803", "RV900")
 
 #: Dense constructors a loop-allocation hoist understands.  ``arange``
 #: and friends are deliberately absent: their *contents* usually depend
@@ -523,11 +529,106 @@ def _plan_rv803(ctx: _ModuleCtx, diag: Diagnostic) -> FixPlan:
 
 
 # ---------------------------------------------------------------------------
+# RV900: bare durable write_text to the shared atomic-write helper
+
+
+_ATOMIC_IMPORT = "from repro.exec.atomicio import atomic_write_text"
+
+
+def _has_atomic_import(ctx: _ModuleCtx) -> bool:
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.ImportFrom) \
+                and (node.module or "").endswith("exec.atomicio") \
+                and any(a.name == "atomic_write_text"
+                        for a in node.names):
+            return True
+    return False
+
+
+def _import_anchor(ctx: _ModuleCtx) -> Tuple[int, str]:
+    """``(line, indent)`` where a module-level import can be inserted.
+
+    After the last top-level import when there is one (the idiomatic
+    spot), else before the first non-docstring statement.
+    """
+    last_import = None
+    for node in ctx.tree.body:
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            last_import = node
+    if last_import is not None:
+        end = getattr(last_import, "end_lineno", last_import.lineno)
+        return end + 1, ""
+    for node in ctx.tree.body:
+        if isinstance(node, ast.Expr) \
+                and isinstance(node.value, ast.Constant) \
+                and isinstance(node.value.value, str):
+            continue                              # module docstring
+        return node.lineno, ""
+    return 1, ""
+
+
+def _plan_rv900(ctx: _ModuleCtx, diag: Diagnostic) -> FixPlan:
+    line = diag.location.line
+    plan = FixPlan(code="RV900", path=ctx.path, line=line,
+                   message=diag.message, fixable=False)
+    hit = None
+    for node, _loops, _func, _cls in ctx.find(line, ast.Expr):
+        call = node.value
+        if isinstance(call, ast.Call) \
+                and isinstance(call.func, ast.Attribute) \
+                and call.func.attr == "write_text":
+            hit = (node, call)
+            break
+    if hit is None:
+        plan.reason = ("write is not a bare statement-level "
+                       "`path.write_text(...)` (open()-based writers "
+                       "need a structural rewrite)")
+        return plan
+    node, call = hit
+    if node.lineno != getattr(node, "end_lineno", node.lineno):
+        plan.reason = "statement spans multiple lines"
+        return plan
+    if len(call.args) not in (1, 2):
+        plan.reason = "write_text call has an unexpected arity"
+        return plan
+    if any(kw.arg not in ("encoding",) for kw in call.keywords):
+        plan.reason = ("write_text keywords beyond `encoding` have no "
+                       "atomic_write_text equivalent")
+        return plan
+    recv = ctx.segment(call.func.value)
+    text_src = ctx.segment(call.args[0])
+    if recv is None or text_src is None:
+        plan.reason = "cannot recover source text for the call"
+        return plan
+    pieces = [recv, text_src]
+    if len(call.args) == 2:                       # write_text(t, enc)
+        enc = ctx.segment(call.args[1])
+        pieces.append(f"encoding={enc}")
+    for kw in call.keywords:
+        pieces.append(f"encoding={ctx.segment(kw.value)}")
+    rewritten = f"atomic_write_text({', '.join(pieces)})"
+    plan.fixable = True
+    plan.description = (f"rewrite to `{rewritten}` (stage + fsync + "
+                        "rename via repro.exec.atomicio)")
+    plan.edits = [
+        Edit(kind="replace-span", line=call.lineno,
+             col=call.col_offset, end_col=call.end_col_offset,
+             span_text=rewritten),
+    ]
+    if not _has_atomic_import(ctx):
+        anchor, indent = _import_anchor(ctx)
+        plan.edits.append(
+            Edit(kind="insert-before", line=anchor,
+                 text=(f"{indent}{_ATOMIC_IMPORT}",)))
+    return plan
+
+
+# ---------------------------------------------------------------------------
 # Driver
 
 
 _PLANNERS = {"RV702": _plan_rv702, "RV703": _plan_rv703,
-             "RV803": _plan_rv803}
+             "RV803": _plan_rv803, "RV900": _plan_rv900}
 
 
 def plan_fixes(report: Report,

@@ -1,0 +1,389 @@
+"""RV9xx: concurrency & crash-safety of the durable-store substrate.
+
+The multiprocess campaign engine (PR 4) and its caches survive crashes
+only because a handful of hand-maintained protocols say so: stage into
+``mkstemp`` → ``fsync`` → ``os.replace`` for every durable store
+(:mod:`repro.exec.atomicio`), append+fsync for the journal, spawn
+workers that import their task functions and share nothing.  This band
+enforces those protocols statically from the per-function **effect
+signatures** collected by :mod:`repro.verify.effects`, propagated
+through the project call graph; :mod:`repro.verify.crashcheck` is the
+dynamic cross-validator that demonstrates the torn states these rules
+prevent.
+
+======  ========================  =====================================
+code    name                      finding
+======  ========================  =====================================
+RV900   non-atomic-durable-write  a journal/cache/baseline/bench/corpus
+                                  path is written with a bare
+                                  ``open(..., "w")``/``write_text``
+                                  instead of the stage-then-rename
+                                  protocol
+RV901   fsync-ordering            a stage-then-rename writer renames
+                                  before (or without) fsync, or a
+                                  durable append never fsyncs
+RV902   shared-file-rmw           a task-reachable function
+                                  read-modify-writes a shared durable
+                                  file with no lock and no atomic
+                                  replace
+RV903   spawn-unsafe-capture      task-reachable code reads module
+                                  globals mutated post-import on the
+                                  driver side (invisible under spawn),
+                                  or a Process target is not module
+                                  level
+RV904   queue-join-deadlock       a result queue is drained only after
+                                  joining its producer, or a
+                                  JoinableQueue is joined with no
+                                  ``task_done`` anywhere in the module
+RV905   signal-handler-io         a registered signal handler performs
+                                  (or calls into) buffered IO / queue
+                                  ops instead of only setting flags
+======  ========================  =====================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .core import Finding, SourceLocation, rule
+from .effects import atoms_of_kind, has_write_protocol
+
+#: Modules that *are* the sanctioned atomic-write implementation; their
+#: staged writes are the protocol, not a violation.  Suffix-matched so
+#: fixture trees can ship their own ``...atomicio`` helper.
+PROTOCOL_SUFFIXES = ("exec.atomicio",)
+
+#: Call tails a signal handler may make without a finding (reading the
+#: signal's own metadata, monotonic time for a deadline).
+_HANDLER_SAFE_HEADS = frozenset({"signal", "time", "math", "sys"})
+_HANDLER_SAFE_TAILS = frozenset({"Signals", "strsignal", "getsignal",
+                                 "monotonic", "perf_counter", "int",
+                                 "float", "str", "len", "max", "min"})
+
+#: Builtin / stdlib calls that are buffered or otherwise non-reentrant
+#: IO — the classic source of ``RuntimeError: reentrant call`` when a
+#: handler fires mid-write.
+_HANDLER_IO = frozenset({"print", "input", "open"})
+_HANDLER_IO_HEADS = frozenset({"logging", "warnings"})
+
+
+def _loc(pm, line: int) -> SourceLocation:
+    return SourceLocation(line=line, text=pm.module.line_text(line))
+
+
+def _functions_here(pm) -> Iterator[Tuple[str, Dict[str, object]]]:
+    for qual in sorted(pm.summary.get("functions", ())):
+        fid = f"{pm.name}:{qual}"
+        yield fid, pm.project.functions[fid]
+
+
+def _chain_of(pm, fid: str) -> str:
+    roots = pm.project.reach.get(fid) or {}
+    if not roots:
+        return ""
+    _root, chain = sorted(roots.items())[0]
+    return chain
+
+
+def _is_protocol_module(name: str) -> bool:
+    return name.endswith(PROTOCOL_SUFFIXES)
+
+
+@rule("RV900", "non-atomic-durable-write", "project", "error",
+      "a durable store path (journal/cache/baseline/bench/corpus) is "
+      "written without the stage-then-rename protocol",
+      rationale="a crash mid-write leaves the store torn AND destroys "
+                "the previous good value; mkstemp + fsync + os.replace "
+                "(repro.exec.atomicio) keeps old-or-new, never a "
+                "mixture.")
+def check_non_atomic_durable_write(pm) -> Iterator[Finding]:
+    """RV900: bare ``open(.., 'w')``/``write_text`` to a durable path."""
+    if _is_protocol_module(pm.name):
+        return
+    for fid, info in _functions_here(pm):
+        if has_write_protocol(info):
+            continue        # it *is* a stage-then-rename writer (RV901)
+        for _kind, cls, line, mode in atoms_of_kind(info, "write"):
+            if "a" in str(mode) and "w" not in str(mode):
+                continue    # append path: fsync discipline is RV901's
+            yield Finding(
+                subject=fid,
+                message=f"{cls} store written in place (mode "
+                        f"{mode!r}) — a crash here tears the file and "
+                        "loses the previous value; stage with "
+                        "repro.exec.atomicio.atomic_write_text "
+                        "(mkstemp + fsync + os.replace)",
+                location=_loc(pm, int(line)),
+            )
+
+
+@rule("RV901", "fsync-ordering", "project", "error",
+      "a durable writer renames before (or without) fsync, or appends "
+      "without fsync",
+      rationale="os.replace publishes the name immediately but the data "
+                "may still be in the page cache; after a power cut the "
+                "new name can point at unwritten blocks.  fsync the "
+                "staged file first (and every journal append).")
+def check_fsync_ordering(pm) -> Iterator[Finding]:
+    """RV901: missing/misordered fsync on crash-critical writes."""
+    for fid, info in _functions_here(pm):
+        writes = atoms_of_kind(info, "write")
+        stamps = [int(a[2]) for a in atoms_of_kind(info, "mkstemp")]
+        if not writes and not stamps:
+            continue
+        fsyncs = [int(a[2]) for a in atoms_of_kind(info, "fsync")]
+        replaces = [int(a[2]) for a in atoms_of_kind(info, "replace")]
+        appends = [a for a in writes
+                   if "a" in str(a[3]) and "w" not in str(a[3])]
+        # A staged writer is mkstemp + replace (the write itself goes
+        # through the staged fd, so there is no durable write atom) or
+        # a durable write followed by a rename onto the target.
+        staged_lines = stamps + [int(a[2]) for a in writes
+                                 if a not in appends]
+        if staged_lines and replaces:
+            write_line = min(staged_lines)
+            rename_line = max(replaces)
+            ordered = any(write_line <= line <= rename_line
+                          for line in fsyncs)
+            if not ordered:
+                what = ("renames before any fsync" if fsyncs
+                        else "never fsyncs the staged file")
+                yield Finding(
+                    subject=fid,
+                    message=f"stage-then-rename writer {what}: the "
+                            "rename publishes data that may not be on "
+                            "stable storage; fsync between write and "
+                            "os.replace",
+                    location=_loc(pm, rename_line),
+                )
+        for atom in appends:
+            if not any(line >= int(atom[2]) for line in fsyncs):
+                yield Finding(
+                    subject=fid,
+                    message=f"durable append to a {atom[1]} path "
+                            "without fsync: a crash can silently drop "
+                            "the tail the journal replay contract "
+                            "depends on",
+                    location=_loc(pm, int(atom[2])),
+                )
+
+
+@rule("RV902", "shared-file-rmw", "project", "error",
+      "a task-reachable function read-modify-writes a shared durable "
+      "file without exclusive locking or atomic replace",
+      rationale="two workers interleaving load -> mutate -> store on "
+                "one file silently lose updates; hold an exclusive "
+                "lock or write whole values atomically (last writer "
+                "wins).")
+def check_shared_file_rmw(pm) -> Iterator[Finding]:
+    """RV902: unlocked read-modify-write on shared durable files."""
+    if _is_protocol_module(pm.name):
+        return
+    for fid, info in _functions_here(pm):
+        chain = _chain_of(pm, fid)
+        if not chain:
+            continue                      # not concurrent: no race
+        if has_write_protocol(info) or atoms_of_kind(info, "lock"):
+            continue
+        read_classes = {str(a[1]) for a in atoms_of_kind(info, "read")}
+        for _kind, cls, line, mode in atoms_of_kind(info, "write"):
+            if str(cls) not in read_classes:
+                continue
+            if "a" in str(mode) and "w" not in str(mode):
+                continue                  # append-only: no lost update
+            via = (f" (task entry: {chain})" if " -> " in chain
+                   else " (this is a task entry point)")
+            yield Finding(
+                subject=fid,
+                message=f"reads and rewrites the shared {cls} store "
+                        "with no lock and no atomic replace — "
+                        f"concurrent workers lose updates{via}",
+                location=_loc(pm, int(line)),
+            )
+
+
+@rule("RV903", "spawn-unsafe-capture", "project", "error",
+      "task-reachable code depends on module state mutated after "
+      "import, or a Process target is not importable",
+      rationale="spawn workers re-import modules fresh: a global the "
+                "driver mutated before dispatch silently reverts to "
+                "its import-time value inside the worker; nested "
+                "Process targets do not pickle at all.")
+def check_spawn_unsafe_capture(pm) -> Iterator[Finding]:
+    """RV903: module state invisible (or unpicklable) under spawn."""
+    project = pm.project
+    # Names of this module's globals mutated by driver-side (non
+    # task-reachable) functions, with one mutating fid each.
+    mutators: Dict[str, str] = {}
+    for fid, info in _functions_here(pm):
+        if project.reach.get(fid):
+            continue        # worker-side mutation: RV601's problem
+        for atom in info.get("atoms", ()):
+            kind, what = str(atom[0]), str(atom[1])
+            if kind in ("global_write", "module_mutation"):
+                mutators.setdefault(what.split(".", 1)[0], fid)
+    for fid, info in _functions_here(pm):
+        chain = _chain_of(pm, fid)
+        if chain:
+            for name, line in info.get("global_reads", ()):
+                mutator = mutators.get(str(name))
+                if mutator is None:
+                    continue
+                via = (f" (task entry: {chain})" if " -> " in chain
+                       else " (this is a task entry point)")
+                yield Finding(
+                    subject=fid,
+                    message=f"reads module global {name!r}, which "
+                            f"{mutator} mutates outside the task "
+                            "path: under spawn the worker re-imports "
+                            "the module and sees the import-time "
+                            f"value, not the driver's{via}",
+                    location=_loc(pm, int(line)),
+                )
+        for _kind, target, line, detail in info.get("effects", ()):
+            if _kind == "spawn_tgt" and detail == "nested":
+                yield Finding(
+                    subject=fid,
+                    message=f"Process target {target!r} is not a "
+                            "module-level function: spawn pickles "
+                            "targets by import path, so this fails "
+                            "(or silently captures stale closure "
+                            "state) at dispatch",
+                    location=_loc(pm, int(line)),
+                )
+
+
+@rule("RV904", "queue-join-deadlock", "project", "error",
+      "a queue is drained only after joining its producer process, or "
+      "a JoinableQueue is joined without task_done",
+      rationale="a child blocks in put() once the queue's pipe buffer "
+                "fills; join()ing it before draining deadlocks both "
+                "sides.  Drain first, then join — and every get() from "
+                "a joined JoinableQueue needs a task_done().")
+def check_queue_join_deadlock(pm) -> Iterator[Finding]:
+    """RV904: join-before-drain and task_done-less queue joins."""
+    module_task_done = any(
+        atoms_of_kind(info, "task_done")
+        for _fid, info in _functions_here(pm))
+    for fid, info in _functions_here(pm):
+        joins = [int(a[2]) for a in atoms_of_kind(info, "p_join")]
+        gets = atoms_of_kind(info, "q_get")
+        if joins:
+            first_join = min(joins)
+            for _kind, recv, line, _detail in gets:
+                if int(line) > first_join:
+                    yield Finding(
+                        subject=fid,
+                        message=f"drains {recv}.get() after joining "
+                                "the producer process (join at line "
+                                f"{first_join}): a child blocked on a "
+                                "full queue never exits and the join "
+                                "never returns — drain before "
+                                "joining",
+                        location=_loc(pm, int(line)),
+                    )
+        for _kind, recv, line, _detail in atoms_of_kind(info, "q_join"):
+            if not module_task_done:
+                yield Finding(
+                    subject=fid,
+                    message=f"joins queue {recv} but nothing in this "
+                            "module calls task_done(): "
+                            "JoinableQueue.join() blocks until every "
+                            "get is acknowledged",
+                    location=_loc(pm, int(line)),
+                )
+
+
+def _resolve_handler(pm, registering_fid: str, name: str) -> Optional[str]:
+    """Fid of a signal handler registered by name, nested-first."""
+    project = pm.project
+    qual = registering_fid.partition(":")[2]
+    nested = f"{pm.name}:{qual}.{name}"
+    if nested in project.functions:
+        return nested
+    top = f"{pm.name}:{name}"
+    if top in project.functions:
+        return top
+    for fid in project.functions:
+        if fid.startswith(f"{pm.name}:") and fid.endswith(f".{name}"):
+            return fid
+    return None
+
+
+def _handler_hazards(pm, handler_fid: str) -> List[Tuple[str, int]]:
+    """(description, line) for non-async-safe work under a handler."""
+    project = pm.project
+    hazards: List[Tuple[str, int]] = []
+    seen: Set[str] = set()
+    queue: List[str] = [handler_fid]
+    while queue:
+        fid = queue.pop(0)
+        if fid in seen:
+            continue
+        seen.add(fid)
+        info = project.functions.get(fid, {})
+        here = fid == handler_fid
+        for atom in atoms_of_kind(info, "write", "read", "q_put",
+                                  "q_get", "replace", "fsync"):
+            line = int(atom[2]) if here else int(
+                project.functions[handler_fid].get("line", 0))
+            hazards.append((f"performs {atom[0]} IO via {fid}", line))
+        for call in info.get("calls", ()):
+            dotted, line = str(call[0]), int(call[1])
+            head = dotted.split(".", 1)[0]
+            tail = dotted.rsplit(".", 1)[-1]
+            if dotted in _HANDLER_IO or head in _HANDLER_IO_HEADS:
+                hazards.append(
+                    (f"calls {dotted} (buffered/non-reentrant IO)",
+                     line if here else int(info.get("line", 0))))
+                continue
+            resolved = project.resolve_dotted(dotted)
+            if resolved is not None:
+                queue.append(resolved)
+                continue
+            if not here:
+                continue
+            if head in _HANDLER_SAFE_HEADS \
+                    or tail in _HANDLER_SAFE_TAILS:
+                continue
+            if "." not in dotted:
+                continue    # local helpers/builtins: give the benefit
+            hazards.append(
+                (f"calls {dotted}, which cannot be proven "
+                 "async-signal-safe", line))
+    return hazards
+
+
+@rule("RV905", "signal-handler-io", "project", "error",
+      "a registered signal handler performs buffered IO or other "
+      "non-reentrant work",
+      rationale="Python handlers run between bytecodes inside whatever "
+                "the main thread was doing; printing or writing from "
+                "one mid-write raises 'reentrant call' or corrupts the "
+                "stream.  Handlers set flags; the main loop does the "
+                "work.")
+def check_signal_handler_io(pm) -> Iterator[Finding]:
+    """RV905: signal handlers that do more than set flags."""
+    for fid, info in _functions_here(pm):
+        for _kind, name, line, signame in atoms_of_kind(info, "sig_reg"):
+            if name == "<lambda>":
+                yield Finding(
+                    subject=fid,
+                    message=f"registers a lambda for {signame}: keep "
+                            "handlers to named flag-setters so their "
+                            "async-safety is checkable",
+                    location=_loc(pm, int(line)),
+                )
+                continue
+            handler_fid = _resolve_handler(pm, fid, str(name))
+            if handler_fid is None:
+                continue        # dynamic value: nothing to analyse
+            for description, hline in _handler_hazards(pm, handler_fid):
+                yield Finding(
+                    subject=handler_fid,
+                    message=f"signal handler (for {signame}, "
+                            f"registered in {fid}) {description}; "
+                            "set a flag and do the work in the main "
+                            "loop",
+                    location=_loc(pm, int(hline) or int(line)),
+                )

@@ -6,6 +6,7 @@ import pytest
 
 from repro.cells import PowerDomain
 from repro.characterize import cache
+from repro.exec import atomicio
 from repro.characterize.data import CellCharacterization
 from repro.pg.modes import OperatingConditions
 
@@ -121,7 +122,8 @@ class TestUnwritableDir:
         def refuse(*args, **kwargs):
             raise OSError(30, "Read-only file system")
 
-        monkeypatch.setattr(cache.tempfile, "mkstemp", refuse)
+        # The staging lives in the shared atomic-write helper now.
+        monkeypatch.setattr(atomicio.tempfile, "mkstemp", refuse)
         with pytest.warns(RuntimeWarning, match="not writable"):
             cache.store(tmp_path, "ro1", _record())
         # second store: silently skipped, no second warning

@@ -1,0 +1,72 @@
+"""The shared atomic-write helper: envelope semantics, crash hooks,
+scratch hygiene."""
+
+import json
+import os
+
+import pytest
+
+from repro.exec import atomicio
+from repro.exec.atomicio import CRASHPOINTS, atomic_write_text
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_hook():
+    yield
+    atomicio._CRASH_HOOK = None
+
+
+def test_writes_exact_text(tmp_path):
+    target = tmp_path / "cache.json"
+    payload = json.dumps({"a": 1}, indent=2, sort_keys=True)
+    atomic_write_text(target, payload)
+    assert target.read_text() == payload
+
+
+def test_overwrites_in_one_step(tmp_path):
+    target = tmp_path / "cache.json"
+    atomic_write_text(target, "old")
+    atomic_write_text(target, "new")
+    assert target.read_text() == "new"
+
+
+def test_no_scratch_files_left(tmp_path):
+    atomic_write_text(tmp_path / "cache.json", "x")
+    assert sorted(p.name for p in tmp_path.iterdir()) == ["cache.json"]
+
+
+def test_scratch_cleaned_on_failure(tmp_path):
+    def boom(point):
+        if point == "pre-rename":
+            raise RuntimeError("injected")
+
+    atomicio._CRASH_HOOK = boom
+    with pytest.raises(RuntimeError):
+        atomic_write_text(tmp_path / "cache.json", "x")
+    assert list(tmp_path.iterdir()) == []
+
+
+def test_crash_hook_sees_every_point(tmp_path):
+    seen = []
+    atomicio._CRASH_HOOK = seen.append
+    atomic_write_text(tmp_path / "cache.json", "x")
+    assert tuple(seen) == CRASHPOINTS
+
+
+def test_encoding_respected(tmp_path):
+    target = tmp_path / "cache.txt"
+    atomic_write_text(target, "café", encoding="latin-1")
+    assert target.read_bytes() == b"caf\xe9"
+
+
+def test_non_durable_skips_fsync(tmp_path, monkeypatch):
+    calls = []
+    real = os.fsync
+    monkeypatch.setattr(os, "fsync", lambda fd: calls.append(fd))
+    try:
+        atomic_write_text(tmp_path / "scratch.txt", "x", durable=False)
+        assert calls == []
+        atomic_write_text(tmp_path / "scratch.txt", "y")
+        assert len(calls) == 1
+    finally:
+        monkeypatch.setattr(os, "fsync", real)

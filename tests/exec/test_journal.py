@@ -143,3 +143,46 @@ class TestDurability:
         assert len(lines) == 2
         for line in lines:
             json.loads(line)
+
+
+class TestTornTailFuzz:
+    """Crash-at-every-byte: truncating a valid journal anywhere inside
+    its final record must cost at most that record on ``--resume``."""
+
+    def _journal_with_tasks(self, tmp_path, n=3):
+        campaign = _campaign(n=n)
+        journal = Journal(tmp_path / "fuzz.jsonl")
+        journal.begin(campaign, workers=1)
+        for task in campaign.tasks:
+            journal.task_end(campaign.key,
+                             _outcome(task.task_id, elapsed=0.01))
+        return campaign, journal
+
+    def test_every_truncation_point_of_final_record(self, tmp_path):
+        campaign, journal = self._journal_with_tasks(tmp_path)
+        data = journal.path.read_bytes()
+        # Byte offset where the final record starts (after the
+        # second-to-last newline of the file).
+        last_start = data.rstrip(b"\n").rfind(b"\n") + 1
+        full = [r["task_id"] for r in journal.replay()
+                if r.get("kind") == "task_end"]
+        assert len(full) == 3
+        for cut in range(last_start, len(data)):
+            journal.path.write_bytes(data[:cut])
+            records = journal.replay()
+            kinds = [r.get("kind") for r in records]
+            # Everything before the torn record is intact...
+            assert kinds[0] == "campaign_begin", cut
+            recovered = [r["task_id"] for r in records
+                         if r.get("kind") == "task_end"]
+            assert recovered in (full[:2], full), cut
+            # ...and resume sees exactly those terminal outcomes.
+            outcomes = journal.outcomes_for(campaign.key)
+            assert sorted(outcomes) == sorted(recovered), cut
+
+    def test_truncation_never_raises(self, tmp_path):
+        _campaign_obj, journal = self._journal_with_tasks(tmp_path, n=1)
+        data = journal.path.read_bytes()
+        for cut in range(len(data) + 1):
+            journal.path.write_bytes(data[:cut])
+            journal.replay()                      # must not raise

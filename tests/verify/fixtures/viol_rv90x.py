@@ -1,0 +1,119 @@
+"""Concurrency/crash-safety patterns the RV9xx band reports (900-905).
+
+Reach-dependent rules (RV902 shared-file RMW, RV903 global reads) need
+a package tree with a ``"module:function"`` task reference; those live
+in ``test_rules_effects.py`` synthetic trees.  Everything here is
+reach-independent.
+"""
+
+import json
+import multiprocessing as mp
+import os
+import signal
+import tempfile
+from pathlib import Path
+
+
+def save_cache_in_place(cache_dir, key, payload):
+    path = Path(cache_dir) / f"{key}.json"
+    path.write_text(json.dumps(payload))        # RV900: torn on crash
+
+
+def overwrite_journal(journal_path, lines):
+    with open(journal_path, "w") as fh:         # RV900: mode "w"
+        fh.write("\n".join(lines))
+
+
+def rename_before_fsync(cache_dir, key, text):
+    fd, tmp = tempfile.mkstemp(dir=cache_dir)
+    with os.fdopen(fd, "w") as fh:
+        fh.write(text)
+    os.replace(tmp, os.path.join(cache_dir, key))   # RV901: no fsync
+    fd2 = os.open(os.path.join(cache_dir, key), os.O_RDONLY)
+    os.fsync(fd2)                               # ...and too late
+    os.close(fd2)
+
+
+def append_without_fsync(journal_path, line):
+    with open(journal_path, "a") as fh:         # RV901: tail droppable
+        fh.write(line)
+        fh.flush()
+
+
+def launch_nested_target(n):
+    def worker():                               # closure: not picklable
+        return n * 2
+
+    proc = mp.Process(target=worker)            # RV903 under spawn
+    proc.start()
+    return proc
+
+
+def drain_after_join(fn, items):
+    queue = mp.Queue()
+    proc = mp.Process(target=fn, args=(queue, items))
+    proc.start()
+    proc.join()                                 # RV904: child may block
+    return [queue.get() for _ in items]
+
+
+def join_without_task_done(fn):
+    queue = mp.JoinableQueue()
+    proc = mp.Process(target=fn, args=(queue,))
+    proc.start()
+    queue.join()                                # RV904: never acked
+    return queue
+
+
+def install_printing_handler():
+    def on_sig(signum, frame):
+        print("stopping")                       # RV905: reentrant IO
+
+    signal.signal(signal.SIGINT, on_sig)
+
+
+def install_lambda_handler(state):
+    signal.signal(signal.SIGTERM,
+                  lambda s, f: state.append(s))  # RV905: uncheckable
+
+
+# -- clean counterparts (must stay quiet) -----------------------------------
+
+
+def atomic_store_is_quiet(cache_dir, key, text):
+    fd, tmp = tempfile.mkstemp(dir=cache_dir)
+    with os.fdopen(fd, "w") as fh:
+        fh.write(text)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, os.path.join(cache_dir, key))
+
+
+def journal_append_with_fsync_is_quiet(journal_path, line):
+    with open(journal_path, "a") as fh:
+        fh.write(line)
+        fh.flush()
+        os.fsync(fh.fileno())
+
+
+def drain_before_join_is_quiet(fn, items):
+    queue = mp.Queue()
+    proc = mp.Process(target=fn, args=(queue, items))
+    proc.start()
+    results = [queue.get() for _ in items]
+    proc.join()
+    return results
+
+
+def flag_only_handler_is_quiet(run):
+    def on_sig(signum, frame):
+        run.interrupt_level += 1
+        run.interrupt_signal = signal.Signals(signum).name
+
+    signal.signal(signal.SIGINT, on_sig)
+
+
+def scratch_write_is_quiet(out_dir, name, text):
+    # No durable-store token anywhere near the path: not RV900's
+    # business (RV603 owns task-reachable stray writes).
+    (Path(out_dir) / name).write_text(text)

@@ -438,3 +438,75 @@ class TestFixCli:
                      str(path)]) == 0
         assert "nothing mechanically fixable" \
             in capsys.readouterr().out
+
+
+# -- RV900: bare durable write_text -> atomic_write_text ---------------------
+
+
+class TestRv900Codemod:
+
+    def test_write_text_rewritten_with_import(self, tmp_path):
+        plans, after = fix_cycle(tmp_path, '''\
+            import json
+            from pathlib import Path
+
+
+            def save(cache_dir, key, payload):
+                path = Path(cache_dir) / f"{key}.json"
+                path.write_text(json.dumps(payload))
+            ''')
+        rv900 = [p for p in plans if p.code == "RV900"]
+        assert rv900 and rv900[0].fixable
+        assert "atomic_write_text(path, json.dumps(payload))" in after
+        assert "from repro.exec.atomicio import atomic_write_text" \
+            in after
+        assert "write_text(" not in after.replace("atomic_write_text(",
+                                                  "")
+
+    def test_rewrite_is_idempotent(self, tmp_path):
+        _plans, after = fix_cycle(tmp_path, '''\
+            import json
+            from pathlib import Path
+
+
+            def save(cache_dir, key, payload):
+                path = Path(cache_dir) / f"{key}.json"
+                path.write_text(json.dumps(payload))
+            ''')
+        path = write_module(tmp_path, after, name="mod2.py")
+        report = verify_source([str(path)])
+        assert "RV900" not in [d.code for d in report]
+        plans = plan_fixes(report)
+        assert not rewritten_texts(plans)
+
+    def test_encoding_keyword_is_threaded(self, tmp_path):
+        plans, after = fix_cycle(tmp_path, '''\
+            def save(cache_path, text):
+                cache_path.write_text(text, encoding="latin-1")
+            ''')
+        assert 'atomic_write_text(cache_path, text, ' \
+               'encoding="latin-1")' in after
+
+    def test_existing_import_not_duplicated(self, tmp_path):
+        _plans, after = fix_cycle(tmp_path, '''\
+            from repro.exec.atomicio import atomic_write_text
+
+
+            def save(cache_path, text, other_path, more):
+                atomic_write_text(cache_path, text)
+                other_path = cache_path.with_suffix(".bak")
+                other_path.write_text(more)
+            ''')
+        assert after.count(
+            "from repro.exec.atomicio import atomic_write_text") == 1
+
+    def test_open_writer_skipped_with_reason(self, tmp_path):
+        plans, after = fix_cycle(tmp_path, '''\
+            def save(journal_path, lines):
+                with open(journal_path, "w") as fh:
+                    fh.write("\\n".join(lines))
+            ''')
+        rv900 = [p for p in plans if p.code == "RV900"]
+        assert rv900 and not rv900[0].fixable
+        assert "structural rewrite" in rv900[0].reason
+        assert after is None

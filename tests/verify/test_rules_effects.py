@@ -1,0 +1,345 @@
+"""RV9xx concurrency & crash-safety band: per-rule fixtures, the
+reach-dependent rules over synthetic package trees, and the effect
+collector primitives the rules stand on."""
+
+import textwrap
+from pathlib import Path
+
+from repro.verify import verify_source, verify_source_file, \
+    verify_source_text
+from repro.verify.callgraph import SourceProject, summarize_module
+from repro.verify.effects import (
+    EffectCollector,
+    module_token,
+)
+from repro.verify.source import SourceModule
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def rv9(report):
+    return [d for d in report if d.code.startswith("RV9")]
+
+
+def codes(report):
+    return sorted(d.code for d in rv9(report))
+
+
+def by_function(report):
+    out = {}
+    for d in rv9(report):
+        out.setdefault(d.subject.split(":", 1)[1], []).append(d)
+    return out
+
+
+def write_tree(tmp_path, files):
+    for rel, src in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(src))
+    return tmp_path
+
+
+def lint_tree(tmp_path):
+    return verify_source([str(tmp_path / "pkg")])
+
+
+# -- fixture detection -------------------------------------------------------
+
+
+def test_rv9xx_fixture_findings():
+    report = verify_source_file(FIXTURES / "viol_rv90x.py")
+    assert codes(report) == ["RV900", "RV900", "RV901", "RV901",
+                             "RV903", "RV904", "RV904", "RV905",
+                             "RV905"]
+    fns = by_function(report)
+    assert "torn" in fns["save_cache_in_place"][0].message.lower() \
+        or "stage" in fns["save_cache_in_place"][0].message
+    assert "fsync" in fns["rename_before_fsync"][0].message
+    assert "append" in fns["append_without_fsync"][0].message
+    assert "pickle" in fns["launch_nested_target"][0].message
+    assert "drain" in fns["drain_after_join"][0].message
+    assert "task_done" in fns["join_without_task_done"][0].message
+    assert "lambda" in fns["install_lambda_handler"][0].message
+    # negatives
+    for quiet in ("atomic_store_is_quiet",
+                  "journal_append_with_fsync_is_quiet",
+                  "drain_before_join_is_quiet",
+                  "flag_only_handler_is_quiet",
+                  "scratch_write_is_quiet"):
+        assert quiet not in fns, fns.get(quiet)
+
+
+def test_rv9xx_severities():
+    report = verify_source_file(FIXTURES / "viol_rv90x.py")
+    assert {d.severity.value for d in rv9(report)} == {"error"}
+
+
+def test_rv900_pragma_suppression():
+    report = verify_source_text(textwrap.dedent("""
+        import json
+        from pathlib import Path
+        def save(cache_dir, key, payload):
+            path = Path(cache_dir) / f"{key}.json"
+            path.write_text(json.dumps(payload))  # lint: skip=RV900
+    """), path="mod.py")
+    assert codes(report) == []
+
+
+# -- RV902: shared-file read-modify-write ------------------------------------
+
+RMW_TASK = """
+    import json
+    from pathlib import Path
+    def bump_counter(params):
+        path = Path(params["cache_dir"]) / "counters.json"
+        data = json.loads(path.read_text())
+        data["n"] += 1
+        path.write_text(json.dumps(data))  # lint: skip=RV900
+"""
+
+
+def test_rv902_task_reachable_rmw(tmp_path):
+    tree = write_tree(tmp_path, {
+        "pkg/__init__.py": "",
+        "pkg/driver.py": 'TASK = "pkg.tasks:bump_counter"\n',
+        "pkg/tasks.py": RMW_TASK,
+    })
+    report = lint_tree(tree)
+    assert codes(report) == ["RV902"]
+    (finding,) = rv9(report)
+    assert "lose updates" in finding.message
+    assert "task entry" in finding.message
+
+
+def test_rv902_quiet_without_task_root(tmp_path):
+    tree = write_tree(tmp_path, {
+        "pkg/__init__.py": "",
+        "pkg/tasks.py": RMW_TASK,       # same code, never dispatched
+    })
+    assert codes(lint_tree(tree)) == []
+
+
+def test_rv902_quiet_under_lock(tmp_path):
+    tree = write_tree(tmp_path, {
+        "pkg/__init__.py": "",
+        "pkg/driver.py": 'TASK = "pkg.tasks:bump_counter"\n',
+        "pkg/tasks.py": """
+            import fcntl
+            import json
+            from pathlib import Path
+            def bump_counter(params):
+                path = Path(params["cache_dir"]) / "counters.json"
+                with open(path, "r+") as fh:  # lint: skip=RV900
+                    fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+                    data = json.loads(path.read_text())
+                    data["n"] += 1
+                    path.write_text(json.dumps(data))  # lint: skip=RV900
+        """,
+    })
+    assert codes(lint_tree(tree)) == []
+
+
+# -- RV903: spawn-visibility of module state ---------------------------------
+
+GLOBAL_READ_TREE = {
+    "pkg/__init__.py": "",
+    "pkg/driver.py": 'TASK = "pkg.tasks:run_task"\n',
+    "pkg/tasks.py": """
+        CONFIG = {}
+        def set_config(opts):
+            CONFIG.update(opts)
+        def run_task(params):
+            return CONFIG.get("scale", 1) * params["x"]
+    """,
+}
+
+
+def test_rv903_driver_mutated_global_read(tmp_path):
+    report = lint_tree(write_tree(tmp_path, dict(GLOBAL_READ_TREE)))
+    assert codes(report) == ["RV903"]
+    (finding,) = rv9(report)
+    assert "CONFIG" in finding.message
+    assert "spawn" in finding.message
+
+
+def test_rv903_quiet_when_mutation_is_worker_side(tmp_path):
+    # The mutator itself task-reachable: RV601's problem, not RV903's.
+    tree = write_tree(tmp_path, {
+        "pkg/__init__.py": "",
+        "pkg/driver.py": 'TASK = "pkg.tasks:run_task"\n',
+        "pkg/tasks.py": """
+            SEEN = {}
+            def remember(key):
+                SEEN[key] = True
+            def run_task(params):
+                remember(params["key"])
+                return len(SEEN)
+        """,
+    })
+    report = lint_tree(tree)
+    assert "RV903" not in codes(report)
+    assert "RV601" in [d.code for d in report]
+
+
+def test_rv903_quiet_for_unmutated_constant(tmp_path):
+    tree = write_tree(tmp_path, {
+        "pkg/__init__.py": "",
+        "pkg/driver.py": 'TASK = "pkg.tasks:run_task"\n',
+        "pkg/tasks.py": """
+            SCALE = 2.0
+            def run_task(params):
+                return SCALE * params["x"]
+        """,
+    })
+    assert codes(lint_tree(tree)) == []
+
+
+# -- RV905: transitive handler analysis --------------------------------------
+
+
+def test_rv905_transitive_io_through_helper(tmp_path):
+    tree = write_tree(tmp_path, {
+        "pkg/__init__.py": "",
+        "pkg/sig.py": """
+            import signal
+            def report_state(state):
+                print(state)
+            def install(state):
+                def on_sig(signum, frame):
+                    report_state(state)
+                signal.signal(signal.SIGINT, on_sig)
+        """,
+    })
+    report = lint_tree(tree)
+    assert codes(report) == ["RV905"]
+    (finding,) = rv9(report)
+    assert "print" in finding.message
+
+
+def test_rv905_quiet_for_dynamic_handler_value(tmp_path):
+    tree = write_tree(tmp_path, {
+        "pkg/__init__.py": "",
+        "pkg/sig.py": """
+            import signal
+            def restore(saved):
+                for signum, handler in saved.items():
+                    signal.signal(signum, handler)
+        """,
+    })
+    assert codes(lint_tree(tree)) == []
+
+
+# -- effect collector primitives ---------------------------------------------
+
+
+def _effects_of(src, modname="pkg.store"):
+    module = SourceModule(text=textwrap.dedent(src), path="store.py")
+    summary = summarize_module(module, modname)
+    return summary["functions"]
+
+
+def test_path_provenance_through_locals():
+    functions = _effects_of("""
+        import json
+        from pathlib import Path
+        def save(cache_dir, key, payload):
+            directory = Path(cache_dir)
+            path = directory / f"{key}.json"
+            path.write_text(json.dumps(payload))
+    """)
+    effects = functions["save"]["effects"]
+    assert ["write", "cache", 7, "text"] in effects
+
+
+def test_module_token_classifies_self_paths():
+    functions = _effects_of("""
+        import os
+        class Journal:
+            def append(self, line):
+                with open(self.path, "a") as fh:
+                    fh.write(line)
+                    fh.flush()
+                    os.fsync(fh.fileno())
+    """, modname="pkg.journal")
+    effects = functions["Journal.append"]["effects"]
+    kinds = {tuple(a[:2]) for a in effects}
+    assert ("write", "journal") in kinds
+    assert ("fsync", "") in kinds
+
+
+def test_path_open_mode_is_first_argument():
+    functions = _effects_of("""
+        def save(cache_path, text):
+            with cache_path.open("w") as fh:
+                fh.write(text)
+    """)
+    effects = functions["save"]["effects"]
+    assert ["write", "cache", 3, "w"] in effects
+
+
+def test_str_replace_is_not_a_rename():
+    functions = _effects_of("""
+        def clean(cache_text):
+            return cache_text.replace("a", "b")
+    """)
+    assert functions["clean"]["effects"] == []
+
+
+def test_module_token():
+    assert module_token("repro.exec.journal") == "journal"
+    assert module_token("repro.verify.cache") == "cache"
+    assert module_token("repro.analysis.solver") == ""
+
+
+def test_global_reads_skip_locals_and_defs():
+    functions = _effects_of("""
+        TABLE = {}
+        def helper():
+            return 1
+        def use(params):
+            table = {}
+            helper()
+            return TABLE.get(params["k"]) or table
+    """)
+    reads = functions["use"]["global_reads"]
+    assert ["TABLE", 8] in reads
+    assert all(name == "TABLE" for name, _line in reads)
+
+
+def test_fact_slice_carries_callee_effects(tmp_path):
+    """RV905's transitive walk must invalidate when a callee's effects
+    change — the effects ride the fact slice."""
+    files = {
+        "pkg/__init__.py": "",
+        "pkg/a.py": """
+            from .b import helper
+            def outer():
+                return helper()
+        """,
+        "pkg/b.py": """
+            def helper():
+                return 1
+        """,
+    }
+    tree = write_tree(tmp_path, files)
+    summaries = []
+    for rel in ("pkg/a.py", "pkg/b.py"):
+        path = tree / rel
+        module = SourceModule(text=path.read_text(), path=str(path))
+        summaries.append(summarize_module(
+            module, rel[:-3].replace("/", ".")))
+    project = SourceProject(summaries)
+    digest_before = project.fact_digest("pkg.a")
+
+    (tree / "pkg/b.py").write_text(textwrap.dedent("""
+        def helper():
+            print("x")
+            open("cache.json", "w").write("{}")
+            return 1
+    """))
+    module = SourceModule(text=(tree / "pkg/b.py").read_text(),
+                          path=str(tree / "pkg/b.py"))
+    summaries[1] = summarize_module(module, "pkg.b")
+    project = SourceProject(summaries)
+    assert project.fact_digest("pkg.a") != digest_before
