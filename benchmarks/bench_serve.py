@@ -1,0 +1,117 @@
+"""Serving-layer benches: request latency and coalescing leverage.
+
+Boots the real server in-process (inline workers, demo route — the
+physics is benched elsewhere; here we time the *serving* machinery)
+and measures the three numbers the service contract advertises:
+
+* **cold latency** — a novel request paying canonicalisation,
+  admission, scheduling and one backend execution;
+* **warm latency** — the identical request again, served from the
+  in-memory memo without touching the executor;
+* **coalescing factor** — K identical concurrent requests over one
+  slow execution: K answers per backend run.
+
+The split is written to ``BENCH_serve.json`` at the repo root and
+gated by ``check_regression.py``: the coalescing factor and the
+executions count are deterministic and compared exactly; raw
+latencies are machine-dependent, so only the warm-path speedup ratio
+is tracked, with a wide floor.
+"""
+
+import json
+import statistics
+import tempfile
+import threading
+from pathlib import Path
+from time import perf_counter
+
+from repro.exec.atomicio import atomic_write_text
+from repro.serve import ServeClient, ServeOptions, ServerHandle
+
+_REPO = Path(__file__).resolve().parent.parent
+
+COALESCE_CLIENTS = 8
+
+
+def _median_latency(fn, rounds):
+    samples = []
+    for _ in range(rounds):
+        start = perf_counter()
+        fn()
+        samples.append(perf_counter() - start)
+    return statistics.median(samples)
+
+
+def bench_serve_latency_and_coalescing(benchmark, publish):
+    """Cold vs warm request latency + coalescing → ``BENCH_serve.json``."""
+    with tempfile.TemporaryDirectory(prefix="repro-bench-serve-") as scratch:
+        options = ServeOptions(
+            extra_routes=("demo",),
+            cache_dir=Path(scratch) / "cache",
+            drain_settle_s=0.0,
+        )
+        with ServerHandle(options) as handle:
+            client = ServeClient(port=handle.port)
+
+            seq = iter(range(10_000))
+
+            def cold():
+                resp = client.task(
+                    "demo", {"params": {"x": float(next(seq))}})
+                assert resp.status == "ok"
+                assert resp.body["served_by"] == "backend"
+
+            warm_body = {"params": {"x": -1.0}}
+            client.task("demo", warm_body)      # prime the memo
+
+            def warm():
+                resp = client.task("demo", warm_body)
+                assert resp.status == "ok"
+                assert resp.body["served_by"] == "memo"
+
+            cold_s = _median_latency(cold, rounds=15)
+            warm_s = _median_latency(warm, rounds=15)
+            benchmark(warm)
+
+            # K identical concurrent requests over one slow execution
+            before = client.metrics()["backend"]["executions"]
+            body = {"params": {"x": 77.0, "work": 0.4}}
+            barrier = threading.Barrier(COALESCE_CLIENTS)
+            statuses = []
+
+            def coalesced():
+                barrier.wait(timeout=10.0)
+                statuses.append(
+                    ServeClient(port=handle.port).task("demo", body).status)
+
+            threads = [threading.Thread(target=coalesced)
+                       for _ in range(COALESCE_CLIENTS)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=15.0)
+            executions = (client.metrics()["backend"]["executions"]
+                          - before)
+
+    assert statuses == ["ok"] * COALESCE_CLIENTS
+    assert executions == 1, (
+        f"{COALESCE_CLIENTS} identical concurrent requests ran "
+        f"{executions} backend executions — coalescing broke")
+
+    payload = {
+        "schema": 1,
+        "route": "demo (inline workers; serving overhead only)",
+        "cold": {"latency_ms": round(cold_s * 1e3, 3)},
+        "warm": {
+            "latency_ms": round(warm_s * 1e3, 3),
+            "speedup": round(cold_s / warm_s, 2) if warm_s > 0 else 0.0,
+        },
+        "coalesce": {
+            "clients": COALESCE_CLIENTS,
+            "backend_executions": executions,
+            "factor": round(COALESCE_CLIENTS / executions, 2),
+        },
+    }
+    atomic_write_text(_REPO / "BENCH_serve.json",
+                      json.dumps(payload, indent=2) + "\n")
+    publish("serve_overhead", json.dumps(payload, indent=2))

@@ -1,9 +1,10 @@
 """Benchmark regression gate: fresh BENCH_*.json vs the committed copy.
 
-The benches write three artefacts at the repo root — ``BENCH_engine
+The benches write four artefacts at the repo root — ``BENCH_engine
 .json`` (numerical-trust overhead), ``BENCH_lint.json`` (incremental
-lint cold/warm split) and ``BENCH_fig7.json`` (the paper's energy
-sweeps).  The committed copies are the *expected* numbers; CI stashes
+lint cold/warm split), ``BENCH_fig7.json`` (the paper's energy
+sweeps) and ``BENCH_serve.json`` (serving-layer latency/coalescing).
+The committed copies are the *expected* numbers; CI stashes
 them before regenerating and then runs::
 
     python benchmarks/check_regression.py --baseline-dir bench-baseline
@@ -67,6 +68,16 @@ SPECS: Dict[str, List[Tuple[str, str, float]]] = {
         ("fig7a", "deep-rel", 1e-6),
         ("fig7b", "deep-rel", 1e-6),
         ("fig7c", "deep-rel", 1e-6),
+    ],
+    "BENCH_serve.json": [
+        ("schema", "exact", 0.0),
+        # the serve contract: K clients, one execution, factor K
+        ("coalesce.clients", "exact", 0.0),
+        ("coalesce.backend_executions", "exact", 0.0),
+        ("coalesce.factor", "exact", 0.0),
+        # raw latencies are machine noise; the memo-path speedup ratio
+        # may improve freely but must not collapse
+        ("warm.speedup", "min-ratio", 0.2),
     ],
 }
 

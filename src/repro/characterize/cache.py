@@ -17,6 +17,11 @@ mounts, permission drift mid-sweep): the first failure warns once and
 turns caching off for that directory instead of killing a long campaign
 with an ``OSError`` at point 900 of 1000.
 
+Every load/store lands in process-wide :class:`CacheStats` counters
+(hits, misses, quarantines, served-entry ages) so the serve layer's
+``/metrics`` endpoint and degraded-mode decisions can see cache health
+without touching cache behaviour.
+
 Set the ``REPRO_CACHE_DIR`` environment variable to relocate the cache;
 pass ``cache_dir=None`` through the runner to disable caching entirely.
 """
@@ -26,6 +31,8 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
+import time
 import warnings
 from dataclasses import asdict, is_dataclass
 from pathlib import Path
@@ -38,7 +45,9 @@ from .data import CellCharacterization
 #: 5: integrity envelope (schema + payload checksum) around each entry.
 #: 6: numerical-trust extras (worst residual / condition estimate /
 #:    defended-solve count) recorded with every characterisation.
-CACHE_SCHEMA_VERSION = 6
+#: 7: NV-FF entries moved from raw JSON into the same integrity
+#:    envelope (generic payload API); raw pre-7 files get fresh keys.
+CACHE_SCHEMA_VERSION = 7
 
 #: Subdirectory quarantining entries that failed integrity checks.
 CORRUPT_SUBDIR = "corrupt"
@@ -47,6 +56,94 @@ CORRUPT_SUBDIR = "corrupt"
 #: is disabled for them for the rest of the process (warn once, not per
 #: sweep point).
 _UNWRITABLE: Set[str] = set()
+
+
+class CacheStats:
+    """Process-wide cache observability counters.
+
+    Pure telemetry for ``/metrics`` and degraded-mode decisions in the
+    serve layer: hits, misses, quarantines, stores, and the age of the
+    entries actually served.  Counters never influence what a load
+    returns — a process with the counters zeroed behaves identically.
+
+    Thread-safe: the serve layer probes the cache from request threads
+    while campaign workers store into it.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.quarantined = 0
+        self.stores = 0
+        self.store_failures = 0
+        self.last_hit_age_s: Optional[float] = None
+        self.max_hit_age_s: float = 0.0
+
+    def note(self, event: str, age_s: Optional[float] = None) -> None:
+        with self._lock:
+            if event == "hit":
+                self.hits += 1
+                if age_s is not None:
+                    self.last_hit_age_s = age_s
+                    self.max_hit_age_s = max(self.max_hit_age_s, age_s)
+            elif event == "miss":
+                self.misses += 1
+            elif event == "quarantine":
+                self.quarantined += 1
+            elif event == "store":
+                self.stores += 1
+            elif event == "store_failure":
+                self.store_failures += 1
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "quarantined": self.quarantined,
+                "stores": self.stores,
+                "store_failures": self.store_failures,
+                "hit_rate": (self.hits / total) if total else None,
+                "last_hit_age_s": self.last_hit_age_s,
+                "max_hit_age_s": self.max_hit_age_s,
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self.hits = self.misses = self.quarantined = 0
+            self.stores = self.store_failures = 0
+            self.last_hit_age_s = None
+            self.max_hit_age_s = 0.0
+
+
+#: The process-wide counter object (see :class:`CacheStats`).
+STATS = CacheStats()
+
+
+def _note(event: str, age_s: Optional[float] = None) -> None:
+    """Single funnel for counter bumps on task-reachable paths.
+
+    Deliberate module-state mutation: the counters are observability
+    only — a task rerun with them zeroed produces identical payloads
+    (mirrors the ``_UNWRITABLE`` warn-once precedent above).
+    """
+    STATS.note(event, age_s)  # lint: skip=RV601
+
+
+def _entry_age_s(path: Path) -> Optional[float]:
+    """Age of a cache entry in seconds, from its mtime; None if unknown.
+
+    Wall-clock read on a task-reachable path is deliberate: the age
+    feeds counters and degraded-mode staleness stamps, never the cached
+    payload itself.
+    """
+    try:
+        mtime = path.stat().st_mtime
+        return max(0.0, time.time() - mtime)  # lint: skip=RV602
+    except OSError:
+        return None
 
 
 def default_cache_dir() -> Path:
@@ -93,7 +190,8 @@ def _quarantine(path: Path, reason: str) -> None:
         os.replace(path, target)
         moved = f"; moved to {target}"
     except OSError:
-        pass    # read-only cache: leave it in place, still warn
+        pass    # read-only cache / concurrent quarantine: still warn
+    _note("quarantine")
     warnings.warn(
         f"discarding cache entry {path.name}: {reason}{moved} "
         "(it will be recomputed)",
@@ -102,13 +200,26 @@ def _quarantine(path: Path, reason: str) -> None:
     )
 
 
-def load(cache_dir: Optional[Path], key: str) -> Optional[CellCharacterization]:
-    """Fetch a cached characterisation, or None.
+def entry_age_s(cache_dir: Optional[Path], key: str) -> Optional[float]:
+    """Age of the entry for ``key`` in seconds, or None if absent."""
+    if cache_dir is None:
+        return None
+    return _entry_age_s(Path(cache_dir) / f"{key}.json")
+
+
+def load_payload(cache_dir: Optional[Path],
+                 key: str) -> Optional[Dict[str, Any]]:
+    """Fetch a cached payload dict through the integrity envelope.
 
     Entries failing the integrity check (unparseable JSON, missing or
-    mismatched checksum, stale schema, payload that no longer fits
-    :class:`CellCharacterization`) are quarantined with a warning rather
-    than silently ignored — a corrupt cache should be *visible*.
+    mismatched checksum, stale schema) are quarantined with a warning
+    rather than silently ignored — a corrupt cache should be *visible*.
+    Callers that then find the payload does not fit their result type
+    should hand it back via :func:`reject_payload`.
+
+    Every call lands in the counters: one ``hit`` (with the entry's
+    age) or one ``miss``; quarantines additionally count as
+    ``quarantine``.
     """
     if cache_dir is None:
         return None
@@ -116,38 +227,73 @@ def load(cache_dir: Optional[Path], key: str) -> Optional[CellCharacterization]:
     try:
         text = path.read_text()
     except FileNotFoundError:
+        _note("miss")
         return None
     except OSError as err:
         warnings.warn(f"cannot read cache entry {path}: {err}",
                       RuntimeWarning, stacklevel=2)
+        _note("miss")
         return None
+    age_s = _entry_age_s(path)
     try:
         envelope = json.loads(text)
     except json.JSONDecodeError as err:
         _quarantine(path, f"unparseable JSON ({err})")
+        _note("miss")
         return None
     if not isinstance(envelope, dict) or "payload" not in envelope:
         _quarantine(path, "not an integrity envelope (pre-schema-5 entry?)")
+        _note("miss")
         return None
     schema = envelope.get("schema")
     if schema != CACHE_SCHEMA_VERSION:
         _quarantine(path, f"schema {schema!r} != {CACHE_SCHEMA_VERSION}")
+        _note("miss")
         return None
     payload = envelope["payload"]
     expected = envelope.get("sha256")
     if not isinstance(payload, dict) or not isinstance(expected, str):
         _quarantine(path, "malformed envelope fields")
+        _note("miss")
         return None
     actual = _payload_checksum(payload)
     if actual != expected:
         _quarantine(path, f"checksum mismatch (stored {expected[:12]}..., "
                           f"computed {actual[:12]}...)")
+        _note("miss")
+        return None
+    _note("hit", age_s)
+    return payload
+
+
+def reject_payload(cache_dir: Optional[Path], key: str,
+                   reason: str) -> None:
+    """Quarantine an entry whose payload failed the caller's type fit.
+
+    The envelope was intact (so :func:`load_payload` counted a hit) but
+    the payload no longer matches the result dataclass — schema drift
+    the envelope cannot see.  Quarantines and warns like any other bad
+    entry.
+    """
+    if cache_dir is None:
+        return
+    _quarantine(Path(cache_dir) / f"{key}.json", reason)
+
+
+def load(cache_dir: Optional[Path], key: str) -> Optional[CellCharacterization]:
+    """Fetch a cached characterisation, or None.
+
+    :func:`load_payload` semantics, plus the payload must fit
+    :class:`CellCharacterization` (else the entry is quarantined).
+    """
+    payload = load_payload(cache_dir, key)
+    if payload is None:
         return None
     try:
         return CellCharacterization(**payload)
     except TypeError as err:
-        _quarantine(path, f"payload does not fit CellCharacterization "
-                          f"({err})")
+        reject_payload(cache_dir, key,
+                       f"payload does not fit CellCharacterization ({err})")
         return None
 
 
@@ -167,9 +313,9 @@ def _warn_unwritable(directory: Path, err: OSError) -> None:
     )
 
 
-def store(cache_dir: Optional[Path], key: str,
-          result: CellCharacterization) -> None:
-    """Persist a characterisation result.
+def store_payload(cache_dir: Optional[Path], key: str,
+                  payload: Dict[str, Any]) -> None:
+    """Persist a payload dict inside the integrity envelope.
 
     Safe under concurrent writers (parallel figure sweeps sharing one
     cache): each writer stages into its own ``mkstemp`` file before the
@@ -185,7 +331,6 @@ def store(cache_dir: Optional[Path], key: str,
     directory = Path(cache_dir)
     if str(directory) in _UNWRITABLE:
         return
-    payload = json.loads(result.to_json())
     envelope = json.dumps(
         {"schema": CACHE_SCHEMA_VERSION,
          "sha256": _payload_checksum(payload),
@@ -197,4 +342,15 @@ def store(cache_dir: Optional[Path], key: str,
         directory.mkdir(parents=True, exist_ok=True)
         atomic_write_text(path, envelope)
     except OSError as err:
+        _note("store_failure")
         _warn_unwritable(directory, err)
+    else:
+        _note("store")
+
+
+def store(cache_dir: Optional[Path], key: str,
+          result: CellCharacterization) -> None:
+    """Persist a characterisation result (see :func:`store_payload`)."""
+    if cache_dir is None:
+        return
+    store_payload(cache_dir, key, json.loads(result.to_json()))

@@ -18,7 +18,6 @@ from typing import Dict, Optional
 import numpy as np
 
 from ..errors import CharacterizationError
-from ..exec.atomicio import atomic_write_text
 from ..analysis import operating_point, transient
 from ..analysis.transient import TransientOptions
 from ..circuit import (
@@ -138,18 +137,20 @@ def characterize_nvff(
     """
     if cache_dir == "auto":
         cache_dir = cache.default_cache_dir()
+    if cache_dir is not None:
+        cache_dir = Path(cache_dir)
     cond = cond or OperatingConditions()
     key = cache.cache_key(kind="nvff", cond=cond, nfet=nfet, pfet=pfet,
                           mtj=mtj_params)
     if cache_dir is not None:
-        cached_path = Path(cache_dir) / f"{key}.json"
-        if cached_path.exists():
+        payload = cache.load_payload(cache_dir, key)
+        if payload is not None:
             try:
-                return FlipFlopCharacterization.from_json(
-                    cached_path.read_text()
-                )
-            except (json.JSONDecodeError, TypeError):
-                pass
+                return FlipFlopCharacterization(**payload)
+            except TypeError as err:
+                cache.reject_payload(
+                    cache_dir, key,
+                    f"payload does not fit FlipFlopCharacterization ({err})")
 
     result = FlipFlopCharacterization(
         vdd=cond.vdd, clock_frequency=cond.frequency,
@@ -165,9 +166,7 @@ def characterize_nvff(
     if validate:
         result.validate()
     if cache_dir is not None:
-        directory = Path(cache_dir)
-        directory.mkdir(parents=True, exist_ok=True)
-        atomic_write_text(directory / f"{key}.json", result.to_json())
+        cache.store_payload(cache_dir, key, json.loads(result.to_json()))
     return result
 
 

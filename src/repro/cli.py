@@ -18,6 +18,8 @@ Usage::
     python -m repro chaos --target nv --faults 20 [--json report.json]
     python -m repro chaos --executor --workers 2
     python -m repro chaos --crashpoints     # crash-safety validation
+    python -m repro chaos --serve           # serving-layer chaos suite
+    python -m repro serve --port 8023 --journal serve.jsonl
     python -m repro campaign run demo --workers 2 --journal run.jsonl
     python -m repro campaign resume demo --journal run.jsonl
     python -m repro campaign status run.jsonl
@@ -677,6 +679,8 @@ def _cmd_chaos(args) -> int:
     from .recovery import dump_failure
     from .recovery.faults import chaos_operating_points, chaos_store_transient
 
+    if args.serve:
+        return _chaos_serve(args)
     if args.executor:
         return _chaos_executor(args)
     if args.crashpoints:
@@ -709,6 +713,26 @@ def _chaos_crashpoints(args) -> int:
     return 0 if report["ok"] else 1
 
 
+def _chaos_serve(args) -> int:
+    """``repro chaos --serve``: attack the serving layer."""
+    import tempfile
+
+    from .recovery import dump_failure
+    from .serve.chaos import chaos_serve, render_serve_chaos
+
+    scratch = args.scratch or tempfile.mkdtemp(prefix="repro-serve-chaos-")
+    workers = 0 if args.workers is None else args.workers
+    report = chaos_serve(scratch, n_clients=args.clients,
+                         seed=args.seed, workers=workers,
+                         progress=print)
+    print()
+    print(render_serve_chaos(report))
+    if args.json:
+        dump_failure(report, args.json)
+        print(f"\nreport written to {args.json}")
+    return 0 if report["ok"] else 1
+
+
 def _chaos_executor(args) -> int:
     """``repro chaos --executor``: fault-inject the campaign engine."""
     import tempfile
@@ -717,14 +741,53 @@ def _chaos_executor(args) -> int:
     from .recovery.faults import chaos_executor, render_exec_chaos
 
     scratch = args.scratch or tempfile.mkdtemp(prefix="repro-exec-chaos-")
+    workers = 2 if args.workers is None else args.workers
     report = chaos_executor(scratch, n_healthy=args.faults,
-                            workers=args.workers, seed=args.seed,
+                            workers=workers, seed=args.seed,
                             progress=print)
     print(render_exec_chaos(report))
     if args.json:
         dump_failure(report, args.json)
         print(f"\nreport written to {args.json}")
     return 0 if report["ok"] else 1
+
+
+def _cmd_serve(args) -> int:
+    """``repro serve``: run the characterisation HTTP service.
+
+    First SIGTERM/SIGINT starts a graceful drain (``/readyz`` flips,
+    in-flight work finishes, the journal is flushed); a second signal
+    stops immediately.
+    """
+    import asyncio
+    import signal
+
+    from .serve.server import ReproServer, ServeOptions
+
+    options = ServeOptions(
+        host=args.host,
+        port=args.port,
+        extra_routes=tuple(args.extra_routes),
+        workers=args.workers,
+        max_retries=args.retries,
+        journal=args.journal,
+        cache_dir=None if args.no_cache else (args.cache_dir or "auto"),
+        forensics_dir=args.forensics_dir,
+        interactive_slots=args.interactive_slots,
+        campaign_slots=args.campaign_slots,
+        drain_grace=args.drain_grace,
+        progress=print,
+    )
+
+    async def _serve() -> None:
+        server = ReproServer(options)
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(signum, server.begin_drain)
+        await server.run()
+
+    asyncio.run(_serve())
+    return 0
 
 
 def _cmd_retention(args) -> int:
@@ -964,11 +1027,51 @@ def build_parser() -> argparse.ArgumentParser:
                    help="kill child writers at each atomic-write "
                         "protocol boundary and assert reader-side "
                         "recovery (RV900/RV901 cross-validation)")
-    p.add_argument("--workers", type=int, default=2,
-                   help="worker processes for --executor (default 2)")
+    p.add_argument("--serve", action="store_true",
+                   help="chaos-test the serving layer: coalescing, "
+                        "storm, shedding, breaker and drain phases "
+                        "against an in-process server")
+    p.add_argument("--clients", type=int, default=24,
+                   help="concurrent clients for --serve (default 24)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="worker processes (default 2 for --executor, "
+                        "0 = inline for --serve)")
     p.add_argument("--scratch", default=None, metavar="DIR",
-                   help="scratch directory for --executor fault markers "
-                        "(default: a fresh temp dir)")
+                   help="scratch directory for --executor/--serve "
+                        "state (default: a fresh temp dir)")
+
+    p = sub.add_parser("serve",
+                       help="run the characterisation HTTP service "
+                            "(coalescing, backpressure, deadlines, "
+                            "graceful drain)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8023,
+                   help="listen port (0 = ephemeral; default 8023)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="executor processes per request (0 = inline, "
+                        "fast but no crash isolation; default 1)")
+    p.add_argument("--retries", type=int, default=1,
+                   help="retry budget per request (default 1)")
+    p.add_argument("--journal", default=None, metavar="PATH",
+                   help="append-only JSONL journal shared by all "
+                        "served executions")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="characterisation disk cache "
+                        "(default: the repo cache)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="serve without the disk cache")
+    p.add_argument("--forensics-dir", default=None, metavar="DIR",
+                   help="dump per-failure forensics JSON here")
+    p.add_argument("--interactive-slots", type=int, default=4,
+                   help="concurrent interactive executions (default 4)")
+    p.add_argument("--campaign-slots", type=int, default=1,
+                   help="concurrent campaign runs (default 1)")
+    p.add_argument("--drain-grace", type=float, default=10.0,
+                   help="seconds in-flight work gets after SIGTERM "
+                        "(default 10)")
+    p.add_argument("--extra-routes", nargs="*", default=(),
+                   choices=("demo", "chaos"),
+                   help="also mount the demo/chaos test routes")
 
     p = sub.add_parser("campaign",
                        help="run / inspect fault-tolerant task campaigns")
@@ -1046,6 +1149,7 @@ _HANDLERS = {
     "diagnose": _cmd_diagnose,
     "chaos": _cmd_chaos,
     "campaign": _cmd_campaign,
+    "serve": _cmd_serve,
 }
 
 

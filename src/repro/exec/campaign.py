@@ -70,11 +70,19 @@ class TaskSpec:
         JSON-serialisable argument mapping handed to the task function.
     label:
         Human-readable description for summaries and forensics.
+    timeout:
+        Per-task watchdog override in seconds.  ``None`` falls back to
+        :attr:`~repro.exec.executor.CampaignOptions.task_timeout`.  Like
+        ``label`` it is execution policy, not content: it does not enter
+        the task id or the campaign key, so a journal written under one
+        deadline still resumes a run submitted under another (the serve
+        layer maps per-request deadlines here).
     """
 
     task_id: str
     params: Dict[str, Any] = field(default_factory=dict)
     label: str = ""
+    timeout: Optional[float] = None
 
     def __post_init__(self):
         try:
@@ -84,10 +92,16 @@ class TaskSpec:
                 f"task {self.task_id!r} params are not JSON-serialisable: "
                 f"{exc}"
             ) from exc
+        if self.timeout is not None and self.timeout <= 0:
+            raise CampaignError(
+                f"task {self.task_id!r} timeout must be positive, got "
+                f"{self.timeout!r}"
+            )
 
 
 def make_task(params: Dict[str, Any], label: str = "",
-              task_id: Optional[str] = None) -> TaskSpec:
+              task_id: Optional[str] = None,
+              timeout: Optional[float] = None) -> TaskSpec:
     """Build a :class:`TaskSpec` with a content-derived id."""
     if task_id is None:
         try:
@@ -96,7 +110,8 @@ def make_task(params: Dict[str, Any], label: str = "",
             raise CampaignError(
                 f"task params are not JSON-serialisable: {exc}"
             ) from exc
-    return TaskSpec(task_id=task_id, params=dict(params), label=label)
+    return TaskSpec(task_id=task_id, params=dict(params), label=label,
+                    timeout=timeout)
 
 
 def resolve_task_fn(ref: str) -> Callable[[Dict[str, Any]], Any]:

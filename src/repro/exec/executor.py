@@ -94,6 +94,20 @@ class CampaignOptions:
         key) instead of re-executing them.
     progress:
         Optional callable receiving one-line progress strings.
+    on_outcome:
+        Optional tap called with every *terminal* :class:`TaskOutcome`
+        right after it is journalled (replayed outcomes are not
+        re-announced).  Exceptions from the tap are swallowed — an
+        observer must never take down the run.  The serve layer feeds
+        campaign progress streams from this.
+    stop_requested:
+        Optional external-drain poll returning the desired interrupt
+        level (``0`` = keep running, ``1`` = graceful drain, ``2`` =
+        hard stop).  Polled once per scheduler iteration (pooled) or
+        between tasks (inline); it can only *raise* the level.  This is
+        how an embedding host (the serve layer's SIGTERM handling)
+        routes its shutdown through the executor's two-stage drain
+        without owning the process signal handlers.
     """
 
     workers: int = 1
@@ -106,12 +120,22 @@ class CampaignOptions:
     forensics_dir: Optional[Union[str, Path]] = None
     resume: bool = False
     progress: Optional[Callable[[str], None]] = None
+    on_outcome: Optional[Callable[[TaskOutcome], None]] = None
+    stop_requested: Optional[Callable[[], int]] = None
 
     def __post_init__(self):
         if self.workers < 0:
             raise ReproError("workers must be >= 0")
         if self.max_retries < 0:
             raise ReproError("max_retries must be >= 0")
+
+
+def _effective_timeout(task: TaskSpec,
+                       options: CampaignOptions) -> Optional[float]:
+    """Watchdog limit for one task: its own override, else the global."""
+    if task.timeout is not None:
+        return task.timeout
+    return options.task_timeout
 
 
 def retry_delay(options: CampaignOptions, task_id: str,
@@ -155,12 +179,15 @@ class _Worker:
     inflight: Optional[_Inflight] = None
 
     def deadline(self, options: CampaignOptions) -> Optional[float]:
-        if options.task_timeout is None or self.inflight is None:
+        if self.inflight is None:
+            return None
+        timeout = _effective_timeout(self.inflight.task, options)
+        if timeout is None:
             return None
         if self.inflight.started_at is not None:
-            return self.inflight.started_at + options.task_timeout
+            return self.inflight.started_at + timeout
         grace = 0.0 if self.ready else options.warmup_grace
-        return self.inflight.dispatched_at + grace + options.task_timeout
+        return self.inflight.dispatched_at + grace + timeout
 
 
 def _spawn_worker(ctx, worker_id: int, fn_ref: str) -> _Worker:
@@ -237,6 +264,11 @@ class _CampaignRun:
         self.outcomes[outcome.task_id] = outcome
         if self.journal is not None:
             self.journal.task_end(self.key, outcome)
+        if self.options.on_outcome is not None:
+            try:
+                self.options.on_outcome(outcome)
+            except Exception:  # lint: skip=RV405 — observer taps must never take down the run; the outcome is already journalled
+                pass
         if outcome.status in (SKIPPED, QUARANTINED):
             self._dump_forensics(outcome)
         self._progress(
@@ -302,6 +334,19 @@ class _CampaignRun:
              "attempt": self.attempts.get(task.task_id, 1)})
         self._terminal(task, QUARANTINED,
                        elapsed=payload.get("elapsed", 0.0))
+
+    def _poll_external_stop(self) -> None:
+        """Raise the interrupt level from an embedding host's drain poll."""
+        if self.options.stop_requested is None:
+            return
+        try:
+            level = int(self.options.stop_requested())
+        except Exception:  # lint: skip=RV405 — a broken drain poll must not kill a healthy run
+            return
+        if level > self.interrupt_level:
+            self.interrupt_level = level
+            if not self.interrupt_signal:
+                self.interrupt_signal = "external drain"
 
     def pending(self) -> List[str]:
         return [tid for tid in self.order if tid not in self.outcomes]
@@ -390,6 +435,9 @@ def _run_inline(run: _CampaignRun) -> None:
 
     fn = run.campaign.resolve_fn()
     while run.ready_tasks:
+        run._poll_external_stop()
+        if run.interrupt_level > 0:
+            return
         task = run.tasks[run.ready_tasks.popleft()]
         t0 = time.monotonic()
         try:
@@ -451,6 +499,7 @@ def _run_pooled(run: _CampaignRun) -> None:
     try:
         while True:
             now = time.monotonic()
+            run._poll_external_stop()
 
             # promote due retries
             while run.retry_heap and run.retry_heap[0][0] <= now:
@@ -559,10 +608,11 @@ def _run_pooled(run: _CampaignRun) -> None:
                         + elapsed)
                     _kill_worker(worker)
                     del workers[worker.worker_id]
+                    limit = _effective_timeout(current.task, options)
                     run._fail_attempt(
                         current.task, "timeout",
                         f"watchdog expired after {elapsed:.2f}s "
-                        f"(limit {options.task_timeout:g}s) on worker "
+                        f"(limit {limit:g}s) on worker "
                         f"{worker.worker_id}", now)
                     continue
                 if not worker.process.is_alive():

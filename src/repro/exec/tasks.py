@@ -9,6 +9,8 @@ builders) for the repo's own campaigns:
 * :func:`characterize_task` — one cell characterisation (the unit of
   work behind the Fig. 7/8/9 sweeps; results fold back into the
   experiment context's memo and the disk cache).
+* :func:`nvff_task` — one NV flip-flop characterisation (the register
+  -file counterpart; the serve layer's ``/v1/nvff`` route).
 * :func:`store_yield_sample_task` / :func:`snm_sample_task` — one
   Monte-Carlo sample of :mod:`repro.characterize.variability`.  Each
   sample seeds its own generator from ``(seed, index)`` so serial,
@@ -106,6 +108,41 @@ def characterize_task(params: Dict[str, Any]) -> Dict[str, Any]:
         params["kind"],
         cond=_cond(params.get("cond")),
         domain=_domain(params.get("domain")),
+        nfet=_fet(params.get("nfet")) or NFET_20NM_HP,
+        pfet=_fet(params.get("pfet")) or PFET_20NM_HP,
+        mtj_params=_mtj(params.get("mtj")) or MTJ_TABLE1,
+        cache_dir=params.get("cache_dir"),
+    )
+    return _json.loads(result.to_json())
+
+
+def nvff_params(cond=None, nfet=None, pfet=None, mtj_params=None,
+                cache_dir: Optional[Union[str, Path]] = None,
+                ) -> Dict[str, Any]:
+    """Params dict for :func:`nvff_task` from the dataclasses."""
+    return {
+        "cond": _asdict(cond),
+        "nfet": _asdict(nfet),
+        "pfet": _asdict(pfet),
+        "mtj": _asdict(mtj_params),
+        "cache_dir": None if cache_dir is None else str(cache_dir),
+    }
+
+
+def nvff_task(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one NV flip-flop characterisation; returns its data payload.
+
+    Register-file counterpart of :func:`characterize_task`; the serve
+    layer schedules ``/v1/nvff`` requests through this.
+    """
+    import json as _json
+
+    from ..characterize.ff_runner import characterize_nvff
+    from ..devices.mtj import MTJ_TABLE1
+    from ..devices.ptm20 import NFET_20NM_HP, PFET_20NM_HP
+
+    result = characterize_nvff(
+        cond=_cond(params.get("cond")),
         nfet=_fet(params.get("nfet")) or NFET_20NM_HP,
         pfet=_fet(params.get("pfet")) or PFET_20NM_HP,
         mtj_params=_mtj(params.get("mtj")) or MTJ_TABLE1,

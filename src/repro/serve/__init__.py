@@ -1,0 +1,53 @@
+"""Characterisation-as-a-service: the hardened async serving layer.
+
+``repro.serve`` fronts :func:`repro.characterize.runner.characterize_cell`,
+:func:`repro.characterize.ff_runner.characterize_nvff` and campaign
+submission with a dependency-free asyncio HTTP/JSON server.  The
+robustness contract (see ``docs/SERVICE.md``):
+
+* **Single-flight coalescing** — requests are canonicalised and
+  content-hashed with the campaign ``task_id`` rules; concurrent
+  identical requests attach to one in-flight execution.
+* **Admission control** — bounded per-class (interactive vs. campaign)
+  admission with explicit ``429 + Retry-After`` load shedding; memory
+  is bounded everywhere (queues, coalesce groups, result memo).
+* **Deadlines end-to-end** — each request's deadline becomes the
+  executor watchdog timeout for its task, and the waiter's own timer;
+  one of them always fires, so every request gets a terminal answer.
+* **Degraded mode** — a circuit breaker over backend quarantines trips
+  the server to cache-only serving: stale-but-stamped results carry
+  ``degraded: true``; novel requests get ``503`` until recovery.
+* **Graceful drain** — SIGTERM flips ``/readyz``, stops admission,
+  drains in-flight work through the executor's two-stage drain and
+  flushes the journal before the socket closes.
+"""
+
+from .admission import AdmissionController
+from .backend import ExecBackend
+from .breaker import CircuitBreaker
+from .coalesce import Coalescer
+from .protocol import (
+    CAMPAIGN,
+    INTERACTIVE,
+    ProtocolError,
+    ServeRequest,
+    canonicalize,
+)
+from .server import ReproServer, ServeOptions, ServerHandle
+from .client import ServeClient
+
+__all__ = [
+    "AdmissionController",
+    "CAMPAIGN",
+    "CircuitBreaker",
+    "Coalescer",
+    "ExecBackend",
+    "INTERACTIVE",
+    "ProtocolError",
+    "ReproServer",
+    "ServeClient",
+    "ServeOptions",
+    "ServeRequest",
+    "ServerHandle",
+    "canonicalize",
+]

@@ -1,0 +1,122 @@
+"""Circuit breaker over backend quarantines.
+
+When the executor starts quarantining tasks (worker crashes, hangs,
+poison errors) faster than it completes them, hammering it with more
+work only multiplies the damage.  The breaker watches a sliding window
+of terminal backend outcomes and trips **open** once the failure rate
+crosses a threshold, switching the server to cache-only degraded mode:
+cached results are served stamped ``degraded: true``; novel requests
+get ``503`` instead of a doomed execution.  After a cooldown the
+breaker goes **half-open** and admits exactly one probe execution —
+success closes it (window cleared), failure re-opens it for another
+cooldown.
+
+Skips do *not* count as failures: a deterministic analysis failure
+means the backend is healthy and the input is bad.
+
+All calls happen on the server's event loop; the injectable ``clock``
+keeps the unit tests off the wall clock.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Any, Callable, Dict, Optional
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Sliding-window failure-rate breaker with half-open probing."""
+
+    def __init__(self, window: int = 16, min_samples: int = 4,
+                 threshold: float = 0.5, cooldown_s: float = 5.0,
+                 clock: Callable[[], float] = time.monotonic):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        if not (0.0 < threshold <= 1.0):
+            raise ValueError("threshold must be in (0, 1]")
+        self.window = window
+        self.min_samples = max(1, int(min_samples))
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._failures: deque = deque(maxlen=window)
+        self._state = CLOSED
+        self._opened_at: Optional[float] = None
+        self._probe_inflight = False
+        self.trips = 0
+
+    @property
+    def state(self) -> str:
+        """Current state; lazily moves open -> half-open after cooldown."""
+        if (self._state == OPEN and self._opened_at is not None
+                and self._clock() - self._opened_at >= self.cooldown_s):
+            self._state = HALF_OPEN
+            self._probe_inflight = False
+        return self._state
+
+    def allow_execution(self) -> bool:
+        """May the caller start a backend execution right now?
+
+        Closed: yes.  Open: no.  Half-open: yes for exactly one probe
+        at a time — the caller must report it back via :meth:`record`.
+        """
+        state = self.state
+        if state == CLOSED:
+            return True
+        if state == HALF_OPEN and not self._probe_inflight:
+            self._probe_inflight = True
+            return True
+        return False
+
+    def record(self, ok: bool) -> None:
+        """Report one terminal backend outcome."""
+        state = self.state
+        if state == HALF_OPEN:
+            self._probe_inflight = False
+            if ok:
+                self._close()
+            else:
+                self._trip()
+            return
+        self._failures.append(0 if ok else 1)
+        if (state == CLOSED
+                and len(self._failures) >= self.min_samples
+                and self.failure_rate() >= self.threshold):
+            self._trip()
+
+    def failure_rate(self) -> float:
+        if not self._failures:
+            return 0.0
+        return sum(self._failures) / len(self._failures)
+
+    def _trip(self) -> None:
+        self._state = OPEN
+        self._opened_at = self._clock()
+        self._probe_inflight = False
+        self.trips += 1
+
+    def _close(self) -> None:
+        self._state = CLOSED
+        self._opened_at = None
+        self._probe_inflight = False
+        self._failures.clear()
+
+    def snapshot(self) -> Dict[str, Any]:
+        state = self.state     # settle any pending open -> half-open
+        open_for = (None if self._opened_at is None
+                    else max(0.0, self._clock() - self._opened_at))
+        return {
+            "state": state,
+            "failure_rate": round(self.failure_rate(), 4),
+            "samples": len(self._failures),
+            "window": self.window,
+            "threshold": self.threshold,
+            "cooldown_s": self.cooldown_s,
+            "open_for_s": open_for,
+            "trips": self.trips,
+        }

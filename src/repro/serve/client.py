@@ -1,0 +1,139 @@
+"""Minimal blocking client for the serve API (stdlib ``http.client``).
+
+Used by the chaos harness, the serve benchmark and the tests; it is
+also the reference for how to talk to the server from anywhere else.
+One connection per call (the server closes after each response), JSON
+in / JSON out, and a line iterator over the chunked campaign stream.
+
+``ServeResponse`` keeps the HTTP code and the decoded body together so
+callers can assert on either without re-parsing.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, Optional
+
+from ..errors import ReproError
+
+
+@dataclass
+class ServeResponse:
+    """One terminal HTTP response from the server."""
+
+    code: int
+    body: Dict[str, Any]
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def status(self) -> str:
+        return self.body.get("status", "")
+
+    @property
+    def ok(self) -> bool:
+        return self.code == 200
+
+    def retry_after_s(self) -> Optional[float]:
+        value = self.headers.get("retry-after")
+        return None if value is None else float(value)
+
+
+class ServeClient:
+    """Blocking JSON client bound to one server address."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8080,
+                 timeout: float = 60.0):
+        self.host = host
+        self.port = int(port)
+        self.timeout = float(timeout)
+
+    # -- plumbing --------------------------------------------------------
+
+    def _request(self, method: str, target: str,
+                 body: Optional[Dict[str, Any]] = None) -> ServeResponse:
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            payload = None if body is None else json.dumps(body)
+            headers = {"Content-Type": "application/json"} if payload else {}
+            conn.request(method, target, body=payload, headers=headers)
+            resp = conn.getresponse()
+            raw = resp.read()
+            try:
+                decoded = json.loads(raw.decode("utf-8")) if raw else {}
+            except (UnicodeDecodeError, json.JSONDecodeError) as err:
+                raise ReproError(
+                    f"server sent non-JSON body for {target}: {err}") from err
+            return ServeResponse(
+                code=resp.status, body=decoded,
+                headers={k.lower(): v for k, v in resp.getheaders()})
+        finally:
+            conn.close()
+
+    # -- health / observability -----------------------------------------
+
+    def healthz(self) -> ServeResponse:
+        return self._request("GET", "/healthz")
+
+    def readyz(self) -> ServeResponse:
+        return self._request("GET", "/readyz")
+
+    def metrics(self) -> Dict[str, Any]:
+        return self._request("GET", "/metrics").body
+
+    # -- task routes -----------------------------------------------------
+
+    def task(self, route: str,
+             body: Optional[Dict[str, Any]] = None) -> ServeResponse:
+        """POST one request to ``/v1/<route>`` and return the response."""
+        return self._request("POST", f"/v1/{route}", body or {})
+
+    def characterize(self, **body: Any) -> ServeResponse:
+        return self.task("characterize", body)
+
+    def nvff(self, **body: Any) -> ServeResponse:
+        return self.task("nvff", body)
+
+    # -- campaigns -------------------------------------------------------
+
+    def campaign(self, name: str, *, options: Optional[Dict[str, Any]] = None,
+                 **extra: Any) -> ServeResponse:
+        """Submit a campaign without streaming; blocks until terminal."""
+        body = {"name": name, "options": options or {}, "stream": False}
+        body.update(extra)
+        return self._request("POST", "/v1/campaign", body)
+
+    def campaign_stream(self, name: str, *,
+                        options: Optional[Dict[str, Any]] = None,
+                        **extra: Any) -> Iterator[Dict[str, Any]]:
+        """Submit a campaign and yield its JSONL progress records.
+
+        Yields ``stream_begin``, one ``task_end`` per terminal task,
+        then ``stream_end`` (or a plain error/shed response body if the
+        submission never got a stream).  The connection closes when the
+        iterator is exhausted.
+        """
+        body = {"name": name, "options": options or {}, "stream": True}
+        body.update(extra)
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            conn.request("POST", "/v1/campaign", body=json.dumps(body),
+                         headers={"Content-Type": "application/json"})
+            resp = conn.getresponse()
+            if resp.getheader("Transfer-Encoding", "").lower() != "chunked":
+                raw = resp.read()
+                yield json.loads(raw.decode("utf-8")) if raw else {}
+                return
+            # http.client de-chunks transparently; records are lines
+            while True:
+                line = resp.readline()
+                if not line:
+                    break
+                line = line.strip()
+                if line:
+                    yield json.loads(line.decode("utf-8"))
+        finally:
+            conn.close()

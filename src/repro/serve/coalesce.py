@@ -1,0 +1,90 @@
+"""Single-flight request coalescing.
+
+Concurrent requests with the same canonical key share one execution:
+the first becomes the *leader* (it is admitted, scheduled and runs the
+group to a terminal outcome), later arrivals *attach* as waiters on the
+same future.  Groups are bounded — once ``max_waiters`` requesters are
+attached, further identical requests are shed rather than growing an
+unbounded waiter list.
+
+All operations run on the server's event loop; the leader's join and
+its admission check happen in the same loop tick, so an aborted group
+can never have picked up waiters in between.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+
+@dataclass
+class CoalesceGroup:
+    """One in-flight execution and everyone waiting on it."""
+
+    key: str
+    future: "asyncio.Future[Dict[str, Any]]"
+    waiters: int = 1
+
+    def resolve(self, outcome: Dict[str, Any]) -> None:
+        if not self.future.done():
+            self.future.set_result(outcome)
+
+
+@dataclass
+class Coalescer:
+    """Key -> in-flight group map with bounded attachment."""
+
+    max_waiters: int = 64
+    _groups: Dict[str, CoalesceGroup] = field(default_factory=dict)
+    started: int = 0
+    attached: int = 0
+    rejected: int = 0
+    peak_waiters: int = 0
+
+    def join(self, key: str,
+             loop: asyncio.AbstractEventLoop
+             ) -> Tuple[Optional[CoalesceGroup], bool]:
+        """Join the group for ``key``; returns ``(group, created)``.
+
+        ``(None, False)`` means the existing group is at its waiter cap
+        and this request must be shed (bounded memory beats fairness).
+        """
+        group = self._groups.get(key)
+        if group is None:
+            group = CoalesceGroup(key=key, future=loop.create_future())
+            self._groups[key] = group
+            self.started += 1
+            self.peak_waiters = max(self.peak_waiters, 1)
+            return group, True
+        if group.waiters >= self.max_waiters:
+            self.rejected += 1
+            return None, False
+        group.waiters += 1
+        self.attached += 1
+        self.peak_waiters = max(self.peak_waiters, group.waiters)
+        return group, False
+
+    def abort(self, key: str) -> None:
+        """Drop a just-created group whose leader was not admitted."""
+        self._groups.pop(key, None)
+
+    def finish(self, key: str, outcome: Dict[str, Any]) -> None:
+        """Resolve and retire the group; every waiter sees ``outcome``."""
+        group = self._groups.pop(key, None)
+        if group is not None:
+            group.resolve(outcome)
+
+    def inflight(self) -> int:
+        return len(self._groups)
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "inflight": len(self._groups),
+            "started": self.started,
+            "attached": self.attached,
+            "rejected": self.rejected,
+            "peak_waiters": self.peak_waiters,
+            "max_waiters": self.max_waiters,
+        }

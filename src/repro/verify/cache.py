@@ -41,7 +41,8 @@ from ..exec.atomicio import atomic_write_text
 #: Bump when summary or diagnostic serialisation changes shape.
 #: v2: summary schema 2 (shape returns, nonloop allocs) + RV8xx band.
 #: v3: summary schema 3 (effect signatures, global reads) + RV9xx band.
-CACHE_SCHEMA_VERSION = 3
+#: v4: spawn_tgt atoms are Process-only (Thread targets stay local).
+CACHE_SCHEMA_VERSION = 4
 
 CORRUPT_SUBDIR = "corrupt"
 

@@ -357,6 +357,11 @@ class EffectCollector:
         if tail in _PROC_CTORS:
             for kw in node.keywords:
                 if kw.arg == "target":
+                    if tail != "Process":
+                        # Thread targets run in this process and may
+                        # close over local state freely; only Process
+                        # targets must pickle by import path.
+                        continue
                     if isinstance(kw.value, ast.Lambda):
                         self._add("spawn_tgt", "<lambda>", line, "nested")
                     elif isinstance(kw.value, ast.Name):

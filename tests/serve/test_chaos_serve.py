@@ -1,0 +1,19 @@
+"""The full serving-layer chaos suite (stress job)."""
+
+import pytest
+
+from repro.serve.chaos import chaos_serve, render_serve_chaos
+
+
+@pytest.mark.stress
+def test_serve_chaos_suite_passes(tmp_path):
+    report = chaos_serve(str(tmp_path), n_clients=24, seed=2015,
+                         workers=0)
+    assert report["ok"], render_serve_chaos(report)
+    assert report["requests_sent"] == report["responses_received"]
+    names = [p["name"] for p in report["phases"]]
+    assert names == ["coalesce", "storm", "shed", "breaker", "drain",
+                     "journal"]
+    coalesce = report["phases"][0]
+    assert coalesce["backend_executions"] == 1
+    assert coalesce["leaders"] == 1

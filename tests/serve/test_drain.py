@@ -1,0 +1,188 @@
+"""Drain semantics: readiness ordering, in-flight completion, journal
+identity across a restart, and real SIGTERM handling (stress)."""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.exec import CampaignOptions, Journal, run_campaign
+from repro.exec.registry import build_campaign
+from repro.serve import ServeClient, ServeOptions, ServerHandle
+
+
+def _options(scratch, **overrides):
+    base = dict(extra_routes=("demo",), journal=scratch / "journal.jsonl",
+                cache_dir=scratch / "cache", drain_grace=5.0,
+                drain_settle_s=0.3)
+    base.update(overrides)
+    return ServeOptions(**base)
+
+
+class TestGracefulDrain:
+    def test_readyz_flips_before_the_socket_closes(self, tmp_path):
+        handle = ServerHandle(_options(tmp_path)).start()
+        client = ServeClient(port=handle.port)
+        assert client.readyz().code == 200
+        handle.begin_drain()
+        time.sleep(0.05)
+        # inside the settle window: the socket still answers, but the
+        # server already reports not-ready (and health stays alive)
+        readyz = client.readyz()
+        healthz = client.healthz()
+        assert readyz.code == 503
+        assert readyz.body["reason"] == "draining"
+        assert healthz.code == 200
+        assert healthz.body["draining"] is True
+        handle.join(timeout=10.0)
+        # only after the drain completes do connections get refused
+        with pytest.raises(ConnectionRefusedError):
+            socket.create_connection(("127.0.0.1", handle.port),
+                                     timeout=2.0)
+
+    def test_inflight_completes_while_new_work_is_refused(self, tmp_path):
+        handle = ServerHandle(_options(tmp_path)).start()
+        results = []
+
+        def slow():
+            results.append(ServeClient(port=handle.port).task(
+                "demo", {"params": {"x": 9.0, "work": 0.8}}))
+
+        worker = threading.Thread(target=slow)
+        worker.start()
+        time.sleep(0.2)     # let the slow request get admitted
+        handle.begin_drain()
+        time.sleep(0.05)
+        refused = ServeClient(port=handle.port).task(
+            "demo", {"params": {"x": 1.0}})
+        assert refused.code == 503
+        assert refused.status == "draining"
+        worker.join(timeout=10.0)
+        handle.join(timeout=10.0)
+        assert results and results[0].status == "ok"
+        assert results[0].body["result"]["y"] == 81.0
+
+    def test_drain_mid_campaign_journals_interrupt_and_resumes(
+            self, tmp_path):
+        handle = ServerHandle(_options(tmp_path)).start()
+        client = ServeClient(port=handle.port)
+        records = []
+
+        def stream():
+            records.extend(client.campaign_stream(
+                "demo", options={"tasks": 8, "work": 0.25}))
+
+        worker = threading.Thread(target=stream)
+        worker.start()
+        time.sleep(0.6)     # a couple of tasks deep
+        handle.begin_drain()
+        worker.join(timeout=20.0)
+        handle.join(timeout=20.0)
+
+        assert records[0]["kind"] == "stream_begin"
+        end = records[-1]
+        assert end["kind"] == "stream_end"
+        assert end["status"] == "interrupted"
+        done_live = [r for r in records if r["kind"] == "task_end"]
+        assert 0 < len(done_live) < 8
+
+        # the journal saw exactly what the stream saw, plus the
+        # interrupt marker
+        key = records[0]["key"]
+        journal = Journal(tmp_path / "journal.jsonl")
+        outcomes = journal.outcomes_for(key)
+        assert len(outcomes) == len(done_live)
+        kinds = [r.get("kind") for r in journal.replay()]
+        assert "campaign_interrupted" in kinds
+
+        # a second server over the same journal resumes: finished work
+        # replays identically, only the remainder executes
+        handle2 = ServerHandle(_options(tmp_path)).start()
+        try:
+            resumed = ServeClient(port=handle2.port).campaign(
+                "demo", options={"tasks": 8, "work": 0.25}, resume=True)
+        finally:
+            handle2.stop(hard=True)
+            handle2.join(timeout=10.0)
+        assert resumed.body["outcome"] == "completed"
+        summary = resumed.body["summary"]
+        assert summary["n_replayed"] == len(done_live)
+        assert summary["counts"]["completed"] == 8
+        final = journal.outcomes_for(key)
+        for record in done_live:
+            assert final[record["task_id"]].result == record["result"]
+
+
+@pytest.mark.stress
+class TestSigterm:
+    def _free_port(self):
+        with socket.socket() as s:
+            s.bind(("127.0.0.1", 0))
+            return s.getsockname()[1]
+
+    def test_sigterm_drains_a_served_campaign_cleanly(self, tmp_path):
+        src = Path(__file__).resolve().parents[2] / "src"
+        journal = tmp_path / "journal.jsonl"
+        port = self._free_port()
+        env = {**os.environ, "PYTHONPATH": str(src)}
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             "--port", str(port), "--workers", "0",
+             "--extra-routes", "demo",
+             "--journal", str(journal),
+             "--cache-dir", str(tmp_path / "cache"),
+             "--drain-grace", "10"],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True)
+        try:
+            client = ServeClient(port=port)
+            for _ in range(100):
+                try:
+                    if client.readyz().code == 200:
+                        break
+                except OSError:
+                    time.sleep(0.1)
+            else:
+                pytest.fail("server never became ready")
+
+            records = []
+
+            def stream():
+                records.extend(client.campaign_stream(
+                    "demo", options={"tasks": 20, "work": 0.25}))
+
+            worker = threading.Thread(target=stream)
+            worker.start()
+            time.sleep(0.8)
+            proc.send_signal(signal.SIGTERM)
+            worker.join(timeout=30.0)
+            assert proc.wait(timeout=30.0) == 0
+
+            assert records and records[-1]["kind"] == "stream_end"
+            assert records[-1]["status"] == "interrupted"
+            done_live = [r for r in records if r["kind"] == "task_end"]
+            assert 0 < len(done_live) < 20
+
+            # the journal replays identically after the process is gone:
+            # resuming executes only the remainder and the replayed
+            # outcomes match what was streamed live
+            result = run_campaign(
+                build_campaign("demo", tasks=20, work=0.25),
+                journal=journal,
+                options=CampaignOptions(workers=0, resume=True))
+            assert result.n_replayed == len(done_live)
+            assert result.counts()["completed"] == 20
+            results = result.results()
+            for record in done_live:
+                assert results[record["task_id"]] == record["result"]
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10.0)
